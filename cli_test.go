@@ -1,0 +1,100 @@
+package indexedrec
+
+// End-to-end tests of the command-line tools: each binary is built once and
+// exercised the way a user would drive it.
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd/ binary into a temp dir and returns its path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not available")
+	}
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command(goBin, "build", "-o", bin, "./cmd/"+name)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIIrsolve(t *testing.T) {
+	bin := buildTool(t, "irsolve")
+	out := run(t, bin,
+		"-loop", "for i = 1 to n do X[i] := X[i-1] + X[i]",
+		"-n", "10", "-array", "X=ramp:11")
+	for _, want := range []string{
+		"ordinary IR", "OrdinaryIR pointer jumping", "max abs difference: 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("irsolve output missing %q:\n%s", want, out)
+		}
+	}
+	// Analyze-only mode.
+	out2 := run(t, bin, "-analyze",
+		"-loop", "for i = 1 to n do X[G[i]] := A[i]*X[F[i]] + B[i]")
+	if !strings.Contains(out2, "linear IR") || !strings.Contains(out2, "indexed recurrence") {
+		t.Fatalf("irsolve -analyze output:\n%s", out2)
+	}
+}
+
+func TestCLIIrgen(t *testing.T) {
+	bin := buildTool(t, "irgen")
+	out := run(t, bin,
+		"-loop", "for i = 1 to n do X[i] := A[i]*X[i-1] + B[i]",
+		"-func", "Tri")
+	for _, want := range []string{
+		"package generated", "func Tri(", "ir.SolveLinear(", "DO NOT EDIT",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("irgen output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIIrbench(t *testing.T) {
+	bin := buildTool(t, "irbench")
+	out := run(t, bin, "-list")
+	if !strings.Contains(out, "fig3") || !strings.Contains(out, "livermore") {
+		t.Fatalf("irbench -list output:\n%s", out)
+	}
+	out2 := run(t, bin, "-exp", "fig1")
+	if !strings.Contains(out2, "A[2]A[3]A[6]") {
+		t.Fatalf("irbench fig1 output:\n%s", out2)
+	}
+	out3 := run(t, bin, "-exp", "fig3", "-n", "1000", "-procs", "1,32")
+	if !strings.Contains(out3, "Parallel IR Solution") {
+		t.Fatalf("irbench fig3 output:\n%s", out3)
+	}
+}
+
+func TestCLIIrvm(t *testing.T) {
+	bin := buildTool(t, "irvm")
+	out := run(t, bin, "-builtin", "reduce",
+		"-sym", "N=16", "-sym", "NPROC=4", "-sym", "A=0",
+		"-mem", "16", "-fill", "0:16=1", "-dump", "0:1")
+	if !strings.Contains(out, "cycles=") || !strings.Contains(out, "mem[0:1] = [16]") {
+		t.Fatalf("irvm output:\n%s", out)
+	}
+	out2 := run(t, bin, "-builtin", "seq", "-disasm",
+		"-sym", "NITER=1", "-sym", "A=0", "-sym", "G=1", "-sym", "F=2")
+	if !strings.Contains(out2, "OPX") || !strings.Contains(out2, "sloop") {
+		t.Fatalf("irvm -disasm output:\n%s", out2)
+	}
+}

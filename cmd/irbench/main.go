@@ -1,0 +1,71 @@
+// Command irbench regenerates the paper's evaluation artifacts (DESIGN.md's
+// experiment index). Run a single experiment by id, or everything:
+//
+//	irbench -exp fig3                 # the headline performance figure
+//	irbench -exp livermore            # the §1 classification table
+//	irbench -exp all                  # every experiment
+//	irbench -list                     # available experiments
+//	irbench -exp fig3 -n 10000 -procs 1,16,256
+//	irbench -exp all -quick           # small sizes for smoke runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"indexedrec/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (or \"all\")")
+		list  = flag.Bool("list", false, "list available experiments")
+		n     = flag.Int("n", 0, "instance size override (0 = experiment default)")
+		procs = flag.String("procs", "", "comma-separated processor sweep override")
+		seed  = flag.Int64("seed", 0, "generator seed override")
+		quick = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nusage: irbench -exp <id>|all [-n N] [-procs 1,2,4] [-quick]")
+			os.Exit(2)
+		}
+		return
+	}
+
+	opt := experiments.Options{N: *n, Seed: *seed, Quick: *quick}
+	if *procs != "" {
+		for _, tok := range strings.Split(*procs, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || p < 1 {
+				fmt.Fprintf(os.Stderr, "irbench: bad -procs entry %q\n", tok)
+				os.Exit(2)
+			}
+			opt.Procs = append(opt.Procs, p)
+		}
+	}
+
+	run := func(id string) {
+		if err := experiments.Run(id, os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "irbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e.ID)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,53 @@
+// Command irgen is the compiler back-end as a tool: it reads a sequential
+// loop in the DSL, classifies it (no dependence analysis), and emits a Go
+// function that executes the loop with the matching parallel algorithm via
+// the public indexedrec/ir API.
+//
+//	irgen -loop 'for i = 1 to n do X[i] := A[i]*X[i-1] + B[i]' -func SolveIt
+//	irgen -file loop.ir -func Kernel > kernel_gen.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"indexedrec/internal/lang"
+)
+
+func main() {
+	var (
+		loopSrc = flag.String("loop", "", "loop source text")
+		file    = flag.String("file", "", "file containing the loop source")
+		fn      = flag.String("func", "Generated", "emitted function name")
+	)
+	flag.Parse()
+
+	src := *loopSrc
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fail("read -file: %v", err)
+		}
+		src = string(data)
+	}
+	if src == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	loop, err := lang.Parse(src)
+	if err != nil {
+		fail("parse: %v", err)
+	}
+	c := lang.Compile(loop)
+	out, err := c.EmitGo(*fn)
+	if err != nil {
+		fail("emit: %v", err)
+	}
+	fmt.Print(out)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "irgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,158 @@
+// Command irvm is the SimParC reconstruction as a standalone tool: it
+// assembles a program, runs it lock-step, and reports cycles, instruction
+// profile and memory.
+//
+//	irvm -file prog.s -mem 64 -sym N=10 -dump 0:10
+//	irvm -builtin reduce -sym N=16 -sym NPROC=4      # run a shipped program
+//	irvm -file prog.s -disasm                        # assemble + disassemble only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"indexedrec/internal/simparc"
+)
+
+type symFlags map[string]int64
+
+func (s symFlags) String() string { return fmt.Sprint(map[string]int64(s)) }
+func (s symFlags) Set(v string) error {
+	name, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=VALUE, got %q", v)
+	}
+	x, err := strconv.ParseInt(val, 0, 64)
+	if err != nil {
+		return err
+	}
+	s[name] = x
+	return nil
+}
+
+var builtins = map[string]string{
+	"seq":    simparc.SeqIRSource,
+	"oir":    simparc.ParallelOIRSource,
+	"reduce": simparc.ReduceSource,
+	"scan":   simparc.ScanSource,
+	"affine": simparc.AffineScanSource,
+}
+
+func main() {
+	syms := symFlags{}
+	var (
+		file    = flag.String("file", "", "assembly source file")
+		builtin = flag.String("builtin", "", "run a shipped program: seq|oir|reduce|scan|affine")
+		mem     = flag.Int("mem", 1024, "data memory words")
+		cap     = flag.Int("cap", 0, "max concurrently active processors (0 = unlimited)")
+		maxCyc  = flag.Int64("max-cycles", 1<<30, "cycle budget")
+		opx     = flag.String("opx", "add", "OPX binding: add | mul | max | mulmod:P")
+		dump    = flag.String("dump", "", "memory range LO:HI to print after the run")
+		disasm  = flag.Bool("disasm", false, "disassemble instead of running")
+		fill    = flag.String("fill", "", "pre-fill memory LO:HI=VALUE (repeatable via commas)")
+	)
+	flag.Var(syms, "sym", "symbol binding NAME=VALUE (repeatable)")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *builtin != "":
+		s, ok := builtins[*builtin]
+		if !ok {
+			fail("unknown -builtin %q", *builtin)
+		}
+		src = s
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fail("%v", err)
+		}
+		src = string(data)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := simparc.Assemble(src, syms)
+	if err != nil {
+		fail("assemble: %v", err)
+	}
+	if *disasm {
+		simparc.Disassemble(prog, os.Stdout)
+		return
+	}
+
+	vm := simparc.NewVM(prog, *mem)
+	vm.Cap = *cap
+	switch {
+	case *opx == "add":
+		vm.OpX = func(a, b int64) int64 { return a + b }
+	case *opx == "mul":
+		vm.OpX = func(a, b int64) int64 { return a * b }
+	case *opx == "max":
+		vm.OpX = func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		}
+	case strings.HasPrefix(*opx, "mulmod:"):
+		p, err := strconv.ParseInt((*opx)[len("mulmod:"):], 0, 64)
+		if err != nil || p < 2 {
+			fail("bad -opx %q", *opx)
+		}
+		vm.OpX = func(a, b int64) int64 { return a % p * (b % p) % p }
+	default:
+		fail("unknown -opx %q", *opx)
+	}
+
+	if *fill != "" {
+		for _, part := range strings.Split(*fill, ",") {
+			rng, val, ok := strings.Cut(part, "=")
+			lo, hi, ok2 := parseRange(rng, *mem)
+			if !ok || !ok2 {
+				fail("bad -fill entry %q", part)
+			}
+			v, err := strconv.ParseInt(val, 0, 64)
+			if err != nil {
+				fail("bad -fill value in %q", part)
+			}
+			for i := lo; i < hi; i++ {
+				vm.Mem[i] = v
+			}
+		}
+	}
+
+	if err := vm.Run(*maxCyc); err != nil {
+		fail("run: %v", err)
+	}
+	vm.Profile(os.Stdout)
+	if *dump != "" {
+		lo, hi, ok := parseRange(*dump, *mem)
+		if !ok {
+			fail("bad -dump range %q", *dump)
+		}
+		fmt.Printf("mem[%d:%d] = %v\n", lo, hi, vm.Mem[lo:hi])
+	}
+}
+
+func parseRange(s string, mem int) (lo, hi int, ok bool) {
+	l, h, found := strings.Cut(s, ":")
+	if !found {
+		return 0, 0, false
+	}
+	lo, err1 := strconv.Atoi(l)
+	hi, err2 := strconv.Atoi(h)
+	if err1 != nil || err2 != nil || lo < 0 || hi > mem || lo > hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "irvm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+// Package indexedrec is a Go reproduction of "Parallel Solutions of Indexed
+// Recurrence Equations" (Yosi Ben-Asher and Gadi Haber, IPPS 1997): parallel
+// algorithms that solve sequential loops of the form
+//
+//	for i = 1 to n:  A[g(i)] := op(A[f(i)], A[h(i)])
+//
+// in O(log n) time — ordinary IR via pointer jumping (internal/ordinary),
+// linear and fractional-linear forms via the Möbius transformation
+// (internal/moebius), and general IR via dependence-graph path counting
+// (internal/gir, internal/cap) — together with the substrates the paper's
+// evaluation needs: a PRAM cost model (internal/pram), a SimParC-style
+// assembly-level simulator (internal/simparc), a loop front-end that
+// classifies recurrences without dependence analysis (internal/lang), and
+// the Livermore Loops (internal/livermore).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate every table and figure; cmd/irbench
+// prints them.
+package indexedrec

@@ -1,0 +1,103 @@
+// Simulator: a tour of the SimParC reconstruction — assemble the paper's
+// parallel OrdinaryIR program, run it lock-step on a varying number of
+// processors, and inspect the disassembly and instruction profile. This is
+// the machinery behind the Fig. 3 reproduction.
+//
+//	go run ./examples/simulator
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/simparc"
+	"indexedrec/internal/workload"
+)
+
+func main() {
+	const n = 4096
+	s := workload.Chain(n)
+	init := make([]int64, s.M)
+	for x := range init {
+		init[x] = 1
+	}
+	add := func(a, b int64) int64 { return a + b }
+
+	// The baseline: the original sequential loop, as an assembly program.
+	seq, err := simparc.RunSeqIR(s, add, init, 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original loop:  %8d cycles (n=%d)\n", seq.Cycles, n)
+
+	// The parallel program at a few processor counts.
+	want := core.RunSequential[int64](s, core.IntAdd{}, init)
+	for _, p := range []int{1, 8, 64, 512} {
+		res, err := simparc.RunParallelOIR(s, add, init, p, 1<<32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for x := range want {
+			if res.Values[x] != want[x] {
+				log.Fatalf("P=%d: wrong answer at cell %d", p, x)
+			}
+		}
+		fmt.Printf("parallel P=%3d: %8d cycles  (%d rounds, %d instrs total, %.2fx vs loop)\n",
+			p, res.Cycles, res.Rounds, res.Instrs, float64(seq.Cycles)/float64(res.Cycles))
+	}
+
+	// Under the hood: the program text, assembled and disassembled.
+	prog, err := simparc.Assemble(simparc.ParallelOIRSource, map[string]int64{
+		"NPROC": 4, "K": 10, "ROUNDS": 4, "A": 0, "V": 100, "N": 200,
+		"V2": 300, "N2": 400, "NEXT": 500, "INITF": 600, "CELLS": 700,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthe parallel program is %d instructions; first 14 disassembled:\n", len(prog.Code))
+	simparc.Disassemble(prog, &limitedWriter{left: 14})
+
+	// Profile a raw VM run of the tree-reduction program: which opcodes
+	// dominate a lock-step execution.
+	fmt.Println("\ninstruction profile of a P=8 tree reduction (n=512):")
+	rprog, err := simparc.Assemble(simparc.ReduceSource, map[string]int64{
+		"N": 512, "NPROC": 8, "A": 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm := simparc.NewVM(rprog, 512)
+	vm.OpX = add
+	for i := range vm.Mem {
+		vm.Mem[i] = 1
+	}
+	if err := vm.Run(1 << 28); err != nil {
+		log.Fatal(err)
+	}
+	vm.Profile(os.Stdout)
+	fmt.Printf("reduction result: %d (want 512)\n", vm.Mem[0])
+	fmt.Println("\n(see `irbench -exp fig3` for the full sweep and plot)")
+}
+
+// limitedWriter prints at most N lines to stdout then swallows the rest.
+type limitedWriter struct{ left int }
+
+func (w *limitedWriter) Write(p []byte) (int, error) {
+	start := 0
+	for i, b := range p {
+		if b != '\n' {
+			continue
+		}
+		if w.left > 0 {
+			os.Stdout.Write(p[start : i+1])
+			w.left--
+		}
+		start = i + 1
+	}
+	if w.left > 0 && start < len(p) {
+		os.Stdout.Write(p[start:])
+	}
+	return len(p), nil
+}

@@ -1,0 +1,3 @@
+module indexedrec
+
+go 1.24

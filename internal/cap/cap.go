@@ -1,0 +1,163 @@
+// Package cap implements CAP — Counting All Paths — the core of the paper's
+// general-IR algorithm (Definition 1): given a DAG, compute for every node v
+// and every sink l the number of distinct paths v ⇝ l. In the GIR setting
+// the sinks are initial array values and the path count is the exponent of
+// that initial value in v's trace.
+//
+// Three engines are provided and cross-checked against each other:
+//
+//   - CountDP: sequential dynamic programming over a topological order,
+//     O(V·E·S) work. The correctness reference.
+//   - CountSquaring: the paper's parallel algorithm — O(log n) lock-step
+//     rounds of "paths multiplication" (composing successive edges) and
+//     "paths addition" (summing parallel edges), Figs. 7–9. Round t's edge
+//     set contains, for interior targets, the number of walks of length
+//     exactly 2^t, and for sink targets, the number of paths of length
+//     ≤ 2^t; after ⌈log₂ L⌉ rounds (L = longest path) only sink edges
+//     remain and their labels are the answer. The scanned paper's
+//     deletion/marking step is reconstructed as: an interior edge is
+//     consumed (deleted) by the round that composes it, while sink edges
+//     persist. This is provably equivalent to repeated squaring of the
+//     adjacency matrix with unit self-loops on sinks.
+//   - CountMatrix: that dense matrix squaring, spelled out, as an
+//     independent comparator (O(n³ log n) work, O(log² n) depth).
+//
+// Path counts grow as fast as Fibonacci numbers (paper §4), so labels are
+// big.Int throughout.
+package cap
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"indexedrec/internal/graph"
+)
+
+// Edge is a labeled edge: Label counts parallel paths represented by it.
+type Edge struct {
+	To    int
+	Label *big.Int
+}
+
+// Graph is a labeled DAG in the dependence orientation (edges point toward
+// sinks / initial values). Out[v] is sorted by target and free of duplicate
+// targets — parallel edges are pre-merged into labels.
+type Graph struct {
+	N    int
+	Out  [][]Edge
+	sink []bool
+}
+
+// FromDAG converts a multigraph into labeled form, merging parallel edges
+// into integer labels.
+func FromDAG(g *graph.DAG) *Graph {
+	c := &Graph{N: g.N, Out: make([][]Edge, g.N), sink: make([]bool, g.N)}
+	for v := 0; v < g.N; v++ {
+		if len(g.Out[v]) == 0 {
+			c.sink[v] = true
+			continue
+		}
+		mult := make(map[int]int64)
+		for _, w := range g.Out[v] {
+			mult[w]++
+		}
+		c.Out[v] = make([]Edge, 0, len(mult))
+		for w, k := range mult {
+			c.Out[v] = append(c.Out[v], Edge{To: w, Label: big.NewInt(k)})
+		}
+		sort.Slice(c.Out[v], func(a, b int) bool { return c.Out[v][a].To < c.Out[v][b].To })
+	}
+	return c
+}
+
+// NewGraph builds a labeled graph directly. Out lists may be unsorted and
+// contain duplicate targets; they are normalized. Nodes with no out-edges
+// are the sinks.
+func NewGraph(n int, edges map[int][]Edge) *Graph {
+	c := &Graph{N: n, Out: make([][]Edge, n), sink: make([]bool, n)}
+	for v := 0; v < n; v++ {
+		out := edges[v]
+		if len(out) == 0 {
+			c.sink[v] = true
+			continue
+		}
+		c.Out[v] = mergeEdges(out)
+	}
+	return c
+}
+
+// mergeEdges sums labels of duplicate targets and sorts by target — the
+// paper's "paths addition" step (Fig. 8).
+func mergeEdges(out []Edge) []Edge {
+	m := make(map[int]*big.Int, len(out))
+	for _, e := range out {
+		if acc, ok := m[e.To]; ok {
+			acc.Add(acc, e.Label)
+		} else {
+			m[e.To] = new(big.Int).Set(e.Label)
+		}
+	}
+	merged := make([]Edge, 0, len(m))
+	for w, l := range m {
+		merged = append(merged, Edge{To: w, Label: l})
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].To < merged[b].To })
+	return merged
+}
+
+// IsSink reports whether v has no outgoing edges.
+func (g *Graph) IsSink(v int) bool { return g.sink[v] }
+
+// Sinks returns the sink nodes in increasing order.
+func (g *Graph) Sinks() []int {
+	var s []int
+	for v := 0; v < g.N; v++ {
+		if g.sink[v] {
+			s = append(s, v)
+		}
+	}
+	return s
+}
+
+// Term is one entry of a CAP result: Count paths from the queried node to
+// Sink.
+type Term struct {
+	Sink  int
+	Count *big.Int
+}
+
+// Counts holds, for every node, its path counts to every reachable sink,
+// sorted by sink id. Counts[sink] is the singleton {sink, 1} by convention
+// (the empty path), matching the GIR semantics where a sink "contains" its
+// own initial value.
+type Counts [][]Term
+
+// Equal reports whether two results are identical.
+func (c Counts) Equal(o Counts) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for v := range c {
+		if len(c[v]) != len(o[v]) {
+			return false
+		}
+		for k := range c[v] {
+			if c[v][k].Sink != o[v][k].Sink || c[v][k].Count.Cmp(o[v][k].Count) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders a result compactly for test failure messages.
+func (c Counts) String() string {
+	s := ""
+	for v := range c {
+		s += fmt.Sprintf("%d:%v ", v, c[v])
+	}
+	return s
+}
+
+func (t Term) String() string { return fmt.Sprintf("(%d:%s)", t.Sink, t.Count) }

@@ -1,0 +1,248 @@
+package cap
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/graph"
+)
+
+// countsOf is a test helper running one engine by name.
+func allEngines(t *testing.T, g *Graph) map[string]Counts {
+	t.Helper()
+	dp, err := CountDP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, _, err := CountSquaring(g, SquaringOptions{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := CountMatrix(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := CountWavefront(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Counts{"dp": dp, "squaring": sq, "matrix": mx, "wavefront": wf}
+}
+
+func requireAgreement(t *testing.T, g *Graph) Counts {
+	t.Helper()
+	res := allEngines(t, g)
+	dp := res["dp"]
+	for name, c := range res {
+		if !c.Equal(dp) {
+			t.Fatalf("engine %s disagrees with dp:\n%s\nvs\n%s", name, c, dp)
+		}
+	}
+	return dp
+}
+
+func TestFig9DoubleChainCAP(t *testing.T) {
+	// The paper's example: a double chain of n nodes; CAP yields a single
+	// edge v_i → v_0 labeled 2^i.
+	n := 9
+	g := FromDAG(graph.DoubleChain(n))
+	counts := requireAgreement(t, g)
+	for v := 1; v < n; v++ {
+		if len(counts[v]) != 1 || counts[v][0].Sink != 0 {
+			t.Fatalf("node %d: %v, want single sink 0", v, counts[v])
+		}
+		want := new(big.Int).Lsh(big.NewInt(1), uint(v))
+		if counts[v][0].Count.Cmp(want) != 0 {
+			t.Fatalf("node %d: count %s, want 2^%d", v, counts[v][0].Count, v)
+		}
+	}
+}
+
+func TestFibonacciCAP(t *testing.T) {
+	// Fibonacci DAG (Fig. 6): paths(v -> 1) = fib(v), paths(v -> 0) = fib(v-1)
+	// with fib(1)=1, fib(2)=1, ...
+	n := 15
+	g := FromDAG(graph.Fibonacci(n))
+	counts := requireAgreement(t, g)
+	fib := make([]int64, n+1)
+	fib[1] = 1
+	for i := 2; i <= n; i++ {
+		fib[i] = fib[i-1] + fib[i-2]
+	}
+	for v := 2; v < n; v++ {
+		if len(counts[v]) != 2 {
+			t.Fatalf("node %d: %v", v, counts[v])
+		}
+		if counts[v][0].Sink != 0 || counts[v][0].Count.Int64() != fib[v-1] {
+			t.Fatalf("node %d -> sink 0: %v, want %d", v, counts[v][0], fib[v-1])
+		}
+		if counts[v][1].Sink != 1 || counts[v][1].Count.Int64() != fib[v] {
+			t.Fatalf("node %d -> sink 1: %v, want %d", v, counts[v][1], fib[v])
+		}
+	}
+}
+
+func TestCAPSingleChain(t *testing.T) {
+	g := FromDAG(graph.Chain(6))
+	counts := requireAgreement(t, g)
+	for v := 1; v < 6; v++ {
+		if len(counts[v]) != 1 || counts[v][0].Count.Int64() != 1 {
+			t.Fatalf("node %d: %v, want one path", v, counts[v])
+		}
+	}
+}
+
+func TestCAPSinkConvention(t *testing.T) {
+	g := FromDAG(graph.Chain(3))
+	counts := requireAgreement(t, g)
+	if len(counts[0]) != 1 || counts[0][0].Sink != 0 || counts[0][0].Count.Int64() != 1 {
+		t.Fatalf("sink entry = %v, want {0,1}", counts[0])
+	}
+}
+
+func TestCAPEnginesAgreeOnRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		d := graph.Random(rng, 2+rng.Intn(50), 4)
+		requireAgreement(t, FromDAG(d))
+	}
+}
+
+func TestCAPEnginesAgreeOnLayered(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		d := graph.Layered(rng, 2+rng.Intn(5), 1+rng.Intn(6), 1+rng.Intn(3))
+		requireAgreement(t, FromDAG(d))
+	}
+}
+
+func TestCAPRejectsCycle(t *testing.T) {
+	d := graph.New(2)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 0)
+	g := FromDAG(d)
+	if _, err := CountDP(g); err == nil {
+		t.Error("CountDP accepted a cycle")
+	}
+	if _, _, err := CountSquaring(g, SquaringOptions{}); err == nil {
+		t.Error("CountSquaring accepted a cycle")
+	}
+	if _, err := CountMatrix(g, 1); err == nil {
+		t.Error("CountMatrix accepted a cycle")
+	}
+	if _, err := CountWavefront(g, 1); err == nil {
+		t.Error("CountWavefront accepted a cycle")
+	}
+}
+
+func TestSquaringLogarithmicRounds(t *testing.T) {
+	// Chain of 1025 nodes: longest path 1024, rounds must be exactly
+	// ⌈log₂ 1024⌉ = 10.
+	g := FromDAG(graph.Chain(1025))
+	_, st, err := CountSquaring(g, SquaringOptions{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 10 {
+		t.Fatalf("Rounds = %d, want 10", st.Rounds)
+	}
+}
+
+func TestSquaringExponentialLabelsStayExact(t *testing.T) {
+	// Double chain of 300 nodes: the final label is 2^299, far beyond
+	// int64; all engines must agree exactly.
+	n := 300
+	g := FromDAG(graph.DoubleChain(n))
+	sq, _, err := CountSquaring(g, SquaringOptions{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Lsh(big.NewInt(1), uint(n-1))
+	if sq[n-1][0].Count.Cmp(want) != 0 {
+		t.Fatalf("count = %s, want 2^%d", sq[n-1][0].Count, n-1)
+	}
+}
+
+func TestCAPIterationTrace(t *testing.T) {
+	// Fig. 9 behaviour: on a chain, after round t every remaining interior
+	// edge spans exactly 2^t nodes; the OnRound hook must see shrinking
+	// interior structure and the final round must be sink-only.
+	g := FromDAG(graph.Chain(9))
+	type snap struct {
+		round    int
+		interior int
+	}
+	var snaps []snap
+	_, st, err := CountSquaring(g, SquaringOptions{
+		Procs: 1,
+		OnRound: func(round int, edges [][]Edge) {
+			interior := 0
+			for _, es := range edges {
+				for _, e := range es {
+					if !g.IsSink(e.To) {
+						interior++
+					}
+				}
+			}
+			snaps = append(snaps, snap{round, interior})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != st.Rounds {
+		t.Fatalf("OnRound fired %d times, Rounds=%d", len(snaps), st.Rounds)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].interior >= snaps[i-1].interior {
+			t.Fatalf("interior edges not shrinking: %v", snaps)
+		}
+	}
+	if snaps[len(snaps)-1].interior != 0 {
+		t.Fatalf("final round still has interior edges: %v", snaps)
+	}
+}
+
+func TestNewGraphNormalizes(t *testing.T) {
+	g := NewGraph(3, map[int][]Edge{
+		2: {{To: 1, Label: big.NewInt(1)}, {To: 1, Label: big.NewInt(2)}, {To: 0, Label: big.NewInt(5)}},
+		1: {{To: 0, Label: big.NewInt(1)}},
+	})
+	if len(g.Out[2]) != 2 {
+		t.Fatalf("Out[2] = %v, want merged to 2 edges", g.Out[2])
+	}
+	if g.Out[2][0].To != 0 || g.Out[2][0].Label.Int64() != 5 {
+		t.Fatalf("Out[2][0] = %v", g.Out[2][0])
+	}
+	if g.Out[2][1].To != 1 || g.Out[2][1].Label.Int64() != 3 {
+		t.Fatalf("Out[2][1] = %v, want label 3 (1+2 merged)", g.Out[2][1])
+	}
+	if !g.IsSink(0) || g.IsSink(1) || g.IsSink(2) {
+		t.Error("sink flags wrong")
+	}
+}
+
+func TestStatsCountsWork(t *testing.T) {
+	g := FromDAG(graph.Fibonacci(10))
+	_, st, err := CountSquaring(g, SquaringOptions{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mults == 0 {
+		t.Error("expected some multiplications")
+	}
+	if len(st.EdgesPerRound) != st.Rounds+1 {
+		t.Errorf("EdgesPerRound has %d entries for %d rounds", len(st.EdgesPerRound), st.Rounds)
+	}
+}
+
+func TestEdgelessGraph(t *testing.T) {
+	g := FromDAG(graph.New(4))
+	counts := requireAgreement(t, g)
+	for v := 0; v < 4; v++ {
+		if len(counts[v]) != 1 || counts[v][0].Sink != v {
+			t.Fatalf("node %d: %v", v, counts[v])
+		}
+	}
+}

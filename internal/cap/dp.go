@@ -1,0 +1,72 @@
+package cap
+
+import (
+	"math/big"
+
+	"indexedrec/internal/graph"
+)
+
+// toDAG strips labels back to a multigraph shape for reuse of the
+// topological-order machinery (labels don't affect ordering).
+func (g *Graph) toDAG() *graph.DAG {
+	d := graph.New(g.N)
+	for v := 0; v < g.N; v++ {
+		for _, e := range g.Out[v] {
+			d.AddEdge(v, e.To)
+		}
+	}
+	return d
+}
+
+// CountDP computes CAP by dynamic programming over a topological order
+// (sinks first): paths(v, l) = Σ_{v→w} label(v,w) · paths(w, l), with
+// paths(l, l) = 1. It is the sequential reference the parallel engines are
+// verified against. Returns graph.ErrCycle if the graph is cyclic.
+func CountDP(g *Graph) (Counts, error) {
+	order, err := g.toDAG().TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	acc := make([]map[int]*big.Int, g.N)
+	for _, v := range order {
+		if g.sink[v] {
+			acc[v] = map[int]*big.Int{v: big.NewInt(1)}
+			continue
+		}
+		m := make(map[int]*big.Int)
+		for _, e := range g.Out[v] {
+			for l, c := range acc[e.To] {
+				contrib := new(big.Int).Mul(e.Label, c)
+				if old, ok := m[l]; ok {
+					old.Add(old, contrib)
+				} else {
+					m[l] = contrib
+				}
+			}
+		}
+		acc[v] = m
+	}
+	return mapsToCounts(acc), nil
+}
+
+// mapsToCounts normalizes per-node maps into the sorted Counts form.
+func mapsToCounts(acc []map[int]*big.Int) Counts {
+	out := make(Counts, len(acc))
+	for v, m := range acc {
+		terms := make([]Term, 0, len(m))
+		for l, c := range m {
+			terms = append(terms, Term{Sink: l, Count: c})
+		}
+		sortTerms(terms)
+		out[v] = terms
+	}
+	return out
+}
+
+func sortTerms(terms []Term) {
+	for i := 1; i < len(terms); i++ {
+		for j := i; j > 0 && terms[j].Sink < terms[j-1].Sink; j-- {
+			terms[j], terms[j-1] = terms[j-1], terms[j]
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package cap
+
+import (
+	"math/big"
+	"sync/atomic"
+
+	"indexedrec/internal/parallel"
+)
+
+// Stats reports the cost profile of a CountSquaring run, used by the
+// ablation benchmarks (DESIGN.md E12).
+type Stats struct {
+	// Rounds is the number of multiplication+addition rounds executed.
+	Rounds int
+	// EdgesPerRound[t] is the edge count after round t (round 0 = input).
+	EdgesPerRound []int
+	// Mults counts label multiplications ("paths multiplication" work).
+	Mults int64
+	// Adds counts label additions ("paths addition" work).
+	Adds int64
+}
+
+// SquaringOptions configure the parallel CAP engine.
+type SquaringOptions struct {
+	// Procs is the goroutine count per round (<= 0: GOMAXPROCS).
+	Procs int
+	// OnRound, if non-nil, receives a snapshot of the evolving edge set
+	// after each round — the Fig. 9 visualization hook. Sequential calls.
+	OnRound func(round int, edges [][]Edge)
+}
+
+// CountSquaring is the paper's parallel CAP algorithm (§4, Figs. 7–9).
+//
+// Invariant maintained per round t over the working edge set E_t:
+//
+//   - an edge v→k with k interior carries the number of walks v ⇝ k of
+//     length exactly 2^t;
+//   - an edge v→l with l a sink carries the number of paths v ⇝ l of
+//     length ≤ 2^t.
+//
+// One round does, for every node v in parallel:
+//
+//	paths multiplication — each interior edge v→k [x] is composed with every
+//	current edge k→j [y] into v→j [x·y], and the consumed v→k is deleted
+//	(the reconstruction of the paper's "marked edge" deletion);
+//	paths addition — parallel edges v→j are summed into one label (Fig. 8).
+//
+// Sink edges are carried over unchanged. A path of length L ∈ (2^t, 2^{t+1}]
+// from v to sink l decomposes uniquely into its length-2^t prefix (an
+// interior walk, counted by v→k) and the remaining ≤ 2^t suffix (counted by
+// k→l), so labels stay exact path counts; after ⌈log₂ L_max⌉ rounds no
+// interior edges remain and the sink labels are CAP(G).
+func CountSquaring(g *Graph, opt SquaringOptions) (Counts, *Stats, error) {
+	// Validate acyclicity up front: the round loop below would otherwise
+	// never run out of interior edges.
+	if _, err := g.toDAG().TopoOrder(); err != nil {
+		return nil, nil, err
+	}
+
+	cur := make([][]Edge, g.N)
+	for v := range cur {
+		cur[v] = append([]Edge(nil), g.Out[v]...)
+	}
+	st := &Stats{EdgesPerRound: []int{countEdges(cur)}}
+
+	for {
+		interior := false
+		for v := range cur {
+			for _, e := range cur[v] {
+				if !g.sink[e.To] {
+					interior = true
+					break
+				}
+			}
+			if interior {
+				break
+			}
+		}
+		if !interior {
+			break
+		}
+
+		next := make([][]Edge, g.N)
+		var mults, adds atomic.Int64
+		parallel.For(g.N, opt.Procs, func(lo, hi int) {
+			var localM, localA int64
+			for v := lo; v < hi; v++ {
+				if len(cur[v]) == 0 {
+					continue
+				}
+				buf := make([]Edge, 0, len(cur[v]))
+				for _, e := range cur[v] {
+					if g.sink[e.To] {
+						buf = append(buf, e) // persists unchanged
+						continue
+					}
+					// paths multiplication: compose with every edge of the
+					// interior target, consuming e.
+					for _, e2 := range cur[e.To] {
+						buf = append(buf, Edge{
+							To:    e2.To,
+							Label: new(big.Int).Mul(e.Label, e2.Label),
+						})
+						localM++
+					}
+				}
+				merged := mergeEdges(buf)
+				localA += int64(len(buf) - len(merged))
+				next[v] = merged
+			}
+			mults.Add(localM)
+			adds.Add(localA)
+		})
+		st.Mults += mults.Load()
+		st.Adds += adds.Load()
+		st.Rounds++
+		cur = next
+		st.EdgesPerRound = append(st.EdgesPerRound, countEdges(cur))
+		if opt.OnRound != nil {
+			opt.OnRound(st.Rounds, snapshotEdges(cur))
+		}
+	}
+
+	// Read off: every remaining edge targets a sink and carries the path
+	// count; a sink's own entry is the conventional {sink: 1}.
+	acc := make([]map[int]*big.Int, g.N)
+	for v := 0; v < g.N; v++ {
+		if g.sink[v] {
+			acc[v] = map[int]*big.Int{v: big.NewInt(1)}
+			continue
+		}
+		m := make(map[int]*big.Int, len(cur[v]))
+		for _, e := range cur[v] {
+			m[e.To] = e.Label
+		}
+		acc[v] = m
+	}
+	return mapsToCounts(acc), st, nil
+}
+
+func countEdges(out [][]Edge) int {
+	total := 0
+	for _, es := range out {
+		total += len(es)
+	}
+	return total
+}
+
+func snapshotEdges(out [][]Edge) [][]Edge {
+	cp := make([][]Edge, len(out))
+	for v, es := range out {
+		cp[v] = make([]Edge, len(es))
+		for k, e := range es {
+			cp[v][k] = Edge{To: e.To, Label: new(big.Int).Set(e.Label)}
+		}
+	}
+	return cp
+}

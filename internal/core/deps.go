@@ -1,0 +1,42 @@
+package core
+
+// Deps holds the write/read dependence structure shared by the parallel
+// solvers: for every operand reference, the iteration that produced the
+// value it reads (or -1 when it reads an initial value), and for every cell,
+// the iteration that wrote it last.
+type Deps struct {
+	// FPrev[i] is the largest j < i with G[j] == F[i], or -1 if iteration i
+	// reads the initial value of cell F[i].
+	FPrev []int
+	// HPrev is the same for the H operand. For ordinary systems (H = G and
+	// G distinct) HPrev[i] is always -1: the G-operand read is the cell's
+	// own initial value.
+	HPrev []int
+	// LastWriter[x] is the largest i with G[i] == x, or -1 if cell x is
+	// never written. The final value of x is produced by LastWriter[x].
+	LastWriter []int
+}
+
+// ComputeDeps builds the dependence structure in O(N + M) time by replaying
+// the loop once and tracking, per cell, the most recent writer.
+func ComputeDeps(s *System) *Deps {
+	d := &Deps{
+		FPrev:      make([]int, s.N),
+		HPrev:      make([]int, s.N),
+		LastWriter: make([]int, s.M),
+	}
+	for x := range d.LastWriter {
+		d.LastWriter[x] = -1
+	}
+	last := make([]int, s.M) // last[x] = latest writer of x so far, -1 none
+	for x := range last {
+		last[x] = -1
+	}
+	for i := 0; i < s.N; i++ {
+		d.FPrev[i] = last[s.F[i]]
+		d.HPrev[i] = last[s.OperandH(i)]
+		last[s.G[i]] = i
+	}
+	copy(d.LastWriter, last)
+	return d
+}

@@ -1,0 +1,27 @@
+// Package core defines indexed recurrence (IR) systems and the operator
+// algebra they are solved over.
+//
+// An IR system models the sequential loop
+//
+//	for i = 0 .. N-1:
+//	    A[G[i]] = op(A[F[i]], A[H[i]])
+//
+// over an array A of M cells, where G, F, H are index maps that do not read
+// A itself (Ben-Asher & Haber, "Parallel Solutions of Indexed Recurrence
+// Equations", IPPS 1997). The special case H = G with G distinct is the
+// "ordinary" IR problem solved in O(log n) time by package ordinary; the
+// general case is solved by package gir via path counting.
+//
+// This package provides:
+//
+//   - the System type describing (M, N, G, F, H) with validation,
+//   - the Semigroup / Monoid / CommutativeMonoid operator interfaces and a
+//     library of concrete operators,
+//   - RunSequential, the reference evaluator every parallel solver is
+//     checked against, and
+//   - write/read dependence precomputations (PrevWrites, LastWriter) shared
+//     by the parallel solvers.
+//
+// All indices are 0-based; the paper's 1-based loop "for i = 1 to n" maps to
+// iterations 0..N-1 here.
+package core

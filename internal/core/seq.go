@@ -1,0 +1,38 @@
+package core
+
+// RunSequential executes the IR loop exactly as written, in iteration order,
+// and returns the final array. It is the semantic definition of the problem
+// and the oracle every parallel solver is tested against.
+//
+// init is not modified; the returned slice is fresh and has length s.M.
+// RunSequential panics if len(init) != s.M (programming error, like an
+// out-of-range slice index).
+func RunSequential[T any](s *System, op Semigroup[T], init []T) []T {
+	if len(init) != s.M {
+		panic("core: RunSequential: len(init) != s.M")
+	}
+	a := make([]T, s.M)
+	copy(a, init)
+	if s.H == nil {
+		for i := 0; i < s.N; i++ {
+			a[s.G[i]] = op.Combine(a[s.F[i]], a[s.G[i]])
+		}
+		return a
+	}
+	for i := 0; i < s.N; i++ {
+		a[s.G[i]] = op.Combine(a[s.F[i]], a[s.H[i]])
+	}
+	return a
+}
+
+// StepSequential executes iterations [lo, hi) of the loop in place on a.
+// It is used by incremental visualizations and by tests that compare
+// intermediate states.
+func StepSequential[T any](s *System, op Semigroup[T], a []T, lo, hi int) {
+	if lo < 0 || hi > s.N || lo > hi {
+		panic("core: StepSequential: bad iteration range")
+	}
+	for i := lo; i < hi; i++ {
+		a[s.G[i]] = op.Combine(a[s.F[i]], a[s.OperandH(i)])
+	}
+}

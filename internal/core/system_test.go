@@ -1,0 +1,240 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *System
+	}{
+		{"empty loop", &System{M: 1, N: 0, G: []int{}, F: []int{}}},
+		{"ordinary", &System{M: 4, N: 2, G: []int{1, 2}, F: []int{0, 1}}},
+		{"general", &System{M: 4, N: 2, G: []int{1, 2}, F: []int{0, 1}, H: []int{3, 3}}},
+		{"self reference", &System{M: 2, N: 1, G: []int{0}, F: []int{0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.s.Validate(); err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+		})
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *System
+	}{
+		{"zero cells", &System{M: 0, N: 0, G: []int{}, F: []int{}}},
+		{"negative N", &System{M: 1, N: -1, G: []int{}, F: []int{}}},
+		{"G too short", &System{M: 2, N: 2, G: []int{0}, F: []int{0, 1}}},
+		{"F too short", &System{M: 2, N: 2, G: []int{0, 1}, F: []int{0}}},
+		{"H wrong length", &System{M: 2, N: 1, G: []int{0}, F: []int{0}, H: []int{0, 1}}},
+		{"G out of range", &System{M: 2, N: 1, G: []int{2}, F: []int{0}}},
+		{"F negative", &System{M: 2, N: 1, G: []int{0}, F: []int{-1}}},
+		{"H out of range", &System{M: 2, N: 1, G: []int{0}, F: []int{0}, H: []int{5}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Validate()
+			if err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+			if !errors.Is(err, ErrInvalidSystem) {
+				t.Fatalf("Validate() = %v, want ErrInvalidSystem", err)
+			}
+		})
+	}
+}
+
+func TestOrdinaryDetection(t *testing.T) {
+	s := &System{M: 3, N: 2, G: []int{1, 2}, F: []int{0, 0}}
+	if !s.Ordinary() {
+		t.Error("nil H should be ordinary")
+	}
+	s.H = []int{1, 2}
+	if !s.Ordinary() {
+		t.Error("H == G element-wise should be ordinary")
+	}
+	s.H = []int{1, 0}
+	if s.Ordinary() {
+		t.Error("H != G should not be ordinary")
+	}
+}
+
+func TestGDistinct(t *testing.T) {
+	if !(&System{M: 3, N: 2, G: []int{1, 2}, F: []int{0, 0}}).GDistinct() {
+		t.Error("distinct G reported non-distinct")
+	}
+	if (&System{M: 3, N: 2, G: []int{1, 1}, F: []int{0, 0}}).GDistinct() {
+		t.Error("duplicate G reported distinct")
+	}
+}
+
+func TestFromFuncs(t *testing.T) {
+	s := FromFuncs(3, 10, func(i int) int { return i + 1 }, func(i int) int { return i }, nil)
+	if s.N != 3 || s.M != 10 {
+		t.Fatalf("got n=%d m=%d", s.N, s.M)
+	}
+	wantG := []int{1, 2, 3}
+	wantF := []int{0, 1, 2}
+	for i := range wantG {
+		if s.G[i] != wantG[i] || s.F[i] != wantF[i] {
+			t.Fatalf("G=%v F=%v, want G=%v F=%v", s.G, s.F, wantG, wantF)
+		}
+	}
+	if s.H != nil {
+		t.Error("H should be nil when h func is nil")
+	}
+	s2 := FromFuncs(2, 10, func(i int) int { return i }, func(i int) int { return i }, func(i int) int { return 9 - i })
+	if s2.H == nil || s2.H[0] != 9 || s2.H[1] != 8 {
+		t.Fatalf("H = %v, want [9 8]", s2.H)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := &System{M: 3, N: 1, G: []int{1}, F: []int{0}, H: []int{2}}
+	c := s.Clone()
+	c.G[0], c.F[0], c.H[0] = 2, 2, 0
+	if s.G[0] != 1 || s.F[0] != 0 || s.H[0] != 2 {
+		t.Error("Clone shares backing arrays with original")
+	}
+}
+
+func TestRunSequentialOrdinary(t *testing.T) {
+	// The paper's Fig. 1 loop shape: for i = 1..n: A[i] := A[i+1] ⊗ A[i]
+	// over strings so the trace is spelled out. With n=3, m=5 (0-based:
+	// iterations write cells 0,1,2 reading cells 1,2,3):
+	//   i=0: A[0] = A[1]+A[0] = "ba"
+	//   i=1: A[1] = A[2]+A[1] = "cb"
+	//   i=2: A[2] = A[3]+A[2] = "dc"
+	// (reads run ahead of writes here, so no chaining occurs)
+	s := FromFuncs(3, 5, func(i int) int { return i }, func(i int) int { return i + 1 }, nil)
+	got := RunSequential[string](s, Concat{}, []string{"a", "b", "c", "d", "e"})
+	want := []string{"ba", "cb", "dc", "d", "e"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: got %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestRunSequentialGeneral(t *testing.T) {
+	// Fibonacci-style GIR: A[i] = A[i-1] * A[i-2], values 2 and 3 so the
+	// result encodes the powers: A[4] = 2^fib * 3^fib.
+	s := FromFuncs(3, 5,
+		func(i int) int { return i + 2 },
+		func(i int) int { return i + 1 },
+		func(i int) int { return i },
+	)
+	got := RunSequential[int64](s, MulMod{M: 1_000_003}, []int64{2, 3, 1, 1, 1})
+	// A[2]=3*2=6, A[3]=6*3=18, A[4]=18*6=108
+	want := []int64{2, 3, 6, 18, 108}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunSequentialDoesNotMutateInit(t *testing.T) {
+	s := FromFuncs(2, 3, func(i int) int { return i + 1 }, func(i int) int { return i }, nil)
+	init := []int64{1, 2, 3}
+	_ = RunSequential[int64](s, IntAdd{}, init)
+	if init[0] != 1 || init[1] != 2 || init[2] != 3 {
+		t.Errorf("init mutated: %v", init)
+	}
+}
+
+func TestStepSequentialMatchesRun(t *testing.T) {
+	s := FromFuncs(4, 6, func(i int) int { return i + 1 }, func(i int) int { return i }, nil)
+	init := []int64{1, 2, 3, 4, 5, 6}
+	want := RunSequential[int64](s, IntAdd{}, init)
+	a := append([]int64(nil), init...)
+	StepSequential[int64](s, IntAdd{}, a, 0, 2)
+	StepSequential[int64](s, IntAdd{}, a, 2, 4)
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("cell %d: got %d, want %d", i, a[i], want[i])
+		}
+	}
+}
+
+func TestComputeDeps(t *testing.T) {
+	// i=0: A[1] = A[0] . A[1]   (F reads init 0, H reads init 1)
+	// i=1: A[2] = A[1] . A[3]   (F reads output of i=0)
+	// i=2: A[1] = A[2] . A[1]   (F reads i=1, H reads i=0)
+	s := &System{M: 4, N: 3,
+		G: []int{1, 2, 1},
+		F: []int{0, 1, 2},
+		H: []int{1, 3, 1},
+	}
+	d := ComputeDeps(s)
+	wantF := []int{-1, 0, 1}
+	wantH := []int{-1, -1, 0}
+	for i := range wantF {
+		if d.FPrev[i] != wantF[i] {
+			t.Errorf("FPrev[%d] = %d, want %d", i, d.FPrev[i], wantF[i])
+		}
+		if d.HPrev[i] != wantH[i] {
+			t.Errorf("HPrev[%d] = %d, want %d", i, d.HPrev[i], wantH[i])
+		}
+	}
+	wantLast := []int{-1, 2, 1, -1}
+	for x := range wantLast {
+		if d.LastWriter[x] != wantLast[x] {
+			t.Errorf("LastWriter[%d] = %d, want %d", x, d.LastWriter[x], wantLast[x])
+		}
+	}
+}
+
+func TestComputeDepsOrdinaryHPrevAlwaysInitial(t *testing.T) {
+	s := FromFuncs(5, 10, func(i int) int { return i + 5 }, func(i int) int { return i }, nil)
+	d := ComputeDeps(s)
+	for i, h := range d.HPrev {
+		if h != -1 {
+			t.Fatalf("HPrev[%d] = %d, want -1 for distinct-G ordinary system", i, h)
+		}
+	}
+}
+
+func TestComputeDepsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for trial := 0; trial < 60; trial++ {
+		m := 1 + rng.Intn(10)
+		n := rng.Intn(25)
+		s := &System{M: m, N: n, G: make([]int, n), F: make([]int, n), H: make([]int, n)}
+		for i := 0; i < n; i++ {
+			s.G[i], s.F[i], s.H[i] = rng.Intn(m), rng.Intn(m), rng.Intn(m)
+		}
+		d := ComputeDeps(s)
+		// Brute force: scan backwards for the latest earlier writer.
+		prev := func(i, cell int) int {
+			for j := i - 1; j >= 0; j-- {
+				if s.G[j] == cell {
+					return j
+				}
+			}
+			return -1
+		}
+		for i := 0; i < n; i++ {
+			if want := prev(i, s.F[i]); d.FPrev[i] != want {
+				t.Fatalf("trial %d: FPrev[%d] = %d, want %d", trial, i, d.FPrev[i], want)
+			}
+			if want := prev(i, s.H[i]); d.HPrev[i] != want {
+				t.Fatalf("trial %d: HPrev[%d] = %d, want %d", trial, i, d.HPrev[i], want)
+			}
+		}
+		for x := 0; x < m; x++ {
+			want := prev(n, x)
+			if d.LastWriter[x] != want {
+				t.Fatalf("trial %d: LastWriter[%d] = %d, want %d", trial, x, d.LastWriter[x], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the experiment index of DESIGN.md): the worked-example
+// figures 1–9, the Livermore classification study, the Fig. 3 performance
+// plot on the SimParC reconstruction, the T(n,P) = (n/P)·log n scaling law,
+// and the ablations. cmd/irbench is a thin CLI over this package; the
+// top-level benchmarks reuse the same entry points.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options tune an experiment run; zero values select the paper's defaults.
+type Options struct {
+	// N is the instance size (default per experiment; Fig. 3 uses the
+	// paper's n = 50,000).
+	N int
+	// Procs is the processor sweep (default 1..1024 in powers of two).
+	Procs []int
+	// Seed drives the deterministic generators.
+	Seed int64
+	// Quick shrinks sizes for fast CI runs.
+	Quick bool
+}
+
+func (o Options) n(def int) int {
+	if o.N > 0 {
+		return o.N
+	}
+	if o.Quick && def > 4096 {
+		return 4096
+	}
+	return def
+}
+
+func (o Options) procs() []int {
+	if len(o.Procs) > 0 {
+		return o.Procs
+	}
+	ps := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	if o.Quick {
+		return ps[:6]
+	}
+	return ps
+}
+
+func (o Options) seed() int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1997 // the paper's year; any fixed value works
+}
+
+// Experiment is a runnable reproduction of one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, opt Options) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(w io.Writer, opt Options) error) {
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get looks an experiment up by ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, w io.Writer, opt Options) error {
+	e, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (try: %v)", id, ids())
+	}
+	fmt.Fprintf(w, "### %s — %s\n\n", e.ID, e.Title)
+	return e.Run(w, opt)
+}
+
+func ids() []string {
+	var s []string
+	for id := range registry {
+		s = append(s, id)
+	}
+	sort.Strings(s)
+	return s
+}

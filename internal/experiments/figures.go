@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"indexedrec/internal/cap"
+	"indexedrec/internal/core"
+	"indexedrec/internal/gir"
+	"indexedrec/internal/graph"
+	"indexedrec/internal/ordinary"
+	"indexedrec/internal/paperfig"
+	"indexedrec/internal/report"
+	"indexedrec/internal/trace"
+)
+
+func init() {
+	register("fig1", "Fig. 1 — trace table of an ordinary IR loop", runFig1)
+	register("fig2", "Fig. 2 — trace concatenation (pointer jumping) rounds", runFig2)
+	register("fig4", "Fig. 4 — tree vs list trace structure (GIR vs IR)", runFig4)
+	register("fig5", "Fig. 5 — Fibonacci power expansion of X_i = X_{i-1}⊗X_{i-2}", runFig5)
+	register("fig6", "Fig. 6 — dependence graph of A_i = A_{i-1}⊗A_{i-2}", runFig6)
+	register("fig9", "Figs. 7–9 — CAP iterations (paths multiplication + addition)", runFig9)
+}
+
+func runFig1(w io.Writer, opt Options) error {
+	s, _ := paperfig.Fig1System()
+	trs, err := trace.Ordinary(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Loop (0-based cells):")
+	for i := 0; i < s.N; i++ {
+		fmt.Fprintf(w, "  i=%d:  A[%d] := A[%d] (x) A[%d]\n", i, s.G[i], s.F[i], s.G[i])
+	}
+	fmt.Fprintln(w)
+	tb := report.NewTable("final traces (paper-verbatim: A'[6]=A[2]A[3]A[6], A'[8]=A[5]A[8])",
+		"cell", "A'[cell]")
+	for x := 1; x < s.M; x++ {
+		tb.AddRow(x, trace.FormatOrdinary(trs[x]))
+	}
+	tb.Render(w)
+	return nil
+}
+
+func runFig2(w io.Writer, opt Options) error {
+	n := opt.n(10)
+	s := paperfig.Fig2System(n)
+	init := make([]string, n)
+	for x := range init {
+		init[x] = fmt.Sprintf("A[%d]", x)
+	}
+	fmt.Fprintf(w, "Chain instance A[i+1] := A[i] (x) A[i+1], n=%d cells.\n", n)
+	fmt.Fprintln(w, "Pointer state after each lock-step concatenation round")
+	fmt.Fprintln(w, "(-1 = trace complete; pointers double each round):")
+	res, err := ordinary.Solve[string](s, core.Concat{}, init, ordinary.Options{
+		Procs: 1,
+		OnRound: func(round int, st *ordinary.JumperState) {
+			fmt.Fprintf(w, "  round %d: active=%2d  N = %v\n", round, st.Active, st.Next)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "rounds: %d = ceil(log2 %d)\n\n", res.Rounds, n-1)
+	tb := report.NewTable("completed traces", "cell", "A'[cell]")
+	for x := 0; x < n; x++ {
+		tb.AddRow(x, res.Values[x])
+	}
+	tb.Render(w)
+	return nil
+}
+
+func runFig4(w io.Writer, opt Options) error {
+	n := opt.n(12)
+	girSh, err := trace.Shapes(paperfig.Fig4GIR(n))
+	if err != nil {
+		return err
+	}
+	oirSh, err := trace.Shapes(paperfig.Fig4IR(n))
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("trace shape, n=%d: GIR A[i]:=A[i-1]⊗A[i-2] vs IR A[i]:=A[i-1]⊗A[i]", n),
+		"cell", "GIR leaves", "GIR depth", "GIR list?", "IR leaves", "IR depth", "IR list?")
+	for x := 2; x < n; x++ {
+		tb.AddRow(x, girSh[x].Leaves.String(), girSh[x].Depth, girSh[x].IsList,
+			oirSh[x].Leaves.String(), oirSh[x].Depth, oirSh[x].IsList)
+	}
+	tb.Render(w)
+	fmt.Fprintln(w, "\nGIR leaf counts grow as Fibonacci numbers (tree); IR grows linearly (list).")
+
+	// Draw the two small trees the figure contrasts (cell 5 of each).
+	girTree, err := trace.BuildTree(paperfig.Fig4GIR(6), 5, 1000)
+	if err != nil {
+		return err
+	}
+	oirTree, err := trace.BuildTree(paperfig.Fig4IR(6), 5, 1000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nGIR trace of A[5] (%s):\n%s", girTree.Infix(), girTree)
+	fmt.Fprintf(w, "\nIR trace of A[5] (%s):\n%s", oirTree.Infix(), oirTree)
+	return nil
+}
+
+func runFig5(w io.Writer, opt Options) error {
+	n := opt.n(paperfig.Fig5N + 7)
+	s := paperfig.Fig4GIR(n)
+	pw, err := trace.Powers(s)
+	if err != nil {
+		return err
+	}
+	// Cross-check through the full GIR pipeline (dependence graph + CAP).
+	init := make([]int64, n)
+	for x := range init {
+		init[x] = 2
+	}
+	res, err := gir.Solve[int64](s, core.MulMod{M: 1_000_003}, init, gir.Options{})
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("trace powers of X_i = X_{i-1} ⊗ X_{i-2} (cells 0,1 initial)",
+		"cell", "trace (symbolic oracle)", "trace (GIR/CAP pipeline)")
+	for x := 2; x < n; x++ {
+		girTerms := make([]trace.PowerTerm, len(res.Powers[x]))
+		for k, t := range res.Powers[x] {
+			girTerms[k] = trace.PowerTerm{Cell: t.Sink, Exp: t.Count}
+		}
+		tb.AddRow(x, trace.FormatPowers(pw[x]), trace.FormatPowers(girTerms))
+	}
+	tb.Render(w)
+	fmt.Fprintln(w, "\nExponents are Fibonacci numbers: A'[n] = A[0]^fib(n-1) ⊗ A[1]^fib(n).")
+	return nil
+}
+
+func runFig6(w io.Writer, opt Options) error {
+	s := paperfig.Fig4GIR(5)
+	d, err := gir.Build(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Loop: for i = 2..4: A[i] := A[i-1] ⊗ A[i-2]  (cells 0..4)")
+	fmt.Fprintln(w, "Dependence graph (leaf nodes = initial values; edges consumer → operand):")
+	name := func(v int) string {
+		if v < d.M {
+			return fmt.Sprintf("leaf A0[%d]", v)
+		}
+		return fmt.Sprintf("iter %d (writes A[%d])", v-d.M, s.G[v-d.M])
+	}
+	for v := d.M; v < d.G.N; v++ {
+		for _, e := range d.G.Out[v] {
+			fmt.Fprintf(w, "  %-22s -> %-22s [%s]\n", name(v), name(e.To), e.Label)
+		}
+	}
+	return nil
+}
+
+func runFig9(w io.Writer, opt Options) error {
+	show := func(title string, g *cap.Graph) error {
+		fmt.Fprintf(w, "%s\n", title)
+		printEdges := func(round int, edges [][]cap.Edge) {
+			fmt.Fprintf(w, "  after round %d:\n", round)
+			for v := range edges {
+				for _, e := range edges[v] {
+					fmt.Fprintf(w, "    v%d -> v%d [%s]\n", v, e.To, e.Label)
+				}
+			}
+		}
+		fmt.Fprintln(w, "  initial edges:")
+		for v := range g.Out {
+			for _, e := range g.Out[v] {
+				fmt.Fprintf(w, "    v%d -> v%d [%s]\n", v, e.To, e.Label)
+			}
+		}
+		counts, st, err := cap.CountSquaring(g, cap.SquaringOptions{Procs: 1, OnRound: printEdges})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  CAP complete in %d rounds; final counts:\n", st.Rounds)
+		for v := range counts {
+			if !g.IsSink(v) {
+				fmt.Fprintf(w, "    CAP(v%d) = %v\n", v, counts[v])
+			}
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+	if err := show("Double chain (paper's example: labels become 2^i):",
+		cap.FromDAG(graph.DoubleChain(5))); err != nil {
+		return err
+	}
+	return show("Fibonacci dependence DAG (Fig. 6's graph):",
+		cap.FromDAG(graph.Fibonacci(6)))
+}

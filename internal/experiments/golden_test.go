@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenFigures pins the fully deterministic figure reproductions to
+// golden files: any change to the trace tables, dependence-graph rendering
+// or CAP iteration output is a deliberate, reviewed change (regenerate with
+// `UPDATE_GOLDEN=1 go test ./internal/experiments -run Golden`).
+func TestGoldenFigures(t *testing.T) {
+	for _, id := range []string{"fig1", "fig4", "fig5", "fig6", "fig9"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "### %s — %s\n\n", id, registry[id].Title)
+			if err := registry[id].Run(&buf, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", id+".golden")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read %s: %v", golden, err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s output drifted from %s.\n--- got ---\n%s\n--- want ---\n%s",
+					id, golden, buf.String(), want)
+			}
+		})
+	}
+}

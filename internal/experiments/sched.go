@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/pram"
+	"indexedrec/internal/report"
+)
+
+func init() {
+	register("sched", "ref [5] — scheduling study: block vs cyclic distribution of the efficient OrdinaryIR", runSched)
+}
+
+// skewed builds one long chain (written first) plus singleton writes — the
+// workload where block distribution clusters all the long-lived work into a
+// few processors.
+func skewed(chainLen, singles int) *core.System {
+	n := chainLen + singles
+	m := chainLen + 1 + 2*singles
+	s := &core.System{M: m, N: n, G: make([]int, n), F: make([]int, n)}
+	for i := 0; i < chainLen; i++ {
+		s.G[i] = i + 1
+		s.F[i] = i
+	}
+	base := chainLen + 1
+	for k := 0; k < singles; k++ {
+		s.G[chainLen+k] = base + 2*k
+		s.F[chainLen+k] = base + 2*k + 1
+	}
+	return s
+}
+
+func runSched(w io.Writer, opt Options) error {
+	fmt.Fprintln(w, "The paper's simulator reference ([5] Haber & Ben-Asher) studies")
+	fmt.Fprintln(w, "inefficiency caused by bad schedulings. The efficient OrdinaryIR")
+	fmt.Fprintln(w, "variant skips completed traces, so WHERE the long-lived cells sit")
+	fmt.Fprintln(w, "decides lock-step time. Workload: one chain of length L written")
+	fmt.Fprintln(w, "first, then S singleton updates (complete in round one).")
+	fmt.Fprintln(w)
+
+	tb := report.NewTable("block vs cyclic distribution (P = 16, efficient variant)",
+		"chain L", "singles S", "block time", "cyclic time", "block/cyclic", "work ratio")
+	for _, tc := range []struct{ chain, singles int }{
+		{256, 256 * 7},
+		{1024, 1024 * 7},
+		{4096, 4096 * 7},
+		{1024, 0}, // pure chain: mild effect (live suffix shrinks slowly)
+	} {
+		if opt.Quick && tc.chain > 1024 {
+			continue
+		}
+		s := skewed(tc.chain, tc.singles)
+		init := make([]pram.Word, s.M)
+		block, err := pram.RunParallelOIRSched(s, pram.OpAdd, init, 16, pram.DistBlock)
+		if err != nil {
+			return err
+		}
+		cyclic, err := pram.RunParallelOIRSched(s, pram.OpAdd, init, 16, pram.DistCyclic)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(tc.chain, tc.singles, block.Stats.Time, cyclic.Stats.Time,
+			float64(block.Stats.Time)/float64(cyclic.Stats.Time),
+			float64(block.Stats.Work)/float64(cyclic.Stats.Work))
+	}
+	tb.Render(w)
+	fmt.Fprintln(w, "\nThe work ratios stay ≈ 1 (same computation); the time gap is pure")
+	fmt.Fprintln(w, "scheduling — detecting exactly this kind of inefficiency is what the")
+	fmt.Fprintln(w, "SimParC line of work was built for.")
+	return nil
+}

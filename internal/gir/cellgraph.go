@@ -1,0 +1,114 @@
+package gir
+
+import (
+	"fmt"
+	"math/big"
+
+	"indexedrec/internal/cap"
+	"indexedrec/internal/core"
+)
+
+// This file implements the paper's ORIGINAL dependence-graph construction
+// (§4, the G_Γ definition before Fig. 6), which assumes distinct g: the
+// graph's interior nodes are the written CELLS g(1..n) themselves, plus one
+// primed leaf per initial-value reference (f(i)' / h(i)''). It exists
+// alongside the versioned construction in Build both as a fidelity artifact
+// and as an independent implementation that tests cross-check against the
+// versioned graph: for distinct g the two must yield identical CAP results.
+//
+// Node numbering of the cell graph:
+//
+//	0 .. m-1      cell leaves (initial values; sinks)
+//	m .. m+n-1    written-cell nodes: node m+i is cell g(i)'s (unique) value
+//
+// Written-cell nodes reference operand cells: the LATEST earlier writer's
+// node when one exists (paper: "if there exists j < i such that
+// g(j) = f(i)"), else the operand's leaf (the paper's primed nodes f(i)',
+// h(i)'' — one leaf per cell suffices since leaves carry no structure).
+
+// ErrGNotDistinctCell is returned by BuildCellGraph for non-distinct g, the
+// case the paper defers to its full version (use Build instead).
+var ErrGNotDistinctCell = fmt.Errorf("gir: cell graph requires distinct g")
+
+// BuildCellGraph constructs the paper's original (distinct-g) dependence
+// graph. The returned DepGraph has the same node-id conventions as Build,
+// because with distinct g "iteration i" and "cell g(i)" coincide.
+func BuildCellGraph(s *core.System) (*DepGraph, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.GDistinct() {
+		return nil, fmt.Errorf("%w: %v", ErrGNotDistinctCell, s)
+	}
+	deps := core.ComputeDeps(s)
+	one := big.NewInt(1)
+	edges := make(map[int][]cap.Edge, s.N)
+	for i := 0; i < s.N; i++ {
+		// Edge <g(i), f(i)>: to the node of cell f(i) when an earlier
+		// iteration wrote it, else to the leaf f(i)'.
+		ft := s.F[i]
+		if j := deps.FPrev[i]; j >= 0 {
+			ft = s.M + j // cell f(i)'s unique writer
+		}
+		ht := s.OperandH(i)
+		if j := deps.HPrev[i]; j >= 0 {
+			ht = s.M + j
+		}
+		edges[s.M+i] = []cap.Edge{{To: ft, Label: one}, {To: ht, Label: one}}
+	}
+	d := &DepGraph{
+		G:     cap.NewGraph(s.M+s.N, edges),
+		M:     s.M,
+		N:     s.N,
+		Final: make([]int, s.M),
+	}
+	for x := 0; x < s.M; x++ {
+		if w := deps.LastWriter[x]; w >= 0 {
+			d.Final[x] = s.M + w
+		} else {
+			d.Final[x] = x
+		}
+	}
+	return d, nil
+}
+
+// SolveCellGraph is Solve restricted to distinct g, using the paper's
+// original construction. It exists for the fidelity cross-check; Solve is
+// the general entry point.
+func SolveCellGraph[T any](s *core.System, op core.CommutativeMonoid[T], init []T, opt Options) (*Result[T], error) {
+	d, err := BuildCellGraph(s)
+	if err != nil {
+		return nil, err
+	}
+	return solveOnGraph(d, s, op, init, opt)
+}
+
+// solveOnGraph is the CAP + power-evaluation tail shared by Solve and
+// SolveCellGraph.
+func solveOnGraph[T any](d *DepGraph, s *core.System, op core.CommutativeMonoid[T], init []T, opt Options) (*Result[T], error) {
+	if len(init) != s.M {
+		panic("gir: solveOnGraph: len(init) != s.M")
+	}
+	var counts cap.Counts
+	var err error
+	res := &Result[T]{}
+	switch opt.Engine {
+	case EngineSquaring:
+		var st *cap.Stats
+		counts, st, err = cap.CountSquaring(d.G, cap.SquaringOptions{Procs: opt.Procs})
+		res.CAPStats = st
+	case EngineDP:
+		counts, err = cap.CountDP(d.G)
+	case EngineMatrix:
+		counts, err = cap.CountMatrix(d.G, opt.Procs)
+	case EngineWavefront:
+		counts, err = cap.CountWavefront(d.G, opt.Procs)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrEngine, int(opt.Engine))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("gir: CAP failed: %w", err)
+	}
+	evalPowers(d, s, op, init, counts, res)
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package gir
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/paperfig"
+)
+
+// randomDistinctGIR builds a general system with distinct g (random subset
+// of cells written once each) and arbitrary f, h.
+func randomDistinctGIR(rng *rand.Rand, m int) *core.System {
+	perm := rng.Perm(m)
+	n := rng.Intn(m + 1)
+	s := &core.System{M: m, N: n,
+		G: make([]int, n), F: make([]int, n), H: make([]int, n)}
+	for i := 0; i < n; i++ {
+		s.G[i] = perm[i]
+		s.F[i] = rng.Intn(m)
+		s.H[i] = rng.Intn(m)
+	}
+	return s
+}
+
+func TestCellGraphEquivalentToVersionedForDistinctG(t *testing.T) {
+	// The paper's original construction and our versioned reconstruction
+	// must produce identical results whenever the paper's distinct-g
+	// precondition holds.
+	rng := rand.New(rand.NewSource(81))
+	op := core.MulMod{M: 1_000_003}
+	for trial := 0; trial < 60; trial++ {
+		s := randomDistinctGIR(rng, 2+rng.Intn(25))
+		init := make([]int64, s.M)
+		for x := range init {
+			init[x] = rng.Int63n(op.M-2) + 2
+		}
+		want := core.RunSequential[int64](s, op, init)
+		versioned, err := Solve[int64](s, op, init, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell, err := SolveCellGraph[int64](s, op, init, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range want {
+			if versioned.Values[x] != want[x] {
+				t.Fatalf("trial %d: versioned cell %d: got %d, want %d", trial, x, versioned.Values[x], want[x])
+			}
+			if cell.Values[x] != want[x] {
+				t.Fatalf("trial %d: cell-graph cell %d: got %d, want %d", trial, x, cell.Values[x], want[x])
+			}
+		}
+		// Power traces must match term for term.
+		for x := range versioned.Powers {
+			a, b := versioned.Powers[x], cell.Powers[x]
+			if len(a) != len(b) {
+				t.Fatalf("trial %d cell %d: power traces differ: %v vs %v", trial, x, a, b)
+			}
+			for k := range a {
+				if a[k].Sink != b[k].Sink || a[k].Count.Cmp(b[k].Count) != 0 {
+					t.Fatalf("trial %d cell %d term %d: %v vs %v", trial, x, k, a[k], b[k])
+				}
+			}
+		}
+	}
+}
+
+func TestCellGraphRejectsNonDistinctG(t *testing.T) {
+	s := &core.System{M: 2, N: 2, G: []int{0, 0}, F: []int{1, 1}, H: []int{1, 1}}
+	_, err := BuildCellGraph(s)
+	if !errors.Is(err, ErrGNotDistinctCell) {
+		t.Fatalf("err = %v, want ErrGNotDistinctCell", err)
+	}
+	_, err = SolveCellGraph[int64](s, core.IntAdd{}, []int64{0, 0}, Options{})
+	if err == nil {
+		t.Fatal("SolveCellGraph accepted non-distinct g")
+	}
+}
+
+func TestCellGraphFig6Structure(t *testing.T) {
+	// On the Fibonacci system (distinct g), the cell graph must have the
+	// same structure as the versioned one — the paper's Fig. 6.
+	s := paperfig.Fig4GIR(5)
+	dv, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := BuildCellGraph(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.G.N != dc.G.N {
+		t.Fatalf("node counts differ: %d vs %d", dv.G.N, dc.G.N)
+	}
+	for v := 0; v < dv.G.N; v++ {
+		a, b := dv.G.Out[v], dc.G.Out[v]
+		if len(a) != len(b) {
+			t.Fatalf("node %d: out-degree %d vs %d", v, len(a), len(b))
+		}
+		for k := range a {
+			if a[k].To != b[k].To || a[k].Label.Cmp(b[k].Label) != 0 {
+				t.Fatalf("node %d edge %d: %v vs %v", v, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+func TestCellGraphAllEngines(t *testing.T) {
+	s := paperfig.Fig4GIR(10)
+	op := core.MulMod{M: 97}
+	init := make([]int64, 10)
+	for x := range init {
+		init[x] = int64(x + 2)
+	}
+	want := core.RunSequential[int64](s, op, init)
+	for _, eng := range engines() {
+		res, err := SolveCellGraph[int64](s, op, init, Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range want {
+			if res.Values[x] != want[x] {
+				t.Fatalf("engine %v cell %d: got %d, want %d", eng, x, res.Values[x], want[x])
+			}
+		}
+	}
+}

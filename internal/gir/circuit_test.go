@@ -1,0 +1,125 @@
+package gir
+
+import (
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/core"
+)
+
+// The paper's introduction notes that the circuit value problem (CVP) can
+// be written as IR equations, so a general IR solver would put P inside NC —
+// hence the restrictions (single associative op; commutative with atomic
+// powers for GIR). These tests walk that boundary: a MONOTONE circuit built
+// from a single gate type (all-AND or all-OR) IS a GIR system over an
+// idempotent commutative monoid (min/max on {0,1}), and the paper's
+// machinery genuinely evaluates it in O(log n) parallel rounds. The
+// intractable case — mixed gate types — is not expressible as one IR system,
+// which is exactly where the paper's hardness remark lives.
+
+// randomMonotoneCircuit builds a random single-gate-type circuit as a GIR
+// system: cells 0..inputs-1 hold the input bits; each gate g writes a fresh
+// cell combining two earlier cells.
+func randomMonotoneCircuit(rng *rand.Rand, inputs, gates int) *core.System {
+	m := inputs + gates
+	s := &core.System{M: m, N: gates,
+		G: make([]int, gates), F: make([]int, gates), H: make([]int, gates)}
+	for i := 0; i < gates; i++ {
+		avail := inputs + i
+		s.G[i] = inputs + i
+		s.F[i] = rng.Intn(avail)
+		s.H[i] = rng.Intn(avail)
+	}
+	return s
+}
+
+func TestMonotoneANDCircuitViaGIR(t *testing.T) {
+	// AND on {0,1} is min: commutative, idempotent (atomic power = the
+	// value itself), so GIR evaluates all-AND circuits in log rounds.
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 30; trial++ {
+		s := randomMonotoneCircuit(rng, 4+rng.Intn(5), 1+rng.Intn(40))
+		bits := make([]int64, s.M)
+		for x := range bits {
+			bits[x] = int64(rng.Intn(2))
+		}
+		want := core.RunSequential[int64](s, core.IntMin{}, bits)
+		res, err := Solve[int64](s, core.IntMin{}, bits, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range want {
+			if res.Values[x] != want[x] {
+				t.Fatalf("trial %d gate cell %d: got %d, want %d", trial, x, res.Values[x], want[x])
+			}
+		}
+	}
+}
+
+func TestMonotoneORCircuitViaGIR(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 30; trial++ {
+		s := randomMonotoneCircuit(rng, 4+rng.Intn(5), 1+rng.Intn(40))
+		bits := make([]int64, s.M)
+		for x := range bits {
+			bits[x] = int64(rng.Intn(2))
+		}
+		want := core.RunSequential[int64](s, core.IntMax{}, bits)
+		res, err := Solve[int64](s, core.IntMax{}, bits, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range want {
+			if res.Values[x] != want[x] {
+				t.Fatalf("trial %d gate cell %d: got %d, want %d", trial, x, res.Values[x], want[x])
+			}
+		}
+	}
+}
+
+func TestXorCircuitViaGIR(t *testing.T) {
+	// XOR circuits (parity) are also one-op IR systems; the exponent
+	// parity is what matters, and IntXor.Pow encodes exactly that.
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 30; trial++ {
+		s := randomMonotoneCircuit(rng, 3+rng.Intn(4), 1+rng.Intn(30))
+		bits := make([]int64, s.M)
+		for x := range bits {
+			bits[x] = int64(rng.Intn(2))
+		}
+		want := core.RunSequential[int64](s, core.IntXor{}, bits)
+		res, err := Solve[int64](s, core.IntXor{}, bits, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range want {
+			if res.Values[x] != want[x] {
+				t.Fatalf("trial %d cell %d: got %d, want %d", trial, x, res.Values[x], want[x])
+			}
+		}
+	}
+}
+
+func TestCircuitDepthIsLogRounds(t *testing.T) {
+	// A deep chain circuit: rounds must be logarithmic in depth.
+	n := 1 << 12
+	s := &core.System{M: n + 1, N: n,
+		G: make([]int, n), F: make([]int, n), H: make([]int, n)}
+	for i := 0; i < n; i++ {
+		s.G[i] = i + 1
+		s.F[i] = i
+		s.H[i] = i
+	}
+	bits := make([]int64, n+1)
+	bits[0] = 1
+	res, err := Solve[int64](s, core.IntMin{}, bits, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CAPStats.Rounds != 12 {
+		t.Fatalf("rounds = %d, want 12 = log2(%d)", res.CAPStats.Rounds, n)
+	}
+	if res.Values[n] != 1 {
+		t.Fatalf("chain of ANDs over 1 = %d, want 1", res.Values[n])
+	}
+}

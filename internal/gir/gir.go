@@ -1,0 +1,194 @@
+// Package gir solves general indexed recurrence systems (paper §4):
+//
+//	for i = 0 .. n-1:  A[g(i)] := A[f(i)] ⊗ A[h(i)]
+//
+// with arbitrary f, g, h, a commutative ⊗, and the power a^k treated as an
+// atomic operation (both requirements are the paper's: traces are trees, so
+// evaluation order cannot be preserved, and trace length can be exponential,
+// e.g. fib(n) for A[i] = A[i-1] ⊗ A[i-2]).
+//
+// # The dependence graph
+//
+// The paper builds a graph over assignment targets g(i) plus primed leaf
+// nodes f(i)', h(i)” for initial-value references (its Fig. 6), assuming
+// distinct g and deferring non-distinct g to the unpublished full paper.
+// We reconstruct the natural completion with per-iteration VERSION nodes:
+//
+//   - one leaf node per array cell (node x, 0 ≤ x < m) standing for the
+//     initial value A₀[x] — these are the sinks;
+//   - one node per iteration (node m+i) standing for the value written by
+//     iteration i;
+//   - iteration i gets one edge per operand: to node m+j when j < i is the
+//     latest iteration with g(j) = that operand cell (the read sees version
+//     j), or to the operand's leaf otherwise. The two operand edges may
+//     coincide, yielding label 2.
+//
+// For distinct g this collapses to the paper's graph (each cell has at most
+// one version); for non-distinct g it is still exact, because a read always
+// names the version live at that iteration. Iteration numbers strictly
+// decrease along edges, so the graph is a DAG by construction.
+//
+// The exponent of A₀[x] in the trace of node v is then exactly the number
+// of distinct paths v ⇝ leaf(x) — CAP — and
+//
+//	A'[x] = ⊗_{leaves l} A₀[l] ^ CAP(final(x), l)
+//
+// where final(x) is node m+LastWriter[x], or leaf x if x is never written.
+package gir
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"indexedrec/internal/cap"
+	"indexedrec/internal/core"
+	"indexedrec/internal/parallel"
+)
+
+// DepGraph is the versioned dependence graph of a general IR system.
+type DepGraph struct {
+	// G is the CAP input: nodes 0..M-1 are cell leaves (sinks), nodes
+	// M..M+N-1 are iteration versions.
+	G *cap.Graph
+	// M and N mirror the system's dimensions.
+	M, N int
+	// Final[x] is the node holding cell x's final value: M+LastWriter[x],
+	// or x itself when the cell is never written.
+	Final []int
+}
+
+// LeafNode returns the node id of cell x's initial value.
+func (d *DepGraph) LeafNode(x int) int { return x }
+
+// IterNode returns the node id of iteration i's result.
+func (d *DepGraph) IterNode(i int) int { return d.M + i }
+
+// Build constructs the dependence graph in O(n + m). G need not be
+// distinct (see package comment).
+func Build(s *core.System) (*DepGraph, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	deps := core.ComputeDeps(s)
+	edges := make(map[int][]cap.Edge, s.N)
+	one := big.NewInt(1)
+	for i := 0; i < s.N; i++ {
+		ft := s.F[i]
+		if deps.FPrev[i] >= 0 {
+			ft = s.M + deps.FPrev[i]
+		}
+		ht := s.OperandH(i)
+		if deps.HPrev[i] >= 0 {
+			ht = s.M + deps.HPrev[i]
+		}
+		edges[s.M+i] = []cap.Edge{{To: ft, Label: one}, {To: ht, Label: one}}
+	}
+	d := &DepGraph{
+		G:     cap.NewGraph(s.M+s.N, edges),
+		M:     s.M,
+		N:     s.N,
+		Final: make([]int, s.M),
+	}
+	for x := 0; x < s.M; x++ {
+		if w := deps.LastWriter[x]; w >= 0 {
+			d.Final[x] = s.M + w
+		} else {
+			d.Final[x] = x
+		}
+	}
+	return d, nil
+}
+
+// Engine selects the CAP implementation used by Solve.
+type Engine int
+
+const (
+	// EngineSquaring is the paper's parallel log-round algorithm (default).
+	EngineSquaring Engine = iota
+	// EngineDP is the sequential dynamic-programming reference.
+	EngineDP
+	// EngineMatrix is dense adjacency-matrix repeated squaring.
+	EngineMatrix
+	// EngineWavefront is the level-synchronized parallel sweep: linear
+	// work, critical-path depth (best for shallow dependence graphs).
+	EngineWavefront
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSquaring:
+		return "squaring"
+	case EngineDP:
+		return "dp"
+	case EngineMatrix:
+		return "matrix"
+	case EngineWavefront:
+		return "wavefront"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// Options configure Solve.
+type Options struct {
+	// Procs bounds goroutines in the CAP rounds and the evaluation phase.
+	Procs int
+	// Engine picks the CAP implementation; zero value is the paper's
+	// parallel squaring algorithm.
+	Engine Engine
+}
+
+// Result carries the solution and its cost profile.
+type Result[T any] struct {
+	// Values is the final array, equal to core.RunSequential's output.
+	Values []T
+	// Powers[x] lists the (leaf cell, exponent) trace of cell x, sorted by
+	// cell — the paper's Fig. 5 "counting powers" artifact.
+	Powers [][]cap.Term
+	// CAPStats is non-nil when the squaring engine ran.
+	CAPStats *cap.Stats
+	// PowCalls counts atomic power operations in the evaluation phase.
+	PowCalls int64
+}
+
+// ErrEngine is returned for an unknown Engine value.
+var ErrEngine = errors.New("gir: unknown CAP engine")
+
+// Solve computes the final array of a general IR system in parallel:
+// dependence graph construction, CAP, then a per-cell product of atomic
+// powers. Requires a commutative monoid with Pow (enforced by the type).
+func Solve[T any](s *core.System, op core.CommutativeMonoid[T], init []T, opt Options) (*Result[T], error) {
+	d, err := Build(s)
+	if err != nil {
+		return nil, err
+	}
+	return solveOnGraph(d, s, op, init, opt)
+}
+
+// evalPowers is the evaluation phase: every cell's value is a product of
+// atomic powers of initial values; cells are independent, so this is one
+// parallel step of O(k) combines per cell (O(log k) with tree reduction;
+// k is tiny in practice compared to the trace length it replaces).
+func evalPowers[T any](d *DepGraph, s *core.System, op core.CommutativeMonoid[T], init []T, counts cap.Counts, res *Result[T]) {
+	values := make([]T, s.M)
+	powers := make([][]cap.Term, s.M)
+	var powCalls int64
+	parallel.For(s.M, 0, func(lo, hi int) {
+		var local int64
+		for x := lo; x < hi; x++ {
+			terms := counts[d.Final[x]]
+			powers[x] = terms
+			acc := op.Identity()
+			for _, t := range terms {
+				acc = op.Combine(acc, op.Pow(init[t.Sink], t.Count))
+				local++
+			}
+			values[x] = acc
+		}
+		addInt64(&powCalls, local)
+	})
+	res.Values = values
+	res.Powers = powers
+	res.PowCalls = powCalls
+}

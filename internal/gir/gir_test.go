@@ -1,0 +1,288 @@
+package gir
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/paperfig"
+	"indexedrec/internal/trace"
+)
+
+func engines() []Engine {
+	return []Engine{EngineSquaring, EngineDP, EngineMatrix, EngineWavefront}
+}
+
+func TestFig6DependenceGraph(t *testing.T) {
+	// A[i] = A[i-1] ⊗ A[i-2] for i = 2..4 over 5 cells: the paper's Fig. 6
+	// graph. Iteration 0 (writes cell 2) reads leaves 1 and 0; iteration 1
+	// (writes 3) reads version 0 and leaf 1; iteration 2 (writes 4) reads
+	// versions 1 and 0.
+	s := paperfig.Fig4GIR(5)
+	d, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.G.N != 5+3 {
+		t.Fatalf("node count %d, want 8", d.G.N)
+	}
+	wantEdges := map[int][]int{
+		d.IterNode(0): {0, 1},
+		d.IterNode(1): {1, d.IterNode(0)},
+		d.IterNode(2): {d.IterNode(0), d.IterNode(1)},
+	}
+	for v, want := range wantEdges {
+		out := d.G.Out[v]
+		if len(out) != len(want) {
+			t.Fatalf("node %d: edges %v, want targets %v", v, out, want)
+		}
+		for k, w := range want {
+			if out[k].To != w || out[k].Label.Int64() != 1 {
+				t.Fatalf("node %d edge %d: %v, want ->%d [1]", v, k, out[k], w)
+			}
+		}
+	}
+	// Leaves 0..4 must be sinks; unwritten cells 0,1 are their own finals.
+	for x := 0; x < 5; x++ {
+		if !d.G.IsSink(x) {
+			t.Errorf("leaf %d is not a sink", x)
+		}
+	}
+	if d.Final[0] != 0 || d.Final[1] != 1 {
+		t.Errorf("Final[0,1] = %d,%d, want 0,1", d.Final[0], d.Final[1])
+	}
+	if d.Final[4] != d.IterNode(2) {
+		t.Errorf("Final[4] = %d, want iteration node 2", d.Final[4])
+	}
+}
+
+func TestBuildParallelOperandsMergeToLabel2(t *testing.T) {
+	// A[1] := A[0] ⊗ A[0]: both operand edges hit leaf 0 → one edge [2].
+	s := &core.System{M: 2, N: 1, G: []int{1}, F: []int{0}, H: []int{0}}
+	d, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.G.Out[d.IterNode(0)]
+	if len(out) != 1 || out[0].To != 0 || out[0].Label.Int64() != 2 {
+		t.Fatalf("edges = %v, want [->0 [2]]", out)
+	}
+}
+
+func TestFig5FibonacciPowersViaGIR(t *testing.T) {
+	n := 12
+	s := paperfig.Fig4GIR(n)
+	init := make([]int64, n)
+	op := core.MulMod{M: 1_000_003}
+	for x := range init {
+		init[x] = int64(x + 2)
+	}
+	fib := paperfig.Fib(n)
+	for _, eng := range engines() {
+		res, err := Solve[int64](s, op, init, Options{Engine: eng, Procs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.RunSequential[int64](s, op, init)
+		for x := range want {
+			if res.Values[x] != want[x] {
+				t.Fatalf("engine %v cell %d: got %d, want %d", eng, x, res.Values[x], want[x])
+			}
+		}
+		// Check the Fibonacci exponents on the last cell.
+		terms := res.Powers[n-1]
+		if len(terms) != 2 || terms[0].Sink != 0 || terms[1].Sink != 1 {
+			t.Fatalf("engine %v: powers %v", eng, terms)
+		}
+		if terms[0].Count.Int64() != fib[n-2] || terms[1].Count.Int64() != fib[n-1] {
+			t.Fatalf("engine %v: exponents %s,%s want %d,%d",
+				eng, terms[0].Count, terms[1].Count, fib[n-2], fib[n-1])
+		}
+	}
+}
+
+func TestSolveMatchesSequentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	op := core.MulMod{M: 999_983}
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(12)
+		n := rng.Intn(18)
+		s := &core.System{M: m, N: n,
+			G: make([]int, n), F: make([]int, n), H: make([]int, n)}
+		for i := 0; i < n; i++ {
+			s.G[i], s.F[i], s.H[i] = rng.Intn(m), rng.Intn(m), rng.Intn(m)
+		}
+		init := make([]int64, m)
+		for x := range init {
+			init[x] = rng.Int63n(op.M-2) + 2
+		}
+		want := core.RunSequential[int64](s, op, init)
+		for _, eng := range engines() {
+			res, err := Solve[int64](s, op, init, Options{Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for x := range want {
+				if res.Values[x] != want[x] {
+					t.Fatalf("trial %d engine %v cell %d: got %d want %d\nG=%v F=%v H=%v",
+						trial, eng, x, res.Values[x], want[x], s.G, s.F, s.H)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveNonDistinctG(t *testing.T) {
+	// The versioned graph handles repeated writes to one cell — the case
+	// the paper defers to its full version. Writes to cell 2 twice.
+	s := &core.System{M: 3, N: 3,
+		G: []int{2, 2, 1},
+		F: []int{0, 2, 2},
+		H: []int{1, 0, 2},
+	}
+	op := core.MulMod{M: 1_000_003}
+	init := []int64{3, 5, 7}
+	want := core.RunSequential[int64](s, op, init)
+	for _, eng := range engines() {
+		res, err := Solve[int64](s, op, init, Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range want {
+			if res.Values[x] != want[x] {
+				t.Fatalf("engine %v cell %d: got %d, want %d", eng, x, res.Values[x], want[x])
+			}
+		}
+	}
+}
+
+func TestSolvePowersMatchTraceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + rng.Intn(8)
+		n := rng.Intn(14)
+		s := &core.System{M: m, N: n,
+			G: make([]int, n), F: make([]int, n), H: make([]int, n)}
+		for i := 0; i < n; i++ {
+			s.G[i], s.F[i], s.H[i] = rng.Intn(m), rng.Intn(m), rng.Intn(m)
+		}
+		oracle, err := trace.Powers(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := make([]int64, m)
+		for x := range init {
+			init[x] = 2
+		}
+		res, err := Solve[int64](s, core.MulMod{M: 97}, init, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range oracle {
+			if len(oracle[x]) != len(res.Powers[x]) {
+				t.Fatalf("trial %d cell %d: powers %v, oracle %v", trial, x, res.Powers[x], oracle[x])
+			}
+			for k := range oracle[x] {
+				if oracle[x][k].Cell != res.Powers[x][k].Sink ||
+					oracle[x][k].Exp.Cmp(res.Powers[x][k].Count) != 0 {
+					t.Fatalf("trial %d cell %d term %d: %v vs oracle %v",
+						trial, x, k, res.Powers[x][k], oracle[x][k])
+				}
+			}
+		}
+	}
+}
+
+func TestSolveExponentialPowersBigInt(t *testing.T) {
+	// Fibonacci GIR with n=120: exponents ~ fib(119) >> int64. MulMod.Pow
+	// (modular exponentiation) must digest them.
+	n := 120
+	s := paperfig.Fig4GIR(n)
+	op := core.MulMod{M: 1_000_003}
+	init := make([]int64, n)
+	for x := range init {
+		init[x] = int64(x%50 + 2)
+	}
+	want := core.RunSequential[int64](s, op, init)
+	res, err := Solve[int64](s, op, init, Options{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range want {
+		if res.Values[x] != want[x] {
+			t.Fatalf("cell %d: got %d, want %d", x, res.Values[x], want[x])
+		}
+	}
+	if res.Powers[n-1][0].Count.BitLen() < 60 {
+		t.Fatalf("expected huge exponent, got %s", res.Powers[n-1][0].Count)
+	}
+}
+
+func TestSolveOrdinarySystemAsGIRWithCommutativeOp(t *testing.T) {
+	// An ordinary system is a special GIR; with a commutative op both
+	// solvers must agree with the sequential loop.
+	rng := rand.New(rand.NewSource(41))
+	m := 30
+	perm := rng.Perm(m)
+	n := 20
+	s := &core.System{M: m, N: n, G: make([]int, n), F: make([]int, n)}
+	for i := 0; i < n; i++ {
+		s.G[i] = perm[i]
+		s.F[i] = rng.Intn(m)
+	}
+	op := core.AddMod{M: 1 << 30}
+	init := make([]int64, m)
+	for x := range init {
+		init[x] = rng.Int63n(1 << 20)
+	}
+	want := core.RunSequential[int64](s, op, init)
+	res, err := Solve[int64](s, op, init, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range want {
+		if res.Values[x] != want[x] {
+			t.Fatalf("cell %d: got %d, want %d", x, res.Values[x], want[x])
+		}
+	}
+}
+
+func TestSolveDoubleChainPowersOfTwo(t *testing.T) {
+	n := 40
+	s := paperfig.DoubleChain(n)
+	op := core.MulMod{M: 1_000_003}
+	init := make([]int64, n)
+	for x := range init {
+		init[x] = 3
+	}
+	res, err := Solve[int64](s, op, init, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.RunSequential[int64](s, op, init)
+	for x := range want {
+		if res.Values[x] != want[x] {
+			t.Fatalf("cell %d: got %d, want %d", x, res.Values[x], want[x])
+		}
+	}
+	exp := res.Powers[n-1][0].Count
+	if exp.Cmp(new(big.Int).Lsh(big.NewInt(1), uint(n-1))) != 0 {
+		t.Fatalf("exponent %s, want 2^%d", exp, n-1)
+	}
+}
+
+func TestSolveUnknownEngine(t *testing.T) {
+	s := &core.System{M: 2, N: 0, G: []int{}, F: []int{}}
+	_, err := Solve[int64](s, core.IntAdd{}, []int64{0, 0}, Options{Engine: Engine(99)})
+	if err == nil {
+		t.Fatal("expected error for unknown engine")
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if EngineSquaring.String() != "squaring" || EngineDP.String() != "dp" ||
+		EngineMatrix.String() != "matrix" {
+		t.Error("engine names wrong")
+	}
+}

@@ -1,0 +1,6 @@
+package gir
+
+import "sync/atomic"
+
+// addInt64 is atomic addition on a plain int64 counter.
+func addInt64(addr *int64, delta int64) { atomic.AddInt64(addr, delta) }

@@ -1,0 +1,184 @@
+// Package graph provides the small DAG substrate used by the CAP (count all
+// paths) algorithms and their tests: a compact multigraph representation,
+// topological ordering, longest-path computation, and generators for the
+// graph families appearing in the paper (chains, double chains, Fibonacci
+// dependence DAGs) plus random DAGs for property tests.
+//
+// Edge direction follows the dependence convention of package gir: an edge
+// v → w means "v's value is computed from w's value", so initial values are
+// the sinks (out-degree 0). The paper's Definition 1 phrases the same thing
+// with its own orientation; only the direction label differs.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// DAG is a directed multigraph given by adjacency lists. Parallel edges are
+// represented by repeated entries in Out[v]; CAP treats them as distinct
+// paths (they carry multiplicity).
+type DAG struct {
+	// N is the number of nodes, labeled 0..N-1.
+	N int
+	// Out[v] lists the targets of v's outgoing edges.
+	Out [][]int
+}
+
+// New returns an empty DAG with n nodes.
+func New(n int) *DAG {
+	return &DAG{N: n, Out: make([][]int, n)}
+}
+
+// AddEdge appends the edge v → w.
+func (g *DAG) AddEdge(v, w int) {
+	g.Out[v] = append(g.Out[v], w)
+}
+
+// NumEdges returns the total edge count, counting parallel edges.
+func (g *DAG) NumEdges() int {
+	total := 0
+	for _, out := range g.Out {
+		total += len(out)
+	}
+	return total
+}
+
+// Sinks returns the nodes with out-degree 0 (the "initial value" leaves in
+// the dependence orientation), in increasing order.
+func (g *DAG) Sinks() []int {
+	var sinks []int
+	for v := 0; v < g.N; v++ {
+		if len(g.Out[v]) == 0 {
+			sinks = append(sinks, v)
+		}
+	}
+	return sinks
+}
+
+// ErrCycle is returned by TopoOrder when the graph is not acyclic.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// TopoOrder returns a topological order in which every node appears after
+// all nodes it has edges to (sinks first). Kahn's algorithm on the reversed
+// edges, O(V + E).
+func (g *DAG) TopoOrder() ([]int, error) {
+	outdeg := make([]int, g.N)
+	in := make([][]int, g.N) // in[w] = nodes with an edge to w
+	for v := 0; v < g.N; v++ {
+		outdeg[v] = len(g.Out[v])
+		for _, w := range g.Out[v] {
+			in[w] = append(in[w], v)
+		}
+	}
+	order := make([]int, 0, g.N)
+	queue := make([]int, 0, g.N)
+	for v := 0; v < g.N; v++ {
+		if outdeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range in[v] {
+			outdeg[u]--
+			if outdeg[u] == 0 {
+				queue = append(queue, u)
+			}
+		}
+	}
+	if len(order) != g.N {
+		return nil, fmt.Errorf("%w: %d of %d nodes ordered", ErrCycle, len(order), g.N)
+	}
+	return order, nil
+}
+
+// LongestPathLen returns the number of edges on the longest path in the DAG
+// (0 for an edgeless graph). CAP's round count is ⌈log₂⌉ of this.
+func (g *DAG) LongestPathLen() (int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	depth := make([]int, g.N)
+	longest := 0
+	for _, v := range order { // sinks first, so all successors are done
+		for _, w := range g.Out[v] {
+			if d := depth[w] + 1; d > depth[v] {
+				depth[v] = d
+			}
+		}
+		if depth[v] > longest {
+			longest = depth[v]
+		}
+	}
+	return longest, nil
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+
+// Chain returns the n-node path v_{n-1} → ... → v_1 → v_0.
+func Chain(n int) *DAG {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, v-1)
+	}
+	return g
+}
+
+// DoubleChain returns the paper's CAP example: a chain of n nodes with TWO
+// parallel edges between consecutive nodes, so the number of paths from v_i
+// to v_0 is 2^i.
+func DoubleChain(n int) *DAG {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, v-1)
+		g.AddEdge(v, v-1)
+	}
+	return g
+}
+
+// Fibonacci returns the dependence DAG of A[i] = A[i-1] ⊗ A[i-2] on n nodes
+// (paper Fig. 6): node i has edges to i-1 and i-2; nodes 0 and 1 are sinks.
+func Fibonacci(n int) *DAG {
+	g := New(n)
+	for v := 2; v < n; v++ {
+		g.AddEdge(v, v-1)
+		g.AddEdge(v, v-2)
+	}
+	return g
+}
+
+// Random returns a random DAG on n nodes in which node v only has edges to
+// lower-numbered nodes (hence acyclic), with out-degree up to maxOut;
+// parallel edges are allowed. Node 0 is always a sink.
+func Random(rng *rand.Rand, n, maxOut int) *DAG {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		d := rng.Intn(maxOut + 1)
+		for k := 0; k < d; k++ {
+			g.AddEdge(v, rng.Intn(v))
+		}
+	}
+	return g
+}
+
+// Layered returns a DAG of `layers` layers of `width` nodes; each node has
+// `fan` edges to random nodes in the layer below. Layer 0 nodes are sinks.
+// It models the wide-and-shallow dependence structure of vectorizable loops.
+func Layered(rng *rand.Rand, layers, width, fan int) *DAG {
+	g := New(layers * width)
+	for l := 1; l < layers; l++ {
+		for k := 0; k < width; k++ {
+			v := l*width + k
+			for e := 0; e < fan; e++ {
+				g.AddEdge(v, (l-1)*width+rng.Intn(width))
+			}
+		}
+	}
+	return g
+}

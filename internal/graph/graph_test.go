@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestTopoOrderChain(t *testing.T) {
+	g := Chain(5)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sinks first: must be exactly 0,1,2,3,4 for a chain.
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want [0 1 2 3 4]", order)
+		}
+	}
+}
+
+func TestTopoOrderPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		g := Random(rng, 1+rng.Intn(60), 4)
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := make([]int, g.N)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for v := 0; v < g.N; v++ {
+			for _, w := range g.Out[v] {
+				if pos[v] <= pos[w] {
+					t.Fatalf("edge %d->%d violates topo order", v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if _, err := g.TopoOrder(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestSinks(t *testing.T) {
+	g := Fibonacci(6)
+	sinks := g.Sinks()
+	if len(sinks) != 2 || sinks[0] != 0 || sinks[1] != 1 {
+		t.Fatalf("Fibonacci sinks = %v, want [0 1]", sinks)
+	}
+	if got := Chain(4).Sinks(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Chain sinks = %v, want [0]", got)
+	}
+}
+
+func TestLongestPathLen(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *DAG
+		want int
+	}{
+		{"chain 10", Chain(10), 9},
+		{"double chain 6", DoubleChain(6), 5},
+		{"fibonacci 8", Fibonacci(8), 6}, // 7 -> 6 -> ... -> 1
+		{"edgeless", New(3), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.g.LongestPathLen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("got %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDoubleChainEdgeCount(t *testing.T) {
+	g := DoubleChain(5)
+	if g.NumEdges() != 8 {
+		t.Fatalf("NumEdges = %d, want 8", g.NumEdges())
+	}
+}
+
+func TestLayeredShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := Layered(rng, 4, 5, 2)
+	if g.N != 20 {
+		t.Fatalf("N = %d, want 20", g.N)
+	}
+	// Layer 0 all sinks; upper layers have out-degree 2.
+	for v := 0; v < 5; v++ {
+		if len(g.Out[v]) != 0 {
+			t.Fatalf("layer-0 node %d has out-edges", v)
+		}
+	}
+	for v := 5; v < 20; v++ {
+		if len(g.Out[v]) != 2 {
+			t.Fatalf("node %d out-degree %d, want 2", v, len(g.Out[v]))
+		}
+		for _, w := range g.Out[v] {
+			if w/5 != v/5-1 {
+				t.Fatalf("edge %d->%d not to adjacent lower layer", v, w)
+			}
+		}
+	}
+	lp, err := g.LongestPathLen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp != 3 {
+		t.Fatalf("longest path = %d, want 3", lp)
+	}
+}
+
+func TestRandomIsAcyclicAlways(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		g := Random(rng, 100, 6)
+		if _, err := g.TopoOrder(); err != nil {
+			t.Fatalf("Random produced a cyclic graph: %v", err)
+		}
+	}
+}

@@ -1,0 +1,494 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// Form is the recurrence form the classifier assigns to a loop — the
+// dispatch key for parallelization.
+type Form int
+
+const (
+	// FormUnknown: not expressible in the framework (or multi-statement).
+	FormUnknown Form = iota
+	// FormMap: the RHS never reads the target array — a pure parallel map.
+	FormMap
+	// FormOrdinaryIR: X[g] := X[f] ⊗ X[g] with ⊗ ∈ {+, *} (paper §2).
+	FormOrdinaryIR
+	// FormGIR: X[g] := X[f] ⊗ X[h], general indices (paper §4).
+	FormGIR
+	// FormLinear: X[g] := a·X[f] + b with a, b free of X (paper §3).
+	FormLinear
+	// FormLinearExtended: X[g] := c·X[g] + a·X[f] + b (paper §3 extended).
+	FormLinearExtended
+	// FormMoebius: X[g] := (a·X[f]+b)/(c·X[f]+d) (paper §3 general).
+	FormMoebius
+)
+
+func (f Form) String() string {
+	switch f {
+	case FormMap:
+		return "map"
+	case FormOrdinaryIR:
+		return "ordinary-IR"
+	case FormGIR:
+		return "general-IR"
+	case FormLinear:
+		return "linear-IR"
+	case FormLinearExtended:
+		return "linear-IR-extended"
+	case FormMoebius:
+		return "moebius-IR"
+	default:
+		return "unknown"
+	}
+}
+
+// Bucket is the paper's three-way Livermore classification.
+type Bucket int
+
+const (
+	// BucketUnknown: outside the framework.
+	BucketUnknown Bucket = iota
+	// BucketNone: no recurrence of any type.
+	BucketNone
+	// BucketLinear: an ordinary (non-indexed) recurrence — all index maps
+	// are shifts of the loop variable.
+	BucketLinear
+	// BucketIndexed: an indexed recurrence (general index maps).
+	BucketIndexed
+)
+
+func (b Bucket) String() string {
+	switch b {
+	case BucketNone:
+		return "no recurrence"
+	case BucketLinear:
+		return "linear recurrence"
+	case BucketIndexed:
+		return "indexed recurrence"
+	default:
+		return "unclassified"
+	}
+}
+
+// Analysis is the classifier's result for a single-assignment loop.
+type Analysis struct {
+	Form   Form
+	Bucket Bucket
+	// Reason explains FormUnknown/BucketUnknown results.
+	Reason string
+	// Array is the target (and recurring) array name.
+	Array string
+	// G, F, H are the index expressions (H only for FormGIR).
+	G, F, H Expr
+	// Op is '+' or '*' for the IR forms.
+	Op byte
+	// A, B, C, D are coefficient expressions for the linear/Möbius forms
+	// (C, D only for FormMoebius). They never reference Array.
+	A, B, C, D Expr
+	// SelfCoef is the coefficient of the X[g] self-term in
+	// FormLinearExtended (often the literal 1).
+	SelfCoef Expr
+	// SelfOnly marks extended forms whose only recurring operand is the
+	// target cell itself (X[g] := c·X[g] + expr). When g is a plain shift
+	// of the loop variable the writes are provably distinct and each read
+	// sees an initial value — no recurrence at all; through an indirection
+	// the same shape is a genuine accumulation recurrence (the PIC
+	// kernels' scatter-add).
+	SelfOnly bool
+	// Nest marks a loop whose body is a single nested loop (e.g. Livermore
+	// 23's column loop). Inner is the nested loop's analysis; the execution
+	// strategy runs the outer loop sequentially and parallelizes the inner
+	// loop per outer iteration.
+	Nest  bool
+	Inner *Analysis
+}
+
+// Analyze classifies a loop. Multi-statement bodies are classified
+// statement-by-statement only when they target disjoint arrays none of
+// which appears in another statement's RHS; otherwise FormUnknown.
+func Analyze(l *Loop) *Analysis {
+	if inner := l.InnerLoop(); inner != nil {
+		ia := Analyze(inner)
+		return &Analysis{
+			Form: ia.Form, Bucket: ia.Bucket, Reason: ia.Reason,
+			Array: ia.Array, Nest: true, Inner: ia,
+		}
+	}
+	asgs := l.Assigns()
+	if asgs == nil {
+		return &Analysis{Form: FormUnknown, Bucket: BucketUnknown,
+			Reason: "body mixes nested loops with other statements"}
+	}
+	if len(asgs) != 1 {
+		// Check for trivially independent statements.
+		for i, st := range asgs {
+			for j, other := range asgs {
+				if i == j {
+					continue
+				}
+				if st.Target.Array == other.Target.Array || refersTo(other.RHS, st.Target.Array) {
+					return &Analysis{Form: FormUnknown, Bucket: BucketUnknown,
+						Reason: "multi-statement body with cross-references"}
+				}
+			}
+		}
+		// Independent statements: classify each; the loop as a whole is as
+		// strong as its weakest statement.
+		worst := &Analysis{Form: FormMap, Bucket: BucketNone}
+		for _, st := range asgs {
+			a := analyzeStmt(l, st)
+			if a.Bucket == BucketUnknown || worst.Bucket == BucketUnknown {
+				return &Analysis{Form: FormUnknown, Bucket: BucketUnknown,
+					Reason: "multi-statement body with a non-trivial member: " + a.Reason}
+			}
+			if a.Bucket > worst.Bucket {
+				worst = a
+			}
+		}
+		return worst
+	}
+	return analyzeStmt(l, asgs[0])
+}
+
+func analyzeStmt(l *Loop, st *Assign) *Analysis {
+	arr := st.Target.Array
+	g := st.Target.Idx
+	an := &Analysis{Array: arr, G: g}
+
+	if refersTo(g, arr) {
+		an.Form, an.Bucket = FormUnknown, BucketUnknown
+		an.Reason = "target index reads the target array"
+		return an
+	}
+	refs := arrayRefs(st.RHS, arr, nil)
+	for _, r := range refs {
+		if refersTo(r.Idx, arr) {
+			an.Form, an.Bucket = FormUnknown, BucketUnknown
+			an.Reason = "operand index reads the target array (f/g/h must not reference A)"
+			return an
+		}
+	}
+
+	if len(refs) == 0 {
+		an.Form, an.Bucket = FormMap, BucketNone
+		return an
+	}
+
+	// Pure two-operand product/sum: X[e1] op X[e2].
+	if b, ok := st.RHS.(*Bin); ok && (b.Op == '+' || b.Op == '*') {
+		le, lok := b.L.(*Index)
+		re, rok := b.R.(*Index)
+		if lok && rok && le.Array == arr && re.Array == arr {
+			an.Op = b.Op
+			switch {
+			case equalExpr(re.Idx, g):
+				an.Form = FormOrdinaryIR
+				an.F = le.Idx
+			case equalExpr(le.Idx, g):
+				an.Form = FormOrdinaryIR
+				an.F = re.Idx
+			default:
+				an.Form = FormGIR
+				an.F, an.H = le.Idx, re.Idx
+			}
+			an.Bucket = bucketOf(l, an)
+			return an
+		}
+	}
+
+	// Full Möbius: a ratio whose numerator and denominator are affine in
+	// the same single X-reference.
+	if b, ok := st.RHS.(*Bin); ok && b.Op == '/' && refersTo(b.R, arr) {
+		nt, nc, nok := decomposeLinear(b.L, arr)
+		dt, dc, dok := decomposeLinear(b.R, arr)
+		if nok && dok && len(nt) <= 1 && len(dt) == 1 &&
+			(len(nt) == 0 || equalExpr(nt[0].ref.Idx, dt[0].ref.Idx)) {
+			an.Form = FormMoebius
+			an.F = dt[0].ref.Idx
+			if len(nt) == 1 {
+				an.A = nt[0].coef
+			} else {
+				an.A = &Num{Val: 0}
+			}
+			an.B, an.C, an.D = nc, dt[0].coef, dc
+			an.Bucket = bucketOf(l, an)
+			return an
+		}
+		an.Form, an.Bucket = FormUnknown, BucketUnknown
+		an.Reason = "non-affine ratio in target array"
+		return an
+	}
+
+	// Affine forms.
+	terms, c, ok := decomposeLinear(st.RHS, arr)
+	if !ok {
+		an.Form, an.Bucket = FormUnknown, BucketUnknown
+		an.Reason = "RHS is not affine in the target array"
+		return an
+	}
+	var self, other *linTerm
+	for i := range terms {
+		t := &terms[i]
+		switch {
+		case equalExpr(t.ref.Idx, g) && self == nil:
+			self = t
+		case other == nil:
+			other = t
+		default:
+			an.Form, an.Bucket = FormUnknown, BucketUnknown
+			an.Reason = "more than two recurring operands"
+			return an
+		}
+	}
+	switch {
+	case self == nil && other != nil:
+		an.Form = FormLinear
+		an.F, an.A, an.B = other.ref.Idx, other.coef, c
+	case self != nil && other == nil:
+		// X[g] := c_g·X[g] + b — a degenerate extended form with no f
+		// operand; treat f = g (the self cell) with A = 0.
+		an.Form = FormLinearExtended
+		an.F, an.A, an.B, an.SelfCoef = g, &Num{Val: 0}, c, self.coef
+		an.SelfOnly = true
+	case self != nil && other != nil:
+		an.Form = FormLinearExtended
+		an.F, an.A, an.B, an.SelfCoef = other.ref.Idx, other.coef, c, self.coef
+	default:
+		an.Form, an.Bucket = FormUnknown, BucketUnknown
+		an.Reason = "internal: no recurring operands after decomposition"
+		return an
+	}
+	an.Bucket = bucketOf(l, an)
+	return an
+}
+
+// linTerm is one coef·X[ref] term of an affine decomposition.
+type linTerm struct {
+	coef Expr
+	ref  *Index
+}
+
+// decomposeLinear writes e as Σ coefᵢ·X[idxᵢ] + c with every coef and c
+// free of references to arr. Terms with structurally equal indices are
+// merged. ok is false when e is not affine in arr (e.g. X·X or X in a
+// denominator).
+func decomposeLinear(e Expr, arr string) ([]linTerm, Expr, bool) {
+	switch x := e.(type) {
+	case *Num, *Var:
+		return nil, e, true
+	case *Index:
+		if x.Array == arr {
+			return []linTerm{{coef: &Num{Val: 1}, ref: x}}, &Num{Val: 0}, true
+		}
+		return nil, e, true
+	case *Neg:
+		ts, c, ok := decomposeLinear(x.E, arr)
+		if !ok {
+			return nil, nil, false
+		}
+		return scaleTerms(ts, &Num{Val: -1}), &Neg{E: c}, true
+	case *Bin:
+		switch x.Op {
+		case '+', '-':
+			lt, lc, lok := decomposeLinear(x.L, arr)
+			rt, rc, rok := decomposeLinear(x.R, arr)
+			if !lok || !rok {
+				return nil, nil, false
+			}
+			if x.Op == '-' {
+				rt = scaleTerms(rt, &Num{Val: -1})
+				rc = &Neg{E: rc}
+			}
+			return mergeTerms(append(lt, rt...)), simplifyAdd(lc, rc), true
+		case '*':
+			lHas, rHas := refersTo(x.L, arr), refersTo(x.R, arr)
+			switch {
+			case lHas && rHas:
+				return nil, nil, false // quadratic
+			case lHas:
+				ts, c, ok := decomposeLinear(x.L, arr)
+				if !ok {
+					return nil, nil, false
+				}
+				return scaleTerms(ts, x.R), simplifyMul(c, x.R), true
+			case rHas:
+				ts, c, ok := decomposeLinear(x.R, arr)
+				if !ok {
+					return nil, nil, false
+				}
+				return scaleTerms(ts, x.L), simplifyMul(c, x.L), true
+			default:
+				return nil, e, true
+			}
+		case '/':
+			if refersTo(x.R, arr) {
+				return nil, nil, false // X in denominator: not affine
+			}
+			if !refersTo(x.L, arr) {
+				return nil, e, true
+			}
+			ts, c, ok := decomposeLinear(x.L, arr)
+			if !ok {
+				return nil, nil, false
+			}
+			inv := &Bin{Op: '/', L: &Num{Val: 1}, R: x.R}
+			return scaleTerms(ts, inv), simplifyMul(c, inv), true
+		}
+	}
+	return nil, nil, false
+}
+
+func scaleTerms(ts []linTerm, by Expr) []linTerm {
+	out := make([]linTerm, len(ts))
+	for i, t := range ts {
+		out[i] = linTerm{coef: simplifyMul(t.coef, by), ref: t.ref}
+	}
+	return out
+}
+
+func mergeTerms(ts []linTerm) []linTerm {
+	var out []linTerm
+	for _, t := range ts {
+		merged := false
+		for i := range out {
+			if equalExpr(out[i].ref.Idx, t.ref.Idx) {
+				out[i].coef = simplifyAdd(out[i].coef, t.coef)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// simplifyAdd/simplifyMul build sums/products, folding literal identities
+// so classifier output (and error messages) stay readable.
+func simplifyAdd(a, b Expr) Expr {
+	if n, ok := a.(*Num); ok && n.Val == 0 {
+		return b
+	}
+	if n, ok := b.(*Num); ok && n.Val == 0 {
+		return a
+	}
+	if x, ok := a.(*Num); ok {
+		if y, ok := b.(*Num); ok {
+			return &Num{Val: x.Val + y.Val}
+		}
+	}
+	return &Bin{Op: '+', L: a, R: b}
+}
+
+func simplifyMul(a, b Expr) Expr {
+	if n, ok := a.(*Num); ok {
+		if n.Val == 1 {
+			return b
+		}
+		if n.Val == 0 {
+			return &Num{Val: 0}
+		}
+	}
+	if n, ok := b.(*Num); ok {
+		if n.Val == 1 {
+			return a
+		}
+		if n.Val == 0 {
+			return &Num{Val: 0}
+		}
+	}
+	if x, ok := a.(*Num); ok {
+		if y, ok := b.(*Num); ok {
+			return &Num{Val: x.Val * y.Val}
+		}
+	}
+	return &Bin{Op: '*', L: a, R: b}
+}
+
+// bucketOf maps a classified form to the paper's three-way bucket: index
+// maps that are all plain shifts of the loop variable (with g = i) make an
+// ordinary ("linear") recurrence; anything else indexed.
+func bucketOf(l *Loop, an *Analysis) Bucket {
+	if an.Form == FormMap {
+		return BucketNone
+	}
+	if an.SelfOnly {
+		if _, ok := shiftOf(an.G, l.Var); ok {
+			return BucketNone // distinct self-updates: a map in disguise
+		}
+		return BucketIndexed // scatter-accumulate through indirection
+	}
+	idxs := []Expr{an.G, an.F}
+	if an.H != nil {
+		idxs = append(idxs, an.H)
+	}
+	// When every index map is a constant shift of the loop variable the
+	// loop is an ordinary (non-indexed) recurrence — g(i) = i + c merely
+	// renumbers the cells.
+	for _, e := range idxs {
+		if _, ok := shiftOf(e, l.Var); !ok {
+			return BucketIndexed
+		}
+	}
+	return BucketLinear
+}
+
+// shiftOf recognizes i, i+c, i-c, c+i and returns the shift c.
+func shiftOf(e Expr, loopVar string) (int, bool) {
+	switch x := e.(type) {
+	case *Var:
+		if x.Name == loopVar {
+			return 0, true
+		}
+	case *Bin:
+		if x.Op == '+' || x.Op == '-' {
+			v, vok := x.L.(*Var)
+			n, nok := x.R.(*Num)
+			if vok && nok && v.Name == loopVar && n.Val == float64(int(n.Val)) {
+				if x.Op == '-' {
+					return -int(n.Val), true
+				}
+				return int(n.Val), true
+			}
+			if x.Op == '+' {
+				n2, n2ok := x.L.(*Num)
+				v2, v2ok := x.R.(*Var)
+				if n2ok && v2ok && v2.Name == loopVar && n2.Val == float64(int(n2.Val)) {
+					return int(n2.Val), true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// Describe renders a one-line human summary of the analysis.
+func (an *Analysis) Describe() string {
+	if an.Nest && an.Inner != nil {
+		return "loop nest, inner: " + an.Inner.Describe()
+	}
+	switch an.Form {
+	case FormMap:
+		return fmt.Sprintf("map over %s (no recurrence)", an.Array)
+	case FormOrdinaryIR:
+		return fmt.Sprintf("ordinary IR: %s[%s] := %s[%s] %c %s[%s]",
+			an.Array, an.G, an.Array, an.F, an.Op, an.Array, an.G)
+	case FormGIR:
+		return fmt.Sprintf("general IR: %s[%s] := %s[%s] %c %s[%s]",
+			an.Array, an.G, an.Array, an.F, an.Op, an.Array, an.H)
+	case FormLinear:
+		return fmt.Sprintf("linear IR: %s[%s] := (%s)*%s[%s] + (%s)",
+			an.Array, an.G, an.A, an.Array, an.F, an.B)
+	case FormLinearExtended:
+		return fmt.Sprintf("extended linear IR: %s[%s] := (%s)*%s[%s] + (%s)*%s[%s] + (%s)",
+			an.Array, an.G, an.SelfCoef, an.Array, an.G, an.A, an.Array, an.F, an.B)
+	case FormMoebius:
+		return fmt.Sprintf("moebius IR: %s[%s] := ((%s)*%s[%s]+(%s))/((%s)*%s[%s]+(%s))",
+			an.Array, an.G, an.A, an.Array, an.F, an.B, an.C, an.Array, an.F, an.D)
+	default:
+		return "unknown: " + an.Reason
+	}
+}

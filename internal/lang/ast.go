@@ -1,0 +1,196 @@
+// Package lang is a small front-end for the sequential loops the paper
+// parallelizes: a lexer, parser, recurrence classifier and lowering pass for
+// a Pascal-like loop language
+//
+//	for i = 1 to n do
+//	begin
+//	    X[g-expr] := rhs-expr;
+//	end
+//
+// where expressions range over numbers, scalar variables, array references
+// (including indirection through other arrays) and + - * / with parentheses.
+//
+// The classifier recognizes the recurrence forms the paper's algorithms
+// cover — no recurrence (a pure map), ordinary IR, general IR, and the
+// affine/Möbius linear forms — WITHOUT classical data-dependence analysis,
+// exactly the use case motivating the paper ("without using any data
+// dependence analysis techniques, we managed to parallelize the loop").
+// The lowering pass tabulates index maps and coefficients into the solver
+// inputs of packages core and moebius.
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an expression tree node.
+type Expr interface {
+	String() string
+}
+
+// Num is a numeric literal.
+type Num struct{ Val float64 }
+
+// Var is a scalar variable reference (including the loop variable).
+type Var struct{ Name string }
+
+// Index is an array element reference Array[Idx].
+type Index struct {
+	Array string
+	Idx   Expr
+}
+
+// Bin is a binary operation; Op is one of '+', '-', '*', '/'.
+type Bin struct {
+	Op   byte
+	L, R Expr
+}
+
+// Neg is unary minus.
+type Neg struct{ E Expr }
+
+func (n *Num) String() string {
+	if n.Val == float64(int64(n.Val)) {
+		return fmt.Sprintf("%d", int64(n.Val))
+	}
+	return fmt.Sprintf("%g", n.Val)
+}
+func (v *Var) String() string   { return v.Name }
+func (x *Index) String() string { return fmt.Sprintf("%s[%s]", x.Array, x.Idx) }
+func (b *Bin) String() string   { return fmt.Sprintf("(%s %c %s)", b.L, b.Op, b.R) }
+func (n *Neg) String() string   { return fmt.Sprintf("(-%s)", n.E) }
+
+// Stmt is a loop-body statement: an assignment or a nested loop.
+type Stmt interface {
+	String() string
+	stmtNode()
+}
+
+// Assign is one statement LHS := RHS where LHS is an array element.
+type Assign struct {
+	Target *Index
+	RHS    Expr
+}
+
+func (a *Assign) String() string { return fmt.Sprintf("%s := %s", a.Target, a.RHS) }
+func (*Assign) stmtNode()        {}
+
+// Loop is a (possibly nested) counted loop.
+type Loop struct {
+	// Var is the loop variable name.
+	Var string
+	// Lo and Hi are the inclusive bounds expressions.
+	Lo, Hi Expr
+	// Body is the statement list (assignments and/or nested loops).
+	Body []Stmt
+}
+
+func (l *Loop) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "for %s = %s to %s do begin ", l.Var, l.Lo, l.Hi)
+	for _, st := range l.Body {
+		fmt.Fprintf(&sb, "%s; ", st)
+	}
+	sb.WriteString("end")
+	return sb.String()
+}
+
+func (*Loop) stmtNode() {}
+
+// Assigns returns the body as assignments when it contains no nested loops,
+// or nil otherwise — the shape the single-level classifier works on.
+func (l *Loop) Assigns() []*Assign {
+	out := make([]*Assign, 0, len(l.Body))
+	for _, st := range l.Body {
+		a, ok := st.(*Assign)
+		if !ok {
+			return nil
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// InnerLoop returns the nested loop when the body is exactly one loop —
+// the loop-nest shape (e.g. Livermore 23's column loop) — else nil.
+func (l *Loop) InnerLoop() *Loop {
+	if len(l.Body) == 1 {
+		if inner, ok := l.Body[0].(*Loop); ok {
+			return inner
+		}
+	}
+	return nil
+}
+
+// equalExpr reports structural equality of two expressions (used to match
+// the self-reference X[g(i)] on the RHS against the target index).
+func equalExpr(a, b Expr) bool {
+	switch x := a.(type) {
+	case *Num:
+		y, ok := b.(*Num)
+		return ok && x.Val == y.Val
+	case *Var:
+		y, ok := b.(*Var)
+		return ok && x.Name == y.Name
+	case *Index:
+		y, ok := b.(*Index)
+		return ok && x.Array == y.Array && equalExpr(x.Idx, y.Idx)
+	case *Bin:
+		y, ok := b.(*Bin)
+		return ok && x.Op == y.Op && equalExpr(x.L, y.L) && equalExpr(x.R, y.R)
+	case *Neg:
+		y, ok := b.(*Neg)
+		return ok && equalExpr(x.E, y.E)
+	}
+	return false
+}
+
+// refersTo reports whether e references array name anywhere.
+func refersTo(e Expr, name string) bool {
+	switch x := e.(type) {
+	case *Num, *Var:
+		return false
+	case *Index:
+		return x.Array == name || refersTo(x.Idx, name)
+	case *Bin:
+		return refersTo(x.L, name) || refersTo(x.R, name)
+	case *Neg:
+		return refersTo(x.E, name)
+	}
+	return false
+}
+
+// arrayRefs collects every Index node referencing array name in e,
+// left-to-right.
+func arrayRefs(e Expr, name string, out []*Index) []*Index {
+	switch x := e.(type) {
+	case *Index:
+		if x.Array == name {
+			out = append(out, x)
+		}
+		out = arrayRefs(x.Idx, name, out)
+	case *Bin:
+		out = arrayRefs(x.L, name, out)
+		out = arrayRefs(x.R, name, out)
+	case *Neg:
+		out = arrayRefs(x.E, name, out)
+	}
+	return out
+}
+
+// TargetArray returns the array written by the loop's first assignment,
+// descending through nested loops; "" if the body has no assignment.
+func (l *Loop) TargetArray() string {
+	for _, st := range l.Body {
+		switch s := st.(type) {
+		case *Assign:
+			return s.Target.Array
+		case *Loop:
+			if a := s.TargetArray(); a != "" {
+				return a
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,97 @@
+package lang
+
+import (
+	goparser "go/parser"
+	gotoken "go/token"
+	"strings"
+	"testing"
+)
+
+func emit(t *testing.T, src, fn string) string {
+	t.Helper()
+	out, err := Compile(mustParse(t, src)).EmitGo(fn)
+	if err != nil {
+		t.Fatalf("EmitGo(%q): %v", src, err)
+	}
+	return out
+}
+
+func TestEmitGoOrdinaryIR(t *testing.T) {
+	out := emit(t, "for i = 1 to n do X[i] := X[i-1] + X[i]", "PrefixSums")
+	for _, want := range []string{
+		"func PrefixSums(env map[string][]float64",
+		"ir.SolveOrdinary[float64]",
+		"ir.Float64Add{}",
+		`import "indexedrec/ir"`,
+		"// strategy:    OrdinaryIR pointer jumping",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("emitted code missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitGoGIR(t *testing.T) {
+	out := emit(t, "for i = 2 to n do X[i] := X[i-1] * X[i-2]", "Fib")
+	if !strings.Contains(out, "ir.SolveGeneral[float64]") ||
+		!strings.Contains(out, "ir.Float64Mul{}") {
+		t.Fatalf("GIR emission wrong:\n%s", out)
+	}
+}
+
+func TestEmitGoLinearForms(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"for i = 1 to n do X[i] := A[i]*X[i-1] + B[i]", "ir.SolveLinear("},
+		{"for i = 1 to n do X[G[i]] := X[G[i]] + A[i]*X[F[i]] + B[i]", "ir.SolveLinear("},
+		{"for i = 1 to n do X[i] := (X[i-1] + 1) / (X[i-1] + 2)", "ir.SolveMoebius("},
+	}
+	for _, tc := range cases {
+		out := emit(t, tc.src, "F")
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("%q: emission missing %q:\n%s", tc.src, tc.want, out)
+		}
+	}
+}
+
+func TestEmitGoMapAndUnknown(t *testing.T) {
+	out := emit(t, "for i = 0 to n do X[i] := Y[i] * 2", "MapIt")
+	if !strings.Contains(out, "for i := lo; i <= hi; i++") {
+		t.Fatalf("map emission should inline the loop:\n%s", out)
+	}
+	out2 := emit(t, "for i = 1 to n do X[i] := X[i-1]*X[i-1] + X[i]", "Quad")
+	if !strings.Contains(out2, "// strategy:    sequential fallback") {
+		t.Fatalf("unknown form should fall back:\n%s", out2)
+	}
+}
+
+func TestEmitGoNest(t *testing.T) {
+	out := emit(t, loop23Nest, "Hydro")
+	for _, want := range []string{"func HydroInner(", "func Hydro(", "ir.SolveLinear("} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("nest emission missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEmitGoAlwaysParses: every classified form must emit syntactically
+// valid Go (EmitGo self-checks, but verify independently and over many
+// shapes).
+func TestEmitGoAlwaysParses(t *testing.T) {
+	srcs := []string{
+		"for i = 1 to n do X[i] := X[i-1] + X[i]",
+		"for i = 1 to n do X[G[i]] := X[F[i]] * X[G[i]]",
+		"for i = 2 to n do X[i] := X[i-1] * X[i-2]",
+		"for i = 1 to n do X[i] := A[i]*X[i-1] + B[i]",
+		"for i = 1 to n do X[G[i]] := (A[i]*X[F[i]]+B[i]) / (C[i]*X[F[i]]+D[i])",
+		"for i = 0 to n do X[i] := Y[i+1] - Y[i]",
+		"for i = 1 to n do X[i] := X[i-1]*X[i-1] + 0.5",
+		loop23Nest,
+	}
+	fset := gotoken.NewFileSet()
+	for k, src := range srcs {
+		out := emit(t, src, "F")
+		if _, err := goparser.ParseFile(fset, "gen.go", out, 0); err != nil {
+			t.Fatalf("case %d: emitted code does not parse: %v\n%s", k, err, out)
+		}
+	}
+}

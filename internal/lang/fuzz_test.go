@@ -1,0 +1,65 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the parser must never panic and must either return a loop or a
+// wrapped ErrSyntax, on any input. Seeds cover the grammar's corners; `go
+// test` runs the seeds, `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"for i = 1 to n do X[i] := X[i-1] + X[i]",
+		"for i = 1 to n do begin end",
+		"for for for",
+		"X[1] := 2",
+		"for i = 1 to n do X[i] := ((((1))))",
+		"for i = 1 to n do X[i] := 0.75d0 * Y[i]",
+		"for j = 1 to m do for i = 1 to n do X[i+j] := X[i] ; end",
+		"for i = 1 to n do X[i] := -(-(-X[i]))",
+		"for i = 1 to 1000000000000000000000 do X[i] := 1",
+		"for i = 1 to n do X[i] := X[i" + strings.Repeat("]", 50),
+		strings.Repeat("for i = 1 to 2 do ", 40) + "X[i] := 1",
+		"; ; ; for i = 1 to 2 do X[i] := 1 ; ; ;",
+		"for i = 1 to n do X[i] := Y[Z[W[i]]]",
+		"for i = 1 to n do X[i] := 1e999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		loop, err := Parse(src)
+		if err == nil && loop == nil {
+			t.Fatal("nil loop with nil error")
+		}
+		if err == nil {
+			// Whatever parses must classify and print without panicking,
+			// and the printed form must re-parse.
+			_ = Analyze(loop)
+			if _, err2 := Parse(loop.String()); err2 != nil {
+				t.Fatalf("print/reparse failed: %v\nsrc: %q\nprinted: %q", err2, src, loop)
+			}
+		}
+	})
+}
+
+// FuzzEval: evaluating arbitrary parsed expressions over a small env must
+// never panic (errors are fine).
+func FuzzEval(f *testing.F) {
+	for _, s := range []string{"1+2*3", "X[0]", "a/b", "-(X[1]/0)", "X[X[0]]", "1/0"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		env := NewEnv()
+		env.Scalars["a"] = 2
+		env.Scalars["b"] = 3
+		env.Arrays["X"] = []float64{1, 2, 3}
+		_, _ = Eval(e, env) // must not panic
+	})
+}

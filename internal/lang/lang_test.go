@@ -1,0 +1,420 @@
+package lang
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Loop {
+	t.Helper()
+	l, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return l
+}
+
+func TestParseSingleStatement(t *testing.T) {
+	l := mustParse(t, "for i = 1 to n do X[i] := X[i-1] + X[i]")
+	if l.Var != "i" || len(l.Body) != 1 {
+		t.Fatalf("loop: %v", l)
+	}
+	if l.TargetArray() != "X" {
+		t.Fatalf("target: %v", l.TargetArray())
+	}
+}
+
+func TestParseBeginEnd(t *testing.T) {
+	l := mustParse(t, `
+for k = 1 to 10 do
+begin
+    A[k] := B[k] * 2;
+    C[k] := B[k] + 1;
+end`)
+	if len(l.Body) != 2 {
+		t.Fatalf("body: %v", l.Body)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3 - 4 / 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv()
+	v, err := Eval(e, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("1+2*3-4/2 = %v, want 5", v)
+	}
+}
+
+func TestParseParensAndUnary(t *testing.T) {
+	e, err := ParseExpr("-(2 + 3) * -2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := Eval(e, NewEnv())
+	if v != 10 {
+		t.Fatalf("got %v, want 10", v)
+	}
+}
+
+func TestParseFortranDoubleLiteral(t *testing.T) {
+	// The paper's loop 23 uses "0.75d0".
+	e, err := ParseExpr("0.75d0 * 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := Eval(e, NewEnv())
+	if v != 3 {
+		t.Fatalf("0.75d0*4 = %v, want 3", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"while i = 1 to n do X[i] := 1",
+		"for i = 1 to n X[i] := 1",
+		"for i = 1 to n do X[i] = 1",
+		"for i = 1 to n do begin X[i] := 1",
+		"for i = 1 to n do X[i] := ",
+		"for i = 1 to n do X[i] := (1 + 2",
+		"for i = 1 to n do X := 1",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) err = %v, want ErrSyntax", src, err)
+		}
+	}
+}
+
+func TestRunInterpreter(t *testing.T) {
+	l := mustParse(t, "for i = 1 to 4 do X[i] := X[i-1] + X[i]")
+	env := NewEnv()
+	env.Scalars["n"] = 4
+	env.Arrays["X"] = []float64{1, 2, 3, 4, 5}
+	if err := Run(l, env); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 6, 10, 15} // prefix sums
+	for i, w := range want {
+		if env.Arrays["X"][i] != w {
+			t.Fatalf("X = %v, want %v", env.Arrays["X"], want)
+		}
+	}
+}
+
+func TestRunIndirection(t *testing.T) {
+	l := mustParse(t, "for i = 0 to 2 do X[K[i]] := X[K[i]] + 10")
+	env := NewEnv()
+	env.Arrays["X"] = []float64{0, 0, 0, 0}
+	env.Arrays["K"] = []float64{3, 1, 3}
+	if err := Run(l, env); err != nil {
+		t.Fatal(err)
+	}
+	got := env.Arrays["X"]
+	if got[1] != 10 || got[3] != 20 {
+		t.Fatalf("X = %v", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	l := mustParse(t, "for i = 1 to 3 do X[i] := Y[i]")
+	env := NewEnv()
+	env.Arrays["X"] = []float64{0, 0, 0, 0}
+	if err := Run(l, env); !errors.Is(err, ErrEval) {
+		t.Fatalf("unbound array: err = %v", err)
+	}
+	l2 := mustParse(t, "for i = 1 to 9 do X[i] := 1")
+	env2 := NewEnv()
+	env2.Arrays["X"] = []float64{0, 0}
+	if err := Run(l2, env2); !errors.Is(err, ErrEval) {
+		t.Fatalf("out of range: err = %v", err)
+	}
+	l3 := mustParse(t, "for i = 1 to 2 do X[i/2] := 1")
+	env3 := NewEnv()
+	env3.Arrays["X"] = []float64{0, 0, 0}
+	if err := Run(l3, env3); !errors.Is(err, ErrEval) {
+		t.Fatalf("fractional index: err = %v", err)
+	}
+}
+
+// --- classifier ---
+
+func classify(t *testing.T, src string) *Analysis {
+	t.Helper()
+	return Analyze(mustParse(t, src))
+}
+
+func TestClassifyForms(t *testing.T) {
+	cases := []struct {
+		src    string
+		form   Form
+		bucket Bucket
+	}{
+		{"for i = 1 to n do X[i] := Y[i] * Z[i]", FormMap, BucketNone},
+		{"for i = 1 to n do X[i] := X[i-1] + X[i]", FormOrdinaryIR, BucketLinear},
+		{"for i = 1 to n do X[G[i]] := X[F[i]] * X[G[i]]", FormOrdinaryIR, BucketIndexed},
+		{"for i = 1 to n do X[G[i]] := X[G[i]] + X[F[i]]", FormOrdinaryIR, BucketIndexed},
+		{"for i = 2 to n do X[i] := X[i-1] * X[i-2]", FormGIR, BucketLinear},
+		{"for i = 1 to n do X[G[i]] := X[F[i]] + X[H[i]]", FormGIR, BucketIndexed},
+		{"for i = 1 to n do X[i] := A[i]*X[i-1] + B[i]", FormLinear, BucketLinear},
+		{"for i = 1 to n do X[G[i]] := A[i]*X[F[i]] + B[i]", FormLinear, BucketIndexed},
+		{"for i = 1 to n do X[G[i]] := X[G[i]] + A[i]*X[F[i]] + B[i]", FormLinearExtended, BucketIndexed},
+		{"for i = 1 to n do X[G[i]] := (A[i]*X[F[i]]+B[i]) / (C[i]*X[F[i]]+D[i])", FormMoebius, BucketIndexed},
+		{"for i = 1 to n do X[i] := X[i-1] * X[i-1]", FormGIR, BucketLinear},
+		{"for i = 1 to n do X[G[i]] := X[F[i]] * X[F[i]] + 1", FormUnknown, BucketUnknown},
+		{"for i = 1 to n do X[G[i]] := 1 / X[F[i]] + X[H[i]]", FormUnknown, BucketUnknown},
+		{"for i = 1 to n do X[X[i]] := 1", FormUnknown, BucketUnknown},
+	}
+	for _, tc := range cases {
+		an := classify(t, tc.src)
+		if an.Form != tc.form || an.Bucket != tc.bucket {
+			t.Errorf("%q:\n  got  form=%v bucket=%v (%s)\n  want form=%v bucket=%v",
+				tc.src, an.Form, an.Bucket, an.Reason, tc.form, tc.bucket)
+		}
+	}
+}
+
+func TestClassifyPaperLoop23(t *testing.T) {
+	// The paper's §3 example, 2-D implicit hydrodynamics inner loop in
+	// flattened form: X[7(i-1)+j] with j fixed. Extended linear form.
+	src := "for i = 2 to n do X[7*(i-1)+j] := X[7*(i-1)+j] + 0.75d0*(Y[i] + X[7*(i-2)+j]*Z[7*(i-1)+j])"
+	an := classify(t, src)
+	if an.Form != FormLinearExtended {
+		t.Fatalf("form = %v (%s), want linear-extended", an.Form, an.Reason)
+	}
+	if an.Bucket != BucketIndexed {
+		t.Fatalf("bucket = %v, want indexed", an.Bucket)
+	}
+	if !strings.Contains(an.Describe(), "extended") {
+		t.Errorf("Describe: %s", an.Describe())
+	}
+}
+
+func TestClassifyExtendedWithScaledSelf(t *testing.T) {
+	// A general self coefficient: X[g] := 3*X[g] + 2*X[f] + 1 is still the
+	// extended form (self-reference reads the initial value when g is
+	// distinct).
+	an := classify(t, "for i = 1 to n do X[G[i]] := 3*X[G[i]] + 2*X[F[i]] + 1")
+	if an.Form != FormLinearExtended {
+		t.Fatalf("form = %v (%s)", an.Form, an.Reason)
+	}
+}
+
+func TestClassifyCoefficientSides(t *testing.T) {
+	// Coefficient on the right of the X-ref, subtraction, division by
+	// X-free expressions — all still linear.
+	for _, src := range []string{
+		"for i = 1 to n do X[G[i]] := X[F[i]]*A[i] - B[i]",
+		"for i = 1 to n do X[G[i]] := X[F[i]]/A[i] + B[i]",
+		"for i = 1 to n do X[G[i]] := -X[F[i]] + 1",
+	} {
+		an := classify(t, src)
+		if an.Form != FormLinear {
+			t.Errorf("%q: form = %v (%s), want linear", src, an.Form, an.Reason)
+		}
+	}
+}
+
+func TestClassifyMultiStatementIndependent(t *testing.T) {
+	an := classify(t, `for i = 1 to n do begin A[i] := B[i]*2; C[i] := B[i]+1; end`)
+	if an.Form != FormMap || an.Bucket != BucketNone {
+		t.Fatalf("independent maps: form=%v bucket=%v (%s)", an.Form, an.Bucket, an.Reason)
+	}
+	an2 := classify(t, `for i = 1 to n do begin A[i] := B[i]; B[i] := A[i]; end`)
+	if an2.Form != FormUnknown {
+		t.Fatalf("cross-referencing body: form=%v, want unknown", an2.Form)
+	}
+}
+
+// --- lowering + execution ---
+
+func execBoth(t *testing.T, src string, env *Env) (seq, par *Env) {
+	t.Helper()
+	l := mustParse(t, src)
+	seq = env.Clone()
+	if err := Run(l, seq); err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par = env.Clone()
+	c := Compile(l)
+	if err := c.Execute(par, 4); err != nil {
+		t.Fatalf("parallel (%v): %v", c.Analysis.Form, err)
+	}
+	return seq, par
+}
+
+func requireSameArrays(t *testing.T, seq, par *Env, tol float64) {
+	t.Helper()
+	for name, want := range seq.Arrays {
+		got := par.Arrays[name]
+		for i := range want {
+			d := math.Abs(got[i] - want[i])
+			if d > tol*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("array %s[%d]: parallel %v, sequential %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExecuteOrdinaryIR(t *testing.T) {
+	env := NewEnv()
+	env.Scalars["n"] = 30
+	env.Arrays["X"] = ramp(32)
+	env.Arrays["G"] = ramp(32)
+	env.Arrays["F"] = reverseRamp(32)
+	seq, par := execBoth(t, "for i = 1 to n do X[G[i]] := X[F[i]] + X[G[i]]", env)
+	requireSameArrays(t, seq, par, 1e-12)
+}
+
+func TestExecuteGIR(t *testing.T) {
+	env := NewEnv()
+	env.Scalars["n"] = 10
+	env.Arrays["X"] = []float64{1.01, 1.02, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	seq, par := execBoth(t, "for i = 2 to n do X[i] := X[i-1] * X[i-2]", env)
+	requireSameArrays(t, seq, par, 1e-9)
+}
+
+func TestExecuteLinear(t *testing.T) {
+	env := NewEnv()
+	env.Scalars["n"] = 20
+	env.Arrays["X"] = ramp(24)
+	env.Arrays["A"] = halfRamp(24)
+	env.Arrays["B"] = ramp(24)
+	seq, par := execBoth(t, "for i = 1 to n do X[i] := A[i]*X[i-1] + B[i]", env)
+	requireSameArrays(t, seq, par, 1e-9)
+}
+
+func TestExecuteExtendedIndirect(t *testing.T) {
+	env := NewEnv()
+	env.Scalars["n"] = 15
+	env.Arrays["X"] = ramp(40)
+	env.Arrays["A"] = halfRamp(16)
+	env.Arrays["B"] = halfRamp(16)
+	// G: distinct targets 2i; F: i (mix of earlier/later writes).
+	g := make([]float64, 16)
+	f := make([]float64, 16)
+	for i := range g {
+		g[i] = float64(2 * i)
+		f[i] = float64(i)
+	}
+	env.Arrays["G"] = g
+	env.Arrays["F"] = f
+	seq, par := execBoth(t, "for i = 1 to n do X[G[i]] := X[G[i]] + A[i]*X[F[i]] + B[i]", env)
+	requireSameArrays(t, seq, par, 1e-9)
+}
+
+func TestExecuteMap(t *testing.T) {
+	env := NewEnv()
+	env.Scalars["n"] = 9
+	env.Arrays["X"] = make([]float64, 10)
+	env.Arrays["Y"] = ramp(10)
+	seq, par := execBoth(t, "for i = 0 to n do X[i] := Y[i]*Y[i] + 1", env)
+	requireSameArrays(t, seq, par, 0)
+}
+
+func TestExecuteUnknownFallsBack(t *testing.T) {
+	env := NewEnv()
+	env.Scalars["n"] = 5
+	env.Arrays["X"] = ramp(8)
+	// Quadratic: classifier says unknown; Execute must still be correct
+	// via the sequential fallback.
+	seq, par := execBoth(t, "for i = 1 to n do X[i] := X[i-1]*X[i-1] + X[i]", env)
+	requireSameArrays(t, seq, par, 0)
+}
+
+func TestExecuteMoebius(t *testing.T) {
+	env := NewEnv()
+	env.Scalars["n"] = 12
+	env.Arrays["X"] = onesF(16)
+	env.Arrays["A"] = halfRamp(16)
+	env.Arrays["B"] = onesF(16)
+	env.Arrays["C"] = halfRamp(16)
+	env.Arrays["D"] = onesF(16)
+	seq, par := execBoth(t,
+		"for i = 1 to n do X[i] := (A[i]*X[i-1]+B[i]) / (C[i]*X[i-1]+D[i])", env)
+	requireSameArrays(t, seq, par, 1e-9)
+}
+
+func TestStrategyNames(t *testing.T) {
+	l := mustParse(t, "for i = 1 to n do X[i] := X[i-1] + X[i]")
+	if s := Compile(l).Strategy(); s != "OrdinaryIR pointer jumping" {
+		t.Fatalf("strategy = %q", s)
+	}
+}
+
+func ramp(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	return v
+}
+
+func reverseRamp(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(n - 1 - i)
+	}
+	return v
+}
+
+func halfRamp(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 0.5 + float64(i%7)/14
+	}
+	return v
+}
+
+func onesF(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func TestExecuteMultiStatementMixedForms(t *testing.T) {
+	// Regression: a multi-statement body whose members have different
+	// forms (a recurrence on X, a map on Y) must execute EVERY statement
+	// (fission is valid because the analysis proved independence).
+	src := `
+for i = 1 to n do
+begin
+    X[i] := X[i-1] + X[i];
+    Y[i] := B[i] * 2;
+end`
+	env := NewEnv()
+	env.Scalars["n"] = 20
+	env.Arrays["X"] = ramp(21)
+	env.Arrays["Y"] = make([]float64, 21)
+	env.Arrays["B"] = ramp(21)
+	seq, par := execBoth(t, src, env)
+	requireSameArrays(t, seq, par, 1e-12)
+	if par.Arrays["Y"][5] == 0 {
+		t.Fatal("second statement was not executed")
+	}
+}
+
+func TestExecuteMultiStatementTwoRecurrences(t *testing.T) {
+	src := `
+for i = 1 to n do
+begin
+    X[i] := A[i]*X[i-1] + 1;
+    Z[i] := Z[i-1] + A[i];
+end`
+	env := NewEnv()
+	env.Scalars["n"] = 30
+	env.Arrays["X"] = ramp(31)
+	env.Arrays["Z"] = make([]float64, 31)
+	env.Arrays["A"] = halfRamp(31)
+	seq, par := execBoth(t, src, env)
+	requireSameArrays(t, seq, par, 1e-9)
+}

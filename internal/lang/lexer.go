@@ -1,0 +1,179 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokAssign // :=
+	tokEqual  // =
+	tokLBrack // [
+	tokRBrack // ]
+	tokLParen // (
+	tokRParen // )
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokSemi
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int // byte offset, for error messages
+	line int
+}
+
+// ErrSyntax wraps all lexer/parser diagnostics.
+var ErrSyntax = errors.New("lang: syntax error")
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes src; comments run from "//" or ";" to end of line.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1}
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			lx.skipLine()
+		case c == ';':
+			// A ';' is both statement separator and comment-free in this
+			// grammar; treat as separator token.
+			lx.emit(tokSemi, ";")
+			lx.pos++
+		case c == ':':
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+				lx.emit(tokAssign, ":=")
+				lx.pos += 2
+			} else {
+				return nil, fmt.Errorf("%w: line %d: lone ':'", ErrSyntax, lx.line)
+			}
+		case c == '=':
+			lx.emit(tokEqual, "=")
+			lx.pos++
+		case c == '[':
+			lx.emit(tokLBrack, "[")
+			lx.pos++
+		case c == ']':
+			lx.emit(tokRBrack, "]")
+			lx.pos++
+		case c == '(':
+			lx.emit(tokLParen, "(")
+			lx.pos++
+		case c == ')':
+			lx.emit(tokRParen, ")")
+			lx.pos++
+		case c == '+':
+			lx.emit(tokPlus, "+")
+			lx.pos++
+		case c == '-':
+			lx.emit(tokMinus, "-")
+			lx.pos++
+		case c == '*':
+			lx.emit(tokStar, "*")
+			lx.pos++
+		case c == '/':
+			lx.emit(tokSlash, "/")
+			lx.pos++
+		case c == ',':
+			lx.emit(tokComma, ",")
+			lx.pos++
+		case unicode.IsDigit(rune(c)) || c == '.':
+			if err := lx.number(); err != nil {
+				return nil, err
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			lx.ident()
+		default:
+			return nil, fmt.Errorf("%w: line %d: unexpected character %q", ErrSyntax, lx.line, c)
+		}
+	}
+	lx.emit(tokEOF, "")
+	return lx.toks, nil
+}
+
+func (lx *lexer) emit(k tokKind, text string) {
+	lx.toks = append(lx.toks, token{kind: k, text: text, pos: lx.pos, line: lx.line})
+}
+
+func (lx *lexer) skipLine() {
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+		lx.pos++
+	}
+}
+
+func (lx *lexer) number() error {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if unicode.IsDigit(rune(c)) || c == '.' {
+			lx.pos++
+			continue
+		}
+		// Fortran-style double literal "0.75d0" as in the paper's loop 23:
+		// accept [dDeE][+-]?digits as exponent.
+		if c == 'd' || c == 'D' || c == 'e' || c == 'E' {
+			j := lx.pos + 1
+			if j < len(lx.src) && (lx.src[j] == '+' || lx.src[j] == '-') {
+				j++
+			}
+			if j < len(lx.src) && unicode.IsDigit(rune(lx.src[j])) {
+				lx.pos = j
+				for lx.pos < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos])) {
+					lx.pos++
+				}
+			}
+		}
+		break
+	}
+	text := lx.src[start:lx.pos]
+	norm := strings.Map(func(r rune) rune {
+		if r == 'd' || r == 'D' {
+			return 'e'
+		}
+		return r
+	}, text)
+	v, err := strconv.ParseFloat(norm, 64)
+	if err != nil {
+		return fmt.Errorf("%w: line %d: bad number %q", ErrSyntax, lx.line, text)
+	}
+	lx.toks = append(lx.toks, token{kind: tokNumber, text: text, num: v, pos: start, line: lx.line})
+	return nil
+}
+
+func (lx *lexer) ident() {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		c := rune(lx.src[lx.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			lx.pos++
+		} else {
+			break
+		}
+	}
+	lx.toks = append(lx.toks, token{kind: tokIdent, text: lx.src[start:lx.pos], pos: start, line: lx.line})
+}

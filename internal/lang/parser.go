@@ -1,0 +1,285 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a loop program. The grammar:
+//
+//	loop   := 'for' IDENT '=' expr 'to' expr 'do' body
+//	body   := stmt | 'begin' {stmt} 'end'
+//	stmt   := IDENT '[' expr ']' ':=' expr [';']
+//	expr   := term  (('+'|'-') term)*
+//	term   := unary (('*'|'/') unary)*
+//	unary  := '-' unary | atom
+//	atom   := NUMBER | IDENT ['[' expr ']'] | '(' expr ')'
+//
+// Keywords (for, to, do, begin, end) are case-insensitive.
+func Parse(src string) (*Loop, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	loop, err := p.loop()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return loop, nil
+}
+
+// ParseExpr parses a standalone expression (used by tests and tools).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: %s", ErrSyntax, p.peek().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, p.errf("expected %s, found %q", what, t.text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) loop() (*Loop, error) {
+	if !p.keyword("for") {
+		return nil, p.errf("expected 'for', found %q", p.peek().text)
+	}
+	v, err := p.expect(tokIdent, "loop variable")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEqual, "'='"); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.keyword("to") {
+		return nil, p.errf("expected 'to', found %q", p.peek().text)
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.keyword("do") {
+		return nil, p.errf("expected 'do', found %q", p.peek().text)
+	}
+	loop := &Loop{Var: v.text, Lo: lo, Hi: hi}
+	if p.keyword("begin") {
+		for !p.keyword("end") {
+			if p.peek().kind == tokEOF {
+				return nil, p.errf("unterminated begin block")
+			}
+			st, err := p.stmtOrLoop()
+			if err != nil {
+				return nil, err
+			}
+			loop.Body = append(loop.Body, st)
+		}
+	} else {
+		st, err := p.stmtOrLoop()
+		if err != nil {
+			return nil, err
+		}
+		loop.Body = append(loop.Body, st)
+	}
+	if len(loop.Body) == 0 {
+		return nil, p.errf("empty loop body")
+	}
+	return loop, nil
+}
+
+// stmtOrLoop parses either an assignment or a nested for-loop; a trailing
+// semicolon after a nested loop is tolerated (the printer emits one).
+func (p *parser) stmtOrLoop() (Stmt, error) {
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "for") {
+		l, err := p.loop()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokSemi {
+			p.next()
+		}
+		return l, nil
+	}
+	return p.stmt()
+}
+
+func (p *parser) stmt() (*Assign, error) {
+	name, err := p.expect(tokIdent, "array name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrack, "'['"); err != nil {
+		return nil, err
+	}
+	idx, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBrack, "']'"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign, "':='"); err != nil {
+		return nil, err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSemi {
+		p.next()
+	}
+	return &Assign{Target: &Index{Array: name.text, Idx: idx}, RHS: rhs}, nil
+}
+
+func (p *parser) expr() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tokPlus:
+			p.next()
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: '+', L: l, R: r}
+		case tokMinus:
+			p.next()
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: '-', L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) term() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tokStar:
+			p.next()
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: '*', L: l, R: r}
+		case tokSlash:
+			p.next()
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: '/', L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.peek().kind == tokMinus {
+		p.next()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{E: e}, nil
+	}
+	return p.atom()
+}
+
+func (p *parser) atom() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return &Num{Val: t.num}, nil
+	case tokIdent:
+		// Keywords never start an atom.
+		low := strings.ToLower(t.text)
+		if low == "to" || low == "do" || low == "begin" || low == "end" {
+			return nil, p.errf("unexpected keyword %q in expression", t.text)
+		}
+		p.next()
+		if p.peek().kind == tokLBrack {
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBrack, "']'"); err != nil {
+				return nil, err
+			}
+			return &Index{Array: t.text, Idx: idx}, nil
+		}
+		return &Var{Name: t.text}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("expected expression, found %q", t.text)
+	}
+}

@@ -1,0 +1,93 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomExpr builds a random expression tree of bounded depth over a small
+// vocabulary of scalars and arrays.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &Num{Val: float64(rng.Intn(20))}
+		case 1:
+			return &Var{Name: string(rune('a' + rng.Intn(4)))}
+		default:
+			return &Index{Array: string(rune('A' + rng.Intn(3))), Idx: randomExpr(rng, depth-1)}
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return &Neg{E: randomExpr(rng, depth-1)}
+	default:
+		ops := []byte{'+', '-', '*', '/'}
+		return &Bin{
+			Op: ops[rng.Intn(len(ops))],
+			L:  randomExpr(rng, depth-1),
+			R:  randomExpr(rng, depth-1),
+		}
+	}
+}
+
+// TestExprPrintParseRoundTrip: an expression rendered by String() must parse
+// back to a structurally identical tree (String fully parenthesizes, so no
+// precedence ambiguity can creep in).
+func TestExprPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 300; trial++ {
+		e := randomExpr(rng, 4)
+		src := e.String()
+		back, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("trial %d: ParseExpr(%q): %v", trial, src, err)
+		}
+		if !equalExpr(e, back) {
+			t.Fatalf("trial %d: round trip broke:\n  orig: %s\n  back: %s", trial, e, back)
+		}
+	}
+}
+
+// TestLoopPrintParseRoundTrip does the same for whole loops.
+func TestLoopPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 100; trial++ {
+		nStmts := 1 + rng.Intn(3)
+		l := &Loop{Var: "i", Lo: &Num{Val: 1}, Hi: &Var{Name: "n"}}
+		for s := 0; s < nStmts; s++ {
+			l.Body = append(l.Body, &Assign{
+				Target: &Index{Array: "X", Idx: randomExpr(rng, 2)},
+				RHS:    randomExpr(rng, 3),
+			})
+		}
+		src := l.String()
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, src, err)
+		}
+		if back.Var != l.Var || len(back.Body) != len(l.Body) {
+			t.Fatalf("trial %d: shape changed: %s", trial, back)
+		}
+		for k := range l.Body {
+			a := l.Body[k].(*Assign)
+			b, ok := back.Body[k].(*Assign)
+			if !ok || !equalExpr(a.Target, b.Target) || !equalExpr(a.RHS, b.RHS) {
+				t.Fatalf("trial %d stmt %d: %s vs %s", trial, k, l.Body[k], back.Body[k])
+			}
+		}
+	}
+}
+
+// TestNestPrintParseRoundTrip covers nested loops through the printer.
+func TestNestPrintParseRoundTrip(t *testing.T) {
+	src := "for j = 1 to m do for i = 1 to n do X[i+j] := X[i] + 1"
+	l := mustParse(t, src)
+	back, err := Parse(l.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", l.String(), err)
+	}
+	if back.InnerLoop() == nil || back.InnerLoop().Var != "i" {
+		t.Fatalf("nest lost in round trip: %s", back)
+	}
+}

@@ -1,0 +1,54 @@
+package livermore
+
+import (
+	"fmt"
+
+	"indexedrec/internal/lang"
+)
+
+// Row is one line of the classification table (the paper's §1 study).
+type Row struct {
+	ID   int
+	Name string
+	// DSLForm is the mechanical classifier's form for the DSL encoding,
+	// or "n/a" when the kernel has no DSL encoding.
+	DSLForm string
+	// DSLBucket is the mechanical three-way bucket (BucketUnknown when no
+	// DSL encoding exists).
+	DSLBucket lang.Bucket
+	// Curated is the hand-derived classification.
+	Curated Class
+	// Agree reports whether the mechanical bucket matches the curated one
+	// (meaningful only when a DSL encoding exists).
+	Agree bool
+}
+
+// ClassificationTable runs the internal/lang classifier over every kernel's
+// DSL encoding and pairs the result with the curated classification.
+func ClassificationTable() ([]Row, error) {
+	var rows []Row
+	for _, k := range All() {
+		row := Row{ID: k.ID, Name: k.Name, Curated: k.Curated, DSLForm: "n/a"}
+		if k.DSL != "" {
+			loop, err := lang.Parse(k.DSL)
+			if err != nil {
+				return nil, fmt.Errorf("kernel %d: %w", k.ID, err)
+			}
+			an := lang.Analyze(loop)
+			row.DSLForm = an.Form.String()
+			row.DSLBucket = an.Bucket
+			row.Agree = an.Bucket == k.Curated.Bucket
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BucketCounts tallies curated buckets — the paper's headline numbers.
+func BucketCounts() map[lang.Bucket]int {
+	counts := make(map[lang.Bucket]int)
+	for _, k := range All() {
+		counts[k.Curated.Bucket]++
+	}
+	return counts
+}

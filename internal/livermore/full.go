@@ -1,0 +1,198 @@
+package livermore
+
+import "indexedrec/internal/lang"
+
+// This file carries fuller-fidelity variants of the multi-loop kernels
+// whose Kernel.Native deliberately models only the single core loop the
+// classification study needs. The full variants exercise the complete
+// original loop nests (cascades, double loops, 2-D sweeps) and serve as
+// heavier substrate workloads; they are not DSL-matched (the DSL encodes
+// the core recurrence only) but are deterministic and finite like the rest.
+
+// FullKernel is a complete multi-loop kernel variant.
+type FullKernel struct {
+	ID    int
+	Name  string
+	Setup func(n int) *lang.Env
+	Run   func(n int, env *lang.Env)
+	Out   string
+}
+
+// FullVariants returns the full-fidelity kernels.
+func FullVariants() []FullKernel {
+	return []FullKernel{
+		fullKernel2(), fullKernel6(), fullKernel13(), fullKernel18(), fullKernel21(),
+	}
+}
+
+// fullKernel2 is the complete ICCG cascade: log n halving levels, each a
+// level-wise map over the previous level's results.
+func fullKernel2() FullKernel {
+	return FullKernel{
+		ID: 2, Name: "ICCG full cascade",
+		Out: "X",
+		Setup: func(n int) *lang.Env {
+			return env("n", n, "X", fill(2*n+2, 201, 0.1, 1), "V", fill(2*n+2, 202, 0, 0.5))
+		},
+		Run: func(n int, e *lang.Env) {
+			x, v := e.Arrays["X"], e.Arrays["V"]
+			ii := n
+			ipntp := 0
+			for ii > 1 {
+				ipnt := ipntp
+				ipntp += ii
+				ii /= 2
+				i := ipntp
+				for k := ipnt + 1; k < ipntp; k += 2 {
+					i++
+					if i < len(x) && k+1 < len(x) && k-1 >= 0 {
+						x[i] = x[k] - v[k]*x[k-1] - v[k+1]*x[k+1]
+					}
+				}
+			}
+		},
+	}
+}
+
+// fullKernel6 is the complete general linear recurrence: the triangular
+// double loop over all (i, k) pairs.
+func fullKernel6() FullKernel {
+	return FullKernel{
+		ID: 6, Name: "general linear recurrence full double loop",
+		Out: "W",
+		Setup: func(n int) *lang.Env {
+			return env("n", n, "W", fill(n, 203, 0.1, 0.5),
+				"B", fill(n*8, 204, 0, 1.0/float64(n)))
+		},
+		Run: func(n int, e *lang.Env) {
+			w, b := e.Arrays["W"], e.Arrays["B"]
+			for i := 1; i < n; i++ {
+				kmax := i
+				if kmax > 7 {
+					kmax = 7 // banded: keep the triangular loop bounded
+				}
+				for k := 0; k < kmax; k++ {
+					w[i] += b[k*n+i] * w[(i-k)-1]
+				}
+			}
+		},
+	}
+}
+
+// fullKernel13 is 2-D particle in cell with position updates and the
+// charge-deposit scatter.
+func fullKernel13() FullKernel {
+	return FullKernel{
+		ID: 13, Name: "2-D PIC full (move + deposit)",
+		Out: "H",
+		Setup: func(n int) *lang.Env {
+			side := 32
+			return env("n", n, "side", side,
+				"PX", fill(n, 205, 0, float64(side)),
+				"PY", fill(n, 206, 0, float64(side)),
+				"VX", fill(n, 207, -1, 1),
+				"VY", fill(n, 208, -1, 1),
+				"H", make([]float64, side*side))
+		},
+		Run: func(n int, e *lang.Env) {
+			side := int(e.Scalars["side"])
+			px, py := e.Arrays["PX"], e.Arrays["PY"]
+			vx, vy := e.Arrays["VX"], e.Arrays["VY"]
+			h := e.Arrays["H"]
+			for p := 0; p < n; p++ {
+				px[p] += vx[p]
+				py[p] += vy[p]
+				ix := int(px[p]) % side
+				iy := int(py[p]) % side
+				if ix < 0 {
+					ix += side
+				}
+				if iy < 0 {
+					iy += side
+				}
+				h[iy*side+ix]++
+			}
+		},
+	}
+}
+
+// fullKernel18 is 2-D explicit hydrodynamics with its three sub-sweeps over
+// a kn×jn grid.
+func fullKernel18() FullKernel {
+	return FullKernel{
+		ID: 18, Name: "2-D explicit hydro full (three sweeps)",
+		Out: "ZR",
+		Setup: func(n int) *lang.Env {
+			kn := 16
+			jn := n/kn + 2
+			size := kn * jn
+			e := env("n", n, "kn", kn, "jn", jn, "S", 0.25, "T", 0.0025)
+			for i, name := range []string{"ZA", "ZB", "ZM", "ZP", "ZQ", "ZR", "ZU", "ZV", "ZZ"} {
+				e.Arrays[name] = fill(size, uint64(210+i), 0.1, 1)
+			}
+			return e
+		},
+		Run: func(n int, e *lang.Env) {
+			kn, jn := int(e.Scalars["kn"]), int(e.Scalars["jn"])
+			at := func(name string) []float64 { return e.Arrays[name] }
+			za, zb := at("ZA"), at("ZB")
+			zm, zp, zq, zr, zu, zv, zz := at("ZM"), at("ZP"), at("ZQ"), at("ZR"), at("ZU"), at("ZV"), at("ZZ")
+			s, tt := e.Scalars["S"], e.Scalars["T"]
+			idx := func(k, j int) int { return k*jn + j }
+			for k := 1; k < kn-1; k++ {
+				for j := 1; j < jn-1; j++ {
+					za[idx(k, j)] = (zp[idx(k+1, j-1)] + zq[idx(k+1, j-1)] - zp[idx(k, j-1)] - zq[idx(k, j-1)]) *
+						(zr[idx(k, j)] + zr[idx(k, j-1)]) / (zm[idx(k, j-1)] + zm[idx(k+1, j-1)])
+					zb[idx(k, j)] = (zp[idx(k, j-1)] + zq[idx(k, j-1)] - zp[idx(k, j)] - zq[idx(k, j)]) *
+						(zr[idx(k, j)] + zr[idx(k-1, j)]) / (zm[idx(k, j)] + zm[idx(k, j-1)])
+				}
+			}
+			for k := 1; k < kn-1; k++ {
+				for j := 1; j < jn-1; j++ {
+					zu[idx(k, j)] += s * (za[idx(k, j)]*(zz[idx(k, j)]-zz[idx(k, j+1)]) -
+						za[idx(k, j-1)]*(zz[idx(k, j)]-zz[idx(k, j-1)]) -
+						zb[idx(k, j)]*(zz[idx(k, j)]-zz[idx(k-1, j)]) +
+						zb[idx(k+1, j)]*(zz[idx(k, j)]-zz[idx(k+1, j)]))
+					zv[idx(k, j)] += s * (za[idx(k, j)]*(zr[idx(k, j)]-zr[idx(k, j+1)]) -
+						za[idx(k, j-1)]*(zr[idx(k, j)]-zr[idx(k, j-1)]) -
+						zb[idx(k, j)]*(zr[idx(k, j)]-zr[idx(k-1, j)]) +
+						zb[idx(k+1, j)]*(zr[idx(k, j)]-zr[idx(k+1, j)]))
+				}
+			}
+			for k := 1; k < kn-1; k++ {
+				for j := 1; j < jn-1; j++ {
+					zr[idx(k, j)] += tt * zu[idx(k, j)]
+					zz[idx(k, j)] += tt * zv[idx(k, j)]
+				}
+			}
+		},
+	}
+}
+
+// fullKernel21 is the true matrix product px += vy·cx over 25×n×25.
+func fullKernel21() FullKernel {
+	return FullKernel{
+		ID: 21, Name: "matrix product full",
+		Out: "PX",
+		Setup: func(n int) *lang.Env {
+			const d = 25
+			return env("n", n, "d", d,
+				"PX", make([]float64, d*d),
+				"VY", fill(d*n, 220, 0, 1),
+				"CX", fill(n*d, 221, 0, 1))
+		},
+		Run: func(n int, e *lang.Env) {
+			d := int(e.Scalars["d"])
+			px, vy, cx := e.Arrays["PX"], e.Arrays["VY"], e.Arrays["CX"]
+			for i := 0; i < d; i++ {
+				for j := 0; j < d; j++ {
+					acc := px[i*d+j]
+					for k := 0; k < n; k++ {
+						acc += vy[i*n+k] * cx[k*d+j]
+					}
+					px[i*d+j] = acc
+				}
+			}
+		},
+	}
+}

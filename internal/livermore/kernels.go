@@ -1,0 +1,609 @@
+package livermore
+
+import (
+	"math"
+
+	"indexedrec/internal/lang"
+)
+
+// All returns the 24 Livermore kernels. DSL encodings model the kernel's
+// core recurrence loop; where the original uses features outside the loop
+// language (conditionals, exp, argmin, intra-iteration chains) DSL is empty
+// and only the native implementation exists. Multidimensional kernels are
+// encoded from the flattened-loop perspective the paper takes (a loop nest
+// is one sequential iteration stream), which is what makes reductions into
+// indexed recurrences.
+func All() []Kernel {
+	return []Kernel{
+		kernel1(), kernel2(), kernel3(), kernel4(), kernel5(), kernel6(),
+		kernel7(), kernel8(), kernel9(), kernel10(), kernel11(), kernel12(),
+		kernel13(), kernel14(), kernel15(), kernel16(), kernel17(), kernel18(),
+		kernel19(), kernel20(), kernel21(), kernel22(), kernel23(), kernel24(),
+	}
+}
+
+// ByID returns kernel id (1-based), or nil.
+func ByID(id int) *Kernel {
+	for _, k := range All() {
+		if k.ID == id {
+			k := k
+			return &k
+		}
+	}
+	return nil
+}
+
+func kernel1() Kernel {
+	return Kernel{
+		ID: 1, Name: "hydro fragment",
+		Curated: Class{Bucket: lang.BucketNone, Note: "pure map"},
+		DSL:     "for k = 0 to n do X[k] := Q + Y[k]*(R*Z[k+10] + T*Z[k+11])",
+		Out:     "X",
+		Setup: func(n int) *lang.Env {
+			return env("n", n-1, "Q", 0.5, "R", 0.25, "T", 0.125,
+				"X", make([]float64, n), "Y", fill(n, 1, 0, 1), "Z", fill(n+12, 2, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			x, y, z := e.Arrays["X"], e.Arrays["Y"], e.Arrays["Z"]
+			q, r, t := e.Scalars["Q"], e.Scalars["R"], e.Scalars["T"]
+			for k := 0; k < n; k++ {
+				x[k] = q + y[k]*(r*z[k+10]+t*z[k+11])
+			}
+		},
+	}
+}
+
+func kernel2() Kernel {
+	// ICCG excerpt: one cascade level x[n+k] = x[2k] - v[2k]x[2k-1] -
+	// v[2k+1]x[2k+1]. Level-wise the reads and writes are disjoint, but
+	// proving that requires index analysis, which the syntactic IR
+	// framework deliberately avoids — so the classifier reports unknown
+	// while the curated bucket is "no recurrence".
+	return Kernel{
+		ID: 2, Name: "ICCG (incomplete Cholesky conjugate gradient)",
+		Curated: Class{Bucket: lang.BucketNone,
+			Note: "level-wise map; disjointness needs index analysis, so the syntactic classifier reports unknown"},
+		DSL: "for k = 1 to n do X[p+k] := X[2*k] - V[2*k]*X[2*k-1] - V[2*k+1]*X[2*k+1]",
+		Out: "X",
+		Setup: func(n int) *lang.Env {
+			return env("n", n/2-1, "p", n,
+				"X", fill(2*n+2, 3, 0.1, 1), "V", fill(2*n+2, 4, 0, 0.5))
+		},
+		Native: func(n int, e *lang.Env) {
+			x, v := e.Arrays["X"], e.Arrays["V"]
+			p := int(e.Scalars["p"])
+			for k := 1; k <= n/2-1; k++ {
+				x[p+k] = x[2*k] - v[2*k]*x[2*k-1] - v[2*k+1]*x[2*k+1]
+			}
+		},
+	}
+}
+
+func kernel3() Kernel {
+	// Inner product q += z[k]*x[k], as the array recurrence Q[k] =
+	// Q[k-1] + Z[k]*X[k].
+	return Kernel{
+		ID: 3, Name: "inner product",
+		Curated: Class{Bucket: lang.BucketLinear, Form: "linear-IR",
+			Note: "scalar reduction = first-order linear recurrence"},
+		DSL: "for k = 1 to n do Q[k] := Q[k-1] + Z[k]*X[k]",
+		Out: "Q",
+		Setup: func(n int) *lang.Env {
+			return env("n", n,
+				"Q", make([]float64, n+1), "Z", fill(n+1, 5, -1, 1), "X", fill(n+1, 6, -1, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			q, z, x := e.Arrays["Q"], e.Arrays["Z"], e.Arrays["X"]
+			for k := 1; k <= n; k++ {
+				q[k] = q[k-1] + z[k]*x[k]
+			}
+		},
+	}
+}
+
+func kernel4() Kernel {
+	// Banded linear equations: the inner elimination loop accumulates into
+	// a running value indexed by the band, flattened: indexed recurrence
+	// (repeated writes to the same accumulator cell through a computed
+	// index).
+	return Kernel{
+		ID: 4, Name: "banded linear equations",
+		Curated: Class{Bucket: lang.BucketIndexed, Form: "linear-IR-extended",
+			Note: "accumulator written through computed index (flattened nest)"},
+		DSL: "for j = 0 to n do T[K[j]] := T[K[j]] - XZ[j]*Y[j]",
+		Out: "T",
+		Setup: func(n int) *lang.Env {
+			bands := n/8 + 1
+			k := make([]float64, n+1)
+			for j := range k {
+				k[j] = float64(j % bands)
+			}
+			return env("n", n, "T", fill(bands, 7, 1, 2), "K", k,
+				"XZ", fill(n+1, 8, 0, 0.1), "Y", fill(n+1, 9, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			t, k, xz, y := e.Arrays["T"], e.Arrays["K"], e.Arrays["XZ"], e.Arrays["Y"]
+			for j := 0; j <= n; j++ {
+				t[int(k[j])] -= xz[j] * y[j]
+			}
+		},
+	}
+}
+
+func kernel5() Kernel {
+	// Tri-diagonal elimination (below diagonal): x[i] = z[i]*(y[i]-x[i-1])
+	// — the classic first-order linear recurrence (paper-legible: linear).
+	return Kernel{
+		ID: 5, Name: "tri-diagonal elimination",
+		Curated: Class{Bucket: lang.BucketLinear, Form: "linear-IR"},
+		DSL:     "for i = 1 to n do X[i] := Z[i]*(Y[i] - X[i-1])",
+		Out:     "X",
+		Setup: func(n int) *lang.Env {
+			return env("n", n,
+				"X", fill(n+1, 10, 0, 1), "Y", fill(n+1, 11, 0, 1), "Z", fill(n+1, 12, 0.2, 0.8))
+		},
+		Native: func(n int, e *lang.Env) {
+			x, y, z := e.Arrays["X"], e.Arrays["Y"], e.Arrays["Z"]
+			for i := 1; i <= n; i++ {
+				x[i] = z[i] * (y[i] - x[i-1])
+			}
+		},
+	}
+}
+
+func kernel6() Kernel {
+	// General linear recurrence equations: w[i] += b[k]*w[i-k-1]; the
+	// flattened nest writes each w[i] many times (non-distinct g) and
+	// reads arbitrary earlier cells: an indexed recurrence.
+	return Kernel{
+		ID: 6, Name: "general linear recurrence equations",
+		Curated: Class{Bucket: lang.BucketIndexed, Form: "linear-IR-extended",
+			Note: "inner loop re-writes w[i] (non-distinct g in flattened form)"},
+		DSL: "for k = 0 to m do W[i] := W[i] + B[k]*W[i-k-1]",
+		Out: "W",
+		Setup: func(n int) *lang.Env {
+			i := n / 2
+			return env("m", i-1, "i", i,
+				"W", fill(n+1, 13, 0.1, 0.9), "B", fill(n+1, 14, 0, 2.0/float64(n)))
+		},
+		Native: func(n int, e *lang.Env) {
+			w, b := e.Arrays["W"], e.Arrays["B"]
+			i := int(e.Scalars["i"])
+			for k := 0; k <= i-1; k++ {
+				w[i] += b[k] * w[i-k-1]
+			}
+		},
+	}
+}
+
+func kernel7() Kernel {
+	return Kernel{
+		ID: 7, Name: "equation of state fragment",
+		Curated: Class{Bucket: lang.BucketNone, Note: "pure map (paper-legible: no recurrence)"},
+		DSL: "for k = 0 to n do X[k] := U[k] + R*(Z[k] + R*Y[k]) + " +
+			"T*(U[k+3] + R*(U[k+2] + R*U[k+1]) + T*(U[k+6] + Q*(U[k+5] + Q*U[k+4])))",
+		Out: "X",
+		Setup: func(n int) *lang.Env {
+			return env("n", n-1, "Q", 0.5, "R", 0.25, "T", 0.125,
+				"X", make([]float64, n), "Y", fill(n, 15, 0, 1),
+				"Z", fill(n, 16, 0, 1), "U", fill(n+7, 17, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			x, y, z, u := e.Arrays["X"], e.Arrays["Y"], e.Arrays["Z"], e.Arrays["U"]
+			q, r, t := e.Scalars["Q"], e.Scalars["R"], e.Scalars["T"]
+			for k := 0; k < n; k++ {
+				x[k] = u[k] + r*(z[k]+r*y[k]) +
+					t*(u[k+3]+r*(u[k+2]+r*u[k+1])+t*(u[k+6]+q*(u[k+5]+q*u[k+4])))
+			}
+		},
+	}
+}
+
+func kernel8() Kernel {
+	// ADI integration: writes one time plane reading another; modeled with
+	// separate arrays per plane (paper-legible: no recurrence).
+	return Kernel{
+		ID: 8, Name: "ADI integration",
+		Curated: Class{Bucket: lang.BucketNone, Note: "plane-to-plane map"},
+		DSL:     "for k = 1 to n do DU[k] := U2[k+1] - U2[k-1] + A[k]*(U1[k+1] - 2*U1[k] + U1[k-1])",
+		Out:     "DU",
+		Setup: func(n int) *lang.Env {
+			return env("n", n,
+				"DU", make([]float64, n+2), "U1", fill(n+2, 18, 0, 1),
+				"U2", fill(n+2, 19, 0, 1), "A", fill(n+2, 20, 0, 0.5))
+		},
+		Native: func(n int, e *lang.Env) {
+			du, u1, u2, a := e.Arrays["DU"], e.Arrays["U1"], e.Arrays["U2"], e.Arrays["A"]
+			for k := 1; k <= n; k++ {
+				du[k] = u2[k+1] - u2[k-1] + a[k]*(u1[k+1]-2*u1[k]+u1[k-1])
+			}
+		},
+	}
+}
+
+func kernel9() Kernel {
+	return Kernel{
+		ID: 9, Name: "integrate predictors",
+		Curated: Class{Bucket: lang.BucketNone, Note: "map over prediction columns"},
+		DSL: "for i = 0 to n do P0[i] := P12[i] + C1*(P11[i] + P10[i]) + " +
+			"C2*(P9[i] + P8[i] + P7[i]) + C3*(P6[i] + P5[i])",
+		Out: "P0",
+		Setup: func(n int) *lang.Env {
+			e := env("n", n-1, "C1", 0.1, "C2", 0.01, "C3", 0.001, "P0", make([]float64, n))
+			for idx, name := range []string{"P5", "P6", "P7", "P8", "P9", "P10", "P11", "P12"} {
+				e.Arrays[name] = fill(n, uint64(21+idx), 0, 1)
+			}
+			return e
+		},
+		Native: func(n int, e *lang.Env) {
+			a := e.Arrays
+			c1, c2, c3 := e.Scalars["C1"], e.Scalars["C2"], e.Scalars["C3"]
+			for i := 0; i < n; i++ {
+				a["P0"][i] = a["P12"][i] + c1*(a["P11"][i]+a["P10"][i]) +
+					c2*(a["P9"][i]+a["P8"][i]+a["P7"][i]) + c3*(a["P6"][i]+a["P5"][i])
+			}
+		},
+	}
+}
+
+func kernel10() Kernel {
+	// Difference predictors: a chain of column updates within each
+	// iteration, independent across iterations. Intra-iteration chains are
+	// outside the single-assignment DSL; native only.
+	return Kernel{
+		ID: 10, Name: "difference predictors",
+		Curated: Class{Bucket: lang.BucketNone,
+			Note: "per-iteration column chain, no cross-iteration dependence; outside the DSL"},
+		Out: "PX4",
+		Setup: func(n int) *lang.Env {
+			return env("n", n,
+				"CX", fill(n, 30, 0, 1),
+				"PX4", fill(n, 31, 0, 1), "PX5", fill(n, 32, 0, 1),
+				"PX6", fill(n, 33, 0, 1), "PX7", fill(n, 34, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			cx := e.Arrays["CX"]
+			p4, p5, p6, p7 := e.Arrays["PX4"], e.Arrays["PX5"], e.Arrays["PX6"], e.Arrays["PX7"]
+			for k := 0; k < n; k++ {
+				ar := cx[k]
+				br := ar - p4[k]
+				p4[k] = ar
+				cr := br - p5[k]
+				p5[k] = br
+				ar = cr - p6[k]
+				p6[k] = cr
+				p7[k] = ar
+			}
+		},
+	}
+}
+
+func kernel11() Kernel {
+	return Kernel{
+		ID: 11, Name: "first sum (prefix sum)",
+		Curated: Class{Bucket: lang.BucketLinear, Form: "linear-IR"},
+		DSL:     "for k = 1 to n do X[k] := X[k-1] + Y[k]",
+		Out:     "X",
+		Setup: func(n int) *lang.Env {
+			return env("n", n, "X", make([]float64, n+1), "Y", fill(n+1, 35, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			x, y := e.Arrays["X"], e.Arrays["Y"]
+			for k := 1; k <= n; k++ {
+				x[k] = x[k-1] + y[k]
+			}
+		},
+	}
+}
+
+func kernel12() Kernel {
+	return Kernel{
+		ID: 12, Name: "first difference",
+		Curated: Class{Bucket: lang.BucketNone, Note: "pure map"},
+		DSL:     "for k = 0 to n do X[k] := Y[k+1] - Y[k]",
+		Out:     "X",
+		Setup: func(n int) *lang.Env {
+			return env("n", n-1, "X", make([]float64, n), "Y", fill(n+1, 36, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			x, y := e.Arrays["X"], e.Arrays["Y"]
+			for k := 0; k < n; k++ {
+				x[k] = y[k+1] - y[k]
+			}
+		},
+	}
+}
+
+func kernel13() Kernel {
+	// 2-D particle in cell: scatter-accumulate through an indirection
+	// table — an indexed recurrence with non-distinct g.
+	return Kernel{
+		ID: 13, Name: "2-D particle in cell",
+		Curated: Class{Bucket: lang.BucketIndexed, Form: "linear-IR-extended",
+			Note: "scatter += through indirection (non-distinct g)"},
+		DSL: "for ip = 0 to n do H[J[ip]] := H[J[ip]] + 1",
+		Out: "H",
+		Setup: func(n int) *lang.Env {
+			return env("n", n-1, "H", make([]float64, n/4+2), "J", ints(n, 37, n/4+1))
+		},
+		Native: func(n int, e *lang.Env) {
+			h, j := e.Arrays["H"], e.Arrays["J"]
+			for ip := 0; ip < n; ip++ {
+				h[int(j[ip])]++
+			}
+		},
+	}
+}
+
+func kernel14() Kernel {
+	// 1-D particle in cell: same scatter pattern with a charge deposit.
+	return Kernel{
+		ID: 14, Name: "1-D particle in cell",
+		Curated: Class{Bucket: lang.BucketIndexed, Form: "linear-IR-extended",
+			Note: "charge deposit += through indirection"},
+		DSL: "for k = 0 to n do RH[IR[k]] := RH[IR[k]] + FR[k]",
+		Out: "RH",
+		Setup: func(n int) *lang.Env {
+			return env("n", n-1, "RH", make([]float64, n/4+2),
+				"IR", ints(n, 38, n/4+1), "FR", fill(n, 39, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			rh, ir, fr := e.Arrays["RH"], e.Arrays["IR"], e.Arrays["FR"]
+			for k := 0; k < n; k++ {
+				rh[int(ir[k])] += fr[k]
+			}
+		},
+	}
+}
+
+func kernel15() Kernel {
+	// Casual Fortran: conditional assignments, no loop-carried recurrence
+	// on the written arrays. Outside the DSL (no conditionals).
+	return Kernel{
+		ID: 15, Name: "casual Fortran (2-D hydrodynamics setup)",
+		Curated: Class{Bucket: lang.BucketNone,
+			Note: "conditional map; conditionals are outside the DSL"},
+		Out: "VS",
+		Setup: func(n int) *lang.Env {
+			return env("n", n, "VS", make([]float64, n),
+				"VY", fill(n, 40, -0.5, 1), "VH", fill(n, 41, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			vs, vy, vh := e.Arrays["VS"], e.Arrays["VY"], e.Arrays["VH"]
+			for k := 0; k < n; k++ {
+				t := 0.0
+				if vy[k] > 0 {
+					t = vy[k] * vh[k]
+				}
+				if vh[k] > 0.5 {
+					t += 1
+				}
+				vs[k] = t
+			}
+		},
+	}
+}
+
+func kernel16() Kernel {
+	// Monte Carlo search: a data-dependent search loop; no recurrence.
+	return Kernel{
+		ID: 16, Name: "Monte Carlo search loop",
+		Curated: Class{Bucket: lang.BucketNone,
+			Note: "search with data-dependent control flow; outside the DSL"},
+		Out: "M",
+		Setup: func(n int) *lang.Env {
+			return env("n", n, "M", make([]float64, 1),
+				"ZONE", fill(n, 42, 0, 1), "PLAN", fill(n, 43, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			zone, plan := e.Arrays["ZONE"], e.Arrays["PLAN"]
+			m := 0
+			for k := 0; k < n; k++ {
+				if zone[k] < plan[k] {
+					m = k
+					break
+				}
+			}
+			e.Arrays["M"][0] = float64(m)
+		},
+	}
+}
+
+func kernel17() Kernel {
+	// Implicit conditional computation: a scalar recurrence whose update
+	// depends on branches — the combining operation is not a fixed
+	// associative op, so it is outside the IR framework.
+	return Kernel{
+		ID: 17, Name: "implicit conditional computation",
+		Curated: Class{Bucket: lang.BucketUnknown,
+			Note: "conditional recurrence: per-iteration op chosen by branch, not associative as a whole"},
+		Out: "XNM",
+		Setup: func(n int) *lang.Env {
+			return env("n", n, "XNM", make([]float64, n+1),
+				"VLR", fill(n+1, 44, 0.1, 1), "VLIN", fill(n+1, 45, 0.1, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			xnm, vlr, vlin := e.Arrays["XNM"], e.Arrays["VLR"], e.Arrays["VLIN"]
+			xnm[0] = 0.5
+			for k := 1; k <= n; k++ {
+				if vlr[k] > 0.5 {
+					xnm[k] = xnm[k-1]*vlin[k] + 0.1
+				} else {
+					xnm[k] = xnm[k-1] + vlr[k]
+				}
+			}
+		},
+	}
+}
+
+func kernel18() Kernel {
+	// 2-D explicit hydrodynamics: self-update from the cell's own initial
+	// value plus other arrays; each cell written once (g is a shift), so
+	// no genuine recurrence.
+	return Kernel{
+		ID: 18, Name: "2-D explicit hydrodynamics",
+		Curated: Class{Bucket: lang.BucketNone,
+			Note: "distinct self-updates reading other arrays only"},
+		DSL: "for k = 1 to n do ZU[k] := ZU[k] + S*(ZA[k]*ZZ[k] - ZB[k]*ZR[k])",
+		Out: "ZU",
+		Setup: func(n int) *lang.Env {
+			return env("n", n, "S", 0.25,
+				"ZU", fill(n+1, 46, 0, 1), "ZA", fill(n+1, 47, 0, 1),
+				"ZB", fill(n+1, 48, 0, 1), "ZZ", fill(n+1, 49, 0, 1), "ZR", fill(n+1, 50, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			zu, za, zb, zz, zr := e.Arrays["ZU"], e.Arrays["ZA"], e.Arrays["ZB"], e.Arrays["ZZ"], e.Arrays["ZR"]
+			s := e.Scalars["S"]
+			for k := 1; k <= n; k++ {
+				zu[k] += s * (za[k]*zz[k] - zb[k]*zr[k])
+			}
+		},
+	}
+}
+
+func kernel19() Kernel {
+	// General linear recurrence equations (second form): the classic
+	// backward/forward first-order chain.
+	return Kernel{
+		ID: 19, Name: "general linear recurrence (stb5 chain)",
+		Curated: Class{Bucket: lang.BucketLinear, Form: "linear-IR"},
+		DSL:     "for k = 1 to n do B5[k] := B5[k-1]*SA[k] + SB[k]",
+		Out:     "B5",
+		Setup: func(n int) *lang.Env {
+			return env("n", n, "B5", fill(n+1, 51, 0, 1),
+				"SA", fill(n+1, 52, 0.2, 0.9), "SB", fill(n+1, 53, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			b5, sa, sb := e.Arrays["B5"], e.Arrays["SA"], e.Arrays["SB"]
+			for k := 1; k <= n; k++ {
+				b5[k] = b5[k-1]*sa[k] + sb[k]
+			}
+		},
+	}
+}
+
+func kernel20() Kernel {
+	// Discrete ordinates transport: a rational (Möbius) first-order
+	// recurrence xx[k+1] = (a·xx[k]+b)/(c·xx[k]+d).
+	return Kernel{
+		ID: 20, Name: "discrete ordinates transport",
+		Curated: Class{Bucket: lang.BucketLinear, Form: "moebius-IR",
+			Note: "rational recurrence — the paper's Lemma 2 case"},
+		DSL: "for k = 1 to n do XX[k+1] := (A[k]*XX[k] + B[k]) / (C[k]*XX[k] + D[k])",
+		Out: "XX",
+		Setup: func(n int) *lang.Env {
+			return env("n", n, "XX", onesArr(n+2),
+				"A", fill(n+1, 54, 0.5, 1.5), "B", fill(n+1, 55, 0.1, 1),
+				"C", fill(n+1, 56, 0.1, 0.5), "D", fill(n+1, 57, 0.8, 1.5))
+		},
+		Native: func(n int, e *lang.Env) {
+			xx, a, b, c, d := e.Arrays["XX"], e.Arrays["A"], e.Arrays["B"], e.Arrays["C"], e.Arrays["D"]
+			for k := 1; k <= n; k++ {
+				xx[k+1] = (a[k]*xx[k] + b[k]) / (c[k]*xx[k] + d[k])
+			}
+		},
+	}
+}
+
+func kernel21() Kernel {
+	// Matrix product: in flattened form the accumulation cell px[i,j] is
+	// written for every k — an indexed recurrence with non-distinct g.
+	return Kernel{
+		ID: 21, Name: "matrix product",
+		Curated: Class{Bucket: lang.BucketIndexed, Form: "linear-IR-extended",
+			Note: "accumulation cell re-written per k (flattened nest)"},
+		DSL: "for k = 0 to n do PX[q] := PX[q] + VY[k]*CX[k]",
+		Out: "PX",
+		Setup: func(n int) *lang.Env {
+			return env("n", n-1, "q", 3, "PX", make([]float64, 8),
+				"VY", fill(n, 58, 0, 1), "CX", fill(n, 59, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			px, vy, cx := e.Arrays["PX"], e.Arrays["VY"], e.Arrays["CX"]
+			q := int(e.Scalars["q"])
+			for k := 0; k < n; k++ {
+				px[q] += vy[k] * cx[k]
+			}
+		},
+	}
+}
+
+func kernel22() Kernel {
+	// Planckian distribution: needs exp — outside the DSL.
+	return Kernel{
+		ID: 22, Name: "Planckian distribution",
+		Curated: Class{Bucket: lang.BucketNone, Note: "map with exp; outside the DSL"},
+		Out:     "W",
+		Setup: func(n int) *lang.Env {
+			return env("n", n, "W", make([]float64, n),
+				"U", fill(n, 60, 0.1, 2), "V", fill(n, 61, 0.5, 2), "X", fill(n, 62, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			w, u, v, x := e.Arrays["W"], e.Arrays["U"], e.Arrays["V"], e.Arrays["X"]
+			for k := 0; k < n; k++ {
+				y := u[k] / v[k]
+				w[k] = x[k] / (math.Exp(y) - 1)
+			}
+		},
+	}
+}
+
+func kernel23() Kernel {
+	// 2-D implicit hydrodynamics — the paper's §3 worked example, in the
+	// paper's own simplified form with the 2-D array flattened as
+	// X[7(i-1)+j]:
+	//   X[i,j] := X[i,j] + 0.75*(Y[i] + X[i-1,j]*Z[i,j])
+	return Kernel{
+		ID: 23, Name: "2-D implicit hydrodynamics (paper §3 example)",
+		Curated: Class{Bucket: lang.BucketIndexed, Form: "linear-IR-extended",
+			Note: "the paper's Möbius worked example"},
+		DSL: "for i = 2 to n do X[7*(i-1)+j] := X[7*(i-1)+j] + 0.75d0*(Y[i] + X[7*(i-2)+j]*Z[7*(i-1)+j])",
+		Out: "X",
+		Setup: func(n int) *lang.Env {
+			rows := n + 1
+			return env("n", n, "j", 1,
+				"X", fill(7*rows+8, 63, 0, 1), "Y", fill(n+1, 64, 0, 1),
+				"Z", fill(7*rows+8, 65, 0, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			x, y, z := e.Arrays["X"], e.Arrays["Y"], e.Arrays["Z"]
+			j := int(e.Scalars["j"])
+			for i := 2; i <= n; i++ {
+				x[7*(i-1)+j] += 0.75 * (y[i] + x[7*(i-2)+j]*z[7*(i-1)+j])
+			}
+		},
+	}
+}
+
+func kernel24() Kernel {
+	// Location of first minimum: an argmin reduction; comparisons are
+	// outside the DSL, and the combining operation is not one of the
+	// framework's ops.
+	return Kernel{
+		ID: 24, Name: "location of first minimum",
+		Curated: Class{Bucket: lang.BucketUnknown,
+			Note: "argmin reduction; outside the IR operator algebra"},
+		Out: "M",
+		Setup: func(n int) *lang.Env {
+			return env("n", n, "M", make([]float64, 1), "X", fill(n, 66, -1, 1))
+		},
+		Native: func(n int, e *lang.Env) {
+			x := e.Arrays["X"]
+			m := 0
+			for k := 1; k < n; k++ {
+				if x[k] < x[m] {
+					m = k
+				}
+			}
+			e.Arrays["M"][0] = float64(m)
+		},
+	}
+}
+
+func onesArr(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}

@@ -1,0 +1,32 @@
+package moebius
+
+import (
+	"fmt"
+
+	"indexedrec/internal/ordinary"
+	"indexedrec/internal/parallel"
+)
+
+// SolveBatch solves independent Möbius systems concurrently — the shape of
+// Livermore 23's outer loop, where each column j is its own chain system.
+// Each system is paired with its own initial array; results are returned in
+// order. Systems are solved with Options.Procs goroutines each, and up to
+// Options.Procs systems run concurrently (the two levels share the machine
+// sensibly because parallel.For clamps to GOMAXPROCS).
+func SolveBatch(systems []*MoebiusSystem, x0s [][]float64, opt ordinary.Options) ([][]float64, error) {
+	if len(systems) != len(x0s) {
+		return nil, fmt.Errorf("moebius: SolveBatch: %d systems but %d initial arrays",
+			len(systems), len(x0s))
+	}
+	out := make([][]float64, len(systems))
+	errs := make([]error, len(systems))
+	parallel.ForEach(len(systems), opt.Procs, func(k int) {
+		out[k], errs[k] = systems[k].Solve(x0s[k], opt)
+	})
+	for k, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("moebius: SolveBatch system %d: %w", k, err)
+		}
+	}
+	return out, nil
+}

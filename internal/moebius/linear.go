@@ -1,0 +1,130 @@
+package moebius
+
+import (
+	"errors"
+	"fmt"
+
+	"indexedrec/internal/ordinary"
+)
+
+// MoebiusSystem describes n iterations of the full fractional-linear
+// indexed recurrence X[g(i)] := (A[i]·X[f(i)] + B[i]) / (C[i]·X[f(i)] + D[i])
+// over m cells. The affine forms are the special case C = 0, D = 1.
+type MoebiusSystem struct {
+	// M is the number of X cells.
+	M int
+	// G and F are the write/read index maps (G must be distinct).
+	G, F []int
+	// A, B, C, D are the per-iteration coefficients, each of length len(G).
+	A, B, C, D []float64
+}
+
+// NewLinear builds the affine system X[g(i)] := a[i]·X[f(i)] + b[i].
+func NewLinear(m int, g, f []int, a, b []float64) *MoebiusSystem {
+	n := len(g)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = 1
+	}
+	return &MoebiusSystem{M: m, G: g, F: f, A: a, B: b, C: c, D: d}
+}
+
+// NewExtended builds X[g(i)] := X[g(i)] + a[i]·X[f(i)] + b[i] given the
+// initial values x0, using the paper's rewriting: g distinct means the
+// X[g(i)] on the right-hand side is still the initial value S[g(i)], so the
+// loop equals the plain affine loop with b'[i] = S[g(i)] + b[i].
+func NewExtended(m int, g, f []int, a, b, x0 []float64) *MoebiusSystem {
+	n := len(g)
+	b2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		b2[i] = x0[g[i]] + b[i]
+	}
+	return NewLinear(m, g, f, a, b2)
+}
+
+// ErrBadSystem wraps validation failures.
+var ErrBadSystem = errors.New("moebius: invalid system")
+
+// Validate checks lengths, bounds and the distinct-g precondition.
+func (ms *MoebiusSystem) Validate() error {
+	n := len(ms.G)
+	if len(ms.F) != n || len(ms.A) != n || len(ms.B) != n || len(ms.C) != n || len(ms.D) != n {
+		return fmt.Errorf("%w: map/coefficient lengths disagree", ErrBadSystem)
+	}
+	if ms.M <= 0 {
+		return fmt.Errorf("%w: M = %d", ErrBadSystem, ms.M)
+	}
+	seen := make(map[int]struct{}, n)
+	for i := 0; i < n; i++ {
+		if ms.G[i] < 0 || ms.G[i] >= ms.M || ms.F[i] < 0 || ms.F[i] >= ms.M {
+			return fmt.Errorf("%w: index out of range at iteration %d", ErrBadSystem, i)
+		}
+		if _, dup := seen[ms.G[i]]; dup {
+			return fmt.Errorf("%w: g not distinct (cell %d)", ErrBadSystem, ms.G[i])
+		}
+		seen[ms.G[i]] = struct{}{}
+	}
+	return nil
+}
+
+// Iter returns the Möbius matrix of iteration i.
+func (ms *MoebiusSystem) Iter(i int) Mat2 {
+	return Mat2{A: ms.A[i], B: ms.B[i], C: ms.C[i], D: ms.D[i]}
+}
+
+// RunSequential executes the loop as written — the correctness oracle.
+func (ms *MoebiusSystem) RunSequential(x0 []float64) []float64 {
+	x := append([]float64(nil), x0...)
+	for i := range ms.G {
+		v := x[ms.F[i]]
+		x[ms.G[i]] = (ms.A[i]*v + ms.B[i]) / (ms.C[i]*v + ms.D[i])
+	}
+	return x
+}
+
+// Solve computes the final X array in O(log n) parallel steps via the
+// three-step reduction of the paper's §3:
+//
+//  1. initialize one matrix per written cell (plus identity elsewhere),
+//  2. run OrdinaryIR over the guarded matrix product along write chains,
+//  3. apply each composed map to the initial value at its chain root.
+//
+// Steps 1 and 3 are single parallel steps; step 2 is ordinary.Solve.
+func (ms *MoebiusSystem) Solve(x0 []float64, opt ordinary.Options) ([]float64, error) {
+	if err := ms.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x0) != ms.M {
+		panic("moebius: Solve: len(x0) != M")
+	}
+	n := len(ms.G)
+	sys, origOf := buildShadowSystem(ms.M, ms.G, ms.F)
+
+	// Step 1: per-cell matrices.
+	mats := make([]Mat2, sys.M)
+	for x := range mats {
+		mats[x] = Identity()
+	}
+	for i := 0; i < n; i++ {
+		mats[ms.G[i]] = ms.Iter(i)
+	}
+
+	// Step 2: ordinary IR over ⊙.
+	res, err := ordinary.Solve[Mat2](sys, ChainOp{}, mats, opt)
+	if err != nil {
+		return nil, fmt.Errorf("moebius: %w", err)
+	}
+
+	// Step 3: apply composed maps to root initial values.
+	out := append([]float64(nil), x0...)
+	for i := 0; i < n; i++ {
+		x := ms.G[i]
+		root := res.Roots[x]
+		if orig, ok := origOf[root]; ok {
+			root = orig
+		}
+		out[x] = res.Values[x].Apply(x0[root])
+	}
+	return out, nil
+}

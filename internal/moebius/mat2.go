@@ -1,0 +1,107 @@
+// Package moebius implements the paper's §3 application of the ordinary-IR
+// solver: parallelizing linear indexed recurrences
+//
+//	X[g(i)] := A[i]·X[f(i)] + B[i]
+//	X[g(i)] := X[g(i)] + A[i]·X[f(i)] + B[i]          (extended form)
+//	X[g(i)] := (A[i]·X[f(i)] + B[i]) / (C[i]·X[f(i)] + D[i])   (full Möbius)
+//
+// by the Möbius transformation (the paper's Lemma 2): each update is the
+// fractional-linear map φ(x) = (Ax+B)/(Cx+D), maps compose by 2×2 matrix
+// multiplication (M_{φ∘ψ} = M_φ·M_ψ), and composing along each write chain
+// is an ordinary IR problem over the guarded matrix product ⊙. The final
+// value of a cell is its composed map applied to the initial value of its
+// chain's root.
+//
+// # Operand order
+//
+// ordinary.Solve folds each trace left-to-right with the chain's DEEPEST
+// iteration leftmost, while map composition needs the deepest iteration
+// INNERMOST (rightmost in the matrix product). ChainOp therefore multiplies
+// in reversed order, Combine(a, b) = b·a; reversal of an associative
+// operation is associative, so the solver's regrouping stays valid.
+//
+// # The guard
+//
+// The paper defines A ⊙ B = A when det(A) = 0, else A·B: a singular matrix
+// is a constant map, and composing a constant outer map with anything is
+// the constant map itself; keeping the original matrix avoids collapsing to
+// the zero matrix (which would represent no map at all). In ChainOp's
+// reversed order the outer map is the right operand.
+//
+// # Roots and shadow cells
+//
+// The matrix encoding initializes cell c to the matrix of the iteration
+// writing c. An iteration that reads cell c BEFORE c's (later) write must
+// see the identity map instead — its read is of the initial value, not of
+// the chain through c. SolveLinear redirects such reads to fresh "shadow"
+// cells holding the identity, then maps chain roots back to original cells
+// when applying the composed map to initial values. The rewrite preserves
+// distinct g and loop semantics exactly.
+package moebius
+
+import "math"
+
+// Mat2 is a 2×2 real matrix [[A, B], [C, D]] representing the Möbius map
+// x ↦ (A·x + B) / (C·x + D).
+type Mat2 struct {
+	A, B, C, D float64
+}
+
+// Identity returns the matrix of the identity map.
+func Identity() Mat2 { return Mat2{A: 1, D: 1} }
+
+// Affine returns the matrix of x ↦ a·x + b.
+func Affine(a, b float64) Mat2 { return Mat2{A: a, B: b, C: 0, D: 1} }
+
+// Det returns the determinant AD − BC.
+func (m Mat2) Det() float64 { return m.A*m.D - m.B*m.C }
+
+// Mul returns the matrix product m·n (composition: m outer, n inner).
+func (m Mat2) Mul(n Mat2) Mat2 {
+	return Mat2{
+		A: m.A*n.A + m.B*n.C,
+		B: m.A*n.B + m.B*n.D,
+		C: m.C*n.A + m.D*n.C,
+		D: m.C*n.B + m.D*n.D,
+	}
+}
+
+// Apply evaluates the Möbius map at x. Division by zero follows IEEE 754
+// (yields ±Inf or NaN), matching what the sequential loop would produce.
+func (m Mat2) Apply(x float64) float64 {
+	return (m.A*x + m.B) / (m.C*x + m.D)
+}
+
+// normScale rescales a matrix when entries grow huge. A Möbius map is
+// projective — scaling all four entries leaves Apply unchanged — so this
+// guards long chains against float overflow without altering semantics.
+func (m Mat2) normScale() Mat2 {
+	const lim = 1e150
+	a := math.Max(math.Max(math.Abs(m.A), math.Abs(m.B)),
+		math.Max(math.Abs(m.C), math.Abs(m.D)))
+	if a < lim || math.IsInf(a, 0) || math.IsNaN(a) {
+		return m
+	}
+	s := 1 / a
+	return Mat2{A: m.A * s, B: m.B * s, C: m.C * s, D: m.D * s}
+}
+
+// ChainOp is the semigroup fed to ordinary.Solve: the paper's guarded
+// product ⊙ in reversed (chain) order. Combine(a, b) = b when det(b) = 0
+// (b is a constant map and b is the outer factor), else b·a.
+type ChainOp struct{}
+
+// Name implements core.Semigroup.
+func (ChainOp) Name() string { return "moebius-chain" }
+
+// Combine implements core.Semigroup; see the package comment for the order
+// and guard rationale.
+func (ChainOp) Combine(a, b Mat2) Mat2 {
+	if b.Det() == 0 {
+		return b
+	}
+	return b.Mul(a).normScale()
+}
+
+// Identity implements core.Monoid.
+func (ChainOp) Identity() Mat2 { return Identity() }

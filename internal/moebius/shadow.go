@@ -1,0 +1,37 @@
+package moebius
+
+import "indexedrec/internal/core"
+
+// buildShadowSystem builds the ordinary IR system driving the matrix
+// composition, with shadow cells for initial-value reads of cells that are
+// written later in the loop (see the package comment). origOf maps each
+// shadow cell back to the original cell whose initial value it stands for.
+func buildShadowSystem(m int, g, f []int) (*core.System, map[int]int) {
+	n := len(g)
+	sys := &core.System{M: m, N: n,
+		G: append([]int(nil), g...),
+		F: make([]int, n),
+	}
+	deps := core.ComputeDeps(&core.System{M: m, N: n, G: g, F: f})
+	shadowOf := make(map[int]int) // original cell -> shadow cell
+	origOf := make(map[int]int)   // shadow cell -> original cell
+	for i := 0; i < n; i++ {
+		fc := f[i]
+		if deps.FPrev[i] < 0 && deps.LastWriter[fc] >= 0 {
+			// Initial-value read of a cell that IS written later: the
+			// matrix at fc belongs to that later write, so detour through
+			// an identity-holding shadow cell.
+			sh, ok := shadowOf[fc]
+			if !ok {
+				sh = sys.M
+				sys.M++
+				shadowOf[fc] = sh
+				origOf[sh] = fc
+			}
+			sys.F[i] = sh
+		} else {
+			sys.F[i] = fc
+		}
+	}
+	return sys, origOf
+}

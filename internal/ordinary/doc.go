@@ -1,0 +1,53 @@
+// Package ordinary implements the paper's §2 algorithm: the O(log n)
+// parallel solution of ordinary indexed recurrence systems
+//
+//	for i = 0 .. n-1:  A[g(i)] := A[f(i)] ⊗ A[g(i)]
+//
+// with g distinct and ⊗ associative (not necessarily commutative), using
+// O(n) processors.
+//
+// # From trace concatenation to list ranking
+//
+// Because g is distinct, every cell is written at most once, so the value
+// consumed from A[f(i)] at iteration i is either
+//
+//   - the FINAL value of cell f(i), when some iteration j < i writes f(i)
+//     (it is final because that j is the only writer), or
+//   - the initial value A₀[f(i)] otherwise.
+//
+// Define pred(x) = f(i) for the written cell x = g(i) when the first case
+// holds. Iteration numbers strictly decrease along pred, so the pred edges
+// form a forest of chains, and Lemma 1's trace is exactly the chain product
+//
+//	A'[x] = A₀[r] ⊗ A₀[y_k] ⊗ ... ⊗ A₀[y_1] ⊗ A₀[x]
+//
+// where x → y_1 → ... → y_k are the chain cells and r = f(i_k) is the
+// initial cell consumed by the chain's last (deepest) iteration. This is
+// Wyllie's pointer-jumping/list-ranking problem: maintain a partial product
+// V[x] and a pointer N[x] to the first cell not yet covered by V[x], and
+// repeat in lock-step
+//
+//	V[x] ← V[N[x]] ⊗ V[x];   N[x] ← N[N[x]]
+//
+// for ⌈log₂ n⌉ rounds. The paper presents the same computation as greedy
+// concatenation of sub-traces, with a correction term because its sub-trace
+// for A[g(j)] carries the extra leading element A[f(j)]; folding that
+// element into the initialization (V[x] = A₀[f(i)] ⊗ A₀[x] when the chain
+// terminates at x, V[x] = A₀[x] plus a pointer otherwise) removes the
+// correction and leaves plain list ranking. The invariant maintained by
+// every round, with W(y) denoting the final value A'[y], is
+//
+//	A'[x] = W(N[x]) ⊗ V[x]   (N[x] ≠ nil),   A'[x] = V[x]   (N[x] = nil)
+//
+// which holds initially by the case analysis above and is preserved by
+// associativity; tests cross-check the result against both the sequential
+// loop and the independent symbolic-trace oracle in internal/trace.
+//
+// The solver also tracks each chain's root cell R[x] (the cell whose
+// *initial* value the trace starts with). Package moebius needs the roots to
+// apply the composed Möbius map to the right initial value.
+//
+// Since ⊗ need not be commutative, operand order is never exchanged — only
+// the grouping changes — matching the paper's explicit requirement that the
+// algorithm "preserve the multiplications order".
+package ordinary

@@ -1,0 +1,146 @@
+package ordinary
+
+import (
+	"sync/atomic"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/parallel"
+)
+
+// Options configure the parallel solver.
+type Options struct {
+	// Procs is the number of goroutines used per round; <= 0 means
+	// GOMAXPROCS. The paper's work-shared version: each of P processors
+	// owns ~n/P cells per round, giving T(n,P) = (n/P)·log n.
+	Procs int
+	// OnRound, if non-nil, is called after every completed round with the
+	// jumper state — used by the Fig. 2 visualization and by tests probing
+	// lock-step behaviour. Called sequentially, never concurrently.
+	OnRound func(round int, j *JumperState)
+}
+
+// Result is the outcome of a parallel ordinary-IR solve.
+type Result[T any] struct {
+	// Values is the final array, identical (for exactly associative ops)
+	// to core.RunSequential.
+	Values []T
+	// Roots[x] is the cell whose initial value the trace of x begins with;
+	// Roots[x] == x for unwritten cells. Package moebius consumes this.
+	Roots []int
+	// Rounds is the number of pointer-jumping rounds executed
+	// (= ⌈log₂ L⌉ for longest chain L, plus the final no-change round).
+	Rounds int
+	// Combines is the total number of ⊗ applications across all rounds —
+	// the algorithm's work term.
+	Combines int64
+}
+
+// JumperState exposes the lock-step state after a round, for visualization.
+type JumperState struct {
+	// Next is the current pointer array (-1 = trace complete).
+	Next []int
+	// Active is the number of cells whose pointer is still live.
+	Active int
+}
+
+// Solve runs the parallel pointer-jumping algorithm. The system must be
+// ordinary with distinct g; init must have length s.M. The returned values
+// equal the sequential loop's output for any associative op (bit-for-bit
+// when op is exactly associative; up to rounding for floats).
+func Solve[T any](s *core.System, op core.Semigroup[T], init []T, opt Options) (*Result[T], error) {
+	fr, err := BuildForest(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(init) != s.M {
+		panic("ordinary: Solve: len(init) != s.M")
+	}
+
+	m := s.M
+	v := make([]T, m)
+	nx := make([]int, m)
+	rt := make([]int, m)
+	v2 := make([]T, m)
+	nx2 := make([]int, m)
+	rt2 := make([]int, m)
+	// Initialization phase — fully parallel over cells (the paper's
+	// "initially all traces ... can be computed in parallel"). Both buffers
+	// start identical so unwritten cells survive any number of swaps.
+	var initCombines atomic.Int64
+	parallel.For(m, opt.Procs, func(lo, hi int) {
+		var local int64
+		for x := lo; x < hi; x++ {
+			switch {
+			case !fr.Written[x]:
+				v[x], nx[x], rt[x] = init[x], -1, x
+			case fr.Next[x] >= 0:
+				v[x], nx[x], rt[x] = init[x], fr.Next[x], x
+			default:
+				v[x] = op.Combine(init[fr.InitF[x]], init[x])
+				nx[x], rt[x] = -1, fr.InitF[x]
+				local++
+			}
+			v2[x], nx2[x], rt2[x] = v[x], nx[x], rt[x]
+		}
+		initCombines.Add(local)
+	})
+
+	// Lock-step rounds over the written cells only, with double buffering
+	// so every round reads the previous round's state (synchronous PRAM
+	// semantics). Cells with nx < 0 are done and just copy forward.
+	cells := fr.Cells
+	res := &Result[T]{Rounds: 0, Combines: initCombines.Load()}
+	for {
+		var changed atomic.Bool
+		var roundCombines atomic.Int64
+		parallel.For(len(cells), opt.Procs, func(lo, hi int) {
+			var local int64
+			for k := lo; k < hi; k++ {
+				x := cells[k]
+				n := nx[x]
+				if n < 0 {
+					v2[x], nx2[x], rt2[x] = v[x], -1, rt[x]
+					continue
+				}
+				v2[x] = op.Combine(v[n], v[x])
+				nx2[x] = nx[n]
+				rt2[x] = rt[n]
+				local++
+			}
+			if local > 0 {
+				changed.Store(true)
+				roundCombines.Add(local)
+			}
+		})
+		if !changed.Load() {
+			break
+		}
+		res.Rounds++
+		res.Combines += roundCombines.Load()
+		v, v2 = v2, v
+		nx, nx2 = nx2, nx
+		rt, rt2 = rt2, rt
+		if opt.OnRound != nil {
+			active := 0
+			for _, x := range cells {
+				if nx[x] >= 0 {
+					active++
+				}
+			}
+			opt.OnRound(res.Rounds, &JumperState{Next: nx, Active: active})
+		}
+	}
+
+	res.Values = v
+	res.Roots = rt
+	return res, nil
+}
+
+// SolveValues is a convenience wrapper returning just the final array.
+func SolveValues[T any](s *core.System, op core.Semigroup[T], init []T, procs int) ([]T, error) {
+	r, err := Solve(s, op, init, Options{Procs: procs})
+	if err != nil {
+		return nil, err
+	}
+	return r.Values, nil
+}

@@ -1,0 +1,106 @@
+// Package paperfig holds the concrete instances behind the paper's worked
+// examples (Figs. 1, 2, 4, 5, 6, 9), shared by tests, benchmarks and the
+// irbench experiment runner so every consumer reproduces the same artifact.
+//
+// The scanned paper's figure text is partly illegible (OCR lost most single
+// digits), so where an instance could not be recovered verbatim we construct
+// one that exhibits exactly the documented behaviour — e.g. for Fig. 1 the
+// legible trace examples A'[6] = A[2]A[3]A[6] and A'[8] = A[5]A[8] and the
+// untouched cells A'[5], A'[7]. Each constructor documents what is verbatim
+// and what is reconstructed.
+package paperfig
+
+import "indexedrec/internal/core"
+
+// Fig1System returns the ordinary IR instance of Fig. 1 (reconstructed) and
+// the expected trace of every cell, in the paper's 1-based cell numbering
+// mapped to 0-based cells 1..8 of a 9-cell array (cell 0 unused).
+//
+// Verbatim from the text: A'[6] = A[2]A[3]A[6] via g(j)=6, f(j)=3 chained
+// through an earlier assignment A[3] = A[2]A[3]; A'[8] = A[5]A[8];
+// A'[5] and A'[7] keep their initial values. The remaining iterations are
+// reconstructed to fill an 8-cell picture like the figure's.
+func Fig1System() (*core.System, [][]int) {
+	// Iterations, in loop order (i = 1..4 in paper terms):
+	//   A[4] := A[1] ⊗ A[4]
+	//   A[3] := A[2] ⊗ A[3]
+	//   A[6] := A[3] ⊗ A[6]   -- reads the updated A[3]
+	//   A[8] := A[5] ⊗ A[8]
+	s := &core.System{
+		M: 9, N: 4,
+		G: []int{4, 3, 6, 8},
+		F: []int{1, 2, 3, 5},
+	}
+	want := [][]int{
+		{0},       // cell 0 unused
+		{1},       // A'[1] = A[1]
+		{2},       // A'[2] = A[2]
+		{2, 3},    // A'[3] = A[2]A[3]
+		{1, 4},    // A'[4] = A[1]A[4]
+		{5},       // A'[5] = A[5]   (verbatim)
+		{2, 3, 6}, // A'[6] = A[2]A[3]A[6] (verbatim)
+		{7},       // A'[7] = A[7]   (verbatim)
+		{5, 8},    // A'[8] = A[5]A[8] (verbatim)
+	}
+	return s, want
+}
+
+// Fig2System returns the instance used to illustrate trace concatenation
+// (pointer jumping): a single long chain A[i+1] := A[i] ⊗ A[i+1] over cells
+// 0..n-1, whose traces are the prefixes A'[k] = A[0]A[1]...A[k]. The figure
+// shows two concatenation rounds on a ~10-cell window; n=10 matches that.
+func Fig2System(n int) *core.System {
+	return core.FromFuncs(n-1, n,
+		func(i int) int { return i + 1 }, // g
+		func(i int) int { return i },     // f
+		nil,
+	)
+}
+
+// Fig4GIR returns the general IR loop A[i] := A[i-1] ⊗ A[i-2] (tree-shaped
+// traces) over n cells; cells 0 and 1 hold initial values.
+func Fig4GIR(n int) *core.System {
+	return core.FromFuncs(n-2, n,
+		func(i int) int { return i + 2 },
+		func(i int) int { return i + 1 },
+		func(i int) int { return i },
+	)
+}
+
+// Fig4IR returns the ordinary IR loop A[i] := A[i-1] ⊗ A[i] (list-shaped
+// traces) over n cells.
+func Fig4IR(n int) *core.System {
+	return core.FromFuncs(n-1, n,
+		func(i int) int { return i + 1 },
+		func(i int) int { return i },
+		nil,
+	)
+}
+
+// Fig5N is the size of the Fig. 5 expansion (the recurrence X_i = X_{i-1} ⊗
+// X_{i-2} expanded for n = 4).
+const Fig5N = 5
+
+// Fib returns the Fibonacci sequence fib(0)=0, fib(1)=1, ... up to index n
+// inclusive, as int64 (n must be <= 92).
+func Fib(n int) []int64 {
+	f := make([]int64, n+1)
+	if n >= 1 {
+		f[1] = 1
+	}
+	for i := 2; i <= n; i++ {
+		f[i] = f[i-1] + f[i-2]
+	}
+	return f
+}
+
+// DoubleChain returns a GIR system whose dependence graph is the paper's
+// "double chain" CAP example: each value combines the previous cell with
+// itself, A[i] := A[i-1] ⊗ A[i-1], so every final value is A[0]^(2^i).
+func DoubleChain(n int) *core.System {
+	return core.FromFuncs(n-1, n,
+		func(i int) int { return i + 1 },
+		func(i int) int { return i },
+		func(i int) int { return i },
+	)
+}

@@ -1,0 +1,77 @@
+package paperfig
+
+import (
+	"testing"
+
+	"indexedrec/internal/core"
+)
+
+func TestFig1SystemValid(t *testing.T) {
+	s, want := Fig1System()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.GDistinct() || !s.Ordinary() {
+		t.Fatal("Fig1 system must be ordinary with distinct g")
+	}
+	if len(want) != s.M {
+		t.Fatalf("expected traces for all %d cells, got %d", s.M, len(want))
+	}
+	// Every expected trace ends with the cell itself for written cells.
+	for x, tr := range want {
+		if tr[len(tr)-1] != x {
+			t.Fatalf("cell %d: trace %v should end with the cell's own initial value", x, tr)
+		}
+	}
+}
+
+func TestFig2SystemIsChain(t *testing.T) {
+	s := Fig2System(10)
+	if s.N != 9 || s.M != 10 {
+		t.Fatalf("N=%d M=%d", s.N, s.M)
+	}
+	for i := 0; i < s.N; i++ {
+		if s.G[i] != i+1 || s.F[i] != i {
+			t.Fatalf("iteration %d: G=%d F=%d", i, s.G[i], s.F[i])
+		}
+	}
+}
+
+func TestFig4Systems(t *testing.T) {
+	gir := Fig4GIR(8)
+	if gir.Ordinary() {
+		t.Error("Fig4GIR must be general")
+	}
+	if err := gir.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	oir := Fig4IR(8)
+	if !oir.Ordinary() || !oir.GDistinct() {
+		t.Error("Fig4IR must be ordinary with distinct g")
+	}
+}
+
+func TestFib(t *testing.T) {
+	f := Fib(10)
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for i, w := range want {
+		if f[i] != w {
+			t.Fatalf("fib = %v", f)
+		}
+	}
+	if got := Fib(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Fib(0) = %v", got)
+	}
+}
+
+func TestDoubleChainSemantics(t *testing.T) {
+	// A[i] := A[i-1] ⊗ A[i-1] over +: A'[i] = 2^i · A[0].
+	s := DoubleChain(6)
+	out := core.RunSequential[int64](s, core.IntAdd{}, []int64{3, 0, 0, 0, 0, 0})
+	for i := 0; i < 6; i++ {
+		want := int64(3) << uint(i)
+		if out[i] != want {
+			t.Fatalf("cell %d: got %d, want %d", i, out[i], want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package parallel provides the small goroutine runtime the solvers are
+// built on: chunked parallel-for loops with a configurable processor count,
+// and a reusable cyclic barrier for lock-step (PRAM-style) rounds.
+//
+// The design follows the fixed-worker-pool idiom: a bounded number of
+// goroutines each own a contiguous index range, synchronized by WaitGroup or
+// Barrier, so the solvers control their parallelism explicitly (the paper's
+// "forks only up to P processes at the same time" discipline).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultProcs returns the processor count used when a caller passes p <= 0:
+// the runtime's GOMAXPROCS setting.
+func DefaultProcs() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// clampProcs normalizes a requested processor count against n work items.
+func clampProcs(p, n int) int {
+	if p <= 0 {
+		p = DefaultProcs()
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// For runs body(lo, hi) over a partition of [0, n) into at most p contiguous
+// chunks, one goroutine per chunk, and waits for all of them. p <= 0 means
+// DefaultProcs(). n <= 0 is a no-op. Chunks differ in size by at most one,
+// so the load is balanced for uniform-cost bodies.
+func For(n, p int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p = clampProcs(p, n)
+	if p == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	q, r := n/p, n%p
+	lo := 0
+	for w := 0; w < p; w++ {
+		hi := lo + q
+		if w < r {
+			hi++
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ForEach runs body(i) for every i in [0, n) using For's chunking. It is a
+// convenience for bodies that are per-item anyway.
+func ForEach(n, p int, body func(i int)) {
+	For(n, p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Chunks partitions [0, n) into at most p nearly-equal contiguous ranges and
+// returns their boundaries as (lo, hi) pairs. It is exported so lock-step
+// algorithms can pin a persistent goroutine per chunk across many rounds.
+func Chunks(n, p int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	p = clampProcs(p, n)
+	out := make([][2]int, 0, p)
+	q, r := n/p, n%p
+	lo := 0
+	for w := 0; w < p; w++ {
+		hi := lo + q
+		if w < r {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// Barrier is a reusable cyclic barrier for a fixed party count. All parties
+// call Wait; the last arrival releases the rest and the barrier resets for
+// the next round. The zero value is not usable; call NewBarrier.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+}
+
+// NewBarrier returns a barrier for the given number of parties (>= 1).
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("parallel: NewBarrier requires parties >= 1")
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all parties have called Wait for the current phase.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// SPMD launches p goroutines running body(id, barrier) and waits for all of
+// them — the single-program-multiple-data shape of the paper's lock-step
+// algorithms. The barrier passed to body has exactly p parties, so a Wait
+// inside body is a whole-machine synchronization round.
+func SPMD(p int, body func(id int, b *Barrier)) {
+	if p < 1 {
+		p = 1
+	}
+	b := NewBarrier(p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for id := 0; id < p; id++ {
+		go func(id int) {
+			defer wg.Done()
+			body(id, b)
+		}(id)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,128 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/workload"
+)
+
+func TestSchedVariantsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	op := core.MulMod{M: 1_000_003}
+	for trial := 0; trial < 20; trial++ {
+		s := workload.RandomOrdinary(rng, 2+rng.Intn(60), rng.Intn(50))
+		init := workload.InitInt64(rng, s.M, op.M)
+		want := core.RunSequential[int64](s, op, init)
+		for _, d := range []Dist{DistBlock, DistCyclic} {
+			for _, p := range []int{1, 3, 8} {
+				run, err := RunParallelOIRSched(s, OpMulMod(op.M), init, p, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for x := range want {
+					if run.Values[x] != want[x] {
+						t.Fatalf("trial %d dist=%v P=%d cell %d: got %d, want %d",
+							trial, d, p, x, run.Values[x], want[x])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSchedChainInstanceBothDists(t *testing.T) {
+	n := 2048
+	s := workload.Chain(n)
+	init := make([]Word, s.M)
+	for x := range init {
+		init[x] = 1
+	}
+	for _, d := range []Dist{DistBlock, DistCyclic} {
+		run, err := RunParallelOIRSched(s, OpAdd, init, 16, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= n; k++ {
+			if run.Values[k] != Word(k+1) {
+				t.Fatalf("dist=%v cell %d: got %d, want %d", d, k, run.Values[k], k+1)
+			}
+		}
+	}
+}
+
+// skewedInstance builds the bad-scheduling workload: one long chain whose
+// cells are written FIRST (so block distribution clusters it into the first
+// processors) followed by many singleton writes that complete in round one.
+func skewedInstance(chainLen, singles int) *core.System {
+	n := chainLen + singles
+	m := chainLen + 1 + 2*singles
+	s := &core.System{M: m, N: n, G: make([]int, n), F: make([]int, n)}
+	for i := 0; i < chainLen; i++ {
+		s.G[i] = i + 1
+		s.F[i] = i
+	}
+	base := chainLen + 1
+	for k := 0; k < singles; k++ {
+		s.G[chainLen+k] = base + 2*k
+		s.F[chainLen+k] = base + 2*k + 1
+	}
+	return s
+}
+
+func TestSchedCyclicBeatsBlockOnSkewedInstance(t *testing.T) {
+	// [5]'s scenario: the long chain sits in a couple of processors under
+	// block distribution, which then work alone for log(chain) rounds while
+	// everyone else idles. Cyclic spreads the chain across all P.
+	s := skewedInstance(1024, 7168)
+	init := make([]Word, s.M)
+	procs := 16
+	block, err := RunParallelOIRSched(s, OpAdd, init, procs, DistBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclic, err := RunParallelOIRSched(s, OpAdd, init, procs, DistCyclic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(block.Stats.Time) / float64(cyclic.Stats.Time)
+	if ratio < 2 {
+		t.Fatalf("scheduling gap ratio %.2f, expected a dramatic effect (> 2): block=%d cyclic=%d",
+			ratio, block.Stats.Time, cyclic.Stats.Time)
+	}
+	// The work (total instructions) must be similar — the gap is pure
+	// scheduling, not extra computation.
+	wr := float64(block.Stats.Work) / float64(cyclic.Stats.Work)
+	if wr < 0.9 || wr > 1.1 {
+		t.Fatalf("work ratio %.2f, want ≈ 1 (same computation)", wr)
+	}
+	// And both answers are right.
+	want := core.RunSequential[int64](s, core.IntAdd{}, init)
+	for x := range want {
+		if block.Values[x] != want[x] || cyclic.Values[x] != want[x] {
+			t.Fatalf("cell %d wrong", x)
+		}
+	}
+}
+
+func TestSchedEfficientSkipsCompleted(t *testing.T) {
+	// The efficient variant must cost LESS than the always-copy kernel on
+	// instances where most traces finish early (random g/f: chains are
+	// O(log n) long and most complete in the first rounds).
+	rng := rand.New(rand.NewSource(151))
+	s := workload.RandomOrdinary(rng, 1<<14, 1<<13)
+	init := make([]Word, s.M)
+	plain, err := RunParallelOIR(s, OpAdd, init, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := RunParallelOIRSched(s, OpAdd, init, 16, DistCyclic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Stats.Work >= plain.Stats.Work {
+		t.Fatalf("efficient variant work %d not below always-copy %d",
+			sched.Stats.Work, plain.Stats.Work)
+	}
+}

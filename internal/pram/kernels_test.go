@@ -1,0 +1,188 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/paperfig"
+)
+
+func toWords(xs []int64) []Word { return xs }
+
+func randomOrdinary(rng *rand.Rand, m int) *core.System {
+	perm := rng.Perm(m)
+	n := rng.Intn(m + 1)
+	s := &core.System{M: m, N: n, G: make([]int, n), F: make([]int, n)}
+	for i := 0; i < n; i++ {
+		s.G[i] = perm[i]
+		s.F[i] = rng.Intn(m)
+	}
+	return s
+}
+
+func TestSequentialIRMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 50; trial++ {
+		s := randomOrdinary(rng, 1+rng.Intn(30))
+		init := make([]Word, s.M)
+		for x := range init {
+			init[x] = rng.Int63n(1000)
+		}
+		want := core.RunSequential[int64](s, core.IntAdd{}, init)
+		run, err := RunSequentialIR(s, OpAdd, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range want {
+			if run.Values[x] != want[x] {
+				t.Fatalf("trial %d cell %d: got %d, want %d", trial, x, run.Values[x], want[x])
+			}
+		}
+	}
+}
+
+func TestParallelOIRMatchesOracleAcrossP(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	op := core.MulMod{M: 1_000_003}
+	for trial := 0; trial < 25; trial++ {
+		s := randomOrdinary(rng, 2+rng.Intn(50))
+		init := make([]Word, s.M)
+		for x := range init {
+			init[x] = rng.Int63n(op.M-2) + 2
+		}
+		want := core.RunSequential[int64](s, op, init)
+		for _, p := range []int{1, 2, 7, 32} {
+			run, err := RunParallelOIR(s, OpMulMod(op.M), init, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for x := range want {
+				if run.Values[x] != want[x] {
+					t.Fatalf("trial %d P=%d cell %d: got %d, want %d\nG=%v F=%v",
+						trial, p, x, run.Values[x], want[x], s.G, s.F)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelOIRChainInstance(t *testing.T) {
+	n := 512
+	s := paperfig.Fig2System(n)
+	init := make([]Word, n)
+	for x := range init {
+		init[x] = 1
+	}
+	run, err := RunParallelOIR(s, OpAdd, init, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		if run.Values[k] != Word(k+1) {
+			t.Fatalf("cell %d: got %d, want %d", k, run.Values[k], k+1)
+		}
+	}
+	if run.Rounds != 9 { // ⌈log2 511⌉ = 9 (chain length 511)
+		t.Errorf("Rounds = %d, want 9", run.Rounds)
+	}
+}
+
+func TestScalingLawShape(t *testing.T) {
+	// T(n,P) ≈ (n/P)·log n: doubling P should roughly halve Time while the
+	// sequential loop is flat; and the parallel Work should stay within a
+	// small factor across P.
+	n := 4096
+	s := paperfig.Fig2System(n)
+	init := make([]Word, n)
+	seqRun, err := RunSequentialIR(s, OpAdd, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev Word
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		run, err := RunParallelOIR(s, OpAdd, init, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > 1 {
+			ratio := float64(prev) / float64(run.Stats.Time)
+			if ratio < 1.7 || ratio > 2.3 {
+				t.Errorf("P=%d: time ratio %.2f, want ≈ 2 (prev=%d cur=%d)",
+					p, ratio, prev, run.Stats.Time)
+			}
+		}
+		prev = run.Stats.Time
+	}
+	// At P=1 the parallel algorithm must cost ≈ log n times the sequential
+	// loop (same n, extra rounds), i.e. clearly more.
+	run1, err := RunParallelOIR(s, OpAdd, init, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run1.Stats.Time < 5*seqRun.Stats.Time {
+		t.Errorf("P=1 parallel time %d vs sequential %d: expected ≫ (log n factor)",
+			run1.Stats.Time, seqRun.Stats.Time)
+	}
+	// With many processors the parallel algorithm must beat the loop.
+	run256, err := RunParallelOIR(s, OpAdd, init, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run256.Stats.Time >= seqRun.Stats.Time {
+		t.Errorf("P=256 parallel time %d did not beat sequential %d",
+			run256.Stats.Time, seqRun.Stats.Time)
+	}
+}
+
+func TestParallelOIRUnwrittenCellsIntact(t *testing.T) {
+	s, _ := paperfig.Fig1System()
+	init := make([]Word, s.M)
+	for x := range init {
+		init[x] = Word(100 + x)
+	}
+	run, err := RunParallelOIR(s, OpAdd, init, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.RunSequential[int64](s, core.IntAdd{}, init)
+	for x := range want {
+		if run.Values[x] != want[x] {
+			t.Fatalf("cell %d: got %d, want %d", x, run.Values[x], want[x])
+		}
+	}
+}
+
+func TestRunSequentialIRRejectsGeneral(t *testing.T) {
+	s := &core.System{M: 3, N: 1, G: []int{0}, F: []int{1}, H: []int{2}}
+	if _, err := RunSequentialIR(s, OpAdd, make([]Word, 3)); err == nil {
+		t.Fatal("expected rejection of general system")
+	}
+}
+
+func TestChargedSetupAddsOneChunkTerm(t *testing.T) {
+	n := 4096
+	s := paperfig.Fig2System(n)
+	init := make([]Word, n)
+	base, err := RunParallelOIR(s, OpAdd, init, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	charged, err := RunParallelOIRChargedSetup(s, OpAdd, init, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if charged.Stats.Time <= base.Stats.Time {
+		t.Fatal("charged setup did not increase simulated time")
+	}
+	// One O(n/P) phase against ~log n of them: the overhead must be small.
+	overhead := float64(charged.Stats.Time-base.Stats.Time) / float64(base.Stats.Time)
+	if overhead > 0.25 {
+		t.Fatalf("setup overhead %.2f, want < 0.25 (one term vs log n terms)", overhead)
+	}
+	for x := range base.Values {
+		if charged.Values[x] != base.Values[x] {
+			t.Fatal("charged variant changed the answer")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package pram
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPhaseBufferedSemantics(t *testing.T) {
+	// Classic synchronous swap: every proc reads its neighbour's cell and
+	// writes its own; with buffered stores all procs see phase-start values.
+	const p = 8
+	m := New(p)
+	for i := 0; i < p; i++ {
+		m.Mem[i] = Word(i)
+	}
+	err := m.Phase(p, func(pr *Proc) {
+		v := pr.Load((pr.ID + 1) % p)
+		pr.Store(pr.ID, v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		if m.Mem[i] != Word((i+1)%p) {
+			t.Fatalf("Mem[%d] = %d, want %d (buffered rotate)", i, m.Mem[i], (i+1)%p)
+		}
+	}
+}
+
+func TestPhaseDetectsWriteConflict(t *testing.T) {
+	m := New(4)
+	err := m.Phase(2, func(p *Proc) { p.Store(0, Word(p.ID)) })
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+}
+
+func TestEREWDetectsReadConflict(t *testing.T) {
+	m := New(4, WithMode(EREW))
+	err := m.Phase(2, func(p *Proc) { _ = p.Load(1) })
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict (concurrent read under EREW)", err)
+	}
+}
+
+func TestCREWAllowsConcurrentReads(t *testing.T) {
+	m := New(4)
+	err := m.Phase(4, func(p *Proc) {
+		_ = p.Load(1)
+		p.Store(p.ID, 7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeIsMaxWorkIsSum(t *testing.T) {
+	m := New(8)
+	err := m.Phase(4, func(p *Proc) {
+		// proc i charges i+1 ALU ops.
+		p.ALU(p.ID + 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	ph := UnitWeights().Phase
+	if st.Time != 4+ph {
+		t.Errorf("Time = %d, want %d", st.Time, 4+ph)
+	}
+	if st.Work != (1+2+3+4)+4*ph {
+		t.Errorf("Work = %d, want %d", st.Work, 10+4*ph)
+	}
+	if st.Phases != 1 || st.MaxProcs != 4 {
+		t.Errorf("Phases=%d MaxProcs=%d", st.Phases, st.MaxProcs)
+	}
+}
+
+func TestRunUnbufferedSeesOwnWrites(t *testing.T) {
+	m := New(2)
+	err := m.RunUnbuffered(func(p *Proc) {
+		p.Store(0, 5)
+		v := p.Load(0) // must see the 5 immediately
+		p.Store(1, v*2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[1] != 10 {
+		t.Fatalf("Mem[1] = %d, want 10", m.Mem[1])
+	}
+}
+
+func TestStoreOutOfBounds(t *testing.T) {
+	m := New(2)
+	if err := m.Phase(1, func(p *Proc) { p.Store(99, 1) }); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+}
+
+func TestWeightsApplied(t *testing.T) {
+	m := New(4, WithWeights(Weights{Load: 3, Store: 5, ALU: 7, Branch: 11, Phase: 0}))
+	err := m.Phase(1, func(p *Proc) {
+		_ = p.Load(0)
+		p.Store(1, 1)
+		p.ALU(2)
+		p.Branch()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Word(3 + 5 + 2*7 + 11)
+	if got := m.Stats().Time; got != want {
+		t.Fatalf("Time = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,19 @@
+package pram
+
+// RunUnbuffered executes body on a single processor with IMMEDIATE stores:
+// each Store is visible to subsequent Loads in the same run. This models a
+// plain sequential program (the paper's "Original IR Loop" baseline), where
+// iteration i+1 must observe iteration i's write — the opposite of the
+// buffered Phase semantics. Accounting is identical: the run is one phase
+// of one processor.
+func (m *Machine) RunUnbuffered(body func(p *Proc)) error {
+	p := &Proc{ID: 0, m: m, direct: true}
+	body(p)
+	m.stats.Time += p.cost + m.weights.Phase
+	m.stats.Work += p.cost + m.weights.Phase
+	m.stats.Phases++
+	if m.stats.MaxProcs < 1 {
+		m.stats.MaxProcs = 1
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and ASCII log-log plots — the formats irbench and EXPERIMENTS.md use to
+// present the regenerated paper artifacts.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && a < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1e6 || (a < 1e-3 && a > 0):
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Headers, ","))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named curve of (x, y) points for plotting.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// LogLogPlot renders series on a log-log ASCII grid — the shape of the
+// paper's Fig. 3 (instructions vs. processors, both axes logarithmic).
+func LogLogPlot(w io.Writer, title, xlabel, ylabel string, width, height int, series ...Series) {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue // log scale: skip non-positive points
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX > maxX || minY > maxY {
+		fmt.Fprintln(w, "(no plottable points)")
+		return
+	}
+	lx := func(v float64) float64 { return math.Log10(v) }
+	spanX := lx(maxX) - lx(minX)
+	spanY := lx(maxY) - lx(minY)
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue
+			}
+			c := int((lx(s.X[i]) - lx(minX)) / spanX * float64(width-1))
+			r := height - 1 - int((lx(s.Y[i])-lx(minY))/spanY*float64(height-1))
+			grid[r][c] = s.Marker
+		}
+	}
+	fmt.Fprintf(w, "%s  (log-log; Y: %s, X: %s)\n", title, ylabel, xlabel)
+	for r, row := range grid {
+		label := "         "
+		if r == 0 {
+			label = fmt.Sprintf("%8.1e ", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%8.1e ", minY)
+		}
+		fmt.Fprintf(w, "%s|%s|\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width+2))
+	fmt.Fprintf(w, "%s%-*.3g%*.3g\n", strings.Repeat(" ", 10), (width+2)/2, minX, (width+2)-(width+2)/2, maxX)
+	for _, s := range series {
+		fmt.Fprintf(w, "%s  %c = %s\n", strings.Repeat(" ", 9), s.Marker, s.Name)
+	}
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "count", "ratio")
+	tb.AddRow("alpha", 3, 0.5)
+	tb.AddRow("b", 12345, 123456789.0)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "12345", "0.5000", "123456789"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, 2)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	if sb.String() != "a,b\n1,2\n" {
+		t.Fatalf("CSV = %q", sb.String())
+	}
+}
+
+func TestFormatFloatIntegers(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(50000.0)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	if !strings.Contains(sb.String(), "50000") || strings.Contains(sb.String(), "50000.") {
+		t.Fatalf("integer-valued float misformatted: %q", sb.String())
+	}
+}
+
+func TestLogLogPlot(t *testing.T) {
+	s1 := Series{Name: "parallel", Marker: '*',
+		X: []float64{1, 2, 4, 8, 16}, Y: []float64{1600, 800, 400, 200, 100}}
+	s2 := Series{Name: "sequential", Marker: 'o',
+		X: []float64{1, 2, 4, 8, 16}, Y: []float64{500, 500, 500, 500, 500}}
+	var sb strings.Builder
+	LogLogPlot(&sb, "fig3", "P", "instructions", 40, 10, s1, s2)
+	out := sb.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("plot missing markers:\n%s", out)
+	}
+	if !strings.Contains(out, "parallel") || !strings.Contains(out, "sequential") {
+		t.Fatalf("plot missing legend:\n%s", out)
+	}
+	// The decreasing series' first point must be ABOVE the flat series'
+	// first point (row index smaller).
+	lines := strings.Split(out, "\n")
+	starRow, oRow := -1, -1
+	for r, line := range lines {
+		if !strings.HasSuffix(line, "|") {
+			continue // only grid rows, not title/legend text
+		}
+		if i := strings.IndexByte(line, '*'); i >= 0 && starRow == -1 {
+			starRow = r
+		}
+		if i := strings.IndexByte(line, 'o'); i >= 0 && oRow == -1 {
+			oRow = r
+		}
+	}
+	if starRow == -1 || oRow == -1 || starRow >= oRow {
+		t.Fatalf("expected * to first appear above o (rows %d vs %d):\n%s", starRow, oRow, out)
+	}
+}
+
+func TestLogLogPlotEmpty(t *testing.T) {
+	var sb strings.Builder
+	LogLogPlot(&sb, "t", "x", "y", 30, 8, Series{Name: "n", Marker: 'x'})
+	if !strings.Contains(sb.String(), "no plottable points") {
+		t.Fatalf("empty plot output: %q", sb.String())
+	}
+}

@@ -1,0 +1,124 @@
+package scan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func constSeries(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func TestKTermFibonacci(t *testing.T) {
+	// X[i] = X[i-1] + X[i-2], X[0]=0, X[1]=1: the Fibonacci numbers.
+	n := 30
+	a := [][]float64{constSeries(n, 1), constSeries(n, 1)}
+	b := constSeries(n, 0)
+	x0 := []float64{0, 1}
+	seq, err := KTermRecurrence(2, a, b, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := KTermRecurrenceParallel(2, a, b, x0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib := []float64{0, 1}
+	for i := 2; i < n; i++ {
+		fib = append(fib, fib[i-1]+fib[i-2])
+	}
+	for i := 0; i < n; i++ {
+		if seq[i] != fib[i] {
+			t.Fatalf("seq[%d] = %v, want %v", i, seq[i], fib[i])
+		}
+		if math.Abs(par[i]-fib[i]) > 1e-6*math.Max(1, fib[i]) {
+			t.Fatalf("par[%d] = %v, want %v", i, par[i], fib[i])
+		}
+	}
+}
+
+func TestKTermRandomOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for _, k := range []int{1, 2, 3, 5} {
+		for trial := 0; trial < 10; trial++ {
+			n := k + rng.Intn(200)
+			a := make([][]float64, k)
+			for j := range a {
+				a[j] = make([]float64, n)
+				for i := range a[j] {
+					a[j][i] = (rng.Float64() - 0.5) / float64(k) // keep bounded
+				}
+			}
+			b := make([]float64, n)
+			x0 := make([]float64, k)
+			for i := range b {
+				b[i] = rng.Float64() - 0.5
+			}
+			for i := range x0 {
+				x0[i] = rng.Float64()
+			}
+			want, err := KTermRecurrence(k, a, b, x0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := KTermRecurrenceParallel(k, a, b, x0, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+					t.Fatalf("k=%d trial=%d i=%d: got %v want %v", k, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestKTermOrderOneMatchesAffineRoute(t *testing.T) {
+	// k=1 must agree with the dedicated first-order solver.
+	rng := rand.New(rand.NewSource(133))
+	n := 300
+	a1 := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a1 {
+		a1[i] = rng.Float64()*1.2 - 0.6
+		b[i] = rng.Float64() - 0.5
+	}
+	x0 := rng.Float64()
+	want := LinearRecurrenceParallel(a1, b, x0, 2)
+	got, err := KTermRecurrenceParallel(1, [][]float64{a1}, b, []float64{x0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+			t.Fatalf("i=%d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKTermValidation(t *testing.T) {
+	if _, err := KTermRecurrence(2, [][]float64{{1}}, []float64{0}, []float64{0, 1}); err == nil {
+		t.Fatal("wrong coefficient count accepted")
+	}
+	if _, err := KTermRecurrenceParallel(2, [][]float64{{1}, {1}}, []float64{0, 0, 0}, []float64{0}, 1); err == nil {
+		t.Fatal("too few initial values accepted")
+	}
+}
+
+func TestKTermShortInput(t *testing.T) {
+	// n <= k: output is just the initial values.
+	out, err := KTermRecurrenceParallel(3, [][]float64{{0, 0}, {0, 0}, {0, 0}},
+		[]float64{0, 0}, []float64{4, 5, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 4 || out[1] != 5 {
+		t.Fatalf("out = %v", out)
+	}
+}

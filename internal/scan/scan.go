@@ -1,0 +1,102 @@
+// Package scan implements the classical parallel-prefix machinery the paper
+// builds on (its references [2] Stone and [4] Kogge–Stone): sequential and
+// parallel prefix combine (scan), and the first-order linear recurrence
+// solver x[i] = a[i]·x[i-1] + b[i] via scan over coefficient pairs.
+//
+// These are the baselines of experiment E14 (DESIGN.md): a linear
+// recurrence can be solved either by this classical scan route or by the
+// paper's Möbius-matrix OrdinaryIR route; both are O(log n) depth, and the
+// benchmarks compare their constants.
+package scan
+
+import (
+	"indexedrec/internal/core"
+	"indexedrec/internal/parallel"
+)
+
+// Inclusive computes the inclusive prefix combine of xs under op
+// sequentially: out[i] = xs[0] ⊗ ... ⊗ xs[i].
+func Inclusive[T any](op core.Semigroup[T], xs []T) []T {
+	out := make([]T, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	out[0] = xs[0]
+	for i := 1; i < len(xs); i++ {
+		out[i] = op.Combine(out[i-1], xs[i])
+	}
+	return out
+}
+
+// InclusiveParallel is the Kogge–Stone scan: ⌈log₂ n⌉ lock-step rounds of
+// out[i] = out[i-2^t] ⊗ out[i] with double buffering, O(n log n) work,
+// O(log n) depth — the same round structure as the paper's pointer jumping,
+// specialized to the chain g(i) = i, f(i) = i-1.
+func InclusiveParallel[T any](op core.Semigroup[T], xs []T, procs int) []T {
+	n := len(xs)
+	cur := make([]T, n)
+	copy(cur, xs)
+	nxt := make([]T, n)
+	for stride := 1; stride < n; stride *= 2 {
+		s := stride
+		parallel.For(n, procs, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i >= s {
+					nxt[i] = op.Combine(cur[i-s], cur[i])
+				} else {
+					nxt[i] = cur[i]
+				}
+			}
+		})
+		cur, nxt = nxt, cur
+	}
+	return cur
+}
+
+// affine is the composition semigroup of maps x ↦ a·x + b; combining left
+// then right yields the map "apply left first": (a2·a1, a2·b1 + b2).
+type affine struct{ a, b float64 }
+
+type affineOp struct{}
+
+func (affineOp) Name() string { return "affine-compose" }
+func (affineOp) Combine(l, r affine) affine {
+	return affine{a: r.a * l.a, b: r.a*l.b + r.b}
+}
+
+// LinearRecurrence solves x[i] = a[i]·x[i-1] + b[i] for i = 1..n-1 with
+// x[0] given, sequentially. a[0], b[0] are ignored.
+func LinearRecurrence(a, b []float64, x0 float64) []float64 {
+	out := make([]float64, len(a))
+	if len(a) == 0 {
+		return out
+	}
+	out[0] = x0
+	for i := 1; i < len(a); i++ {
+		out[i] = a[i]*out[i-1] + b[i]
+	}
+	return out
+}
+
+// LinearRecurrenceParallel solves the same recurrence via parallel prefix
+// over affine-map composition (the Kogge–Stone formulation the paper cites
+// as prior art): x[i] = (∘_{k≤i} φ_k)(x0), each φ_k = a_k·x + b_k.
+func LinearRecurrenceParallel(a, b []float64, x0 float64, procs int) []float64 {
+	n := len(a)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	maps := make([]affine, n)
+	maps[0] = affine{a: 1, b: 0} // identity; x[0] is given
+	for i := 1; i < n; i++ {
+		maps[i] = affine{a: a[i], b: b[i]}
+	}
+	pref := InclusiveParallel[affine](affineOp{}, maps, procs)
+	parallel.For(n, procs, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = pref[i].a*x0 + pref[i].b
+		}
+	})
+	return out
+}

@@ -1,0 +1,75 @@
+package scan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/core"
+)
+
+func TestInclusiveSequential(t *testing.T) {
+	got := Inclusive[int64](core.IntAdd{}, []int64{1, 2, 3, 4})
+	want := []int64{1, 3, 6, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInclusiveParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{0, 1, 2, 3, 17, 256, 1000} {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = rng.Int63n(1000)
+		}
+		want := Inclusive[int64](core.IntAdd{}, xs)
+		for _, p := range []int{1, 4} {
+			got := InclusiveParallel[int64](core.IntAdd{}, xs, p)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d p=%d i=%d: got %d want %d", n, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInclusiveParallelNonCommutative(t *testing.T) {
+	xs := []string{"a", "b", "c", "d", "e", "f", "g"}
+	want := Inclusive[string](core.Concat{}, xs)
+	got := InclusiveParallel[string](core.Concat{}, xs, 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("i=%d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLinearRecurrenceParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, n := range []int{1, 2, 33, 500} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()*1.4 - 0.7
+			b[i] = rng.Float64()*2 - 1
+		}
+		x0 := rng.Float64()
+		want := LinearRecurrence(a, b, x0)
+		got := LinearRecurrenceParallel(a, b, x0, 4)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("n=%d i=%d: got %v want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLinearRecurrenceEmpty(t *testing.T) {
+	if out := LinearRecurrenceParallel(nil, nil, 1, 2); len(out) != 0 {
+		t.Fatal("expected empty output")
+	}
+}

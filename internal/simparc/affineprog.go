@@ -1,0 +1,153 @@
+package simparc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// AffineScanSource demonstrates the paper's §3 idea at the assembly level:
+// the linear recurrence X[i] = (A[i]·X[i-1] + B[i]) mod P is solved in
+// O(log n) lock-step rounds by composing the affine maps φ_i = (A[i], B[i])
+// with a Kogge–Stone prefix — map composition is the 2-word special case of
+// the Möbius matrix product (C = 0, D = 1), with all arithmetic mod P so it
+// fits the integer ISA. After the prefix, X[i] = (a_pref[i]·x0 + b_pref[i])
+// mod P in one more parallel phase.
+//
+// Host symbols: N (number of maps), NPROC, ROUNDS, P (modulus), X0,
+// and array bases SA, SB (source maps), DA, DB (destination buffers),
+// OUT (results).
+const AffineScanSource = `
+; Kogge–Stone prefix over affine maps (a,b) mod P, then application to X0.
+main:
+    LDI  r2, 0
+    LDI  r3, NPROC
+mloop:
+    BGE  r2, r3, mdone
+    FORK r2, worker
+    ADDI r2, r2, 1
+    JMP  mloop
+mdone:
+    HALT
+
+worker:
+    LDI  r2, N
+    LDI  r3, NPROC
+    MUL  r4, r1, r2
+    DIV  r4, r4, r3       ; lo
+    ADDI r5, r1, 1
+    MUL  r5, r5, r2
+    DIV  r5, r5, r3       ; hi
+
+    LDI  r6, 1            ; stride
+    LDI  r7, SA           ; src a base
+    LDI  r8, DA           ; dst a base
+    LDI  r9, 0            ; round counter
+wloop:
+    LDI  r0, ROUNDS
+    BGE  r9, r0, wapply
+    MOV  r10, r4          ; i = lo
+iloop:
+    BGE  r10, r5, idone
+    ADD  r11, r7, r10
+    LD   r12, r11, 0      ; a[i]        (SB is at SA+N; DB at DA+N)
+    LDI  r0, N
+    ADD  r11, r11, r0
+    LD   r13, r11, 0      ; b[i]
+    BLT  r10, r6, istore  ; i < stride: copy through
+    SUB  r11, r10, r6
+    ADD  r11, r7, r11
+    LD   r14, r11, 0      ; a[i-s]
+    LDI  r0, N
+    ADD  r11, r11, r0
+    LD   r15, r11, 0      ; b[i-s]
+    ; compose: a' = a[i]*a[i-s] mod P ; b' = (a[i]*b[i-s] + b[i]) mod P
+    LDI  r0, P
+    MUL  r15, r12, r15
+    ADD  r15, r15, r13
+    MOD  r15, r15, r0     ; b'
+    MUL  r12, r12, r14
+    MOD  r12, r12, r0     ; a'
+    MOV  r13, r15
+istore:
+    ADD  r11, r8, r10
+    ST   r12, r11, 0      ; dst a[i]
+    LDI  r0, N
+    ADD  r11, r11, r0
+    ST   r13, r11, 0      ; dst b[i]
+    ADDI r10, r10, 1
+    JMP  iloop
+idone:
+    SYNC
+    MOV  r0, r7           ; swap src/dst bases
+    MOV  r7, r8
+    MOV  r8, r0
+    ADD  r6, r6, r6       ; stride *= 2
+    ADDI r9, r9, 1
+    JMP  wloop
+wapply:
+    ; X[i] = (a_pref[i]*X0 + b_pref[i]) mod P, from the live src bank r7.
+    MOV  r10, r4
+aloop:
+    BGE  r10, r5, wdone
+    ADD  r11, r7, r10
+    LD   r12, r11, 0      ; a_pref
+    LDI  r0, N
+    ADD  r11, r11, r0
+    LD   r13, r11, 0      ; b_pref
+    LDI  r14, X0
+    MUL  r12, r12, r14
+    ADD  r12, r12, r13
+    LDI  r0, P
+    MOD  r12, r12, r0
+    LDI  r11, OUT
+    ADD  r11, r11, r10
+    ST   r12, r11, 0
+    ADDI r10, r10, 1
+    JMP  aloop
+wdone:
+    HALT
+`
+
+// RunAffineScan assembles and executes the affine-scan program, returning
+// X[0..n-1] with X[i] = (a[i]·X[i-1] + b[i]) mod p and X[-1] = x0 (i.e.
+// a[0], b[0] produce X[0] from x0). Coefficients must be in [0, p).
+func RunAffineScan(a, b []int64, x0, p int64, nproc int, maxCycles int64) ([]int64, *RunResult, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, &RunResult{}, nil
+	}
+	if len(b) != n {
+		return nil, nil, fmt.Errorf("simparc: len(a) != len(b)")
+	}
+	if nproc < 1 {
+		return nil, nil, fmt.Errorf("simparc: nproc must be >= 1")
+	}
+	rounds := 0
+	if n > 1 {
+		rounds = bits.Len(uint(n - 1))
+	}
+	// Layout: SA [0,n), SB [n,2n), DA [2n,3n), DB [3n,4n), OUT [4n,5n).
+	baseSA, baseDA, baseOut := 0, 2*n, 4*n
+	prog, err := Assemble(AffineScanSource, map[string]int64{
+		"N": int64(n), "NPROC": int64(nproc), "ROUNDS": int64(rounds),
+		"P": p, "X0": x0 % p,
+		"SA": int64(baseSA), "DA": int64(baseDA), "OUT": int64(baseOut),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	vm := NewVM(prog, 5*n)
+	copy(vm.Mem[baseSA:baseSA+n], a)
+	copy(vm.Mem[baseSA+n:baseSA+2*n], b)
+	copy(vm.Mem[baseDA:baseDA+n], a)
+	copy(vm.Mem[baseDA+n:baseDA+2*n], b)
+	if err := vm.Run(maxCycles); err != nil {
+		return nil, nil, err
+	}
+	out := make([]int64, n)
+	copy(out, vm.Mem[baseOut:baseOut+n])
+	return out, &RunResult{
+		Values: out, Cycles: vm.Cycles, Instrs: vm.Instrs,
+		MaxActive: vm.MaxActive, Rounds: rounds,
+	}, nil
+}

@@ -1,0 +1,82 @@
+package simparc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// affineOracle runs X[i] = (a[i]·X[i-1] + b[i]) mod p sequentially.
+func affineOracle(a, b []int64, x0, p int64) []int64 {
+	out := make([]int64, len(a))
+	x := x0 % p
+	for i := range a {
+		x = (a[i]*x + b[i]) % p
+		out[i] = x
+	}
+	return out
+}
+
+func TestAffineScanMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	const p = 99991
+	for _, n := range []int{1, 2, 3, 17, 128, 777} {
+		a := make([]int64, n)
+		b := make([]int64, n)
+		for i := range a {
+			a[i] = rng.Int63n(p)
+			b[i] = rng.Int63n(p)
+		}
+		x0 := rng.Int63n(p)
+		want := affineOracle(a, b, x0, p)
+		for _, procs := range []int{1, 4, 16} {
+			got, _, err := RunAffineScan(a, b, x0, p, procs, 1<<28)
+			if err != nil {
+				t.Fatalf("n=%d procs=%d: %v", n, procs, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d procs=%d i=%d: got %d, want %d", n, procs, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAffineScanLogCycles(t *testing.T) {
+	// At P = n the cycle count must be O(log n): doubling n (and P) must
+	// add only a roughly constant number of cycles per round beyond the
+	// serial fork prologue.
+	const p = 99991
+	mk := func(n int) ([]int64, []int64) {
+		a := make([]int64, n)
+		b := make([]int64, n)
+		for i := range a {
+			a[i] = 2
+			b[i] = 3
+		}
+		return a, b
+	}
+	a1, b1 := mk(256)
+	a2, b2 := mk(512)
+	_, r1, err := RunAffineScan(a1, b1, 1, p, 256, 1<<28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r2, err := RunAffineScan(a2, b2, 1, p, 256, 1<<28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same P: work doubles but rounds grow by one; with P=256 procs the
+	// per-round parallel work is 1-2 items → cycles should grow mildly.
+	if growth := float64(r2.Cycles) / float64(r1.Cycles); growth > 1.8 {
+		t.Fatalf("cycles grew %.2fx on doubling n at large P: %d -> %d",
+			growth, r1.Cycles, r2.Cycles)
+	}
+}
+
+func TestAffineScanEmpty(t *testing.T) {
+	out, _, err := RunAffineScan(nil, nil, 1, 97, 2, 1000)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}

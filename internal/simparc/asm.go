@@ -1,0 +1,278 @@
+package simparc
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrAsm wraps all assembler diagnostics.
+var ErrAsm = errors.New("simparc: assembly error")
+
+// Program is an assembled instruction sequence plus its symbol table.
+type Program struct {
+	Code    []Instr
+	Symbols map[string]int64
+}
+
+// Assemble translates assembly text into a Program. Syntax:
+//
+//	; comment to end of line
+//	label:                ; labels may share a line with an instruction
+//	.equ NAME expr        ; define a constant (expr: integer or symbol)
+//	OP operands           ; registers r0..r15, immediates, labels
+//
+// extern provides host-defined symbols (array base addresses, sizes,
+// processor counts) that the program references by name; they are merged
+// into the symbol table before pass one and may be redefined by .equ only
+// with an error.
+func Assemble(src string, extern map[string]int64) (*Program, error) {
+	syms := make(map[string]int64, len(extern))
+	for k, v := range extern {
+		syms[k] = v
+	}
+
+	type rawLine struct {
+		fields []string
+		line   int
+	}
+	var raw []rawLine
+
+	// Pass 1: strip comments, collect labels and .equ, keep instructions.
+	pc := 0
+	for ln, lineText := range strings.Split(src, "\n") {
+		line := ln + 1
+		if i := strings.IndexByte(lineText, ';'); i >= 0 {
+			lineText = lineText[:i]
+		}
+		text := strings.TrimSpace(lineText)
+		// Peel leading labels.
+		for {
+			i := strings.IndexByte(text, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(text[:i])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("%w: line %d: bad label %q", ErrAsm, line, label)
+			}
+			if _, dup := syms[label]; dup {
+				return nil, fmt.Errorf("%w: line %d: symbol %q redefined", ErrAsm, line, label)
+			}
+			syms[label] = int64(pc)
+			text = strings.TrimSpace(text[i+1:])
+		}
+		if text == "" {
+			continue
+		}
+		fields := splitOperands(text)
+		if len(fields) == 0 {
+			continue // e.g. a line of bare commas
+		}
+		if fields[0] == ".equ" {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("%w: line %d: .equ NAME VALUE", ErrAsm, line)
+			}
+			name := fields[1]
+			if _, dup := syms[name]; dup {
+				return nil, fmt.Errorf("%w: line %d: symbol %q redefined", ErrAsm, line, name)
+			}
+			v, err := resolve(fields[2], syms)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrAsm, line, err)
+			}
+			syms[name] = v
+			continue
+		}
+		raw = append(raw, rawLine{fields: fields, line: line})
+		pc++
+	}
+
+	// Pass 2: encode.
+	code := make([]Instr, 0, len(raw))
+	for _, rl := range raw {
+		ins, err := encode(rl.fields, rl.line, syms)
+		if err != nil {
+			return nil, err
+		}
+		code = append(code, ins)
+	}
+	return &Program{Code: code, Symbols: syms}, nil
+}
+
+// splitOperands splits "OP a, b, c" into fields, treating commas as spaces.
+func splitOperands(text string) []string {
+	return strings.Fields(strings.ReplaceAll(text, ",", " "))
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// resolve evaluates an immediate: a decimal integer or a defined symbol.
+func resolve(tok string, syms map[string]int64) (int64, error) {
+	if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, ok := syms[tok]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("undefined symbol %q", tok)
+}
+
+func reg(tok string, line int) (int, error) {
+	if len(tok) >= 2 && (tok[0] == 'r' || tok[0] == 'R') {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: line %d: bad register %q", ErrAsm, line, tok)
+}
+
+func encode(f []string, line int, syms map[string]int64) (Instr, error) {
+	bad := func(format string, args ...any) (Instr, error) {
+		return Instr{}, fmt.Errorf("%w: line %d: %s", ErrAsm, line, fmt.Sprintf(format, args...))
+	}
+	op, ok := opByName[strings.ToUpper(f[0])]
+	if !ok {
+		return bad("unknown mnemonic %q", f[0])
+	}
+	ins := Instr{Op: op, Line: line}
+	need := func(n int) error {
+		if len(f)-1 != n {
+			return fmt.Errorf("%w: line %d: %s wants %d operands, got %d",
+				ErrAsm, line, op, n, len(f)-1)
+		}
+		return nil
+	}
+	var err error
+	switch op {
+	case NOP, SYNC, HALT:
+		if err = need(0); err != nil {
+			return Instr{}, err
+		}
+	case LDI: // rd, imm
+		if err = need(2); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rd, err = reg(f[1], line); err != nil {
+			return Instr{}, err
+		}
+		if ins.Imm, err = resolve(f[2], syms); err != nil {
+			return bad("%v", err)
+		}
+	case MOV, PID: // rd[, rs]
+		if op == PID {
+			if err = need(1); err != nil {
+				return Instr{}, err
+			}
+			if ins.Rd, err = reg(f[1], line); err != nil {
+				return Instr{}, err
+			}
+			break
+		}
+		if err = need(2); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rd, err = reg(f[1], line); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rs, err = reg(f[2], line); err != nil {
+			return Instr{}, err
+		}
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, OPX: // rd, rs, rt
+		if err = need(3); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rd, err = reg(f[1], line); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rs, err = reg(f[2], line); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rt, err = reg(f[3], line); err != nil {
+			return Instr{}, err
+		}
+	case ADDI, LD: // rd, rs, imm
+		if err = need(3); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rd, err = reg(f[1], line); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rs, err = reg(f[2], line); err != nil {
+			return Instr{}, err
+		}
+		if ins.Imm, err = resolve(f[3], syms); err != nil {
+			return bad("%v", err)
+		}
+	case ST: // rs, rt, imm   (Mem[rt+imm] = rs)
+		if err = need(3); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rs, err = reg(f[1], line); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rt, err = reg(f[2], line); err != nil {
+			return Instr{}, err
+		}
+		if ins.Imm, err = resolve(f[3], syms); err != nil {
+			return bad("%v", err)
+		}
+	case BEQ, BNE, BLT, BGE: // rs, rt, label
+		if err = need(3); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rs, err = reg(f[1], line); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rt, err = reg(f[2], line); err != nil {
+			return Instr{}, err
+		}
+		t, err := resolve(f[3], syms)
+		if err != nil {
+			return bad("%v", err)
+		}
+		ins.Target = int(t)
+	case JMP: // label
+		if err = need(1); err != nil {
+			return Instr{}, err
+		}
+		t, err := resolve(f[1], syms)
+		if err != nil {
+			return bad("%v", err)
+		}
+		ins.Target = int(t)
+	case FORK: // rs, label
+		if err = need(2); err != nil {
+			return Instr{}, err
+		}
+		if ins.Rs, err = reg(f[1], line); err != nil {
+			return Instr{}, err
+		}
+		t, err := resolve(f[2], syms)
+		if err != nil {
+			return bad("%v", err)
+		}
+		ins.Target = int(t)
+	default:
+		return bad("unhandled op %v", op)
+	}
+	return ins, nil
+}

@@ -1,0 +1,121 @@
+package simparc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	src := `
+; a tiny program
+.equ BASE 100
+start:
+    LDI r1, 5
+    LDI r2, BASE
+    ADD r3, r1, r2
+    ST  r3, r2, 7
+    HALT
+`
+	p, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 5 {
+		t.Fatalf("code len %d, want 5", len(p.Code))
+	}
+	if p.Symbols["BASE"] != 100 || p.Symbols["start"] != 0 {
+		t.Fatalf("symbols: %v", p.Symbols)
+	}
+	if p.Code[1].Op != LDI || p.Code[1].Imm != 100 {
+		t.Fatalf("LDI with symbol: %+v", p.Code[1])
+	}
+	if p.Code[3].Op != ST || p.Code[3].Imm != 7 {
+		t.Fatalf("ST: %+v", p.Code[3])
+	}
+}
+
+func TestAssembleLabelsResolveForward(t *testing.T) {
+	src := `
+    JMP end
+    NOP
+end:
+    HALT
+`
+	p, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Target != 2 {
+		t.Fatalf("JMP target = %d, want 2", p.Code[0].Target)
+	}
+}
+
+func TestAssembleExternSymbols(t *testing.T) {
+	p, err := Assemble("LDI r1, N\nHALT\n", map[string]int64{"N": 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Imm != 42 {
+		t.Fatalf("Imm = %d, want 42", p.Code[0].Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown mnemonic", "FROB r1, r2\n"},
+		{"undefined symbol", "LDI r1, NOWHERE\n"},
+		{"bad register", "LDI r99, 5\n"},
+		{"wrong arity", "ADD r1, r2\n"},
+		{"duplicate label", "a:\nNOP\na:\nHALT\n"},
+		{"duplicate equ", ".equ X 1\n.equ X 2\n"},
+		{"bad label chars", "9bad:\nHALT\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src, nil)
+			if !errors.Is(err, ErrAsm) {
+				t.Fatalf("err = %v, want ErrAsm", err)
+			}
+		})
+	}
+}
+
+func TestAssembleCommentsAndCommas(t *testing.T) {
+	src := "LDI r1, 3 ; set r1\n   ; full comment line\nADD r2 , r1 , r1\nHALT"
+	p, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 3 {
+		t.Fatalf("code len = %d, want 3", len(p.Code))
+	}
+}
+
+func TestAssembleShippedProgramsParse(t *testing.T) {
+	// Both shipped programs must assemble against dummy symbols.
+	syms := map[string]int64{}
+	for _, s := range strings.Fields("NITER A G F NPROC K ROUNDS V N V2 N2 NEXT INITF CELLS") {
+		syms[s] = 1
+	}
+	if _, err := Assemble(SeqIRSource, syms); err != nil {
+		t.Fatalf("SeqIRSource: %v", err)
+	}
+	if _, err := Assemble(ParallelOIRSource, syms); err != nil {
+		t.Fatalf("ParallelOIRSource: %v", err)
+	}
+}
+
+func TestAssembleCommaOnlyLine(t *testing.T) {
+	// Regression: a line reducing to zero fields (bare commas) used to
+	// panic the assembler (found by FuzzAssemble).
+	p, err := Assemble(",\nHALT\n, ,\n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 1 || p.Code[0].Op != HALT {
+		t.Fatalf("code = %v", p.Code)
+	}
+}

@@ -1,0 +1,106 @@
+package simparc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Disassemble renders a program back to readable assembly, one instruction
+// per line with its index — the debugging companion to Assemble. Labels are
+// reconstructed from the symbol table where they point into code.
+func Disassemble(p *Program, w io.Writer) {
+	// A symbol is treated as a label only when some instruction actually
+	// branches/jumps/forks to it — data constants (.equ, extern bases) can
+	// collide numerically with instruction indices otherwise.
+	targets := make(map[int]bool)
+	for _, ins := range p.Code {
+		switch ins.Op {
+		case BEQ, BNE, BLT, BGE, JMP, FORK:
+			targets[ins.Target] = true
+		}
+	}
+	targets[0] = true // entry point
+	labels := make(map[int][]string)
+	for name, v := range p.Symbols {
+		if v >= 0 && v < int64(len(p.Code)) && targets[int(v)] {
+			labels[int(v)] = append(labels[int(v)], name)
+		}
+	}
+	target := func(pc int) string {
+		if names, ok := labels[pc]; ok {
+			sort.Strings(names)
+			return names[0]
+		}
+		return fmt.Sprintf("@%d", pc)
+	}
+	for pc, ins := range p.Code {
+		if names, ok := labels[pc]; ok {
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Fprintf(w, "%s:\n", n)
+			}
+		}
+		fmt.Fprintf(w, "  %3d  %s\n", pc, formatInstr(ins, target))
+	}
+}
+
+func formatInstr(ins Instr, target func(pc int) string) string {
+	r := func(n int) string { return fmt.Sprintf("r%d", n) }
+	switch ins.Op {
+	case NOP, SYNC, HALT:
+		return ins.Op.String()
+	case LDI:
+		return fmt.Sprintf("LDI  %s, %d", r(ins.Rd), ins.Imm)
+	case MOV:
+		return fmt.Sprintf("MOV  %s, %s", r(ins.Rd), r(ins.Rs))
+	case PID:
+		return fmt.Sprintf("PID  %s", r(ins.Rd))
+	case ADDI:
+		return fmt.Sprintf("ADDI %s, %s, %d", r(ins.Rd), r(ins.Rs), ins.Imm)
+	case LD:
+		return fmt.Sprintf("LD   %s, %s, %d", r(ins.Rd), r(ins.Rs), ins.Imm)
+	case ST:
+		return fmt.Sprintf("ST   %s, %s, %d", r(ins.Rs), r(ins.Rt), ins.Imm)
+	case BEQ, BNE, BLT, BGE:
+		return fmt.Sprintf("%-4s %s, %s, %s", ins.Op, r(ins.Rs), r(ins.Rt), target(ins.Target))
+	case JMP:
+		return fmt.Sprintf("JMP  %s", target(ins.Target))
+	case FORK:
+		return fmt.Sprintf("FORK %s, %s", r(ins.Rs), target(ins.Target))
+	default: // three-register ALU ops and OPX
+		return fmt.Sprintf("%-4s %s, %s, %s", ins.Op, r(ins.Rd), r(ins.Rs), r(ins.Rt))
+	}
+}
+
+// Profile renders the VM's per-opcode execution counts, largest first — the
+// "which instructions dominate" view of a run.
+func (vm *VM) Profile(w io.Writer) {
+	type row struct {
+		op    OpCode
+		count int64
+	}
+	rows := make([]row, 0, len(vm.PerOp))
+	for op, c := range vm.PerOp {
+		rows = append(rows, row{op, c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].op < rows[j].op
+	})
+	fmt.Fprintf(w, "cycles=%d instructions=%d max-active=%d\n", vm.Cycles, vm.Instrs, vm.MaxActive)
+	for _, r := range rows {
+		bar := strings.Repeat("#", int(40*r.count/max64(vm.Instrs, 1)))
+		fmt.Fprintf(w, "  %-5s %10d  %s\n", r.op, r.count, bar)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+package simparc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble: the assembler must never panic — every input yields either a
+// program or a wrapped ErrAsm.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"HALT",
+		"LDI r1, 5\nHALT",
+		SeqIRSource,
+		ReduceSource,
+		"label: label2: HALT",
+		".equ A 1\n.equ B A\nLDI r1, B\nHALT",
+		"FORK r1, nowhere",
+		"LDI r1",
+		"ST r1, r2, 999999999999999999999",
+		strings.Repeat("NOP\n", 100),
+		"\x00\x01\x02",
+		"BGE r1, r2, 5",
+		"; only a comment",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src, map[string]int64{
+			"NITER": 1, "A": 0, "G": 1, "F": 2, "NPROC": 1, "K": 1,
+			"ROUNDS": 1, "V": 0, "N": 0, "V2": 0, "N2": 0,
+			"NEXT": 0, "INITF": 0, "CELLS": 0,
+		})
+		if err != nil {
+			return
+		}
+		// Whatever assembles must disassemble without panicking...
+		var sb strings.Builder
+		Disassemble(p, &sb)
+		// ...and run (bounded) without panicking — faults are fine.
+		vm := NewVM(p, 64)
+		_ = vm.Run(10_000)
+	})
+}

@@ -1,0 +1,90 @@
+// Package simparc is an instruction-level reconstruction of the SimParC
+// simulator the paper measured on (reference [5]): a lock-step shared-memory
+// multiprocessor executing a small RISC-like assembly language, with FORK
+// for process creation (capped at P concurrently active processes, the
+// paper's "forks only up to P processes at the same time" discipline) and
+// SYNC as a whole-machine barrier.
+//
+// One machine cycle executes one instruction on every running processor (in
+// processor-id order, which makes the simulation deterministic). The cycle
+// counter is the paper's Y axis: "complexity in units of assembly
+// instructions" of a P-processor lock-step execution. The VM also reports
+// total executed instructions (work).
+//
+// The original SimParC is unpublished; DESIGN.md documents this substitution.
+// What Fig. 3 needs from it — faithful instruction counting of the parallel
+// OrdinaryIR program vs. the original loop — is preserved.
+package simparc
+
+import "fmt"
+
+// OpCode enumerates the ISA.
+type OpCode int
+
+const (
+	NOP OpCode = iota
+	LDI        // LDI rd, imm        rd ← imm
+	MOV        // MOV rd, rs         rd ← rs
+	ADD        // ADD rd, rs, rt     rd ← rs + rt
+	SUB
+	MUL
+	DIV // toward zero; DIV by 0 faults
+	MOD
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	ADDI // ADDI rd, rs, imm   rd ← rs + imm
+	LD   // LD rd, rs, imm     rd ← Mem[rs+imm]
+	ST   // ST rs, rt, imm     Mem[rt+imm] ← rs
+	BEQ  // BEQ rs, rt, label
+	BNE
+	BLT
+	BGE
+	JMP  // JMP label
+	FORK // FORK rs, label     spawn proc with r1 = rs at label
+	PID  // PID rd             rd ← processor id
+	OPX  // OPX rd, rs, rt     rd ← ⊗(rs, rt)  (configurable operation)
+	SYNC // barrier across all live processors
+	HALT
+)
+
+var opNames = map[OpCode]string{
+	NOP: "NOP", LDI: "LDI", MOV: "MOV", ADD: "ADD", SUB: "SUB", MUL: "MUL",
+	DIV: "DIV", MOD: "MOD", AND: "AND", OR: "OR", XOR: "XOR", SHL: "SHL",
+	SHR: "SHR", ADDI: "ADDI", LD: "LD", ST: "ST", BEQ: "BEQ", BNE: "BNE",
+	BLT: "BLT", BGE: "BGE", JMP: "JMP", FORK: "FORK", PID: "PID", OPX: "OPX",
+	SYNC: "SYNC", HALT: "HALT",
+}
+
+var opByName = func() map[string]OpCode {
+	m := make(map[string]OpCode, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+func (o OpCode) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op         OpCode
+	Rd, Rs, Rt int
+	Imm        int64
+	// Target is the resolved branch/jump/fork destination (instruction
+	// index).
+	Target int
+	// Line is the 1-based source line, for error messages.
+	Line int
+}
+
+// NumRegs is the register file size; registers are named r0..r15.
+// Convention in the shipped programs: r1 receives the FORK argument.
+const NumRegs = 16

@@ -1,0 +1,118 @@
+package simparc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReduceSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	add := func(a, b int64) int64 { return a + b }
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 1000} {
+		init := make([]int64, n)
+		var want int64
+		for i := range init {
+			init[i] = rng.Int63n(1000)
+			want += init[i]
+		}
+		for _, p := range []int{1, 4, 16} {
+			got, _, err := RunReduce(init, add, p, 1<<24)
+			if err != nil {
+				t.Fatalf("n=%d p=%d: %v", n, p, err)
+			}
+			if got != want {
+				t.Fatalf("n=%d p=%d: got %d, want %d", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	maxOp := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	init := []int64{3, 9, 1, 42, 7, 5, 12, 8, 40}
+	got, res, err := RunReduce(init, maxOp, 3, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("max = %d, want 42", got)
+	}
+	if res.MaxActive < 2 {
+		t.Fatalf("MaxActive = %d, want concurrent workers", res.MaxActive)
+	}
+}
+
+func TestReduceLogRounds(t *testing.T) {
+	// With abundant processors the reduction must behave sublinearly in n:
+	// at fixed P = 512 the serial fork prologue (Θ(P)) and the Θ(log n)
+	// round structure dominate, so doubling n must NOT double the cycles.
+	add := func(a, b int64) int64 { return a + b }
+	init1 := make([]int64, 1024)
+	init2 := make([]int64, 2048)
+	_, r1, err := RunReduce(init1, add, 512, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r2, err := RunReduce(init2, add, 512, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if growth := float64(r2.Cycles) / float64(r1.Cycles); growth > 1.6 {
+		t.Fatalf("cycles grew %.2fx when doubling n at fixed large P; want sublinear: %d -> %d",
+			growth, r1.Cycles, r2.Cycles)
+	}
+	// And a sequential-P run must be Θ(n): much more than the parallel run.
+	_, rSeq, err := RunReduce(init2, add, 1, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSeq.Cycles < 4*r2.Cycles {
+		t.Fatalf("P=1 cycles %d vs P=512 cycles %d: expected clear parallel win", rSeq.Cycles, r2.Cycles)
+	}
+}
+
+func TestDisassembleRoundTrips(t *testing.T) {
+	prog, err := Assemble(ReduceSource, map[string]int64{"N": 8, "NPROC": 2, "A": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	Disassemble(prog, &sb)
+	out := sb.String()
+	for _, want := range []string{"worker:", "FORK", "OPX", "SYNC", "HALT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	// Every instruction index must appear.
+	if !strings.Contains(out, "  0  ") {
+		t.Fatal("missing instruction index 0")
+	}
+}
+
+func TestProfileOutput(t *testing.T) {
+	init := make([]int64, 64)
+	add := func(a, b int64) int64 { return a + b }
+	prog, err := Assemble(ReduceSource, map[string]int64{"N": 64, "NPROC": 4, "A": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(prog, 64)
+	vm.OpX = add
+	copy(vm.Mem, init)
+	if err := vm.Run(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	vm.Profile(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "cycles=") || !strings.Contains(out, "OPX") {
+		t.Fatalf("profile output unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,110 @@
+package simparc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ScanSource is the Kogge–Stone inclusive scan as a SimParC assembly
+// program: ROUNDS lock-step strides of out[i] = OPX(out[i-2^t], out[i])
+// with SRC/DST buffer roles swapped between rounds — the cited prior art
+// ([2] Stone, [4] Kogge–Stone) at the instruction level, comparable cycle
+// for cycle against the OrdinaryIR program on chain instances.
+// Host symbols: N, NPROC, ROUNDS, SRC, DST (array bases).
+const ScanSource = `
+; Kogge–Stone inclusive scan across NPROC workers.
+main:
+    LDI  r2, 0
+    LDI  r3, NPROC
+mloop:
+    BGE  r2, r3, mdone
+    FORK r2, worker
+    ADDI r2, r2, 1
+    JMP  mloop
+mdone:
+    HALT
+
+worker:
+    ; chunk bounds over the N elements
+    LDI  r2, N
+    LDI  r3, NPROC
+    MUL  r4, r1, r2
+    DIV  r4, r4, r3       ; lo
+    ADDI r5, r1, 1
+    MUL  r5, r5, r2
+    DIV  r5, r5, r3       ; hi
+
+    LDI  r6, 1            ; stride
+    LDI  r7, SRC
+    LDI  r8, DST
+    LDI  r9, 0            ; round counter
+wloop:
+    LDI  r0, ROUNDS
+    BGE  r9, r0, wdone
+    MOV  r10, r4          ; i = lo
+iloop:
+    BGE  r10, r5, idone
+    ADD  r11, r7, r10
+    LD   r12, r11, 0      ; src[i]
+    BLT  r10, r6, istore  ; i < stride: copy through
+    SUB  r11, r10, r6
+    ADD  r11, r7, r11
+    LD   r13, r11, 0      ; src[i-stride]
+    OPX  r12, r13, r12
+istore:
+    ADD  r11, r8, r10
+    ST   r12, r11, 0      ; dst[i]
+    ADDI r10, r10, 1
+    JMP  iloop
+idone:
+    SYNC
+    MOV  r0, r7           ; swap SRC/DST roles
+    MOV  r7, r8
+    MOV  r8, r0
+    ADD  r6, r6, r6       ; stride *= 2
+    ADDI r9, r9, 1
+    JMP  wloop
+wdone:
+    HALT
+`
+
+// RunScan assembles and executes the scan program, returning the inclusive
+// prefix combine of xs under opx.
+func RunScan(xs []int64, opx func(a, b int64) int64, nproc int, maxCycles int64) ([]int64, *RunResult, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, &RunResult{}, nil
+	}
+	if nproc < 1 {
+		return nil, nil, fmt.Errorf("simparc: nproc must be >= 1")
+	}
+	rounds := 0
+	if n > 1 {
+		rounds = bits.Len(uint(n - 1))
+	}
+	baseSrc, baseDst := 0, n
+	prog, err := Assemble(ScanSource, map[string]int64{
+		"N": int64(n), "NPROC": int64(nproc), "ROUNDS": int64(rounds),
+		"SRC": int64(baseSrc), "DST": int64(baseDst),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	vm := NewVM(prog, 2*n)
+	vm.OpX = opx
+	copy(vm.Mem[baseSrc:baseSrc+n], xs)
+	copy(vm.Mem[baseDst:baseDst+n], xs)
+	if err := vm.Run(maxCycles); err != nil {
+		return nil, nil, err
+	}
+	src := baseSrc
+	if rounds%2 == 1 {
+		src = baseDst
+	}
+	out := make([]int64, n)
+	copy(out, vm.Mem[src:src+n])
+	return out, &RunResult{
+		Values: out, Cycles: vm.Cycles, Instrs: vm.Instrs,
+		MaxActive: vm.MaxActive, Rounds: rounds,
+	}, nil
+}

@@ -1,0 +1,71 @@
+package simparc
+
+import (
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/paperfig"
+	"indexedrec/internal/scan"
+)
+
+func TestScanProgramMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	add := func(a, b int64) int64 { return a + b }
+	for _, n := range []int{1, 2, 3, 16, 100, 513} {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = rng.Int63n(1000)
+		}
+		want := scan.Inclusive[int64](core.IntAdd{}, xs)
+		for _, p := range []int{1, 4, 16} {
+			got, _, err := RunScan(xs, add, p, 1<<26)
+			if err != nil {
+				t.Fatalf("n=%d p=%d: %v", n, p, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d p=%d i=%d: got %d want %d", n, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestScanProgramEmpty(t *testing.T) {
+	out, _, err := RunScan(nil, func(a, b int64) int64 { return a + b }, 2, 1000)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestScanVsOIRProgramCycles(t *testing.T) {
+	// On a chain instance both assembly programs compute the same prefix
+	// values; cycle counts must be within a small constant factor (same
+	// (n/P)·log n structure, different constant).
+	n := 1024
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i % 9)
+	}
+	add := func(a, b int64) int64 { return a + b }
+	scanOut, scanRes, err := RunScan(xs, add, 8, 1<<28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := paperfig.Fig2System(n)
+	oirRes, err := RunParallelOIR(s, add, xs, 8, 1<<28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if scanOut[i] != oirRes.Values[i] {
+			t.Fatalf("i=%d: scan %d vs OIR %d", i, scanOut[i], oirRes.Values[i])
+		}
+	}
+	ratio := float64(oirRes.Cycles) / float64(scanRes.Cycles)
+	if ratio < 0.3 || ratio > 5 {
+		t.Fatalf("OIR/scan cycle ratio %.2f out of range (OIR=%d scan=%d)",
+			ratio, oirRes.Cycles, scanRes.Cycles)
+	}
+}

@@ -1,0 +1,260 @@
+package simparc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// procState is a processor's scheduling state.
+type procState int
+
+const (
+	running procState = iota
+	waiting           // blocked at SYNC
+	halted
+)
+
+type proc struct {
+	id    int
+	pc    int
+	regs  [NumRegs]int64
+	state procState
+}
+
+// ErrFault wraps runtime faults (bad memory access, division by zero, pc out
+// of range, deadlock, cycle budget exceeded).
+var ErrFault = errors.New("simparc: fault")
+
+// VM is the lock-step multiprocessor.
+type VM struct {
+	// Mem is the shared data memory (Harvard layout: code is separate).
+	Mem []int64
+	// OpX is the ⊗ bound to the OPX instruction.
+	OpX func(a, b int64) int64
+	// Cap bounds concurrently active (started, unhalted) processors;
+	// 0 means unlimited. FORKs beyond the cap queue FIFO and start as
+	// active processors halt.
+	Cap int
+
+	prog    *Program
+	procs   []*proc
+	pending []*proc
+	nextID  int
+
+	// Cycles is the lock-step cycle count — the paper's time axis.
+	Cycles int64
+	// Instrs is the total executed instruction count (work).
+	Instrs int64
+	// MaxActive is the high-water mark of simultaneously active processors.
+	MaxActive int
+	// PerOp counts executed instructions by opcode (profiling aid).
+	PerOp map[OpCode]int64
+}
+
+// NewVM creates a VM for prog with the given data memory size. Processor 0
+// starts at instruction 0.
+func NewVM(prog *Program, memWords int) *VM {
+	vm := &VM{
+		Mem:   make([]int64, memWords),
+		OpX:   func(a, b int64) int64 { return a + b },
+		prog:  prog,
+		PerOp: make(map[OpCode]int64),
+	}
+	vm.procs = []*proc{{id: 0, pc: 0, state: running}}
+	vm.nextID = 1
+	return vm
+}
+
+func (vm *VM) activeCount() int {
+	n := 0
+	for _, p := range vm.procs {
+		if p.state != halted {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes until every processor has halted, or maxCycles elapse, or a
+// fault occurs.
+func (vm *VM) Run(maxCycles int64) error {
+	for {
+		// Admit pending processors up to the cap.
+		for len(vm.pending) > 0 && (vm.Cap <= 0 || vm.activeCount() < vm.Cap) {
+			vm.procs = append(vm.procs, vm.pending[0])
+			vm.pending = vm.pending[1:]
+		}
+		if a := vm.activeCount(); a > vm.MaxActive {
+			vm.MaxActive = a
+		}
+
+		anyRunning := false
+		for _, p := range vm.procs {
+			if p.state == running {
+				anyRunning = true
+				break
+			}
+		}
+		if !anyRunning {
+			// Barrier release, completion, or deadlock.
+			nWaiting := 0
+			for _, p := range vm.procs {
+				if p.state == waiting {
+					nWaiting++
+				}
+			}
+			if nWaiting > 0 {
+				for _, p := range vm.procs {
+					if p.state == waiting {
+						p.state = running
+					}
+				}
+				continue
+			}
+			if len(vm.pending) > 0 {
+				return fmt.Errorf("%w: deadlock: %d pending processors but none can start",
+					ErrFault, len(vm.pending))
+			}
+			return nil // all halted
+		}
+
+		if vm.Cycles >= maxCycles {
+			return fmt.Errorf("%w: cycle budget %d exceeded", ErrFault, maxCycles)
+		}
+		vm.Cycles++
+
+		// One lock-step cycle: every running processor executes one
+		// instruction, in id order (deterministic). FORKed children join
+		// after the cycle.
+		snapshot := vm.procs
+		var born []*proc
+		for _, p := range snapshot {
+			if p.state != running {
+				continue
+			}
+			child, err := vm.step(p)
+			if err != nil {
+				return err
+			}
+			if child != nil {
+				born = append(born, child)
+			}
+		}
+		for _, c := range born {
+			if vm.Cap <= 0 || vm.activeCount() < vm.Cap {
+				vm.procs = append(vm.procs, c)
+			} else {
+				vm.pending = append(vm.pending, c)
+			}
+		}
+	}
+}
+
+// step executes one instruction on p; it returns a child processor if the
+// instruction was a successful FORK.
+func (vm *VM) step(p *proc) (*proc, error) {
+	if p.pc < 0 || p.pc >= len(vm.prog.Code) {
+		return nil, fmt.Errorf("%w: proc %d: pc %d out of range", ErrFault, p.id, p.pc)
+	}
+	ins := vm.prog.Code[p.pc]
+	vm.Instrs++
+	vm.PerOp[ins.Op]++
+	next := p.pc + 1
+
+	load := func(addr int64) (int64, error) {
+		if addr < 0 || addr >= int64(len(vm.Mem)) {
+			return 0, fmt.Errorf("%w: proc %d line %d: load address %d out of range",
+				ErrFault, p.id, ins.Line, addr)
+		}
+		return vm.Mem[addr], nil
+	}
+	store := func(addr, v int64) error {
+		if addr < 0 || addr >= int64(len(vm.Mem)) {
+			return fmt.Errorf("%w: proc %d line %d: store address %d out of range",
+				ErrFault, p.id, ins.Line, addr)
+		}
+		vm.Mem[addr] = v
+		return nil
+	}
+
+	var child *proc
+	switch ins.Op {
+	case NOP:
+	case LDI:
+		p.regs[ins.Rd] = ins.Imm
+	case MOV:
+		p.regs[ins.Rd] = p.regs[ins.Rs]
+	case ADD:
+		p.regs[ins.Rd] = p.regs[ins.Rs] + p.regs[ins.Rt]
+	case SUB:
+		p.regs[ins.Rd] = p.regs[ins.Rs] - p.regs[ins.Rt]
+	case MUL:
+		p.regs[ins.Rd] = p.regs[ins.Rs] * p.regs[ins.Rt]
+	case DIV:
+		if p.regs[ins.Rt] == 0 {
+			return nil, fmt.Errorf("%w: proc %d line %d: division by zero", ErrFault, p.id, ins.Line)
+		}
+		p.regs[ins.Rd] = p.regs[ins.Rs] / p.regs[ins.Rt]
+	case MOD:
+		if p.regs[ins.Rt] == 0 {
+			return nil, fmt.Errorf("%w: proc %d line %d: modulo by zero", ErrFault, p.id, ins.Line)
+		}
+		p.regs[ins.Rd] = p.regs[ins.Rs] % p.regs[ins.Rt]
+	case AND:
+		p.regs[ins.Rd] = p.regs[ins.Rs] & p.regs[ins.Rt]
+	case OR:
+		p.regs[ins.Rd] = p.regs[ins.Rs] | p.regs[ins.Rt]
+	case XOR:
+		p.regs[ins.Rd] = p.regs[ins.Rs] ^ p.regs[ins.Rt]
+	case SHL:
+		p.regs[ins.Rd] = p.regs[ins.Rs] << uint(p.regs[ins.Rt]&63)
+	case SHR:
+		p.regs[ins.Rd] = p.regs[ins.Rs] >> uint(p.regs[ins.Rt]&63)
+	case ADDI:
+		p.regs[ins.Rd] = p.regs[ins.Rs] + ins.Imm
+	case LD:
+		v, err := load(p.regs[ins.Rs] + ins.Imm)
+		if err != nil {
+			return nil, err
+		}
+		p.regs[ins.Rd] = v
+	case ST:
+		if err := store(p.regs[ins.Rt]+ins.Imm, p.regs[ins.Rs]); err != nil {
+			return nil, err
+		}
+	case BEQ:
+		if p.regs[ins.Rs] == p.regs[ins.Rt] {
+			next = ins.Target
+		}
+	case BNE:
+		if p.regs[ins.Rs] != p.regs[ins.Rt] {
+			next = ins.Target
+		}
+	case BLT:
+		if p.regs[ins.Rs] < p.regs[ins.Rt] {
+			next = ins.Target
+		}
+	case BGE:
+		if p.regs[ins.Rs] >= p.regs[ins.Rt] {
+			next = ins.Target
+		}
+	case JMP:
+		next = ins.Target
+	case FORK:
+		child = &proc{id: vm.nextID, pc: ins.Target, state: running}
+		vm.nextID++
+		child.regs[1] = p.regs[ins.Rs]
+	case PID:
+		p.regs[ins.Rd] = int64(p.id)
+	case OPX:
+		p.regs[ins.Rd] = vm.OpX(p.regs[ins.Rs], p.regs[ins.Rt])
+	case SYNC:
+		p.state = waiting
+	case HALT:
+		p.state = halted
+	default:
+		return nil, fmt.Errorf("%w: proc %d line %d: bad opcode %v", ErrFault, p.id, ins.Line, ins.Op)
+	}
+	p.pc = next
+	return child, nil
+}

@@ -1,0 +1,327 @@
+package simparc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/paperfig"
+)
+
+func mustRun(t *testing.T, src string, mem int, maxCycles int64) *VM {
+	t.Helper()
+	p, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(p, mem)
+	if err := vm.Run(maxCycles); err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestVMArithmetic(t *testing.T) {
+	vm := mustRun(t, `
+    LDI r1, 7
+    LDI r2, 3
+    ADD r3, r1, r2
+    SUB r4, r1, r2
+    MUL r5, r1, r2
+    DIV r6, r1, r2
+    MOD r7, r1, r2
+    ST  r3, r0, 0
+    ST  r4, r0, 1
+    ST  r5, r0, 2
+    ST  r6, r0, 3
+    ST  r7, r0, 4
+    HALT
+`, 8, 1000)
+	want := []int64{10, 4, 21, 2, 1}
+	for i, w := range want {
+		if vm.Mem[i] != w {
+			t.Fatalf("Mem[%d] = %d, want %d", i, vm.Mem[i], w)
+		}
+	}
+}
+
+func TestVMBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 into Mem[0].
+	vm := mustRun(t, `
+    LDI r1, 0   ; sum
+    LDI r2, 1   ; i
+    LDI r3, 11
+loop:
+    BGE r2, r3, done
+    ADD r1, r1, r2
+    ADDI r2, r2, 1
+    JMP loop
+done:
+    ST r1, r0, 0
+    HALT
+`, 2, 1000)
+	if vm.Mem[0] != 55 {
+		t.Fatalf("sum = %d, want 55", vm.Mem[0])
+	}
+}
+
+func TestVMDivisionByZeroFaults(t *testing.T) {
+	p, err := Assemble("LDI r1, 1\nLDI r2, 0\nDIV r3, r1, r2\nHALT\n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(p, 1)
+	if err := vm.Run(100); !errors.Is(err, ErrFault) {
+		t.Fatalf("err = %v, want ErrFault", err)
+	}
+}
+
+func TestVMMemoryBoundsFault(t *testing.T) {
+	p, err := Assemble("LDI r1, 5\nST r1, r0, 99\nHALT\n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(p, 4)
+	if err := vm.Run(100); !errors.Is(err, ErrFault) {
+		t.Fatalf("err = %v, want ErrFault", err)
+	}
+}
+
+func TestVMCycleBudget(t *testing.T) {
+	p, err := Assemble("spin:\nJMP spin\n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(p, 1)
+	if err := vm.Run(50); !errors.Is(err, ErrFault) {
+		t.Fatalf("err = %v, want cycle-budget fault", err)
+	}
+	if vm.Cycles != 50 {
+		t.Fatalf("Cycles = %d, want 50", vm.Cycles)
+	}
+}
+
+func TestVMForkAndPID(t *testing.T) {
+	// Master forks 4 children; child i stores 100+arg at Mem[arg].
+	vm := mustRun(t, `
+main:
+    LDI r2, 0
+    LDI r3, 4
+mloop:
+    BGE r2, r3, mdone
+    FORK r2, child
+    ADDI r2, r2, 1
+    JMP mloop
+mdone:
+    HALT
+child:
+    LDI r4, 100
+    ADD r4, r4, r1
+    ST  r4, r1, 0
+    HALT
+`, 4, 1000)
+	for i := int64(0); i < 4; i++ {
+		if vm.Mem[i] != 100+i {
+			t.Fatalf("Mem[%d] = %d, want %d", i, vm.Mem[i], 100+i)
+		}
+	}
+	if vm.MaxActive < 2 {
+		t.Fatalf("MaxActive = %d, want >= 2 (real concurrency)", vm.MaxActive)
+	}
+}
+
+func TestVMForkCapQueuesPending(t *testing.T) {
+	// Cap 2 (master + 1 child at a time): children run serially; results
+	// must still all arrive.
+	p, err := Assemble(`
+main:
+    LDI r2, 0
+    LDI r3, 3
+mloop:
+    BGE r2, r3, mdone
+    FORK r2, child
+    ADDI r2, r2, 1
+    JMP mloop
+mdone:
+    HALT
+child:
+    LDI r4, 1
+    ST  r4, r1, 0
+    HALT
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(p, 4)
+	vm.Cap = 2
+	if err := vm.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if vm.Mem[i] != 1 {
+			t.Fatalf("Mem[%d] = %d, want 1", i, vm.Mem[i])
+		}
+	}
+	if vm.MaxActive > 2 {
+		t.Fatalf("MaxActive = %d exceeds cap 2", vm.MaxActive)
+	}
+}
+
+func TestVMSyncBarrier(t *testing.T) {
+	// Two workers: each writes its slot, SYNCs, then reads the OTHER's
+	// slot — only correct if SYNC is a true barrier.
+	vm := mustRun(t, `
+main:
+    LDI r2, 0
+    LDI r3, 2
+mloop:
+    BGE r2, r3, mdone
+    FORK r2, worker
+    ADDI r2, r2, 1
+    JMP mloop
+mdone:
+    HALT
+worker:
+    ADDI r4, r1, 10     ; value 10+id
+    ST   r4, r1, 0      ; Mem[id] = 10+id
+    SYNC
+    LDI  r5, 1
+    SUB  r5, r5, r1     ; other = 1-id
+    LD   r6, r5, 0      ; read other's slot
+    ST   r6, r1, 2      ; Mem[id+2] = other's value
+    HALT
+`, 8, 10000)
+	if vm.Mem[2] != 11 || vm.Mem[3] != 10 {
+		t.Fatalf("Mem[2..3] = %v, want [11 10]", vm.Mem[2:4])
+	}
+}
+
+func TestSeqIRProgramMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(20)
+		perm := rng.Perm(m)
+		n := rng.Intn(m)
+		s := &core.System{M: m, N: n, G: make([]int, n), F: make([]int, n)}
+		for i := 0; i < n; i++ {
+			s.G[i] = perm[i]
+			s.F[i] = rng.Intn(m)
+		}
+		init := make([]int64, m)
+		for x := range init {
+			init[x] = rng.Int63n(100)
+		}
+		want := core.RunSequential[int64](s, core.IntAdd{}, init)
+		res, err := RunSeqIR(s, func(a, b int64) int64 { return a + b }, init, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range want {
+			if res.Values[x] != want[x] {
+				t.Fatalf("trial %d cell %d: got %d, want %d", trial, x, res.Values[x], want[x])
+			}
+		}
+	}
+}
+
+func TestParallelOIRProgramMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	mod := int64(1_000_003)
+	opx := func(a, b int64) int64 { return a % mod * (b % mod) % mod }
+	op := core.MulMod{M: mod}
+	for trial := 0; trial < 12; trial++ {
+		m := 2 + rng.Intn(40)
+		perm := rng.Perm(m)
+		n := rng.Intn(m)
+		s := &core.System{M: m, N: n, G: make([]int, n), F: make([]int, n)}
+		for i := 0; i < n; i++ {
+			s.G[i] = perm[i]
+			s.F[i] = rng.Intn(m)
+		}
+		init := make([]int64, m)
+		for x := range init {
+			init[x] = rng.Int63n(mod-2) + 2
+		}
+		want := core.RunSequential[int64](s, op, init)
+		for _, p := range []int{1, 3, 8} {
+			res, err := RunParallelOIR(s, opx, init, p, 1<<24)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for x := range want {
+				if res.Values[x] != want[x] {
+					t.Fatalf("trial %d P=%d cell %d: got %d, want %d\nG=%v F=%v",
+						trial, p, x, res.Values[x], want[x], s.G, s.F)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelOIRProgramChainAndScaling(t *testing.T) {
+	n := 1024
+	s := paperfig.Fig2System(n)
+	init := make([]int64, n)
+	for x := range init {
+		init[x] = 1
+	}
+	add := func(a, b int64) int64 { return a + b }
+	seqRes, err := RunSeqIR(s, add, init, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64
+	for _, p := range []int{1, 2, 4, 8} {
+		res, err := RunParallelOIR(s, add, init, p, 1<<26)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			if res.Values[k] != int64(k+1) {
+				t.Fatalf("P=%d cell %d: got %d, want %d", p, k, res.Values[k], k+1)
+			}
+		}
+		if p > 1 {
+			ratio := float64(prev) / float64(res.Cycles)
+			if ratio < 1.6 || ratio > 2.4 {
+				t.Errorf("P=%d: cycle ratio %.2f, want ≈ 2", p, ratio)
+			}
+		}
+		prev = res.Cycles
+	}
+	// Many processors must beat the sequential program (the Fig. 3
+	// crossover); P=1 must be markedly slower than sequential.
+	res256, err := RunParallelOIR(s, add, init, 256, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res256.Cycles >= seqRes.Cycles {
+		t.Errorf("P=256 cycles %d did not beat sequential %d", res256.Cycles, seqRes.Cycles)
+	}
+	res1, err := RunParallelOIR(s, add, init, 1, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Cycles < 5*seqRes.Cycles {
+		t.Errorf("P=1 cycles %d vs sequential %d: expected log-n factor", res1.Cycles, seqRes.Cycles)
+	}
+}
+
+func TestVMDeterminism(t *testing.T) {
+	n := 256
+	s := paperfig.Fig2System(n)
+	init := make([]int64, n)
+	add := func(a, b int64) int64 { return a + b }
+	r1, err := RunParallelOIR(s, add, init, 7, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunParallelOIR(s, add, init, 7, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Instrs != r2.Instrs {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", r1.Cycles, r1.Instrs, r2.Cycles, r2.Instrs)
+	}
+}

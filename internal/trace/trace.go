@@ -1,0 +1,187 @@
+// Package trace computes the symbolic trace of every cell of an IR system:
+// which initial values, in which order (ordinary form) or with which powers
+// (general form), make up each final value A'[x].
+//
+// Lemma 1 of the paper characterizes ordinary traces as lists
+//
+//	A'[g(i)] = A[f(j_k)] ⊗ ... ⊗ A[f(j_1)] ⊗ A[g(i)]
+//
+// and §4 shows general (GIR) traces are binary trees whose leaves collapse,
+// under a commutative op, to a product of powers A[j_1]^x_1 ⊗ ... ⊗ A[j_k]^x_k.
+//
+// The implementation is a sequential symbolic execution of the loop with
+// list-valued (ordinary) or multiset-valued (general) cells. It is O(n·L)
+// where L bounds trace size, so it is strictly a test/visualization oracle —
+// the parallel solvers never call it — but it is *independent* of their
+// pointer-jumping and path-counting logic, which is what makes it a useful
+// cross-check.
+package trace
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"indexedrec/internal/core"
+)
+
+// Ordinary returns, for every cell x, the ordered list of initial-cell
+// indices whose ⊗-product (left to right) equals A'[x] after the loop.
+// An unwritten cell's trace is the singleton [x]. The system must be in
+// ordinary form (H = G); G need not be distinct.
+func Ordinary(s *core.System) ([][]int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.Ordinary() {
+		return nil, fmt.Errorf("trace: Ordinary requires an ordinary system, got %v", s)
+	}
+	val := make([][]int, s.M)
+	for x := range val {
+		val[x] = []int{x}
+	}
+	for i := 0; i < s.N; i++ {
+		f, g := s.F[i], s.G[i]
+		nw := make([]int, 0, len(val[f])+len(val[g]))
+		nw = append(nw, val[f]...)
+		nw = append(nw, val[g]...)
+		val[g] = nw
+	}
+	return val, nil
+}
+
+// PowerTerm is one factor A[Cell]^Exp of a general trace.
+type PowerTerm struct {
+	Cell int
+	Exp  *big.Int
+}
+
+// Powers returns, for every cell x, the multiset of initial values composing
+// A'[x], as power terms sorted by cell index. This is the paper's
+// "counting the powers of A[i]'s elements" (Fig. 5), computed by symbolic
+// sequential execution. Works for any system, ordinary or general.
+func Powers(s *core.System) ([][]PowerTerm, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	val := make([]map[int]*big.Int, s.M)
+	for x := range val {
+		val[x] = map[int]*big.Int{x: big.NewInt(1)}
+	}
+	for i := 0; i < s.N; i++ {
+		f, h, g := s.F[i], s.OperandH(i), s.G[i]
+		nw := make(map[int]*big.Int, len(val[f])+len(val[h]))
+		for c, e := range val[f] {
+			nw[c] = new(big.Int).Set(e)
+		}
+		for c, e := range val[h] {
+			if old, ok := nw[c]; ok {
+				old.Add(old, e)
+			} else {
+				nw[c] = new(big.Int).Set(e)
+			}
+		}
+		val[g] = nw
+	}
+	out := make([][]PowerTerm, s.M)
+	for x, m := range val {
+		terms := make([]PowerTerm, 0, len(m))
+		for c, e := range m {
+			terms = append(terms, PowerTerm{Cell: c, Exp: e})
+		}
+		sort.Slice(terms, func(a, b int) bool { return terms[a].Cell < terms[b].Cell })
+		out[x] = terms
+	}
+	return out, nil
+}
+
+// Shape describes the structure of a cell's trace viewed as the expression
+// tree the loop builds (paper Fig. 4): ordinary traces are lists (Leaves =
+// Depth+1); general traces are binary trees of possibly exponential size.
+type Shape struct {
+	// Leaves is the number of leaf operands in the expression tree, i.e.
+	// the length of the fully expanded trace. Exponential for GIR, hence
+	// big.Int.
+	Leaves *big.Int
+	// Depth is the height of the expression tree (0 for an untouched cell).
+	Depth int
+	// IsList reports whether the tree is a pure left spine, the list
+	// structure of ordinary traces.
+	IsList bool
+}
+
+// Shapes computes the trace shape of every cell without materializing the
+// (possibly exponential) trees: leaf counts and depths satisfy the same
+// recurrence as the loop and are carried per cell.
+func Shapes(s *core.System) ([]Shape, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sh := make([]Shape, s.M)
+	for x := range sh {
+		sh[x] = Shape{Leaves: big.NewInt(1), Depth: 0, IsList: true}
+	}
+	for i := 0; i < s.N; i++ {
+		f, h, g := s.F[i], s.OperandH(i), s.G[i]
+		left, right := sh[f], sh[h]
+		nw := Shape{
+			Leaves: new(big.Int).Add(left.Leaves, right.Leaves),
+			Depth:  max(left.Depth, right.Depth) + 1,
+			// A node stays a list iff its right child is a leaf and its
+			// left child is a list: exactly the ordinary form, where the
+			// second operand A[g(i)] is a freshly read initial value.
+			IsList: left.IsList && right.Depth == 0,
+		}
+		sh[g] = nw
+	}
+	return sh, nil
+}
+
+// FormatOrdinary renders an ordinary trace the way the paper's Fig. 1 does:
+// "A[2]A[3]A[6]" for the product A[2]⊗A[3]⊗A[6].
+func FormatOrdinary(tr []int) string {
+	var b strings.Builder
+	for _, c := range tr {
+		fmt.Fprintf(&b, "A[%d]", c)
+	}
+	return b.String()
+}
+
+// FormatPowers renders a power trace the way the paper's Fig. 5 does:
+// "A[0]^3 A[1]^5" (exponent omitted when 1).
+func FormatPowers(terms []PowerTerm) string {
+	parts := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if t.Exp.Cmp(big.NewInt(1)) == 0 {
+			parts = append(parts, fmt.Sprintf("A[%d]", t.Cell))
+		} else {
+			parts = append(parts, fmt.Sprintf("A[%d]^%s", t.Cell, t.Exp))
+		}
+	}
+	if len(parts) == 0 {
+		return "1"
+	}
+	return strings.Join(parts, " ")
+}
+
+// EvalOrdinary folds a trace with op over the given initial values,
+// reproducing A'[x] for ordinary systems. It is the bridge from symbolic
+// traces back to concrete values used in cross-checking tests.
+func EvalOrdinary[T any](tr []int, op core.Semigroup[T], init []T) T {
+	acc := init[tr[0]]
+	for _, c := range tr[1:] {
+		acc = op.Combine(acc, init[c])
+	}
+	return acc
+}
+
+// EvalPowers folds a power trace with a commutative monoid, reproducing
+// A'[x] for general systems.
+func EvalPowers[T any](terms []PowerTerm, op core.CommutativeMonoid[T], init []T) T {
+	acc := op.Identity()
+	for _, t := range terms {
+		acc = op.Combine(acc, op.Pow(init[t.Cell], t.Exp))
+	}
+	return acc
+}

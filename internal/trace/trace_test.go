@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/paperfig"
+)
+
+func TestFig1TraceTable(t *testing.T) {
+	s, want := paperfig.Fig1System()
+	got, err := Ordinary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range want {
+		if len(got[x]) != len(want[x]) {
+			t.Fatalf("cell %d: trace %v, want %v", x, got[x], want[x])
+		}
+		for k := range want[x] {
+			if got[x][k] != want[x][k] {
+				t.Fatalf("cell %d: trace %v, want %v", x, got[x], want[x])
+			}
+		}
+	}
+	// The two verbatim renderings from the paper.
+	if s := FormatOrdinary(got[6]); s != "A[2]A[3]A[6]" {
+		t.Errorf("A'[6] = %s, want A[2]A[3]A[6]", s)
+	}
+	if s := FormatOrdinary(got[8]); s != "A[5]A[8]" {
+		t.Errorf("A'[8] = %s, want A[5]A[8]", s)
+	}
+}
+
+func TestOrdinaryRejectsGeneralSystem(t *testing.T) {
+	s := paperfig.Fig4GIR(5)
+	if _, err := Ordinary(s); err == nil {
+		t.Fatal("Ordinary accepted a general system")
+	}
+}
+
+func TestOrdinaryTraceMatchesConcat(t *testing.T) {
+	// Independent check: evaluating the trace over singleton strings must
+	// equal running the loop over Concat.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := 3 + rng.Intn(10)
+		n := rng.Intn(15)
+		s := &core.System{M: m, N: n, G: make([]int, n), F: make([]int, n)}
+		for i := 0; i < n; i++ {
+			s.G[i] = rng.Intn(m)
+			s.F[i] = rng.Intn(m)
+		}
+		init := make([]string, m)
+		for x := range init {
+			init[x] = string(rune('a' + x))
+		}
+		want := core.RunSequential[string](s, core.Concat{}, init)
+		trs, err := Ordinary(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range trs {
+			if got := EvalOrdinary[string](trs[x], core.Concat{}, init); got != want[x] {
+				t.Fatalf("trial %d cell %d: trace eval %q, sequential %q", trial, x, got, want[x])
+			}
+		}
+	}
+}
+
+func TestFig5FibonacciPowers(t *testing.T) {
+	// X_i = X_{i-1} ⊗ X_{i-2}: the trace of X_n is A[0]^fib(n-1) A[1]^fib(n).
+	n := 12
+	s := paperfig.Fig4GIR(n)
+	pw, err := Powers(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib := paperfig.Fib(n)
+	for x := 2; x < n; x++ {
+		terms := pw[x]
+		if len(terms) != 2 || terms[0].Cell != 0 || terms[1].Cell != 1 {
+			t.Fatalf("cell %d: terms %v, want powers of A[0], A[1]", x, terms)
+		}
+		if terms[0].Exp.Int64() != fib[x-1] || terms[1].Exp.Int64() != fib[x] {
+			t.Fatalf("cell %d: A[0]^%s A[1]^%s, want A[0]^%d A[1]^%d",
+				x, terms[0].Exp, terms[1].Exp, fib[x-1], fib[x])
+		}
+	}
+	// Paper's rendering for n=4 (Fig. 5): A'[4] = A[0]^2 A[1]^3.
+	if got := FormatPowers(pw[4]); got != "A[0]^2 A[1]^3" {
+		t.Errorf("FormatPowers = %q, want %q", got, "A[0]^2 A[1]^3")
+	}
+}
+
+func TestPowersMatchesSequentialMulMod(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	op := core.MulMod{M: 1_000_003}
+	for trial := 0; trial < 50; trial++ {
+		m := 3 + rng.Intn(8)
+		n := rng.Intn(12)
+		s := &core.System{M: m, N: n,
+			G: make([]int, n), F: make([]int, n), H: make([]int, n)}
+		for i := 0; i < n; i++ {
+			s.G[i], s.F[i], s.H[i] = rng.Intn(m), rng.Intn(m), rng.Intn(m)
+		}
+		init := make([]int64, m)
+		for x := range init {
+			init[x] = rng.Int63n(op.M-2) + 2
+		}
+		want := core.RunSequential[int64](s, op, init)
+		pw, err := Powers(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range pw {
+			if got := EvalPowers[int64](pw[x], op, init); got != want[x] {
+				t.Fatalf("trial %d cell %d: powers eval %d, sequential %d", trial, x, got, want[x])
+			}
+		}
+	}
+}
+
+func TestFig4TraceShapes(t *testing.T) {
+	n := 20
+	gir := paperfig.Fig4GIR(n)
+	oir := paperfig.Fig4IR(n)
+	girSh, err := Shapes(gir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oirSh, err := Shapes(oir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib := paperfig.Fib(n + 1)
+	for x := 2; x < n; x++ {
+		// Cells 2 and 3 are degenerate: their right operands are still
+		// initial values, so their expression trees happen to be left
+		// spines. The genuine tree structure appears from cell 4 on.
+		if x >= 4 && girSh[x].IsList {
+			t.Errorf("GIR cell %d classified as list", x)
+		}
+		// Leaves of the Fibonacci tree: fib(x-1) + fib(x) = fib(x+1).
+		if girSh[x].Leaves.Int64() != fib[x+1] {
+			t.Errorf("GIR cell %d: leaves %s, want fib(%d)=%d", x, girSh[x].Leaves, x+1, fib[x+1])
+		}
+	}
+	for x := 1; x < n; x++ {
+		if !oirSh[x].IsList {
+			t.Errorf("OIR cell %d not classified as list", x)
+		}
+		if oirSh[x].Leaves.Int64() != int64(x+1) {
+			t.Errorf("OIR cell %d: leaves %s, want %d", x, oirSh[x].Leaves, x+1)
+		}
+		if oirSh[x].Depth != x {
+			t.Errorf("OIR cell %d: depth %d, want %d", x, oirSh[x].Depth, x)
+		}
+	}
+}
+
+func TestShapesExponentialLeavesNoBlowup(t *testing.T) {
+	// n=200: leaf count ~ fib(200) ≈ 10^41; Shapes must handle it without
+	// materializing anything exponential.
+	s := paperfig.Fig4GIR(200)
+	sh, err := Shapes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh[199].Leaves.BitLen() < 100 {
+		t.Fatalf("expected astronomically many leaves, got %s", sh[199].Leaves)
+	}
+}
+
+func TestDoubleChainPowers(t *testing.T) {
+	// A[i] := A[i-1] ⊗ A[i-1]: A'[i] = A[0]^(2^i) — the paper's double-chain
+	// CAP example.
+	n := 16
+	s := paperfig.DoubleChain(n)
+	pw, err := Powers(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 1; x < n; x++ {
+		if len(pw[x]) != 1 || pw[x][0].Cell != 0 {
+			t.Fatalf("cell %d: %v", x, pw[x])
+		}
+		want := new(big.Int).Lsh(big.NewInt(1), uint(x))
+		if pw[x][0].Exp.Cmp(want) != 0 {
+			t.Fatalf("cell %d: exponent %s, want 2^%d", x, pw[x][0].Exp, x)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := FormatOrdinary([]int{2, 3, 6}); got != "A[2]A[3]A[6]" {
+		t.Errorf("FormatOrdinary = %q", got)
+	}
+	if got := FormatPowers(nil); got != "1" {
+		t.Errorf("FormatPowers(nil) = %q, want \"1\"", got)
+	}
+	terms := []PowerTerm{{Cell: 0, Exp: big.NewInt(1)}, {Cell: 3, Exp: big.NewInt(7)}}
+	if got := FormatPowers(terms); got != "A[0] A[3]^7" {
+		t.Errorf("FormatPowers = %q, want %q", got, "A[0] A[3]^7")
+	}
+}
+
+func TestPowersUnwrittenCellIsItself(t *testing.T) {
+	s := &core.System{M: 4, N: 1, G: []int{1}, F: []int{0}, H: []int{2}}
+	pw, err := Powers(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw[3]) != 1 || pw[3][0].Cell != 3 || pw[3][0].Exp.Int64() != 1 {
+		t.Fatalf("unwritten cell trace = %v, want itself", pw[3])
+	}
+}

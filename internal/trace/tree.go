@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"indexedrec/internal/core"
+)
+
+// Tree is the expression tree a loop builds for one cell: either a leaf
+// (an initial value) or an op node over the two operand trees — the object
+// the paper's Fig. 4 draws. Trees are only materialized on demand and up to
+// a node budget, since general traces are exponential.
+type Tree struct {
+	// Cell is the initial-value cell for leaves (-1 for op nodes).
+	Cell int
+	// L, R are the operand subtrees (nil for leaves).
+	L, R *Tree
+}
+
+// IsLeaf reports whether t is an initial-value leaf.
+func (t *Tree) IsLeaf() bool { return t.L == nil && t.R == nil }
+
+// ErrTreeTooLarge is returned when materializing would exceed the budget.
+var ErrTreeTooLarge = fmt.Errorf("trace: expression tree exceeds the node budget")
+
+// BuildTree materializes the expression tree of cell x after the loop,
+// failing once more than maxNodes nodes are needed (the Fibonacci blow-up).
+func BuildTree(s *core.System, x int, maxNodes int) (*Tree, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	budget := maxNodes
+	val := make([]*Tree, s.M)
+	for c := range val {
+		val[c] = &Tree{Cell: c}
+	}
+	var clone func(t *Tree) (*Tree, error)
+	clone = func(t *Tree) (*Tree, error) {
+		if budget--; budget < 0 {
+			return nil, ErrTreeTooLarge
+		}
+		if t.IsLeaf() {
+			return &Tree{Cell: t.Cell}, nil
+		}
+		l, err := clone(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := clone(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Tree{Cell: -1, L: l, R: r}, nil
+	}
+	for i := 0; i < s.N; i++ {
+		l, err := clone(val[s.F[i]])
+		if err != nil {
+			return nil, err
+		}
+		r, err := clone(val[s.OperandH(i)])
+		if err != nil {
+			return nil, err
+		}
+		val[s.G[i]] = &Tree{Cell: -1, L: l, R: r}
+	}
+	return val[x], nil
+}
+
+// Render draws the tree sideways (root at the left), one leaf per line —
+// compact and unambiguous for the Fig. 4 illustration.
+//
+//	(x)─┬─ A[1]
+//	    └─(x)─┬─ A[0]
+//	          └─ A[1]
+func (t *Tree) Render(w *strings.Builder) {
+	t.render(w, "")
+}
+
+func (t *Tree) render(w *strings.Builder, prefix string) {
+	if t.IsLeaf() {
+		fmt.Fprintf(w, " A[%d]\n", t.Cell)
+		return
+	}
+	w.WriteString("(x)─┬─")
+	t.L.render(w, prefix+"    │ ")
+	w.WriteString(prefix + "    └─")
+	t.R.render(w, prefix+"      ")
+}
+
+// String renders the tree to a string.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Infix renders the tree as a fully parenthesized product, e.g.
+// "((A[1]⊗A[0])⊗A[1])".
+func (t *Tree) Infix() string {
+	if t.IsLeaf() {
+		return fmt.Sprintf("A[%d]", t.Cell)
+	}
+	return "(" + t.L.Infix() + "⊗" + t.R.Infix() + ")"
+}
+
+// Size returns the node count.
+func (t *Tree) Size() int {
+	if t.IsLeaf() {
+		return 1
+	}
+	return 1 + t.L.Size() + t.R.Size()
+}
+
+// Depth returns the height (0 for a leaf).
+func (t *Tree) Depth() int {
+	if t.IsLeaf() {
+		return 0
+	}
+	l, r := t.L.Depth(), t.R.Depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

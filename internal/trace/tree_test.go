@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/paperfig"
+)
+
+func TestBuildTreeFibonacci(t *testing.T) {
+	// A[4] for A[i] := A[i-1] ⊗ A[i-2]: ((A[1]⊗A[0])⊗A[1]) ⊗ (A[1]⊗A[0]).
+	s := paperfig.Fig4GIR(5)
+	tree, err := BuildTree(s, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Infix(); got != "(((A[1]⊗A[0])⊗A[1])⊗(A[1]⊗A[0]))" {
+		t.Fatalf("Infix = %s", got)
+	}
+	if tree.Size() != 9 || tree.Depth() != 3 {
+		t.Fatalf("Size=%d Depth=%d, want 9, 3", tree.Size(), tree.Depth())
+	}
+}
+
+func TestBuildTreeListShape(t *testing.T) {
+	// Ordinary chain: the tree is a left spine.
+	s := paperfig.Fig4IR(5)
+	tree, err := BuildTree(s, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Infix(); got != "((((A[0]⊗A[1])⊗A[2])⊗A[3])⊗A[4])" {
+		t.Fatalf("Infix = %s", got)
+	}
+	// Right children all leaves (list structure).
+	for cur := tree; !cur.IsLeaf(); cur = cur.L {
+		if !cur.R.IsLeaf() {
+			t.Fatal("ordinary trace tree is not a left spine")
+		}
+	}
+}
+
+func TestBuildTreeBudget(t *testing.T) {
+	s := paperfig.Fig4GIR(40) // fib(40)-ish nodes: way over budget
+	_, err := BuildTree(s, 39, 10_000)
+	if !errors.Is(err, ErrTreeTooLarge) {
+		t.Fatalf("err = %v, want ErrTreeTooLarge", err)
+	}
+}
+
+func TestTreeMatchesShapes(t *testing.T) {
+	// Tree Size/Depth must agree with the non-materializing Shapes pass.
+	s := paperfig.Fig4GIR(10)
+	shapes, err := Shapes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 2; x < 10; x++ {
+		tree, err := BuildTree(s, x, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves := (tree.Size() + 1) / 2
+		if int64(leaves) != shapes[x].Leaves.Int64() {
+			t.Fatalf("cell %d: tree leaves %d vs Shapes %s", x, leaves, shapes[x].Leaves)
+		}
+		if tree.Depth() != shapes[x].Depth {
+			t.Fatalf("cell %d: tree depth %d vs Shapes %d", x, tree.Depth(), shapes[x].Depth)
+		}
+	}
+}
+
+func TestTreeRender(t *testing.T) {
+	s := paperfig.Fig4GIR(4)
+	tree, err := BuildTree(s, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tree.String()
+	// (A[2]'s tree ⊗ A[1]) where A[2] = A[1]⊗A[0].
+	for _, want := range []string{"(x)─┬─", "A[0]", "A[1]", "└─"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 { // one line per leaf
+		t.Fatalf("render has %d lines, want 3:\n%s", lines, out)
+	}
+}
+
+func TestBuildTreeUnwrittenCell(t *testing.T) {
+	s := &core.System{M: 3, N: 1, G: []int{1}, F: []int{0}, H: []int{2}}
+	tree, err := BuildTree(s, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.IsLeaf() || tree.Cell != 2 {
+		t.Fatalf("unwritten cell tree: %+v", tree)
+	}
+}

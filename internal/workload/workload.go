@@ -1,0 +1,109 @@
+// Package workload generates the controlled IR instances the benchmarks and
+// property tests sweep over: chains (worst-case round counts), random
+// permutation-target systems (many short chains), indirection-table systems
+// modeled on the Livermore gather/scatter kernels, and GIR instances with
+// tunable fan-in. Every generator is deterministic given its seed.
+package workload
+
+import (
+	"math/rand"
+
+	"indexedrec/internal/core"
+)
+
+// Chain returns the single-chain ordinary system A[i+1] := A[i] ⊗ A[i+1]
+// over m = n+1 cells — the longest-chain worst case, ⌈log₂ n⌉ rounds.
+func Chain(n int) *core.System {
+	return core.FromFuncs(n, n+1,
+		func(i int) int { return i + 1 },
+		func(i int) int { return i },
+		nil,
+	)
+}
+
+// Chains returns k parallel chains of length n/k each (n iterations total)
+// — the intermediate case between one long chain and scattered writes.
+func Chains(n, k int) *core.System {
+	if k < 1 {
+		k = 1
+	}
+	per := n / k
+	n = per * k
+	m := n + k // one extra root cell per chain
+	s := &core.System{M: m, N: n, G: make([]int, n), F: make([]int, n)}
+	i := 0
+	for c := 0; c < k; c++ {
+		base := c * (per + 1)
+		for j := 0; j < per; j++ {
+			s.G[i] = base + j + 1
+			s.F[i] = base + j
+			i++
+		}
+	}
+	return s
+}
+
+// RandomOrdinary returns an ordinary system with distinct g: a random
+// subset of cells written in random order, each reading a uniformly random
+// cell. Chain lengths are O(log n) w.h.p., so pointer jumping terminates in
+// very few rounds — the favourable case.
+func RandomOrdinary(rng *rand.Rand, m, n int) *core.System {
+	if n > m {
+		n = m
+	}
+	perm := rng.Perm(m)
+	s := &core.System{M: m, N: n, G: make([]int, n), F: make([]int, n)}
+	for i := 0; i < n; i++ {
+		s.G[i] = perm[i]
+		s.F[i] = rng.Intn(m)
+	}
+	return s
+}
+
+// Scatter returns the PIC-style accumulation H[J[i]] := A[aux_i] ⊗ H[J[i]]
+// as a general IR system: m cells of H plus n auxiliary operand cells, with
+// targets drawn from [0, buckets). g is non-distinct by construction.
+func Scatter(rng *rand.Rand, n, buckets int) *core.System {
+	s := &core.System{M: buckets + n, N: n,
+		G: make([]int, n), F: make([]int, n), H: make([]int, n)}
+	for i := 0; i < n; i++ {
+		t := rng.Intn(buckets)
+		s.G[i] = t
+		s.F[i] = buckets + i
+		s.H[i] = t
+	}
+	return s
+}
+
+// Fibonacci returns the GIR system A[i] := A[i-1] ⊗ A[i-2] over n cells —
+// exponential trace length, the power-counting stress case.
+func Fibonacci(n int) *core.System {
+	return core.FromFuncs(n-2, n,
+		func(i int) int { return i + 2 },
+		func(i int) int { return i + 1 },
+		func(i int) int { return i },
+	)
+}
+
+// RandomGIR returns a general system with arbitrary index maps, reading
+// uniformly random cells (lower-numbered targets are favoured by writing
+// cell perm order, keeping dependence depth moderate).
+func RandomGIR(rng *rand.Rand, m, n int) *core.System {
+	s := &core.System{M: m, N: n,
+		G: make([]int, n), F: make([]int, n), H: make([]int, n)}
+	for i := 0; i < n; i++ {
+		s.G[i] = rng.Intn(m)
+		s.F[i] = rng.Intn(m)
+		s.H[i] = rng.Intn(m)
+	}
+	return s
+}
+
+// InitInt64 returns deterministic initial values in [2, bound).
+func InitInt64(rng *rand.Rand, m int, bound int64) []int64 {
+	init := make([]int64, m)
+	for x := range init {
+		init[x] = rng.Int63n(bound-2) + 2
+	}
+	return init
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/ordinary"
+)
+
+func TestChainShape(t *testing.T) {
+	s := Chain(100)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.GDistinct() || !s.Ordinary() {
+		t.Fatal("chain must be ordinary with distinct g")
+	}
+	fr, err := ordinary.BuildForest(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fr.MaxChainLen(); got != 100 {
+		t.Fatalf("MaxChainLen = %d, want 100", got)
+	}
+}
+
+func TestChainsShape(t *testing.T) {
+	s := Chains(100, 10)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.GDistinct() {
+		t.Fatal("chains must have distinct g")
+	}
+	fr, err := ordinary.BuildForest(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fr.MaxChainLen(); got != 10 {
+		t.Fatalf("MaxChainLen = %d, want 10", got)
+	}
+	if s.N != 100 {
+		t.Fatalf("N = %d", s.N)
+	}
+}
+
+func TestRandomOrdinaryValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		s := RandomOrdinary(rng, 50, 30)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !s.GDistinct() {
+			t.Fatal("RandomOrdinary produced duplicate g")
+		}
+	}
+}
+
+func TestScatterSolvableByGIR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := Scatter(rng, 40, 8)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.GDistinct() {
+		t.Fatal("Scatter should have non-distinct g")
+	}
+	// Sanity: the sequential loop accumulates aux values into buckets.
+	init := make([]int64, s.M)
+	for i := 0; i < 40; i++ {
+		init[8+i] = 1
+	}
+	out := core.RunSequential[int64](s, core.IntAdd{}, init)
+	total := int64(0)
+	for b := 0; b < 8; b++ {
+		total += out[b]
+	}
+	if total != 40 {
+		t.Fatalf("bucket sum = %d, want 40", total)
+	}
+}
+
+func TestFibonacciMatchesPaperfigShape(t *testing.T) {
+	s := Fibonacci(10)
+	if s.N != 8 || s.M != 10 {
+		t.Fatalf("N=%d M=%d", s.N, s.M)
+	}
+	if s.Ordinary() {
+		t.Fatal("Fibonacci is a general system")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := RandomGIR(rand.New(rand.NewSource(7)), 20, 30)
+	b := RandomGIR(rand.New(rand.NewSource(7)), 20, 30)
+	for i := 0; i < a.N; i++ {
+		if a.G[i] != b.G[i] || a.F[i] != b.F[i] || a.H[i] != b.H[i] {
+			t.Fatal("RandomGIR not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestInitInt64Range(t *testing.T) {
+	init := InitInt64(rand.New(rand.NewSource(3)), 100, 50)
+	for _, v := range init {
+		if v < 2 || v >= 50 {
+			t.Fatalf("value %d out of [2, 50)", v)
+		}
+	}
+}

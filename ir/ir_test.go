@@ -1,0 +1,252 @@
+package ir_test
+
+// Tests exercise the public API exactly the way a downstream user would:
+// importing only indexedrec/ir, including a user-defined operator that
+// satisfies the Semigroup contract structurally.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"indexedrec/ir"
+)
+
+func TestSolveOrdinaryPublicAPI(t *testing.T) {
+	n := 1000
+	s := ir.FromFuncs(n, n+1,
+		func(i int) int { return i + 1 },
+		func(i int) int { return i },
+		nil,
+	)
+	init := make([]int64, n+1)
+	for x := range init {
+		init[x] = int64(x)
+	}
+	want := ir.RunSequential[int64](s, ir.IntAdd{}, init)
+	res, err := ir.SolveOrdinary[int64](s, ir.IntAdd{}, init, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range want {
+		if res.Values[x] != want[x] {
+			t.Fatalf("cell %d: got %d, want %d", x, res.Values[x], want[x])
+		}
+	}
+	if res.Rounds != 10 {
+		t.Fatalf("Rounds = %d, want 10", res.Rounds)
+	}
+}
+
+// userOp is a downstream-defined operator: saturating addition at 100.
+// It implements ir.Semigroup purely structurally.
+type userOp struct{}
+
+func (userOp) Name() string { return "saturating-add" }
+func (userOp) Combine(a, b int64) int64 {
+	s := a + b
+	if s > 100 {
+		return 100
+	}
+	return s
+}
+
+func TestUserDefinedOperator(t *testing.T) {
+	s := ir.FromFuncs(50, 51,
+		func(i int) int { return i + 1 },
+		func(i int) int { return i },
+		nil,
+	)
+	init := make([]int64, 51)
+	for x := range init {
+		init[x] = 7
+	}
+	want := ir.RunSequential[int64](s, userOp{}, init)
+	res, err := ir.SolveOrdinary[int64](s, userOp{}, init, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range want {
+		if res.Values[x] != want[x] {
+			t.Fatalf("cell %d: got %d, want %d", x, res.Values[x], want[x])
+		}
+	}
+	if res.Values[50] != 100 {
+		t.Fatalf("saturation lost: %d", res.Values[50])
+	}
+}
+
+func TestSolveGeneralPublicAPI(t *testing.T) {
+	// Fibonacci GIR through the public API.
+	n := 30
+	s := ir.FromFuncs(n-2, n,
+		func(i int) int { return i + 2 },
+		func(i int) int { return i + 1 },
+		func(i int) int { return i },
+	)
+	op := ir.MulMod{M: 1_000_003}
+	init := make([]int64, n)
+	for x := range init {
+		init[x] = int64(x + 2)
+	}
+	want := ir.RunSequential[int64](s, op, init)
+	res, err := ir.SolveGeneral[int64](s, op, init, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range want {
+		if res.Values[x] != want[x] {
+			t.Fatalf("cell %d: got %d, want %d", x, res.Values[x], want[x])
+		}
+	}
+	if res.CAPRounds < 4 {
+		t.Fatalf("CAPRounds = %d, suspicious", res.CAPRounds)
+	}
+	last := res.Powers[n-1]
+	if len(last) != 2 || last[0].Cell != 0 || last[1].Cell != 1 {
+		t.Fatalf("Powers[%d] = %v", n-1, last)
+	}
+	if last[1].Exp != "514229" { // fib(29)
+		t.Fatalf("exponent = %s, want 514229", last[1].Exp)
+	}
+}
+
+func TestSolveLinearPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := 40
+	perm := rng.Perm(m)
+	n := 30
+	g := make([]int, n)
+	f := make([]int, n)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g[i], f[i] = perm[i], rng.Intn(m)
+		a[i], b[i] = rng.Float64()-0.5, rng.Float64()-0.5
+	}
+	x0 := make([]float64, m)
+	for x := range x0 {
+		x0[x] = rng.Float64()
+	}
+	got, err := ir.SolveLinear(m, g, f, a, b, x0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: run the loop directly.
+	want := append([]float64(nil), x0...)
+	for i := 0; i < n; i++ {
+		want[g[i]] = a[i]*want[f[i]] + b[i]
+	}
+	for x := range want {
+		if math.Abs(got[x]-want[x]) > 1e-9 {
+			t.Fatalf("cell %d: got %v, want %v", x, got[x], want[x])
+		}
+	}
+}
+
+func TestSolveLinearExtendedPublicAPI(t *testing.T) {
+	m, n := 20, 15
+	g := make([]int, n)
+	f := make([]int, n)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g[i], f[i] = i+5, i
+		a[i], b[i] = 0.5, 1
+	}
+	x0 := make([]float64, m)
+	for x := range x0 {
+		x0[x] = float64(x)
+	}
+	got, err := ir.SolveLinearExtended(m, g, f, a, b, x0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), x0...)
+	for i := 0; i < n; i++ {
+		want[g[i]] = want[g[i]] + a[i]*want[f[i]] + b[i]
+	}
+	for x := range want {
+		if math.Abs(got[x]-want[x]) > 1e-9 {
+			t.Fatalf("cell %d: got %v, want %v", x, got[x], want[x])
+		}
+	}
+}
+
+func TestSolveMoebiusPublicAPI(t *testing.T) {
+	n := 20
+	m := n + 1
+	g := make([]int, n)
+	f := make([]int, n)
+	one := make([]float64, n)
+	two := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g[i], f[i] = i+1, i
+		one[i], two[i] = 1, 2
+	}
+	x0 := make([]float64, m)
+	x0[0] = 1
+	// X[i+1] = (X[i] + 1) / (X[i] + 2)
+	got, err := ir.SolveMoebius(m, g, f, one, one, one, two, x0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), x0...)
+	for i := 0; i < n; i++ {
+		want[i+1] = (want[i] + 1) / (want[i] + 2)
+	}
+	for x := range want {
+		if math.Abs(got[x]-want[x]) > 1e-12 {
+			t.Fatalf("cell %d: got %v, want %v", x, got[x], want[x])
+		}
+	}
+}
+
+func TestSolveOrdinaryRejectsBadSystem(t *testing.T) {
+	s := &ir.System{M: 2, N: 2, G: []int{0, 0}, F: []int{1, 1}}
+	if _, err := ir.SolveOrdinary[int64](s, ir.IntAdd{}, []int64{1, 2}, 0); err == nil {
+		t.Fatal("non-distinct g accepted")
+	}
+}
+
+func TestScanPublicAPI(t *testing.T) {
+	xs := []int64{1, 2, 3, 4, 5}
+	got := ir.Scan[int64](ir.IntAdd{}, xs, 2)
+	want := []int64{1, 3, 6, 10, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestLinearChainPublicAPI(t *testing.T) {
+	a := []float64{0, 2, 2, 2}
+	b := []float64{0, 1, 1, 1}
+	got := ir.LinearChain(a, b, 0, 2)
+	want := []float64{0, 1, 3, 7}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestKTermChainPublicAPI(t *testing.T) {
+	n := 10
+	ones := make([]float64, n)
+	zeros := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	got, err := ir.KTermChain(2, [][]float64{ones, ones}, zeros, []float64{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("got %v", got)
+		}
+	}
+}

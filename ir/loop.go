@@ -1,0 +1,39 @@
+package ir
+
+import "indexedrec/internal/lang"
+
+// The paper's headline use case as a public API: hand the library a
+// sequential loop as TEXT, let it classify the recurrence form without
+// dependence analysis, and execute it with the matching parallel algorithm.
+//
+//	loop, _ := ir.ParseLoop("for i = 1 to n do X[i] := A[i]*X[i-1] + B[i]")
+//	c := ir.CompileLoop(loop)        // c.Analysis.Form, c.Strategy()
+//	err := c.Execute(env, 0)         // parallel, O(log n) steps
+//
+// The loop language is Pascal-like: `for i = lo to hi do stmt` or a
+// begin/end block, statements `X[expr] := expr`, expressions over numbers,
+// scalars, array references (including indirection) and + - * /; nested
+// loops are supported (outer sequential × inner parallel).
+
+// Loop is a parsed loop; Env binds its arrays and scalars; Compiled pairs a
+// loop with its recurrence analysis and parallel strategy.
+type (
+	Loop     = lang.Loop
+	Env      = lang.Env
+	Compiled = lang.Compiled
+	Analysis = lang.Analysis
+)
+
+// ParseLoop parses loop source text.
+func ParseLoop(src string) (*Loop, error) { return lang.Parse(src) }
+
+// NewEnv returns an empty environment to bind arrays and scalars into.
+func NewEnv() *Env { return lang.NewEnv() }
+
+// CompileLoop classifies the loop and packages it with its strategy; call
+// Execute(env, procs) on the result to run it in parallel, or RunLoop for
+// the sequential reference semantics.
+func CompileLoop(l *Loop) *Compiled { return lang.Compile(l) }
+
+// RunLoop interprets the loop sequentially — the semantic oracle.
+func RunLoop(l *Loop, env *Env) error { return lang.Run(l, env) }
