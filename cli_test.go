@@ -4,6 +4,7 @@ package indexedrec
 // exercised the way a user would drive it.
 
 import (
+	"bytes"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -32,6 +33,98 @@ func run(t *testing.T, bin string, args ...string) string {
 		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
 	}
 	return string(out)
+}
+
+// runFail runs the binary expecting a non-zero exit, and returns stderr.
+func runFail(t *testing.T, bin string, args ...string) (stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("%s %v: exited 0, want failure\nstdout:\n%s", filepath.Base(bin), args, out.String())
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: %v (not an exit error)", filepath.Base(bin), args, err)
+	}
+	return errBuf.String(), ee.ExitCode()
+}
+
+// failCase is one CLI failure path: args that must exit non-zero with a
+// diagnostic on stderr (wantSub == "" means any stderr, e.g. flag usage).
+type failCase struct {
+	name    string
+	args    []string
+	wantSub string
+	oneLine bool // stderr must be exactly one line (the fail() contract)
+}
+
+func checkFailCases(t *testing.T, tool string, cases []failCase) {
+	t.Helper()
+	bin := buildTool(t, tool)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stderr, code := runFail(t, bin, tc.args...)
+			if code == 0 {
+				t.Fatalf("exit code 0")
+			}
+			if tc.wantSub != "" && !strings.Contains(stderr, tc.wantSub) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantSub, stderr)
+			}
+			if tc.oneLine {
+				if n := strings.Count(strings.TrimRight(stderr, "\n"), "\n") + 1; n != 1 {
+					t.Fatalf("stderr is %d lines, want one:\n%s", n, stderr)
+				}
+			}
+		})
+	}
+}
+
+func TestCLIIrsolveFailures(t *testing.T) {
+	const okLoop = "for i = 1 to n do X[i] := X[i-1] + X[i]"
+	checkFailCases(t, "irsolve", []failCase{
+		{name: "no input", args: nil},
+		{name: "parse error", args: []string{"-loop", "for for for"}, wantSub: "parse:", oneLine: true},
+		{name: "missing file", args: []string{"-file", "/nonexistent/loop.ir"}, wantSub: "read -file", oneLine: true},
+		{name: "bad array spec", args: []string{"-loop", okLoop, "-array", "X"}, wantSub: "bad -array", oneLine: true},
+		{name: "unknown generator", args: []string{"-loop", okLoop, "-array", "X=wat:5"}, wantSub: "unknown generator", oneLine: true},
+		{name: "bad array value", args: []string{"-loop", okLoop, "-array", "X=1,two,3"}, wantSub: "bad -array", oneLine: true},
+		{name: "bad scalar", args: []string{"-loop", okLoop, "-scalar", "q=abc"}, wantSub: "bad -scalar", oneLine: true},
+	})
+}
+
+func TestCLIIrgenFailures(t *testing.T) {
+	checkFailCases(t, "irgen", []failCase{
+		{name: "no input", args: nil},
+		{name: "parse error", args: []string{"-loop", "not a loop"}, wantSub: "parse:", oneLine: true},
+		{name: "missing file", args: []string{"-file", "/nonexistent/loop.ir"}, wantSub: "read -file", oneLine: true},
+	})
+}
+
+func TestCLIIrbenchFailures(t *testing.T) {
+	checkFailCases(t, "irbench", []failCase{
+		{name: "unknown experiment", args: []string{"-exp", "fig99"}, wantSub: "fig99", oneLine: true},
+		{name: "bad procs entry", args: []string{"-exp", "fig3", "-procs", "1,zero"}, wantSub: "bad -procs", oneLine: true},
+		{name: "timeout", args: []string{"-exp", "fig3", "-timeout", "1ns"}, wantSub: "timed out", oneLine: true},
+	})
+}
+
+func TestCLIIrvmFailures(t *testing.T) {
+	reduceArgs := []string{"-builtin", "reduce",
+		"-sym", "N=16", "-sym", "NPROC=4", "-sym", "A=0", "-mem", "16"}
+	checkFailCases(t, "irvm", []failCase{
+		{name: "no input", args: nil},
+		{name: "unknown builtin", args: []string{"-builtin", "wat"}, wantSub: "unknown -builtin", oneLine: true},
+		{name: "missing file", args: []string{"-file", "/nonexistent/prog.s"}, wantSub: "no such file"},
+		{name: "bad sym", args: []string{"-builtin", "reduce", "-sym", "N16"}, wantSub: "NAME=VALUE"},
+		{name: "assemble error", args: []string{"-builtin", "seq"}, wantSub: "assemble:", oneLine: true},
+		{name: "unknown opx", args: append(append([]string{}, reduceArgs...), "-opx", "bogus"), wantSub: "unknown -opx", oneLine: true},
+		{name: "bad fill", args: append(append([]string{}, reduceArgs...), "-fill", "0:16"), wantSub: "bad -fill", oneLine: true},
+		{name: "bad dump", args: append(append([]string{}, reduceArgs...), "-fill", "0:16=1", "-dump", "0:99999"), wantSub: "bad -dump", oneLine: true},
+	})
 }
 
 func TestCLIIrsolve(t *testing.T) {

@@ -10,25 +10,44 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"indexedrec/internal/experiments"
 )
 
 func main() {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "irbench: internal error: %v\n", r)
+			os.Exit(1)
+		}
+	}()
 	var (
-		exp   = flag.String("exp", "", "experiment id (or \"all\")")
-		list  = flag.Bool("list", false, "list available experiments")
-		n     = flag.Int("n", 0, "instance size override (0 = experiment default)")
-		procs = flag.String("procs", "", "comma-separated processor sweep override")
-		seed  = flag.Int64("seed", 0, "generator seed override")
-		quick = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+		exp     = flag.String("exp", "", "experiment id (or \"all\")")
+		list    = flag.Bool("list", false, "list available experiments")
+		n       = flag.Int("n", 0, "instance size override (0 = experiment default)")
+		procs   = flag.String("procs", "", "comma-separated processor sweep override")
+		seed    = flag.Int64("seed", 0, "generator seed override")
+		quick   = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -55,8 +74,15 @@ func main() {
 	}
 
 	run := func(id string) {
-		if err := experiments.Run(id, os.Stdout, opt); err != nil {
-			fmt.Fprintf(os.Stderr, "irbench: %s: %v\n", id, err)
+		if err := experiments.RunCtx(ctx, id, os.Stdout, opt); err != nil {
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				fmt.Fprintf(os.Stderr, "irbench: %s: timed out after %v\n", id, *timeout)
+			case errors.Is(err, context.Canceled):
+				fmt.Fprintf(os.Stderr, "irbench: %s: interrupted\n", id)
+			default:
+				fmt.Fprintf(os.Stderr, "irbench: %s: %v\n", id, err)
+			}
 			os.Exit(1)
 		}
 		fmt.Println()

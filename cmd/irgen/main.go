@@ -16,6 +16,13 @@ import (
 )
 
 func main() {
+	// Last-resort guard: any failure path a specific check misses still
+	// exits non-zero with a one-line message instead of a crash dump.
+	defer func() {
+		if r := recover(); r != nil {
+			fail("internal error: %v", r)
+		}
+	}()
 	var (
 		loopSrc = flag.String("loop", "", "loop source text")
 		file    = flag.String("file", "", "file containing the loop source")

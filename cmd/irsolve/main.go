@@ -12,11 +12,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"indexedrec/internal/lang"
 )
@@ -27,18 +31,34 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
 func main() {
+	// Last-resort guard: any failure path a specific check misses still
+	// exits non-zero with a one-line message instead of a crash dump.
+	defer func() {
+		if r := recover(); r != nil {
+			fail("internal error: %v", r)
+		}
+	}()
 	var (
 		loopSrc = flag.String("loop", "", "loop source text")
 		file    = flag.String("file", "", "file containing the loop source")
 		n       = flag.Int("n", 10, "value bound to the scalar n")
 		analyze = flag.Bool("analyze", false, "classify only, do not execute")
 		procs   = flag.Int("procs", 0, "goroutines (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 		arrays  multiFlag
 		scalars multiFlag
 	)
 	flag.Var(&arrays, "array", "array binding NAME=spec (repeatable)")
 	flag.Var(&scalars, "scalar", "scalar binding NAME=value (repeatable)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	src := *loopSrc
 	if *file != "" {
@@ -95,7 +115,13 @@ func main() {
 	if err := lang.Run(loop, seq); err != nil {
 		fail("sequential run: %v", err)
 	}
-	if err := c.Execute(env, *procs); err != nil {
+	if err := c.ExecuteCtx(ctx, env, *procs); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fail("timed out after %v", *timeout)
+		}
+		if errors.Is(err, context.Canceled) {
+			fail("interrupted")
+		}
 		fail("parallel execute: %v", err)
 	}
 

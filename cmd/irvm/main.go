@@ -42,6 +42,14 @@ var builtins = map[string]string{
 }
 
 func main() {
+	// Last-resort guard: any failure path a specific check misses (e.g. a
+	// VM fault on an out-of-range memory size) still exits non-zero with a
+	// one-line message instead of a crash dump.
+	defer func() {
+		if r := recover(); r != nil {
+			fail("internal error: %v", r)
+		}
+	}()
 	syms := symFlags{}
 	var (
 		file    = flag.String("file", "", "assembly source file")

@@ -27,12 +27,29 @@
 package cap
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 	"sort"
 
 	"indexedrec/internal/graph"
 )
+
+// ErrExponentLimit is returned by the Ctx engines when a path count exceeds
+// the configured bit cap. Path counts grow like fib(n) (the paper's §4
+// observation), so an unguarded big.Int computation on an adversarial or
+// machine-generated instance can exhaust memory; the cap turns that into a
+// prompt, typed error.
+var ErrExponentLimit = errors.New("cap: path count exceeds exponent bit limit")
+
+// checkBits returns ErrExponentLimit (wrapped with context) when maxBits is
+// positive and label needs more bits than it allows.
+func checkBits(label *big.Int, maxBits int) error {
+	if maxBits > 0 && label.BitLen() > maxBits {
+		return fmt.Errorf("%w: %d bits > cap %d", ErrExponentLimit, label.BitLen(), maxBits)
+	}
+	return nil
+}
 
 // Edge is a labeled edge: Label counts parallel paths represented by it.
 type Edge struct {

@@ -1,6 +1,7 @@
 package cap
 
 import (
+	"context"
 	"math/big"
 
 	"indexedrec/internal/graph"
@@ -23,12 +24,25 @@ func (g *Graph) toDAG() *graph.DAG {
 // paths(l, l) = 1. It is the sequential reference the parallel engines are
 // verified against. Returns graph.ErrCycle if the graph is cyclic.
 func CountDP(g *Graph) (Counts, error) {
+	return CountDPCtx(context.Background(), g, 0)
+}
+
+// CountDPCtx is CountDP with cancellation (checked every dpCtxStride nodes)
+// and an exponent bit cap (maxBits <= 0 means unlimited; a violation
+// returns ErrExponentLimit).
+func CountDPCtx(ctx context.Context, g *Graph, maxBits int) (Counts, error) {
 	order, err := g.toDAG().TopoOrder()
 	if err != nil {
 		return nil, err
 	}
+	const dpCtxStride = 1024
 	acc := make([]map[int]*big.Int, g.N)
-	for _, v := range order {
+	for k, v := range order {
+		if k%dpCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if g.sink[v] {
 			acc[v] = map[int]*big.Int{v: big.NewInt(1)}
 			continue
@@ -39,8 +53,12 @@ func CountDP(g *Graph) (Counts, error) {
 				contrib := new(big.Int).Mul(e.Label, c)
 				if old, ok := m[l]; ok {
 					old.Add(old, contrib)
+					contrib = old
 				} else {
 					m[l] = contrib
+				}
+				if err := checkBits(contrib, maxBits); err != nil {
+					return nil, err
 				}
 			}
 		}

@@ -1,6 +1,7 @@
 package cap
 
 import (
+	"context"
 	"math/big"
 
 	"indexedrec/internal/parallel"
@@ -16,6 +17,13 @@ import (
 // complexity claim alludes to — and a fully independent comparator for the
 // sparse engine. Intended for small-to-medium n.
 func CountMatrix(g *Graph, procs int) (Counts, error) {
+	return CountMatrixCtx(context.Background(), g, procs, 0)
+}
+
+// CountMatrixCtx is CountMatrix with cancellation (checked between
+// squarings and between row chunks) and an exponent bit cap (maxBits <= 0
+// means unlimited).
+func CountMatrixCtx(ctx context.Context, g *Graph, procs, maxBits int) (Counts, error) {
 	dag := g.toDAG()
 	longest, err := dag.LongestPathLen()
 	if err != nil {
@@ -36,7 +44,10 @@ func CountMatrix(g *Graph, procs int) (Counts, error) {
 		}
 	}
 	for pow := 1; pow < longest; pow *= 2 {
-		a = matSquare(a, procs)
+		a, err = matSquareCtx(ctx, a, procs, maxBits)
+		if err != nil {
+			return nil, err
+		}
 	}
 	acc := make([]map[int]*big.Int, n)
 	for v := 0; v < n; v++ {
@@ -55,11 +66,12 @@ func CountMatrix(g *Graph, procs int) (Counts, error) {
 	return mapsToCounts(acc), nil
 }
 
-// matSquare returns a² with row-parallel evaluation.
-func matSquare(a [][]*big.Int, procs int) [][]*big.Int {
+// matSquareCtx returns a² with row-parallel evaluation, honoring
+// cancellation and the exponent bit cap.
+func matSquareCtx(ctx context.Context, a [][]*big.Int, procs, maxBits int) ([][]*big.Int, error) {
 	n := len(a)
 	out := make([][]*big.Int, n)
-	parallel.For(n, procs, func(lo, hi int) {
+	err := parallel.ForCtx(ctx, n, procs, func(lo, hi int) error {
 		var tmp big.Int
 		for v := lo; v < hi; v++ {
 			row := make([]*big.Int, n)
@@ -76,10 +88,17 @@ func matSquare(a [][]*big.Int, procs int) [][]*big.Int {
 					}
 					tmp.Mul(a[v][k], a[k][w])
 					row[w].Add(row[w], &tmp)
+					if err := checkBits(row[w], maxBits); err != nil {
+						return err
+					}
 				}
 			}
 			out[v] = row
 		}
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package cap
 
 import (
+	"context"
 	"math/big"
 	"sync/atomic"
 
@@ -27,6 +28,9 @@ type SquaringOptions struct {
 	// OnRound, if non-nil, receives a snapshot of the evolving edge set
 	// after each round — the Fig. 9 visualization hook. Sequential calls.
 	OnRound func(round int, edges [][]Edge)
+	// MaxBits caps the bit length of any path-count label; a label growing
+	// past it aborts the run with ErrExponentLimit. <= 0 means unlimited.
+	MaxBits int
 }
 
 // CountSquaring is the paper's parallel CAP algorithm (§4, Figs. 7–9).
@@ -51,6 +55,15 @@ type SquaringOptions struct {
 // k→l), so labels stay exact path counts; after ⌈log₂ L_max⌉ rounds no
 // interior edges remain and the sink labels are CAP(G).
 func CountSquaring(g *Graph, opt SquaringOptions) (Counts, *Stats, error) {
+	return CountSquaringCtx(context.Background(), g, opt)
+}
+
+// CountSquaringCtx is the hardened CountSquaring: cancellation of ctx is
+// observed between rounds (and between chunks within a round), a panic in
+// the OnRound hook returns as an error, and opt.MaxBits bounds label
+// growth. All worker goroutines are joined before return.
+func CountSquaringCtx(ctx context.Context, g *Graph, opt SquaringOptions) (_ Counts, _ *Stats, err error) {
+	defer parallel.RecoverTo(&err)
 	// Validate acyclicity up front: the round loop below would otherwise
 	// never run out of interior edges.
 	if _, err := g.toDAG().TopoOrder(); err != nil {
@@ -64,6 +77,9 @@ func CountSquaring(g *Graph, opt SquaringOptions) (Counts, *Stats, error) {
 	st := &Stats{EdgesPerRound: []int{countEdges(cur)}}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		interior := false
 		for v := range cur {
 			for _, e := range cur[v] {
@@ -82,7 +98,7 @@ func CountSquaring(g *Graph, opt SquaringOptions) (Counts, *Stats, error) {
 
 		next := make([][]Edge, g.N)
 		var mults, adds atomic.Int64
-		parallel.For(g.N, opt.Procs, func(lo, hi int) {
+		if err := parallel.ForCtx(ctx, g.N, opt.Procs, func(lo, hi int) error {
 			var localM, localA int64
 			for v := lo; v < hi; v++ {
 				if len(cur[v]) == 0 {
@@ -97,20 +113,29 @@ func CountSquaring(g *Graph, opt SquaringOptions) (Counts, *Stats, error) {
 					// paths multiplication: compose with every edge of the
 					// interior target, consuming e.
 					for _, e2 := range cur[e.To] {
-						buf = append(buf, Edge{
-							To:    e2.To,
-							Label: new(big.Int).Mul(e.Label, e2.Label),
-						})
+						label := new(big.Int).Mul(e.Label, e2.Label)
+						if err := checkBits(label, opt.MaxBits); err != nil {
+							return err
+						}
+						buf = append(buf, Edge{To: e2.To, Label: label})
 						localM++
 					}
 				}
 				merged := mergeEdges(buf)
+				for _, e := range merged {
+					if err := checkBits(e.Label, opt.MaxBits); err != nil {
+						return err
+					}
+				}
 				localA += int64(len(buf) - len(merged))
 				next[v] = merged
 			}
 			mults.Add(localM)
 			adds.Add(localA)
-		})
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
 		st.Mults += mults.Load()
 		st.Adds += adds.Load()
 		st.Rounds++

@@ -1,6 +1,7 @@
 package cap
 
 import (
+	"context"
 	"math/big"
 
 	"indexedrec/internal/parallel"
@@ -16,6 +17,13 @@ import (
 // against: squaring wins on long chains with many processors, the wavefront
 // wins on shallow wide graphs.
 func CountWavefront(g *Graph, procs int) (Counts, error) {
+	return CountWavefrontCtx(context.Background(), g, procs, 0)
+}
+
+// CountWavefrontCtx is CountWavefront with cancellation (checked between
+// levels and between chunks within a level) and an exponent bit cap
+// (maxBits <= 0 means unlimited).
+func CountWavefrontCtx(ctx context.Context, g *Graph, procs, maxBits int) (Counts, error) {
 	order, err := g.toDAG().TopoOrder()
 	if err != nil {
 		return nil, err
@@ -41,11 +49,11 @@ func CountWavefront(g *Graph, procs int) (Counts, error) {
 	acc := make([]map[int]*big.Int, g.N)
 	for l := 0; l <= maxLevel; l++ {
 		nodes := byLevel[l]
-		parallel.ForEach(len(nodes), procs, func(k int) {
+		if err := parallel.ForEachCtx(ctx, len(nodes), procs, func(k int) error {
 			v := nodes[k]
 			if g.sink[v] {
 				acc[v] = map[int]*big.Int{v: big.NewInt(1)}
-				return
+				return nil
 			}
 			m := make(map[int]*big.Int)
 			for _, e := range g.Out[v] {
@@ -53,13 +61,20 @@ func CountWavefront(g *Graph, procs int) (Counts, error) {
 					contrib := new(big.Int).Mul(e.Label, c)
 					if old, ok := m[sink]; ok {
 						old.Add(old, contrib)
+						contrib = old
 					} else {
 						m[sink] = contrib
+					}
+					if err := checkBits(contrib, maxBits); err != nil {
+						return err
 					}
 				}
 			}
 			acc[v] = m
-		})
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return mapsToCounts(acc), nil
 }

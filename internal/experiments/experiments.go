@@ -7,9 +7,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+
+	"indexedrec/internal/parallel"
 )
 
 // Options tune an experiment run; zero values select the paper's defaults.
@@ -90,6 +93,30 @@ func Run(id string, w io.Writer, opt Options) error {
 	}
 	fmt.Fprintf(w, "### %s — %s\n\n", e.ID, e.Title)
 	return e.Run(w, opt)
+}
+
+// RunCtx is Run bounded by ctx: the experiment body runs in its own
+// goroutine (recovering panics into errors) and RunCtx returns ctx.Err() as
+// soon as the context is done, without waiting for the body. Callers that
+// exit on error (the CLI) tolerate the abandoned goroutine; callers that
+// must not leak should use Run.
+func RunCtx(ctx context.Context, id string, w io.Writer, opt Options) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- func() (err error) {
+			defer parallel.RecoverTo(&err)
+			return Run(id, w, opt)
+		}()
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func ids() []string {

@@ -1,11 +1,14 @@
 package gir
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/big"
 
 	"indexedrec/internal/cap"
 	"indexedrec/internal/core"
+	"indexedrec/internal/parallel"
 )
 
 // This file implements the paper's ORIGINAL dependence-graph construction
@@ -74,41 +77,57 @@ func BuildCellGraph(s *core.System) (*DepGraph, error) {
 
 // SolveCellGraph is Solve restricted to distinct g, using the paper's
 // original construction. It exists for the fidelity cross-check; Solve is
-// the general entry point.
+// the general entry point. An init-length mismatch panics (the historical
+// contract); use SolveCellGraphCtx for the error-returning API.
 func SolveCellGraph[T any](s *core.System, op core.CommutativeMonoid[T], init []T, opt Options) (*Result[T], error) {
+	res, err := SolveCellGraphCtx(context.Background(), s, op, init, opt)
+	if errors.Is(err, ErrInitLen) {
+		panic("gir: solveOnGraph: len(init) != s.M")
+	}
+	return res, err
+}
+
+// SolveCellGraphCtx is the hardened SolveCellGraph; see SolveCtx for the
+// error and cancellation contract.
+func SolveCellGraphCtx[T any](ctx context.Context, s *core.System, op core.CommutativeMonoid[T], init []T, opt Options) (*Result[T], error) {
 	d, err := BuildCellGraph(s)
 	if err != nil {
 		return nil, err
 	}
-	return solveOnGraph(d, s, op, init, opt)
+	return solveOnGraphCtx(ctx, d, s, op, init, opt)
 }
 
-// solveOnGraph is the CAP + power-evaluation tail shared by Solve and
-// SolveCellGraph.
-func solveOnGraph[T any](d *DepGraph, s *core.System, op core.CommutativeMonoid[T], init []T, opt Options) (*Result[T], error) {
+// solveOnGraphCtx is the CAP + power-evaluation tail shared by SolveCtx and
+// SolveCellGraphCtx.
+func solveOnGraphCtx[T any](ctx context.Context, d *DepGraph, s *core.System, op core.CommutativeMonoid[T], init []T, opt Options) (_ *Result[T], err error) {
+	defer parallel.RecoverTo(&err)
 	if len(init) != s.M {
-		panic("gir: solveOnGraph: len(init) != s.M")
+		return nil, fmt.Errorf("%w: len(init) = %d, want s.M = %d", ErrInitLen, len(init), s.M)
 	}
 	var counts cap.Counts
-	var err error
 	res := &Result[T]{}
 	switch opt.Engine {
 	case EngineSquaring:
 		var st *cap.Stats
-		counts, st, err = cap.CountSquaring(d.G, cap.SquaringOptions{Procs: opt.Procs})
+		counts, st, err = cap.CountSquaringCtx(ctx, d.G, cap.SquaringOptions{
+			Procs:   opt.Procs,
+			MaxBits: opt.MaxExponentBits,
+		})
 		res.CAPStats = st
 	case EngineDP:
-		counts, err = cap.CountDP(d.G)
+		counts, err = cap.CountDPCtx(ctx, d.G, opt.MaxExponentBits)
 	case EngineMatrix:
-		counts, err = cap.CountMatrix(d.G, opt.Procs)
+		counts, err = cap.CountMatrixCtx(ctx, d.G, opt.Procs, opt.MaxExponentBits)
 	case EngineWavefront:
-		counts, err = cap.CountWavefront(d.G, opt.Procs)
+		counts, err = cap.CountWavefrontCtx(ctx, d.G, opt.Procs, opt.MaxExponentBits)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrEngine, int(opt.Engine))
 	}
 	if err != nil {
 		return nil, fmt.Errorf("gir: CAP failed: %w", err)
 	}
-	evalPowers(d, s, op, init, counts, res)
+	if err := evalPowersCtx(ctx, d, s, op, init, counts, res, opt.Procs); err != nil {
+		return nil, err
+	}
 	return res, nil
 }

@@ -37,6 +37,7 @@
 package gir
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -45,6 +46,14 @@ import (
 	"indexedrec/internal/core"
 	"indexedrec/internal/parallel"
 )
+
+// ErrInitLen is returned by SolveCtx when len(init) != s.M. The legacy
+// Solve wrapper converts it back into the historical panic.
+var ErrInitLen = errors.New("gir: init length does not match cell count")
+
+// ErrExponentLimit re-exports the CAP engines' bit-cap error so callers can
+// match it without importing internal/cap.
+var ErrExponentLimit = cap.ErrExponentLimit
 
 // DepGraph is the versioned dependence graph of a general IR system.
 type DepGraph struct {
@@ -137,6 +146,11 @@ type Options struct {
 	// Engine picks the CAP implementation; zero value is the paper's
 	// parallel squaring algorithm.
 	Engine Engine
+	// MaxExponentBits caps the bit length of any CAP path count (the
+	// exponent of an initial value in a trace). Path counts grow like
+	// fib(n), so the cap turns a would-be OOM on adversarial instances
+	// into a prompt ErrExponentLimit. <= 0 means unlimited.
+	MaxExponentBits int
 }
 
 // Result carries the solution and its cost profile.
@@ -158,23 +172,39 @@ var ErrEngine = errors.New("gir: unknown CAP engine")
 // Solve computes the final array of a general IR system in parallel:
 // dependence graph construction, CAP, then a per-cell product of atomic
 // powers. Requires a commutative monoid with Pow (enforced by the type).
+// An init-length mismatch panics (the historical contract); use SolveCtx
+// for the error-returning, panic-safe API.
 func Solve[T any](s *core.System, op core.CommutativeMonoid[T], init []T, opt Options) (*Result[T], error) {
+	res, err := SolveCtx(context.Background(), s, op, init, opt)
+	if errors.Is(err, ErrInitLen) {
+		panic("gir: solveOnGraph: len(init) != s.M")
+	}
+	return res, err
+}
+
+// SolveCtx is the hardened entry point: identical algorithm, but every
+// failure — invalid system, init-length mismatch, a panic or Abort inside
+// op.Combine/op.Pow, an exponent exceeding opt.MaxExponentBits, or
+// cancellation of ctx — returns as an error with all worker goroutines
+// joined.
+func SolveCtx[T any](ctx context.Context, s *core.System, op core.CommutativeMonoid[T], init []T, opt Options) (*Result[T], error) {
 	d, err := Build(s)
 	if err != nil {
 		return nil, err
 	}
-	return solveOnGraph(d, s, op, init, opt)
+	return solveOnGraphCtx(ctx, d, s, op, init, opt)
 }
 
-// evalPowers is the evaluation phase: every cell's value is a product of
+// evalPowersCtx is the evaluation phase: every cell's value is a product of
 // atomic powers of initial values; cells are independent, so this is one
 // parallel step of O(k) combines per cell (O(log k) with tree reduction;
-// k is tiny in practice compared to the trace length it replaces).
-func evalPowers[T any](d *DepGraph, s *core.System, op core.CommutativeMonoid[T], init []T, counts cap.Counts, res *Result[T]) {
+// k is tiny in practice compared to the trace length it replaces). Panics
+// in op.Combine/op.Pow surface as errors; cancellation stops the sweep.
+func evalPowersCtx[T any](ctx context.Context, d *DepGraph, s *core.System, op core.CommutativeMonoid[T], init []T, counts cap.Counts, res *Result[T], procs int) error {
 	values := make([]T, s.M)
 	powers := make([][]cap.Term, s.M)
 	var powCalls int64
-	parallel.For(s.M, 0, func(lo, hi int) {
+	if err := parallel.ForCtx(ctx, s.M, procs, func(lo, hi int) error {
 		var local int64
 		for x := lo; x < hi; x++ {
 			terms := counts[d.Final[x]]
@@ -187,8 +217,12 @@ func evalPowers[T any](d *DepGraph, s *core.System, op core.CommutativeMonoid[T]
 			values[x] = acc
 		}
 		addInt64(&powCalls, local)
-	})
+		return nil
+	}); err != nil {
+		return err
+	}
 	res.Values = values
 	res.Powers = powers
 	res.PowCalls = powCalls
+	return nil
 }

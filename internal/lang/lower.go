@@ -1,6 +1,7 @@
 package lang
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -207,6 +208,18 @@ func LowerLinear(c *Compiled, env *Env) (*moebius.MoebiusSystem, error) {
 // (up to float rounding from regrouping). FormUnknown falls back to the
 // sequential interpreter. procs <= 0 means GOMAXPROCS.
 func (c *Compiled) Execute(env *Env, procs int) error {
+	return c.ExecuteCtx(context.Background(), env, procs)
+}
+
+// ExecuteCtx is Execute through the hardened solver APIs: cancellation of
+// ctx stops the solve between rounds (and between outer iterations of a
+// nest) with ctx.Err(), and solver-side panics surface as errors. A Möbius
+// chain whose composed map divides by zero falls back to the sequential
+// interpreter, preserving Execute's IEEE semantics.
+func (c *Compiled) ExecuteCtx(ctx context.Context, env *Env, procs int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	an := c.Analysis
 	// Multi-statement bodies reach here only when the analysis proved the
 	// statements independent (disjoint targets, no cross-references), so
@@ -215,7 +228,7 @@ func (c *Compiled) Execute(env *Env, procs int) error {
 	if asgs := c.Loop.Assigns(); len(asgs) > 1 && an.Form != FormMap && an.Form != FormUnknown {
 		for _, st := range asgs {
 			sub := &Loop{Var: c.Loop.Var, Lo: c.Loop.Lo, Hi: c.Loop.Hi, Body: []Stmt{st}}
-			if err := Compile(sub).Execute(env, procs); err != nil {
+			if err := Compile(sub).ExecuteCtx(ctx, env, procs); err != nil {
 				return err
 			}
 		}
@@ -234,7 +247,7 @@ func (c *Compiled) Execute(env *Env, procs int) error {
 		defer restoreVar(env, c.Loop.Var, saved, had)
 		for i := lo; i <= hi; i++ {
 			env.Scalars[c.Loop.Var] = float64(i)
-			if err := inner.Execute(env, procs); err != nil {
+			if err := inner.ExecuteCtx(ctx, env, procs); err != nil {
 				return err
 			}
 		}
@@ -254,12 +267,12 @@ func (c *Compiled) Execute(env *Env, procs int) error {
 		} else {
 			op = core.Float64Mul{}
 		}
-		res, err := ordinary.Solve[float64](sys, op, env.Arrays[an.Array], ordinary.Options{Procs: procs})
+		res, err := ordinary.SolveCtx[float64](ctx, sys, op, env.Arrays[an.Array], ordinary.Options{Procs: procs})
 		if errors.Is(err, ordinary.ErrGNotDistinct) {
 			// Repeated writes to one cell: outside §2's precondition, but
 			// + and * are commutative, so the general solver applies
 			// (H = G implicitly).
-			gres, gerr := gir.Solve[float64](sys, op, env.Arrays[an.Array], gir.Options{Procs: procs})
+			gres, gerr := gir.SolveCtx[float64](ctx, sys, op, env.Arrays[an.Array], gir.Options{Procs: procs})
 			if gerr != nil {
 				return gerr
 			}
@@ -282,7 +295,7 @@ func (c *Compiled) Execute(env *Env, procs int) error {
 		} else {
 			op = core.Float64Mul{}
 		}
-		res, err := gir.Solve[float64](sys, op, env.Arrays[an.Array], gir.Options{Procs: procs})
+		res, err := gir.SolveCtx[float64](ctx, sys, op, env.Arrays[an.Array], gir.Options{Procs: procs})
 		if err != nil {
 			return err
 		}
@@ -293,16 +306,18 @@ func (c *Compiled) Execute(env *Env, procs int) error {
 		// (scatter-add: the PIC kernels) are general IR over + with an
 		// auxiliary operand cell per iteration.
 		if an.Form == FormLinearExtended && an.SelfOnly && isOne(an.SelfCoef) {
-			return c.executeScatterAdd(env, procs)
+			return c.executeScatterAdd(ctx, env, procs)
 		}
 		ms, err := LowerLinear(c, env)
 		if err != nil {
 			return err
 		}
-		out, err := ms.Solve(env.Arrays[an.Array], ordinary.Options{Procs: procs})
-		if errors.Is(err, moebius.ErrBadSystem) {
-			// Non-distinct g outside the scatter-add shape: no parallel
-			// strategy in the framework; run the loop as written.
+		out, err := ms.SolveCtx(ctx, env.Arrays[an.Array], ordinary.Options{Procs: procs})
+		if errors.Is(err, moebius.ErrBadSystem) || errors.Is(err, moebius.ErrNonFinite) {
+			// Non-distinct g outside the scatter-add shape (no parallel
+			// strategy in the framework), or a chain that divides by zero
+			// (the guarded API rejects non-finite values, the sequential
+			// loop defines them): run the loop as written.
 			return Run(c.Loop, env)
 		}
 		if err != nil {
@@ -377,7 +392,7 @@ func isOne(e Expr) bool {
 // cell per iteration holding b(i), and iteration i computes
 // X[g(i)] := X[aux_i] + X[g(i)], which package gir solves for non-distinct
 // g via the versioned dependence graph.
-func (c *Compiled) executeScatterAdd(env *Env, procs int) error {
+func (c *Compiled) executeScatterAdd(ctx context.Context, env *Env, procs int) error {
 	an := c.Analysis
 	arr, ok := env.Arrays[an.Array]
 	if !ok {
@@ -414,7 +429,7 @@ func (c *Compiled) executeScatterAdd(env *Env, procs int) error {
 	// sink-heavy, where the squaring engine's interior edges grow
 	// quadratically; the level-synchronized wavefront engine handles that
 	// shape with linear label work.
-	res, err := gir.Solve[float64](sys, core.Float64Add{}, init,
+	res, err := gir.SolveCtx[float64](ctx, sys, core.Float64Add{}, init,
 		gir.Options{Procs: procs, Engine: gir.EngineWavefront})
 	if err != nil {
 		return err

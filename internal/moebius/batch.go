@@ -1,6 +1,7 @@
 package moebius
 
 import (
+	"context"
 	"fmt"
 
 	"indexedrec/internal/ordinary"
@@ -27,6 +28,29 @@ func SolveBatch(systems []*MoebiusSystem, x0s [][]float64, opt ordinary.Options)
 		if err != nil {
 			return nil, fmt.Errorf("moebius: SolveBatch system %d: %w", k, err)
 		}
+	}
+	return out, nil
+}
+
+// SolveBatchCtx is the hardened SolveBatch: each system is solved through
+// SolveCtx (guarded, cancellable, panic-safe), the sweep stops at the first
+// failing system, and cancellation of ctx stops scheduling further systems.
+func SolveBatchCtx(ctx context.Context, systems []*MoebiusSystem, x0s [][]float64, opt ordinary.Options) ([][]float64, error) {
+	if len(systems) != len(x0s) {
+		return nil, fmt.Errorf("moebius: SolveBatchCtx: %d systems but %d initial arrays",
+			len(systems), len(x0s))
+	}
+	out := make([][]float64, len(systems))
+	err := parallel.ForEachCtx(ctx, len(systems), opt.Procs, func(k int) error {
+		res, err := systems[k].SolveCtx(ctx, x0s[k], opt)
+		if err != nil {
+			return fmt.Errorf("moebius: SolveBatchCtx system %d: %w", k, err)
+		}
+		out[k] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,8 +1,10 @@
 package moebius
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"indexedrec/internal/ordinary"
 )
@@ -45,6 +47,30 @@ func NewExtended(m int, g, f []int, a, b, x0 []float64) *MoebiusSystem {
 
 // ErrBadSystem wraps validation failures.
 var ErrBadSystem = errors.New("moebius: invalid system")
+
+// ErrInitLen is returned by SolveCtx when len(x0) != M. The legacy Solve
+// wrapper converts it back into the historical panic.
+var ErrInitLen = errors.New("moebius: initial array length does not match M")
+
+// ErrNonFinite is returned by SolveCtx when a coefficient or initial value
+// is NaN/±Inf, or when the solve produces a non-finite cell from finite
+// inputs (a division by zero somewhere along a composed chain). The legacy
+// Solve keeps the sequential loop's IEEE semantics and returns the Inf/NaN
+// values instead.
+var ErrNonFinite = errors.New("moebius: non-finite value")
+
+// CheckFinite reports the first non-finite coefficient as an ErrNonFinite
+// error, or nil when all coefficients are finite.
+func (ms *MoebiusSystem) CheckFinite() error {
+	for name, c := range map[string][]float64{"A": ms.A, "B": ms.B, "C": ms.C, "D": ms.D} {
+		for i, v := range c {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: coefficient %s[%d] = %v", ErrNonFinite, name, i, v)
+			}
+		}
+	}
+	return nil
+}
 
 // Validate checks lengths, bounds and the distinct-g precondition.
 func (ms *MoebiusSystem) Validate() error {
@@ -91,12 +117,52 @@ func (ms *MoebiusSystem) RunSequential(x0 []float64) []float64 {
 //  3. apply each composed map to the initial value at its chain root.
 //
 // Steps 1 and 3 are single parallel steps; step 2 is ordinary.Solve.
+//
+// An x0-length mismatch panics (the historical contract) and outputs follow
+// IEEE semantics (a division by zero yields ±Inf/NaN, exactly as the
+// sequential loop would); use SolveCtx for the guarded, error-returning API.
 func (ms *MoebiusSystem) Solve(x0 []float64, opt ordinary.Options) ([]float64, error) {
+	out, err := ms.solve(context.Background(), x0, opt)
+	if errors.Is(err, ErrInitLen) {
+		panic("moebius: Solve: len(x0) != M")
+	}
+	return out, err
+}
+
+// SolveCtx is the hardened entry point: identical algorithm, but every
+// failure returns as an error — invalid system, x0-length mismatch,
+// non-finite coefficients or initial values (ErrNonFinite), a division by
+// zero surfacing as a non-finite output cell (ErrNonFinite), a panic in the
+// OnRound hook, or cancellation of ctx.
+func (ms *MoebiusSystem) SolveCtx(ctx context.Context, x0 []float64, opt ordinary.Options) ([]float64, error) {
+	if err := ms.CheckFinite(); err != nil {
+		return nil, err
+	}
+	for x, v := range x0 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: x0[%d] = %v", ErrNonFinite, x, v)
+		}
+	}
+	out, err := ms.solve(ctx, x0, opt)
+	if err != nil {
+		return nil, err
+	}
+	for x, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: cell %d = %v (division by zero along its chain)",
+				ErrNonFinite, x, v)
+		}
+	}
+	return out, nil
+}
+
+// solve is the shared three-step reduction.
+func (ms *MoebiusSystem) solve(ctx context.Context, x0 []float64, opt ordinary.Options) ([]float64, error) {
 	if err := ms.Validate(); err != nil {
 		return nil, err
 	}
 	if len(x0) != ms.M {
-		panic("moebius: Solve: len(x0) != M")
+		return nil, fmt.Errorf("%w: len(x0) = %d, want M = %d", ErrInitLen, len(x0), ms.M)
 	}
 	n := len(ms.G)
 	sys, origOf := buildShadowSystem(ms.M, ms.G, ms.F)
@@ -111,7 +177,7 @@ func (ms *MoebiusSystem) Solve(x0 []float64, opt ordinary.Options) ([]float64, e
 	}
 
 	// Step 2: ordinary IR over ⊙.
-	res, err := ordinary.Solve[Mat2](sys, ChainOp{}, mats, opt)
+	res, err := ordinary.SolveCtx[Mat2](ctx, sys, ChainOp{}, mats, opt)
 	if err != nil {
 		return nil, fmt.Errorf("moebius: %w", err)
 	}

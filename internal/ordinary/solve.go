@@ -1,11 +1,18 @@
 package ordinary
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"indexedrec/internal/core"
 	"indexedrec/internal/parallel"
 )
+
+// ErrInitLen is returned by SolveCtx when len(init) != s.M. The legacy
+// Solve wrapper converts it back into the historical panic.
+var ErrInitLen = errors.New("ordinary: init length does not match cell count")
 
 // Options configure the parallel solver.
 type Options struct {
@@ -44,16 +51,33 @@ type JumperState struct {
 }
 
 // Solve runs the parallel pointer-jumping algorithm. The system must be
-// ordinary with distinct g; init must have length s.M. The returned values
-// equal the sequential loop's output for any associative op (bit-for-bit
-// when op is exactly associative; up to rounding for floats).
+// ordinary with distinct g; init must have length s.M (violations panic,
+// the historical contract — use SolveCtx for the error-returning, panic-safe
+// API). The returned values equal the sequential loop's output for any
+// associative op (bit-for-bit when op is exactly associative; up to rounding
+// for floats).
 func Solve[T any](s *core.System, op core.Semigroup[T], init []T, opt Options) (*Result[T], error) {
+	res, err := SolveCtx(context.Background(), s, op, init, opt)
+	if errors.Is(err, ErrInitLen) {
+		panic("ordinary: Solve: len(init) != s.M")
+	}
+	return res, err
+}
+
+// SolveCtx is the hardened entry point: identical algorithm, but every
+// failure — invalid system, init-length mismatch, a panic or Abort inside
+// op.Combine or the OnRound hook, or cancellation of ctx — returns as an
+// error with all worker goroutines joined. Cancellation is observed between
+// chunks within a round and between rounds, so a solve on a cancelled
+// context stops promptly with ctx.Err().
+func SolveCtx[T any](ctx context.Context, s *core.System, op core.Semigroup[T], init []T, opt Options) (res *Result[T], err error) {
+	defer parallel.RecoverTo(&err)
 	fr, err := BuildForest(s)
 	if err != nil {
 		return nil, err
 	}
 	if len(init) != s.M {
-		panic("ordinary: Solve: len(init) != s.M")
+		return nil, fmt.Errorf("%w: len(init) = %d, want s.M = %d", ErrInitLen, len(init), s.M)
 	}
 
 	m := s.M
@@ -67,7 +91,7 @@ func Solve[T any](s *core.System, op core.Semigroup[T], init []T, opt Options) (
 	// "initially all traces ... can be computed in parallel"). Both buffers
 	// start identical so unwritten cells survive any number of swaps.
 	var initCombines atomic.Int64
-	parallel.For(m, opt.Procs, func(lo, hi int) {
+	if err := parallel.ForCtx(ctx, m, opt.Procs, func(lo, hi int) error {
 		var local int64
 		for x := lo; x < hi; x++ {
 			switch {
@@ -83,17 +107,23 @@ func Solve[T any](s *core.System, op core.Semigroup[T], init []T, opt Options) (
 			v2[x], nx2[x], rt2[x] = v[x], nx[x], rt[x]
 		}
 		initCombines.Add(local)
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
 	// Lock-step rounds over the written cells only, with double buffering
 	// so every round reads the previous round's state (synchronous PRAM
 	// semantics). Cells with nx < 0 are done and just copy forward.
 	cells := fr.Cells
-	res := &Result[T]{Rounds: 0, Combines: initCombines.Load()}
+	res = &Result[T]{Rounds: 0, Combines: initCombines.Load()}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var changed atomic.Bool
 		var roundCombines atomic.Int64
-		parallel.For(len(cells), opt.Procs, func(lo, hi int) {
+		if err := parallel.ForCtx(ctx, len(cells), opt.Procs, func(lo, hi int) error {
 			var local int64
 			for k := lo; k < hi; k++ {
 				x := cells[k]
@@ -111,7 +141,10 @@ func Solve[T any](s *core.System, op core.Semigroup[T], init []T, opt Options) (
 				changed.Store(true)
 				roundCombines.Add(local)
 			}
-		})
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 		if !changed.Load() {
 			break
 		}

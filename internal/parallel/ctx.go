@@ -1,0 +1,228 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the hardened half of the runtime: context-aware, panic-safe
+// variants of For / ForEach / SPMD. The solvers' error-returning entry
+// points are built on these, while the legacy For/ForEach/SPMD keep their
+// zero-overhead fire-and-forget contract for callers that control their own
+// bodies (benchmarks, internal sweeps).
+//
+// Contract shared by ForCtx, ForEachCtx and SPMDCtx:
+//
+//   - a panic in a worker goroutine is recovered and surfaced to the caller
+//     as a *PanicError (never crashes the process, never leaks the worker);
+//   - a body returning a non-nil error stops the run; the first failure
+//     (in completion order) is the one returned;
+//   - cancellation of ctx is observed between chunks (ForCtx) or rounds
+//     (via Barrier break in SPMDCtx), and surfaces as ctx.Err();
+//   - all worker goroutines are joined before the call returns, whatever
+//     the outcome — callers can assert no goroutine leaks.
+
+// PanicError is a worker panic converted into an error by the panic-safe
+// runtime. Value is the original panic payload; Stack is the worker's stack
+// at recovery time.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v", p.Value)
+}
+
+// Unwrap exposes a wrapped error payload (panic(err)) to errors.Is/As.
+func (p *PanicError) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// abortError is the sentinel payload of Abort: a controlled failure that
+// the recovery path unwraps back to the original error instead of reporting
+// a panic.
+type abortError struct{ err error }
+
+// Abort aborts the surrounding panic-safe parallel region (ForCtx,
+// ForEachCtx, SPMDCtx, or any solver built on them) with err. It exists for
+// callbacks whose interface has no error return — e.g. a Semigroup.Combine
+// that detects an unrecoverable condition mid-solve. Calling Abort outside
+// a panic-safe region panics with err itself.
+func Abort(err error) {
+	if err == nil {
+		err = errors.New("parallel: Abort(nil)")
+	}
+	panic(abortError{err})
+}
+
+// RecoverTo converts an in-flight panic into an error assigned to *errp,
+// for use as `defer parallel.RecoverTo(&err)` at the top of error-returning
+// APIs that invoke user callbacks outside a ForCtx body (validation hooks,
+// per-round callbacks). Abort payloads unwrap to their original error; any
+// other panic becomes a *PanicError. An existing non-nil *errp is kept.
+func RecoverTo(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if *errp != nil {
+		return
+	}
+	if a, ok := r.(abortError); ok {
+		*errp = a.err
+		return
+	}
+	*errp = &PanicError{Value: r, Stack: debug.Stack()}
+}
+
+// guard runs f, converting panics (including Abort) into returned errors.
+func guard(f func() error) (err error) {
+	defer RecoverTo(&err)
+	return f()
+}
+
+// firstErr records the first failure of a parallel region.
+type firstErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *firstErr) set(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// ctxGrain is the number of sub-chunks each ForCtx worker cuts its range
+// into: workers re-check cancellation and peer failure between sub-chunks,
+// so a larger grain gives finer-grained cancellation at the cost of a few
+// more body calls per round.
+const ctxGrain = 4
+
+// ForCtx is the panic-safe, cancellable For: body(lo, hi) runs over a
+// partition of [0, n) on up to p goroutines (p <= 0 means DefaultProcs).
+// The partition is the same static one For uses — worker w owns the w-th
+// contiguous range, so a solver calling ForCtx once per round keeps each
+// range cache-warm on the same worker across rounds — but every worker
+// walks its range in ctxGrain sub-chunks and checks for cancellation and
+// earlier failures between them. Returns the first body error or recovered
+// panic, else ctx.Err() if the run was cut short by cancellation, else nil.
+func ForCtx(ctx context.Context, n, p int, body func(lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	chunks := Chunks(n, p)
+	var fe firstErr
+	var stop atomic.Bool
+	worker := func(lo, hi int) {
+		step := (hi - lo + ctxGrain - 1) / ctxGrain
+		if step < 1 {
+			step = 1
+		}
+		for s := lo; s < hi; s += step {
+			if stop.Load() || ctx.Err() != nil {
+				return
+			}
+			e := s + step
+			if e > hi {
+				e = hi
+			}
+			if err := guard(func() error { return body(s, e) }); err != nil {
+				fe.set(err)
+				stop.Store(true)
+				return
+			}
+		}
+	}
+	if len(chunks) == 1 {
+		worker(chunks[0][0], chunks[0][1])
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(chunks))
+		for _, c := range chunks {
+			go func(lo, hi int) {
+				defer wg.Done()
+				worker(lo, hi)
+			}(c[0], c[1])
+		}
+		wg.Wait()
+	}
+	if err := fe.get(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// ForEachCtx is the per-item convenience over ForCtx: body(i) for every i
+// in [0, n), stopping at the first error, panic, or cancellation.
+func ForEachCtx(ctx context.Context, n, p int, body func(i int) error) error {
+	return ForCtx(ctx, n, p, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := body(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// SPMDCtx is the panic-safe, cancellable SPMD: p goroutines run
+// body(ctx, id, b) against a shared p-party barrier. A worker that panics,
+// returns an error, or calls Abort breaks the barrier, so lock-step peers
+// blocked in b.Wait are released with an error instead of deadlocking;
+// cancellation of ctx also breaks the barrier. The ctx passed to body is a
+// child of the caller's ctx that is cancelled on the first failure, so
+// bodies can poll it between rounds. All workers are joined before return.
+func SPMDCtx(ctx context.Context, p int, body func(ctx context.Context, id int, b *Barrier) error) error {
+	if p < 1 {
+		p = 1
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	b := NewBarrier(p)
+	var fe firstErr
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for id := 0; id < p; id++ {
+		go func(id int) {
+			defer wg.Done()
+			if err := guard(func() error { return body(cctx, id, b) }); err != nil {
+				fe.set(err)
+				b.Break(err)
+				cancel()
+			}
+		}(id)
+	}
+	// Watchdog: external cancellation must release workers blocked in
+	// b.Wait. It exits as soon as the workers are joined.
+	joined := make(chan struct{})
+	go func() {
+		select {
+		case <-cctx.Done():
+			b.Break(context.Cause(cctx))
+		case <-joined:
+		}
+	}()
+	wg.Wait()
+	close(joined)
+	if err := fe.get(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,329 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitGoroutines asserts the goroutine count settles back to at most base,
+// polling because exiting workers need a beat to be reaped.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not settle: now %d, started with %d", runtime.NumGoroutine(), base)
+}
+
+func TestForCtxCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		for _, p := range []int{-1, 0, 1, 2, 3, 16, 2000} {
+			var count int64
+			seen := make([]int32, n)
+			err := ForCtx(context.Background(), n, p, func(lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+					atomic.AddInt64(&count, 1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d p=%d: %v", n, p, err)
+			}
+			if count != int64(n) {
+				t.Fatalf("n=%d p=%d: visited %d indices", n, p, count)
+			}
+			for i, v := range seen {
+				if v != 1 {
+					t.Fatalf("n=%d p=%d: index %d visited %d times", n, p, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestForCtxPropagatesBodyError(t *testing.T) {
+	base := runtime.NumGoroutine()
+	want := errors.New("boom")
+	err := ForCtx(context.Background(), 1000, 8, func(lo, hi int) error {
+		if lo >= 500 {
+			return fmt.Errorf("chunk %d: %w", lo, want)
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want wrapped %v", err, want)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestForCtxRecoversPanic(t *testing.T) {
+	base := runtime.NumGoroutine()
+	err := ForCtx(context.Background(), 100, 4, func(lo, hi int) error {
+		panic("worker exploded")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "worker exploded" {
+		t.Fatalf("panic payload = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error carries no stack")
+	}
+	waitGoroutines(t, base)
+}
+
+func TestForCtxAbortUnwrapsToError(t *testing.T) {
+	want := errors.New("op failure")
+	err := ForCtx(context.Background(), 100, 4, func(lo, hi int) error {
+		Abort(want)
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v (unwrapped, not PanicError)", err, want)
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		t.Fatalf("Abort surfaced as PanicError: %v", err)
+	}
+}
+
+func TestForCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForCtx(ctx, 1000, 4, func(lo, hi int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("body ran %d chunks on a cancelled context", ran.Load())
+	}
+}
+
+func TestForCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForCtx(ctx, 1<<16, 2, func(lo, hi int) error {
+		if ran.Add(1) == 1 {
+			cancel() // later chunks must be skipped
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// 2 workers × grain chunks were available; cancellation must have cut
+	// the schedule short (first worker cancels on its first chunk, so at
+	// most one more chunk — the second worker's in-flight one — runs).
+	if got := ran.Load(); got > 2 {
+		t.Fatalf("%d chunks ran after cancellation", got)
+	}
+}
+
+func TestForEachCtxStopsAtError(t *testing.T) {
+	want := errors.New("item 7")
+	err := ForEachCtx(context.Background(), 100, 1, func(i int) error {
+		if i == 7 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestBarrierBreakReleasesWaiters(t *testing.T) {
+	base := runtime.NumGoroutine()
+	b := NewBarrier(3)
+	cause := errors.New("peer died")
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { results <- b.Wait() }()
+	}
+	time.Sleep(20 * time.Millisecond) // let both block
+	b.Break(cause)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-results:
+			if !errors.Is(err, cause) {
+				t.Fatalf("Wait returned %v, want %v", err, cause)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("waiter still blocked after Break — deadlock")
+		}
+	}
+	// Future waits fail immediately, and the cause is readable.
+	if err := b.Wait(); !errors.Is(err, cause) {
+		t.Fatalf("post-break Wait = %v, want %v", err, cause)
+	}
+	if err := b.Broken(); !errors.Is(err, cause) {
+		t.Fatalf("Broken() = %v, want %v", err, cause)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestBarrierBreakNilCause(t *testing.T) {
+	b := NewBarrier(2)
+	b.Break(nil)
+	if err := b.Wait(); !errors.Is(err, ErrBarrierBroken) {
+		t.Fatalf("Wait = %v, want ErrBarrierBroken", err)
+	}
+}
+
+func TestBarrierFirstBreakWins(t *testing.T) {
+	b := NewBarrier(2)
+	first := errors.New("first")
+	b.Break(first)
+	b.Break(errors.New("second"))
+	if err := b.Wait(); !errors.Is(err, first) {
+		t.Fatalf("Wait = %v, want the first break cause", err)
+	}
+}
+
+func TestSPMDCtxWorkerPanicBreaksBarrier(t *testing.T) {
+	base := runtime.NumGoroutine()
+	const p = 4
+	err := SPMDCtx(context.Background(), p, func(ctx context.Context, id int, b *Barrier) error {
+		if id == 2 {
+			panic("party 2 died mid-round")
+		}
+		// The surviving parties would deadlock here forever without break
+		// semantics: party 2 never arrives.
+		if err := b.Wait(); err != nil {
+			return err
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError from party 2", err)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestSPMDCtxWorkerErrorPropagates(t *testing.T) {
+	want := errors.New("party failed")
+	err := SPMDCtx(context.Background(), 4, func(ctx context.Context, id int, b *Barrier) error {
+		if id == 0 {
+			return want
+		}
+		if err := b.Wait(); err != nil {
+			return err
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestSPMDCtxExternalCancelReleasesBarrier(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := SPMDCtx(ctx, 4, func(ctx context.Context, id int, b *Barrier) error {
+		if id == 0 {
+			<-ctx.Done() // party 0 never reaches the barrier
+			return ctx.Err()
+		}
+		return b.Wait() // peers must be released by the watchdog
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestSPMDCtxCompletesCleanly(t *testing.T) {
+	const p, rounds = 6, 20
+	counts := make([]int64, rounds)
+	err := SPMDCtx(context.Background(), p, func(ctx context.Context, id int, b *Barrier) error {
+		for r := 0; r < rounds; r++ {
+			atomic.AddInt64(&counts[r], 1)
+			if err := b.Wait(); err != nil {
+				return err
+			}
+			if got := atomic.LoadInt64(&counts[r]); got != p {
+				return fmt.Errorf("round %d: count %d, want %d", r, got, p)
+			}
+			if err := b.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Edge cases of the legacy primitives (previously only happy-path tested).
+
+func TestForSmallerThanP(t *testing.T) {
+	var count int64
+	For(3, 64, func(lo, hi int) {
+		if hi-lo != 1 {
+			t.Errorf("chunk [%d,%d): n < p must yield singleton chunks", lo, hi)
+		}
+		atomic.AddInt64(&count, 1)
+	})
+	if count != 3 {
+		t.Fatalf("ran %d chunks, want 3", count)
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		ran := false
+		For(n, 4, func(lo, hi int) { ran = true })
+		if ran {
+			t.Fatalf("body ran for n=%d", n)
+		}
+	}
+}
+
+func TestForNonPositiveP(t *testing.T) {
+	for _, p := range []int{0, -3} {
+		var count int64
+		For(100, p, func(lo, hi int) {
+			atomic.AddInt64(&count, int64(hi-lo))
+		})
+		if count != 100 {
+			t.Fatalf("p=%d covered %d of 100 indices", p, count)
+		}
+	}
+}
+
+func TestChunksEdgeCases(t *testing.T) {
+	if got := Chunks(0, 8); got != nil {
+		t.Fatalf("Chunks(0,8) = %v, want nil", got)
+	}
+	if got := Chunks(-1, 8); got != nil {
+		t.Fatalf("Chunks(-1,8) = %v, want nil", got)
+	}
+	if got := len(Chunks(5, 0)); got < 1 {
+		t.Fatalf("Chunks(5,0) yielded %d chunks, want >= 1", got)
+	}
+	if got := len(Chunks(2, 100)); got != 2 {
+		t.Fatalf("Chunks(2,100) yielded %d chunks, want 2 (no empties)", got)
+	}
+}

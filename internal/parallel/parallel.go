@@ -9,6 +9,7 @@
 package parallel
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 )
@@ -96,15 +97,22 @@ func Chunks(n, p int) [][2]int {
 	return out
 }
 
+// ErrBarrierBroken is the error Wait returns after Break(nil); Break with a
+// non-nil cause returns that cause instead.
+var ErrBarrierBroken = errors.New("parallel: barrier broken")
+
 // Barrier is a reusable cyclic barrier for a fixed party count. All parties
 // call Wait; the last arrival releases the rest and the barrier resets for
-// the next round. The zero value is not usable; call NewBarrier.
+// the next round. A broken barrier (see Break) releases current and future
+// waiters with an error, so the failure of one lock-step party can never
+// deadlock its peers. The zero value is not usable; call NewBarrier.
 type Barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	parties int
 	waiting int
 	phase   uint64
+	broken  error
 }
 
 // NewBarrier returns a barrier for the given number of parties (>= 1).
@@ -117,9 +125,16 @@ func NewBarrier(parties int) *Barrier {
 	return b
 }
 
-// Wait blocks until all parties have called Wait for the current phase.
-func (b *Barrier) Wait() {
+// Wait blocks until all parties have called Wait for the current phase and
+// returns nil, or returns the break cause immediately (without blocking, and
+// releasing everyone already blocked) once the barrier is broken.
+func (b *Barrier) Wait() error {
 	b.mu.Lock()
+	if b.broken != nil {
+		err := b.broken
+		b.mu.Unlock()
+		return err
+	}
 	phase := b.phase
 	b.waiting++
 	if b.waiting == b.parties {
@@ -127,12 +142,37 @@ func (b *Barrier) Wait() {
 		b.phase++
 		b.cond.Broadcast()
 		b.mu.Unlock()
-		return
+		return nil
 	}
-	for phase == b.phase {
+	for phase == b.phase && b.broken == nil {
 		b.cond.Wait()
 	}
+	err := b.broken
 	b.mu.Unlock()
+	return err
+}
+
+// Break permanently breaks the barrier with the given cause (nil means
+// ErrBarrierBroken): every current and future Wait returns the cause. The
+// first Break wins; later calls are no-ops. It is how a failed lock-step
+// worker guarantees its peers cannot block forever.
+func (b *Barrier) Break(cause error) {
+	if cause == nil {
+		cause = ErrBarrierBroken
+	}
+	b.mu.Lock()
+	if b.broken == nil {
+		b.broken = cause
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// Broken returns the break cause, or nil while the barrier is intact.
+func (b *Barrier) Broken() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.broken
 }
 
 // SPMD launches p goroutines running body(id, barrier) and waits for all of
