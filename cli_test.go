@@ -5,6 +5,7 @@ package indexedrec
 
 import (
 	"bytes"
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -101,6 +102,7 @@ func TestCLIIrgenFailures(t *testing.T) {
 		{name: "no input", args: nil},
 		{name: "parse error", args: []string{"-loop", "not a loop"}, wantSub: "parse:", oneLine: true},
 		{name: "missing file", args: []string{"-file", "/nonexistent/loop.ir"}, wantSub: "read -file", oneLine: true},
+		{name: "bad timeout", args: []string{"-timeout", "soon"}, wantSub: "invalid value"},
 	})
 }
 
@@ -124,6 +126,7 @@ func TestCLIIrvmFailures(t *testing.T) {
 		{name: "unknown opx", args: append(append([]string{}, reduceArgs...), "-opx", "bogus"), wantSub: "unknown -opx", oneLine: true},
 		{name: "bad fill", args: append(append([]string{}, reduceArgs...), "-fill", "0:16"), wantSub: "bad -fill", oneLine: true},
 		{name: "bad dump", args: append(append([]string{}, reduceArgs...), "-fill", "0:16=1", "-dump", "0:99999"), wantSub: "bad -dump", oneLine: true},
+		{name: "timeout", args: append(append([]string{}, reduceArgs...), "-timeout", "1ns"), wantSub: "timed out", oneLine: true},
 	})
 }
 
@@ -174,6 +177,22 @@ func TestCLIIrbench(t *testing.T) {
 	out3 := run(t, bin, "-exp", "fig3", "-n", "1000", "-procs", "1,32")
 	if !strings.Contains(out3, "Parallel IR Solution") {
 		t.Fatalf("irbench fig3 output:\n%s", out3)
+	}
+	// -json: one decodable record with the captured text inside.
+	out4 := run(t, bin, "-exp", "fig1", "-json")
+	var rec struct {
+		ID        string  `json:"id"`
+		Title     string  `json:"title"`
+		OK        bool    `json:"ok"`
+		ElapsedMs float64 `json:"elapsed_ms"`
+		Output    string  `json:"output"`
+	}
+	if err := json.Unmarshal([]byte(out4), &rec); err != nil {
+		t.Fatalf("irbench -json output not JSON: %v\n%s", err, out4)
+	}
+	if rec.ID != "fig1" || !rec.OK || rec.Title == "" || rec.ElapsedMs <= 0 ||
+		!strings.Contains(rec.Output, "A[2]A[3]A[6]") {
+		t.Fatalf("irbench -json record: %+v", rec)
 	}
 }
 

@@ -7,10 +7,13 @@
 //	irbench -list                     # available experiments
 //	irbench -exp fig3 -n 10000 -procs 1,16,256
 //	irbench -exp all -quick           # small sizes for smoke runs
+//	irbench -exp all -quick -json     # one JSON object per experiment
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -19,9 +22,21 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"indexedrec/internal/experiments"
 )
+
+// result is the -json record emitted per experiment (JSON lines on stdout),
+// so bench runs are scrapeable alongside irserved's /metrics.
+type result struct {
+	ID        string  `json:"id"`
+	Title     string  `json:"title"`
+	OK        bool    `json:"ok"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	Output    string  `json:"output"`
+}
 
 func main() {
 	defer func() {
@@ -38,6 +53,7 @@ func main() {
 		seed    = flag.Int64("seed", 0, "generator seed override")
 		quick   = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+		asJSON  = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
 	)
 	flag.Parse()
 
@@ -73,7 +89,32 @@ func main() {
 		}
 	}
 
+	enc := json.NewEncoder(os.Stdout)
 	run := func(id string) {
+		if *asJSON {
+			e, _ := experiments.Get(id) // unknown ids still fail inside RunCtx
+			var buf bytes.Buffer
+			start := time.Now()
+			err := experiments.RunCtx(ctx, id, &buf, opt)
+			rec := result{
+				ID:        id,
+				Title:     e.Title,
+				OK:        err == nil,
+				ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+				Output:    buf.String(),
+			}
+			if err != nil {
+				rec.Error = err.Error()
+			}
+			if encErr := enc.Encode(rec); encErr != nil {
+				fmt.Fprintf(os.Stderr, "irbench: %v\n", encErr)
+				os.Exit(1)
+			}
+			if err != nil {
+				os.Exit(1)
+			}
+			return
+		}
 		if err := experiments.RunCtx(ctx, id, os.Stdout, opt); err != nil {
 			switch {
 			case errors.Is(err, context.DeadlineExceeded):

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"indexedrec/internal/lang"
 )
@@ -27,8 +30,25 @@ func main() {
 		loopSrc = flag.String("loop", "", "loop source text")
 		file    = flag.String("file", "", "file containing the loop source")
 		fn      = flag.String("func", "Generated", "emitted function name")
+		timeout = flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	)
 	flag.Parse()
+
+	// Parity with the other CLIs: SIGINT/SIGTERM and -timeout abort with a
+	// clean one-line message. Code generation is fast, so the ctx is
+	// checked between phases rather than threaded through them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	checkCtx := func(phase string) {
+		if err := ctx.Err(); err != nil {
+			fail("%s: %v", phase, err)
+		}
+	}
 
 	src := *loopSrc
 	if *file != "" {
@@ -42,15 +62,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	checkCtx("read")
 	loop, err := lang.Parse(src)
 	if err != nil {
 		fail("parse: %v", err)
 	}
+	checkCtx("parse")
 	c := lang.Compile(loop)
 	out, err := c.EmitGo(*fn)
 	if err != nil {
 		fail("emit: %v", err)
 	}
+	checkCtx("emit")
 	fmt.Print(out)
 }
 

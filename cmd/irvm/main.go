@@ -8,11 +8,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"indexedrec/internal/simparc"
 )
@@ -61,9 +65,18 @@ func main() {
 		dump    = flag.String("dump", "", "memory range LO:HI to print after the run")
 		disasm  = flag.Bool("disasm", false, "disassemble instead of running")
 		fill    = flag.String("fill", "", "pre-fill memory LO:HI=VALUE (repeatable via commas)")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	)
 	flag.Var(syms, "sym", "symbol binding NAME=VALUE (repeatable)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var src string
 	switch {
@@ -134,7 +147,13 @@ func main() {
 		}
 	}
 
-	if err := vm.Run(*maxCyc); err != nil {
+	if err := vm.RunCtx(ctx, *maxCyc); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fail("timed out after %v (at cycle %d)", *timeout, vm.Cycles)
+		}
+		if errors.Is(err, context.Canceled) {
+			fail("interrupted (at cycle %d)", vm.Cycles)
+		}
 		fail("run: %v", err)
 	}
 	vm.Profile(os.Stdout)

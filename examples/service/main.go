@@ -1,0 +1,124 @@
+// Service: run the irserved solve service in-process, hit it with a burst
+// of concurrent clients, and watch the dynamic batcher coalesce compatible
+// linear solves into shared Möbius sweeps.
+//
+//	go run ./examples/service
+//
+// Every client posts its own chain X[i] := a·X[i-1] + 1; the server holds
+// each request for a short batching window and dispatches everything that
+// arrived together as ONE moebius.SolveBatchCtx call. The per-request cost
+// of a solve drops from "one parallel sweep each" to "a shared sweep,
+// amortized" — the service-level version of the paper's batched Livermore
+// Loop 23 experiment.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"indexedrec/internal/server"
+	"indexedrec/internal/server/client"
+)
+
+func main() {
+	// An in-process service on a loopback port: same wiring as cmd/irserved,
+	// minus the flags. A long batching window makes the coalescing visible
+	// even on a lightly loaded machine.
+	s := server.New(server.Config{
+		BatchWindow: 10 * time.Millisecond,
+		MaxBatch:    16,
+		QueueDepth:  256,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("irserved listening on %s\n\n", base)
+
+	c := client.New(base)
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// 48 concurrent clients, each solving a geometric-ish chain with its own
+	// ratio a: X[0] = 1, X[i] = a·X[i-1] + 1, closed form checkable in O(1).
+	const clients = 48
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	maxBatch, solved := 0, 0
+	start := time.Now()
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			n := 8 + k%5
+			a := 1 + float64(k%3)
+			req := server.LinearRequest{M: n + 1, X0: make([]float64, n+1)}
+			req.X0[0] = 1
+			for i := 0; i < n; i++ {
+				req.G = append(req.G, i+1)
+				req.F = append(req.F, i)
+				req.A = append(req.A, a)
+				req.B = append(req.B, 1)
+			}
+			out, err := c.SolveLinear(ctx, req)
+			if err != nil {
+				log.Fatalf("client %d: %v", k, err)
+			}
+			want := 1.0
+			for i := 0; i < n; i++ {
+				want = a*want + 1
+			}
+			if math.Abs(out.Values[n]-want) > 1e-6*math.Abs(want) {
+				log.Fatalf("client %d: X[%d] = %v, want %v", k, n, out.Values[n], want)
+			}
+			mu.Lock()
+			solved++
+			if out.BatchSize > maxBatch {
+				maxBatch = out.BatchSize
+			}
+			mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	batches, coalesced := s.BatchStats()
+	fmt.Printf("solved %d/%d chains in %v\n", solved, clients, elapsed.Round(time.Millisecond))
+	fmt.Printf("coalescing: %d requests ran as %d batched sweeps (largest batch: %d)\n\n",
+		coalesced, batches, maxBatch)
+
+	// The same numbers, as the scrape endpoint reports them.
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("selected /metrics lines:")
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "irserved_batches_total") ||
+			strings.HasPrefix(line, "irserved_requests_total") ||
+			strings.HasPrefix(line, "irserved_batch_size_count") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// Graceful drain: stop admitting, finish in-flight work, then exit.
+	shCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(shCtx); err != nil {
+		log.Fatal(err)
+	}
+	hs.Shutdown(shCtx)
+	fmt.Println("\ndrained and shut down cleanly")
+}

@@ -1,0 +1,167 @@
+package moebius
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"indexedrec/internal/ordinary"
+)
+
+// leakCheck snapshots the goroutine count and returns an assertion to defer
+// (same idiom as the top-level robustness tests): the count must settle back
+// to the baseline, i.e. a failed or cancelled batch leaves no workers behind.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: started with %d, still %d", base, runtime.NumGoroutine())
+	}
+}
+
+// goodBatch builds k valid random affine systems with their initial arrays.
+func goodBatch(rng *rand.Rand, k int) ([]*MoebiusSystem, [][]float64) {
+	var systems []*MoebiusSystem
+	var x0s [][]float64
+	for i := 0; i < k; i++ {
+		ms, x0 := randomLinear(rng, 4+rng.Intn(20))
+		systems = append(systems, ms)
+		x0s = append(x0s, x0)
+	}
+	return systems, x0s
+}
+
+// TestBatchFirstFailureNamesSystem pins the error contract both entry points
+// share: a batch with one invalid member fails as a whole, and the error
+// names the failing system's index so callers can drop it and retry.
+func TestBatchFirstFailureNamesSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	systems, x0s := goodBatch(rng, 5)
+	// Corrupt system 3: duplicate g violates the distinct-g precondition.
+	systems[3] = NewLinear(2, []int{0, 0}, []int{1, 1}, []float64{1, 1}, []float64{0, 0})
+	x0s[3] = []float64{1, 2}
+
+	defer leakCheck(t)()
+	for name, solve := range map[string]func() ([][]float64, error){
+		"SolveBatch": func() ([][]float64, error) {
+			return SolveBatch(systems, x0s, ordinary.Options{Procs: 2})
+		},
+		"SolveBatchCtx": func() ([][]float64, error) {
+			return SolveBatchCtx(context.Background(), systems, x0s, ordinary.Options{Procs: 2})
+		},
+	} {
+		out, err := solve()
+		if err == nil {
+			t.Fatalf("%s: invalid member accepted", name)
+		}
+		if out != nil {
+			t.Errorf("%s: non-nil result alongside error", name)
+		}
+		if !errors.Is(err, ErrBadSystem) {
+			t.Errorf("%s: err = %v, want ErrBadSystem in chain", name, err)
+		}
+		if !strings.Contains(err.Error(), "system 3") {
+			t.Errorf("%s: err %q does not name the failing system", name, err)
+		}
+	}
+}
+
+// TestBatchCtxPreCancelled: a dead ctx fails the sweep before any solving.
+func TestBatchCtxPreCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	systems, x0s := goodBatch(rng, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	defer leakCheck(t)()
+	_, err := SolveBatchCtx(ctx, systems, x0s, ordinary.Options{Procs: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBatchCtxMidBatchCancel cancels from inside the first per-round hook
+// that fires: in-flight systems stop at their next round boundary, pending
+// systems are never scheduled, and all workers are joined before return.
+func TestBatchCtxMidBatchCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	systems, x0s := goodBatch(rng, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var rounds atomic.Int64
+	opt := ordinary.Options{
+		Procs: 2,
+		OnRound: func(round int, j *ordinary.JumperState) {
+			if rounds.Add(1) == 1 {
+				cancel()
+			}
+		},
+	}
+
+	defer leakCheck(t)()
+	_, err := SolveBatchCtx(ctx, systems, x0s, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The cancel fired after one observed round, so the sweep cannot have
+	// run all 16 systems to completion: each system needs several rounds
+	// and every one reports through the shared hook.
+	if got := rounds.Load(); got >= 16*8 {
+		t.Errorf("hook observed %d rounds after cancel — sweep did not stop early", got)
+	}
+
+	// Contrast: SolveBatch ignores cancellation by construction and still
+	// completes the same sweep (fresh hook, dead ctx is irrelevant to it).
+	out, err := SolveBatch(systems, x0s, ordinary.Options{Procs: 2})
+	if err != nil || len(out) != 16 {
+		t.Fatalf("SolveBatch after cancel: out=%d err=%v", len(out), err)
+	}
+}
+
+// TestBatchNestedProcsClamping: the two nesting levels (systems across,
+// rounds within) both clamp Procs, so degenerate values — zero, negative,
+// absurdly large — stay correct and do not spawn unbounded goroutines.
+func TestBatchNestedProcsClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	systems, x0s := goodBatch(rng, 6)
+	var wants [][]float64
+	for k, ms := range systems {
+		wants = append(wants, ms.RunSequential(x0s[k]))
+	}
+
+	defer leakCheck(t)()
+	for _, procs := range []int{-1, 0, 1, 3, 1 << 20} {
+		before := runtime.NumGoroutine()
+		got, err := SolveBatchCtx(context.Background(), systems, x0s, ordinary.Options{Procs: procs})
+		if err != nil {
+			t.Fatalf("Procs=%d: %v", procs, err)
+		}
+		// With clamping, total concurrency is bounded by the machine, not
+		// by Procs² = 2⁴⁰. A generous machine-scaled bound catches the
+		// unclamped explosion without flaking on scheduler noise.
+		if limit := before + 4*runtime.GOMAXPROCS(0)*runtime.GOMAXPROCS(0) + 64; runtime.NumGoroutine() > limit {
+			t.Errorf("Procs=%d: %d goroutines alive (baseline %d)", procs, runtime.NumGoroutine(), before)
+		}
+		for k := range wants {
+			for x := range wants[k] {
+				if !approxEqual(got[k][x], wants[k][x], 1e-9) {
+					t.Fatalf("Procs=%d system %d cell %d: got %v, want %v",
+						procs, k, x, got[k][x], wants[k][x])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"indexedrec/internal/parallel"
+)
+
+// Admission control and the worker pool. Every solve — single request or
+// coalesced batch — is a job. Jobs pass through one bounded queue; when the
+// queue is full the submitter sheds load (HTTP 429 upstream) instead of
+// queueing unboundedly. A fixed pool of workers drains the queue, so at most
+// Workers solves run concurrently and solver-internal parallelism
+// (Options.Procs goroutines per solve) composes with request-level
+// parallelism into a bounded total.
+
+// errShed is returned by submit when the queue is full.
+var errShed = errors.New("server: queue full, load shed")
+
+// errDraining is returned by submit once shutdown has begun.
+var errDraining = errors.New("server: draining, not accepting work")
+
+// job is one unit of solver work. run executes on a worker goroutine and is
+// responsible for delivering its own results (each handler waits on its own
+// result channel).
+type job struct {
+	ctx context.Context
+	run func()
+}
+
+// pool is the bounded admission queue plus its workers.
+type pool struct {
+	queue  chan *job
+	mu     sync.RWMutex // guards closed vs. concurrent submits
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newPool(workers, depth int) *pool {
+	p := &pool{queue: make(chan *job, depth)}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		if j.ctx.Err() != nil {
+			// The requester gave up (deadline or disconnect) while the
+			// job sat in the queue; its run func observes ctx and
+			// reports the cancellation without doing solver work.
+			j.run()
+			continue
+		}
+		runSafely(j.run)
+	}
+}
+
+// runSafely executes fn, swallowing any panic that escaped the solver's own
+// recovery (the ctx solvers recover worker panics already; this guards the
+// glue code so one bad request can never kill the daemon's worker pool).
+func runSafely(fn func()) {
+	var err error
+	defer parallel.RecoverTo(&err)
+	fn()
+}
+
+// submit enqueues j, failing fast with errShed when the queue is full or
+// errDraining after shutdown began. It never blocks.
+func (p *pool) submit(j *job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return errDraining
+	}
+	select {
+	case p.queue <- j:
+		return nil
+	default:
+		return errShed
+	}
+}
+
+// submitWait is submit for internal producers (the coalescer) whose items
+// were already admitted: it blocks until a worker frees queue space rather
+// than shedding, providing backpressure instead of loss. It still fails
+// with errDraining if the pool closed before the send completed.
+func (p *pool) submitWait(j *job) error {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return errDraining
+	}
+	// Hold the read lock for the send: close() takes the write lock, so
+	// the channel cannot be closed mid-send. Workers keep draining while
+	// we block, so the send always completes.
+	defer p.mu.RUnlock()
+	select {
+	case p.queue <- j:
+		return nil
+	case <-j.ctx.Done():
+		return j.ctx.Err()
+	}
+}
+
+// depth reports the number of queued (not yet running) jobs.
+func (p *pool) depth() int { return len(p.queue) }
+
+// close stops intake and waits for queued and running jobs to finish.
+func (p *pool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

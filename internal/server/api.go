@@ -1,0 +1,219 @@
+// Package server is the solve service over the hardened solver runtime: an
+// HTTP JSON API (stdlib only) exposing the ordinary, general, linear/Möbius
+// and loop-source solvers behind admission control (bounded queue, load
+// shedding), a dynamic batch coalescer for Möbius-family requests, a worker
+// pool sized off GOMAXPROCS, and built-in observability (/healthz, /readyz,
+// Prometheus /metrics). cmd/irserved is a thin daemon over this package;
+// the client subpackage is the matching Go client.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"indexedrec/ir"
+)
+
+// API version prefix for all solve endpoints.
+const APIPrefix = "/v1/solve/"
+
+// OrdinaryRequest is the body of POST /v1/solve/ordinary — an ordinary
+// system (H = G), an operator spec, and the initial array. Init is raw so
+// int64 operators decode without float64 truncation.
+type OrdinaryRequest struct {
+	System ir.SystemWire   `json:"system"`
+	Op     string          `json:"op"`
+	Mod    int64           `json:"mod,omitempty"`
+	Init   json.RawMessage `json:"init"`
+	Opts   ir.OptionsWire  `json:"opts,omitempty"`
+}
+
+// OrdinaryResponse mirrors ir.OrdinaryResult on the wire; exactly one of
+// ValuesInt/ValuesFloat is set, matching the operator's domain.
+type OrdinaryResponse struct {
+	ValuesInt   []int64   `json:"values_int,omitempty"`
+	ValuesFloat []float64 `json:"values_float,omitempty"`
+	Rounds      int       `json:"rounds"`
+	Combines    int64     `json:"combines"`
+	ElapsedMs   float64   `json:"elapsed_ms"`
+}
+
+// GeneralRequest is the body of POST /v1/solve/general — any G, F, H with a
+// commutative-monoid operator.
+type GeneralRequest struct {
+	System ir.SystemWire   `json:"system"`
+	Op     string          `json:"op"`
+	Mod    int64           `json:"mod,omitempty"`
+	Init   json.RawMessage `json:"init"`
+	// WithPowers requests the symbolic power traces (the paper's Fig. 5
+	// artifact) in the response; they can be large, so default off.
+	WithPowers bool           `json:"with_powers,omitempty"`
+	Opts       ir.OptionsWire `json:"opts,omitempty"`
+}
+
+// GeneralResponse mirrors ir.GeneralResult on the wire.
+type GeneralResponse struct {
+	ValuesInt   []int64          `json:"values_int,omitempty"`
+	ValuesFloat []float64        `json:"values_float,omitempty"`
+	Powers      [][]ir.PowerTerm `json:"powers,omitempty"`
+	CAPRounds   int              `json:"cap_rounds"`
+	ElapsedMs   float64          `json:"elapsed_ms"`
+}
+
+// LinearRequest is the body of POST /v1/solve/linear:
+// X[g(i)] := a[i]·X[f(i)] + b[i], with Extended selecting the paper's
+// X[g] := X[g] + a·X[f] + b rewriting. Linear requests are eligible for
+// server-side batch coalescing.
+type LinearRequest struct {
+	M        int            `json:"m"`
+	G        []int          `json:"g"`
+	F        []int          `json:"f"`
+	A        []float64      `json:"a"`
+	B        []float64      `json:"b"`
+	X0       []float64      `json:"x0"`
+	Extended bool           `json:"extended,omitempty"`
+	Opts     ir.OptionsWire `json:"opts,omitempty"`
+}
+
+// MoebiusRequest is the body of POST /v1/solve/moebius — the full
+// fractional-linear form X[g] := (a·X[f]+b)/(c·X[f]+d). Eligible for
+// batch coalescing.
+type MoebiusRequest struct {
+	M    int            `json:"m"`
+	G    []int          `json:"g"`
+	F    []int          `json:"f"`
+	A    []float64      `json:"a"`
+	B    []float64      `json:"b"`
+	C    []float64      `json:"c"`
+	D    []float64      `json:"d"`
+	X0   []float64      `json:"x0"`
+	Opts ir.OptionsWire `json:"opts,omitempty"`
+}
+
+// MoebiusResponse is shared by the linear and moebius endpoints. BatchSize
+// reports how many requests the server coalesced into the dispatch that
+// solved this one (1 = solved alone).
+type MoebiusResponse struct {
+	Values    []float64 `json:"values"`
+	BatchSize int       `json:"batch_size"`
+	ElapsedMs float64   `json:"elapsed_ms"`
+}
+
+// LoopRequest is the body of POST /v1/solve/loop — a sequential loop in the
+// DSL, classified and executed with the matching parallel strategy.
+type LoopRequest struct {
+	Loop    string               `json:"loop"`
+	N       int                  `json:"n,omitempty"`
+	Arrays  map[string][]float64 `json:"arrays,omitempty"`
+	Scalars map[string]float64   `json:"scalars,omitempty"`
+	Opts    ir.OptionsWire       `json:"opts,omitempty"`
+}
+
+// LoopResponse returns the classification and the arrays after execution.
+type LoopResponse struct {
+	Analysis  string               `json:"analysis"`
+	Strategy  string               `json:"strategy"`
+	Arrays    map[string][]float64 `json:"arrays"`
+	ElapsedMs float64              `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Code is the HTTP status, repeated so logs of bodies are self-contained.
+	Code int `json:"code"`
+}
+
+// intOp and floatOp are the operator registries for the ordinary and
+// general endpoints, keyed by the operators' canonical Name() strings.
+// Every registered operator satisfies CommutativeMonoid, so one table
+// serves both endpoints (SolveOrdinary only needs the Semigroup subset).
+func intOp(name string, mod int64) (ir.CommutativeMonoid[int64], error) {
+	switch name {
+	case "int64-add":
+		return ir.IntAdd{}, nil
+	case "int64-max":
+		return ir.IntMax{}, nil
+	case "int64-min":
+		return ir.IntMin{}, nil
+	case "int64-xor":
+		return ir.IntXor{}, nil
+	case "int64-gcd":
+		return ir.Gcd{}, nil
+	case "mul-mod":
+		if mod < 2 {
+			return nil, fmt.Errorf("op %q needs \"mod\" >= 2, got %d", name, mod)
+		}
+		return ir.MulMod{M: mod}, nil
+	case "add-mod":
+		if mod < 2 {
+			return nil, fmt.Errorf("op %q needs \"mod\" >= 2, got %d", name, mod)
+		}
+		return ir.AddMod{M: mod}, nil
+	}
+	return nil, nil
+}
+
+func floatOp(name string) (ir.CommutativeMonoid[float64], error) {
+	switch name {
+	case "float64-add":
+		return ir.Float64Add{}, nil
+	case "float64-mul":
+		return ir.Float64Mul{}, nil
+	case "float64-min":
+		return ir.Float64Min{}, nil
+	case "float64-max":
+		return ir.Float64Max{}, nil
+	}
+	return nil, nil
+}
+
+// OpNames lists every operator spec the solve endpoints accept, for error
+// messages and docs.
+func OpNames() []string {
+	return []string{
+		"int64-add", "int64-max", "int64-min", "int64-xor", "int64-gcd",
+		"mul-mod", "add-mod",
+		"float64-add", "float64-mul", "float64-min", "float64-max",
+	}
+}
+
+// decodeInitInt parses the raw init array as int64s, rejecting non-integral
+// values rather than truncating.
+func decodeInitInt(raw json.RawMessage) ([]int64, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing \"init\"")
+	}
+	var vals []json.Number
+	if err := json.Unmarshal(raw, &vals); err != nil {
+		return nil, fmt.Errorf("bad \"init\": %v", err)
+	}
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		x, err := v.Int64()
+		if err != nil {
+			return nil, fmt.Errorf("init[%d] = %s is not an int64 (op has integer domain)", i, v)
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// decodeInitFloat parses the raw init array as float64s, rejecting
+// non-finite values up front (the solvers would reject them anyway).
+func decodeInitFloat(raw json.RawMessage) ([]float64, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing \"init\"")
+	}
+	var out []float64
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("bad \"init\": %v", err)
+	}
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("init[%d] = %v is not finite", i, v)
+		}
+	}
+	return out, nil
+}

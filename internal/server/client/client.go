@@ -1,0 +1,193 @@
+// Package client is the Go client for the irserved solve service: typed
+// wrappers over the HTTP JSON API with the same request/response shapes the
+// server defines (internal/server, ir wire types). Stdlib only.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"indexedrec/internal/server"
+)
+
+// Client talks to one irserved instance.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080" (no trailing
+	// slash).
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// New returns a client for the given base URL.
+func New(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	Status int
+	// RetryAfter is the server's backoff hint on 429/503 responses
+	// (zero when absent).
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("irserved: HTTP %d: %s", e.Status, e.Message)
+}
+
+// IsShed reports whether the server shed this request (queue full) or is
+// draining — the cases a caller should back off and retry.
+func (e *APIError) IsShed() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// do posts req as JSON to path and decodes the response into out.
+func (c *Client) do(ctx context.Context, path string, reqBody, out any) error {
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return fmt.Errorf("irserved client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("irserved client: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Status: resp.StatusCode}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			apiErr.RetryAfter = time.Duration(ra) * time.Second
+		}
+		var er server.ErrorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			apiErr.Message = er.Error
+		} else {
+			apiErr.Message = string(body)
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("irserved client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// SolveOrdinary solves an ordinary system on the server.
+func (c *Client) SolveOrdinary(ctx context.Context, req server.OrdinaryRequest) (*server.OrdinaryResponse, error) {
+	var out server.OrdinaryResponse
+	if err := c.do(ctx, server.APIPrefix+"ordinary", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SolveGeneral solves a general system on the server.
+func (c *Client) SolveGeneral(ctx context.Context, req server.GeneralRequest) (*server.GeneralResponse, error) {
+	var out server.GeneralResponse
+	if err := c.do(ctx, server.APIPrefix+"general", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SolveLinear solves an affine recurrence; close-together calls coalesce
+// into one server-side batch (see MoebiusResponse.BatchSize).
+func (c *Client) SolveLinear(ctx context.Context, req server.LinearRequest) (*server.MoebiusResponse, error) {
+	var out server.MoebiusResponse
+	if err := c.do(ctx, server.APIPrefix+"linear", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SolveMoebius solves a fractional-linear recurrence (batch-coalesced like
+// SolveLinear).
+func (c *Client) SolveMoebius(ctx context.Context, req server.MoebiusRequest) (*server.MoebiusResponse, error) {
+	var out server.MoebiusResponse
+	if err := c.do(ctx, server.APIPrefix+"moebius", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SolveLoop ships DSL loop source for server-side classify-and-execute.
+func (c *Client) SolveLoop(ctx context.Context, req server.LoopRequest) (*server.LoopResponse, error) {
+	var out server.LoopResponse
+	if err := c.do(ctx, server.APIPrefix+"loop", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// get fetches a text endpoint.
+func (c *Client) get(ctx context.Context, path string) (int, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	return resp.StatusCode, string(body), err
+}
+
+// Healthz reports whether the server process is up.
+func (c *Client) Healthz(ctx context.Context) error {
+	code, body, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return &APIError{Status: code, Message: body}
+	}
+	return nil
+}
+
+// Readyz reports whether the server is accepting solves (false during
+// graceful drain).
+func (c *Client) Readyz(ctx context.Context) (bool, error) {
+	code, _, err := c.get(ctx, "/readyz")
+	if err != nil {
+		return false, err
+	}
+	return code == http.StatusOK, nil
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	code, body, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK {
+		return "", &APIError{Status: code, Message: body}
+	}
+	return body, nil
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"indexedrec/internal/moebius"
+	"indexedrec/internal/ordinary"
+)
+
+// The batch coalescer: Möbius-family requests (linear, extended, full
+// fractional-linear) arriving close together are collected and dispatched as
+// ONE moebius.SolveBatchCtx sweep — the Livermore-23 shape, where many small
+// independent chain systems amortize scheduling and share the worker pool's
+// parallelism. A batch closes when either the window timer fires (counted
+// from the first request of the batch) or the batch reaches maxBatch,
+// whichever comes first.
+
+// batchItem is one coalescable request.
+type batchItem struct {
+	ms  *moebius.MoebiusSystem
+	x0  []float64
+	ctx context.Context
+	// res receives exactly one result; buffered so a worker never blocks
+	// on a requester that gave up.
+	res chan batchResult
+}
+
+type batchResult struct {
+	values []float64
+	// size is the number of requests coalesced into the dispatch.
+	size int
+	err  error
+}
+
+type coalescer struct {
+	in       chan *batchItem
+	window   time.Duration
+	maxBatch int
+	dispatch func(items []*batchItem)
+	done     chan struct{}
+}
+
+// newCoalescer starts the collector loop. dispatch is called with each
+// closed batch (len >= 1) and must not block forever.
+func newCoalescer(depth, maxBatch int, window time.Duration, dispatch func([]*batchItem)) *coalescer {
+	c := &coalescer{
+		in:       make(chan *batchItem, depth),
+		window:   window,
+		maxBatch: maxBatch,
+		dispatch: dispatch,
+		done:     make(chan struct{}),
+	}
+	go c.loop()
+	return c
+}
+
+func (c *coalescer) loop() {
+	defer close(c.done)
+	var pending []*batchItem
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	flush := func() {
+		if len(pending) > 0 {
+			c.dispatch(pending)
+			pending = nil
+		}
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+		}
+		timerC = nil
+	}
+	for {
+		select {
+		case it, ok := <-c.in:
+			if !ok {
+				flush()
+				return
+			}
+			pending = append(pending, it)
+			if len(pending) == 1 {
+				timer = time.NewTimer(c.window)
+				timerC = timer.C
+			}
+			if len(pending) >= c.maxBatch {
+				flush()
+			}
+		case <-timerC:
+			timer = nil
+			flush()
+		}
+	}
+}
+
+// close stops intake, flushes the pending batch, and waits for the
+// collector to exit. Dispatched batches may still be executing on the
+// worker pool; the pool's own close waits for those.
+func (c *coalescer) close() {
+	close(c.in)
+	<-c.done
+}
+
+// runBatch executes one coalesced batch on a worker. The happy path is a
+// single SolveBatchCtx sweep; because every item was validated at admission,
+// a sweep error means either cancellation or a data-dependent failure
+// (division by zero along one item's chain), so on error the batch falls
+// back to solving items individually — one poisoned request must not fail
+// its batch neighbors.
+func (s *Server) runBatch(items []*batchItem) {
+	// Requests whose caller already gave up are answered (they are waited
+	// on) but excluded from the sweep.
+	live := items[:0:0]
+	for _, it := range items {
+		if err := it.ctx.Err(); err != nil {
+			it.res <- batchResult{err: err}
+			continue
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.metrics.batches.Inc()
+	s.metrics.batchSize.Observe(float64(len(live)))
+
+	// The sweep runs under the server's lifetime ctx bounded by the latest
+	// item deadline, so one slow batch cannot outlive every caller.
+	ctx, cancel := s.batchContext(live)
+	defer cancel()
+
+	systems := make([]*moebius.MoebiusSystem, len(live))
+	x0s := make([][]float64, len(live))
+	for k, it := range live {
+		systems[k] = it.ms
+		x0s[k] = it.x0
+	}
+	opt := ordinary.Options{Procs: s.cfg.Procs}
+	out, err := moebius.SolveBatchCtx(ctx, systems, x0s, opt)
+	if err == nil {
+		for k, it := range live {
+			it.res <- batchResult{values: out[k], size: len(live)}
+		}
+		return
+	}
+
+	// Fallback: per-item solves under each item's own ctx.
+	s.metrics.batchFallbacks.Inc()
+	for _, it := range live {
+		v, ierr := it.ms.SolveCtx(it.ctx, it.x0, opt)
+		it.res <- batchResult{values: v, size: len(live), err: ierr}
+	}
+}
+
+// batchContext derives the sweep context: the server lifetime ctx, bounded
+// by the latest deadline among the batch items (every item carries one —
+// the handler applied the server default if the client didn't ask).
+func (s *Server) batchContext(items []*batchItem) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	haveAll := true
+	for _, it := range items {
+		d, ok := it.ctx.Deadline()
+		if !ok {
+			haveAll = false
+			break
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	if haveAll {
+		return context.WithDeadline(s.lifetime, latest)
+	}
+	return context.WithCancel(s.lifetime)
+}

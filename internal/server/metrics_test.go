@@ -1,0 +1,191 @@
+package server
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// checkExposition asserts text is valid Prometheus text exposition: every
+// sample belongs to a declared family, HELP/TYPE precede samples, histogram
+// buckets are cumulative and end in +Inf, and every histogram series has
+// _sum and _count. Shared by the server e2e tests.
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+	declared := map[string]string{} // base name -> type
+	type histSeries struct {
+		lastCum  float64
+		sawInf   bool
+		sawSum   bool
+		sawCount bool
+	}
+	hists := map[string]*histSeries{} // name+labels(without le)
+	stripLe := regexp.MustCompile(`le="[^"]*",?`)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			declared[parts[2]] = parts[3]
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("bad sample line: %q", line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if declared[strings.TrimSuffix(name, suffix)] == "histogram" {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		typ, ok := declared[base]
+		if !ok {
+			t.Fatalf("sample %q has no TYPE declaration", line)
+		}
+		val, err := strconv.ParseFloat(strings.Replace(valStr, "+Inf", "Inf", 1), 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if typ == "counter" && val < 0 {
+			t.Errorf("negative counter: %q", line)
+		}
+		if typ == "histogram" {
+			series := stripLe.ReplaceAllString(labels, "")
+			series = strings.ReplaceAll(series, ",}", "}")
+			if series == "{}" {
+				series = ""
+			}
+			key := base + series
+			hs := hists[key]
+			if hs == nil {
+				hs = &histSeries{}
+				hists[key] = hs
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if val < hs.lastCum {
+					t.Errorf("non-cumulative bucket in %q (prev %v)", line, hs.lastCum)
+				}
+				hs.lastCum = val
+				if strings.Contains(labels, `le="+Inf"`) {
+					hs.sawInf = true
+				}
+			case strings.HasSuffix(name, "_sum"):
+				hs.sawSum = true
+			case strings.HasSuffix(name, "_count"):
+				hs.sawCount = true
+			}
+		}
+	}
+	for key, hs := range hists {
+		if !hs.sawInf || !hs.sawSum || !hs.sawCount {
+			t.Errorf("histogram %s missing +Inf bucket, _sum or _count", key)
+		}
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("test_ops_total", "Total ops.")
+	c.Add(3)
+	cv := reg.NewCounterVec("test_requests_total", "Requests.", "endpoint", "code")
+	cv.Inc("linear", "200")
+	cv.Inc("linear", "200")
+	cv.Inc("moebius", "429")
+	g := reg.NewGauge("test_depth", "Depth.")
+	g.Set(7)
+	reg.NewGaugeFunc("test_live", "Live reading.", func() float64 { return 2.5 })
+	h := reg.NewHistogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+	hv := reg.NewHistogramVec("test_batch", "Batch sizes.", []float64{1, 2, 4}, "endpoint")
+	hv.With("linear").Observe(1)
+	hv.With("linear").Observe(3)
+	hv.With("moebius").Observe(8)
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	checkExposition(t, text)
+
+	for _, want := range []string{
+		"test_ops_total 3",
+		`test_requests_total{code="200",endpoint="linear"} 2`,
+		`test_requests_total{code="429",endpoint="moebius"} 1`,
+		"test_depth 7",
+		"test_live 2.5",
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 2`,
+		`test_latency_seconds_bucket{le="10"} 2`,
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+		"test_latency_seconds_count 3",
+		`test_batch_bucket{endpoint="linear",le="1"} 1`,
+		`test_batch_bucket{endpoint="linear",le="4"} 2`,
+		`test_batch_bucket{endpoint="moebius",le="+Inf"} 1`,
+		`test_batch_sum{endpoint="linear"} 4`,
+		`test_batch_count{endpoint="moebius"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramMaxObservedBound(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("t", "t.", []float64{1, 2, 4})
+	if got := h.MaxObservedBound(); got != 0 {
+		t.Fatalf("empty histogram: MaxObservedBound = %v, want 0", got)
+	}
+	h.Observe(1)
+	if got := h.MaxObservedBound(); got != 1 {
+		t.Fatalf("after Observe(1): MaxObservedBound = %v, want 1", got)
+	}
+	h.Observe(3)
+	if got := h.MaxObservedBound(); got != 4 {
+		t.Fatalf("after Observe(3): MaxObservedBound = %v, want 4", got)
+	}
+	h.Observe(100)
+	if got := h.MaxObservedBound(); !math.IsInf(got, 1) {
+		t.Fatalf("after Observe(100): MaxObservedBound = %v, want +Inf", got)
+	}
+	if h.Count() != 3 || h.Sum() != 104 {
+		t.Fatalf("Count/Sum = %d/%v, want 3/104", h.Count(), h.Sum())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:            "0",
+		7:            "7",
+		2.5:          "2.5",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		-3:           "-3",
+		0.000125:     "0.000125",
+		1e18:         "1e+18",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatValue(math.NaN()); got != "NaN" {
+		t.Errorf("formatValue(NaN) = %q", got)
+	}
+}

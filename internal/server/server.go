@@ -1,0 +1,768 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indexedrec/internal/moebius"
+	"indexedrec/internal/parallel"
+	"indexedrec/ir"
+)
+
+// Config tunes the service; zero values select production defaults.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// QueueDepth bounds the admission queue; a full queue sheds load with
+	// HTTP 429 (default 256).
+	QueueDepth int
+	// Workers is the solve worker pool size (default max(1, GOMAXPROCS/2),
+	// so request-level and solver-internal parallelism share the machine).
+	Workers int
+	// Procs is the per-solve goroutine budget handed to the solvers
+	// (default max(1, GOMAXPROCS/Workers)); client-requested procs are
+	// clamped to it.
+	Procs int
+	// BatchWindow is how long the coalescer holds the first Möbius/linear
+	// request of a batch waiting for companions (default 2ms).
+	BatchWindow time.Duration
+	// MaxBatch closes a batch early once this many requests coalesced
+	// (default 32).
+	MaxBatch int
+	// DefaultTimeout bounds solves whose request didn't set timeout_ms
+	// (default 30s); MaxTimeout clamps client-requested deadlines
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the hint returned with 429/503 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxRequestBytes bounds request bodies (default 8 MiB); MaxN bounds
+	// iterations per request (default 4,194,304).
+	MaxRequestBytes int64
+	MaxN            int
+	// MaxExponentBits caps CAP trace-exponent growth for general solves
+	// (default 16384); requests may lower it but not raise it.
+	MaxExponentBits int
+}
+
+func (c *Config) setDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0) / 2
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.Procs <= 0 {
+		c.Procs = runtime.GOMAXPROCS(0) / c.Workers
+		if c.Procs < 1 {
+			c.Procs = 1
+		}
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 4 << 20
+	}
+	if c.MaxExponentBits <= 0 {
+		c.MaxExponentBits = 16384
+	}
+}
+
+// serverMetrics is the service's metrics contract; see DESIGN.md §8.
+type serverMetrics struct {
+	requests       *CounterVec   // irserved_requests_total{endpoint,code}
+	shed           *CounterVec   // irserved_shed_total{endpoint}
+	queueDepth     *Gauge        // irserved_queue_depth
+	queueCapacity  *Gauge        // irserved_queue_capacity
+	inflight       *Gauge        // irserved_inflight_requests
+	ready          *Gauge        // irserved_ready
+	batches        *Counter      // irserved_batches_total
+	batchSize      *Histogram    // irserved_batch_size
+	batchFallbacks *Counter      // irserved_batch_fallbacks_total
+	latency        *HistogramVec // irserved_solve_seconds{endpoint}
+}
+
+func newServerMetrics(reg *Registry, depthFn func() float64, capacity int) *serverMetrics {
+	m := &serverMetrics{
+		requests: reg.NewCounterVec("irserved_requests_total",
+			"Requests by endpoint and HTTP status code.", "endpoint", "code"),
+		shed: reg.NewCounterVec("irserved_shed_total",
+			"Requests shed with 429 because the admission queue was full.", "endpoint"),
+		queueDepth: reg.NewGaugeFunc("irserved_queue_depth",
+			"Jobs waiting in the admission queue right now.", depthFn),
+		queueCapacity: reg.NewGauge("irserved_queue_capacity",
+			"Admission queue capacity (QueueDepth)."),
+		inflight: reg.NewGauge("irserved_inflight_requests",
+			"Solve requests currently admitted and not yet answered."),
+		ready: reg.NewGauge("irserved_ready",
+			"1 while serving, 0 once draining began."),
+		batches: reg.NewCounter("irserved_batches_total",
+			"Coalesced Moebius/linear batches dispatched."),
+		batchSize: reg.NewHistogram("irserved_batch_size",
+			"Requests coalesced per dispatched batch.",
+			[]float64{1, 2, 4, 8, 16, 32, 64}),
+		batchFallbacks: reg.NewCounter("irserved_batch_fallbacks_total",
+			"Batches that fell back to per-item solves after a sweep error."),
+		latency: reg.NewHistogramVec("irserved_solve_seconds",
+			"End-to-end solve latency (admission queueing included).",
+			[]float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10},
+			"endpoint"),
+	}
+	m.queueCapacity.Set(int64(capacity))
+	m.ready.Set(1)
+	return m
+}
+
+// Server is the solve service. Create with New, mount Handler (or use
+// ListenAndServe), stop with Shutdown.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	metrics  *serverMetrics
+	pool     *pool
+	co       *coalescer
+	mux      *http.ServeMux
+	lifetime context.Context
+	cancel   context.CancelFunc
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	shutOnce sync.Once
+
+	// testHook, when non-nil, runs on the worker goroutine before each
+	// non-batch solve and before each batch sweep — tests use it to hold
+	// workers busy deterministically.
+	testHook func()
+}
+
+// New builds a Server and starts its worker pool and coalescer.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{cfg: cfg, reg: NewRegistry()}
+	s.lifetime, s.cancel = context.WithCancel(context.Background())
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth)
+	s.metrics = newServerMetrics(s.reg,
+		func() float64 { return float64(s.pool.depth() + len(s.co.in)) },
+		cfg.QueueDepth)
+	s.co = newCoalescer(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, func(items []*batchItem) {
+		j := &job{ctx: s.lifetime, run: func() {
+			if s.testHook != nil {
+				s.testHook()
+			}
+			s.runBatch(items)
+		}}
+		if err := s.pool.submitWait(j); err != nil {
+			for _, it := range items {
+				it.res <- batchResult{err: err}
+			}
+		}
+	})
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST "+APIPrefix+"ordinary", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSolve(w, r, "ordinary", s.execOrdinary)
+	})
+	s.mux.HandleFunc("POST "+APIPrefix+"general", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSolve(w, r, "general", s.execGeneral)
+	})
+	s.mux.HandleFunc("POST "+APIPrefix+"linear", func(w http.ResponseWriter, r *http.Request) {
+		s.handleCoalesced(w, r, "linear")
+	})
+	s.mux.HandleFunc("POST "+APIPrefix+"moebius", func(w http.ResponseWriter, r *http.Request) {
+		s.handleCoalesced(w, r, "moebius")
+	})
+	s.mux.HandleFunc("POST "+APIPrefix+"loop", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSolve(w, r, "loop", s.execLoop)
+	})
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the metrics registry (the example prints from it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// BatchStats reports (batches dispatched, requests coalesced into them) —
+// convenience over the underlying metrics.
+func (s *Server) BatchStats() (batches, coalesced int64) {
+	return s.metrics.batches.Value(), int64(s.metrics.batchSize.Sum())
+}
+
+// ListenAndServe serves on cfg.Addr until ctx is cancelled, then drains
+// gracefully: readyz flips to 503, in-flight solves finish under their own
+// deadlines, and the listener closes. A second ctx cancellation is not
+// needed; drain is bounded by the longest per-request deadline.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	hs := &http.Server{Addr: s.cfg.Addr, Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout)
+	defer cancel()
+	err := s.Shutdown(drainCtx)
+	if herr := hs.Shutdown(drainCtx); err == nil {
+		err = herr
+	}
+	<-errCh // ListenAndServe has returned http.ErrServerClosed
+	return err
+}
+
+// Shutdown drains the service: new solve requests are refused with 503,
+// queued and running solves finish (bounded by ctx), the coalescer flushes,
+// and the worker pool exits. Safe to call once; later calls return nil
+// immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutOnce.Do(func() {
+		s.draining.Store(true)
+		s.metrics.ready.Set(0)
+		done := make(chan struct{})
+		go func() {
+			s.inflight.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+			// Cancel stragglers so pool.close below still terminates.
+			s.cancel()
+			<-done
+		}
+		s.co.close()
+		s.pool.close()
+		s.cancel()
+	})
+	return err
+}
+
+// ---------------------------------------------------------------- handlers
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeText(w, "healthz", http.StatusOK, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		s.writeText(w, "readyz", http.StatusServiceUnavailable, "draining\n")
+		return
+	}
+	s.writeText(w, "readyz", http.StatusOK, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = s.reg.WriteTo(w)
+	s.metrics.requests.Inc("metrics", "200")
+}
+
+// execFunc validates a decoded request and returns the closure that a pool
+// worker will run; validation errors surface before admission as 4xx.
+type execFunc func(body []byte) (func(ctx context.Context) (any, error), error)
+
+// handleSolve is the common path for directly-executed endpoints
+// (ordinary, general, loop): decode+validate, admit, run on the pool, wait.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, endpoint string, exec execFunc) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.metrics.inflight.Inc()
+	defer s.metrics.inflight.Dec()
+	start := time.Now()
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		s.writeError(w, endpoint, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	body, werr := s.readBody(w, r)
+	if werr != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, werr.Error())
+		return
+	}
+	run, err := exec(body)
+	if err != nil {
+		s.writeError(w, endpoint, statusForValidation(err), err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, timeoutOf(body))
+	defer cancel()
+
+	type outcome struct {
+		v   any
+		err error
+	}
+	res := make(chan outcome, 1)
+	j := &job{ctx: ctx, run: func() {
+		if err := ctx.Err(); err != nil {
+			res <- outcome{err: err}
+			return
+		}
+		if s.testHook != nil {
+			s.testHook()
+		}
+		v, err := run(ctx)
+		res <- outcome{v: v, err: err}
+	}}
+	if err := s.pool.submit(j); err != nil {
+		s.refuse(w, endpoint, err)
+		return
+	}
+	select {
+	case out := <-res:
+		s.metrics.latency.With(endpoint).Observe(time.Since(start).Seconds())
+		if out.err != nil {
+			s.writeError(w, endpoint, statusForSolve(out.err), out.err.Error())
+			return
+		}
+		s.writeJSON(w, endpoint, http.StatusOK, out.v)
+	case <-ctx.Done():
+		// Deadline or client disconnect while queued/solving; the worker
+		// will observe ctx and abandon the solve.
+		s.metrics.latency.With(endpoint).Observe(time.Since(start).Seconds())
+		s.writeError(w, endpoint, statusForSolve(ctx.Err()), ctx.Err().Error())
+	}
+}
+
+// handleCoalesced is the path for linear/moebius requests: full validation
+// up front, then admission into the coalescer rather than the plain queue.
+func (s *Server) handleCoalesced(w http.ResponseWriter, r *http.Request, endpoint string) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.metrics.inflight.Inc()
+	defer s.metrics.inflight.Dec()
+	start := time.Now()
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		s.writeError(w, endpoint, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	body, werr := s.readBody(w, r)
+	if werr != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, werr.Error())
+		return
+	}
+	ms, x0, opts, err := s.decodeMoebius(endpoint, body)
+	if err != nil {
+		s.writeError(w, endpoint, statusForValidation(err), err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, opts.TimeoutMs)
+	defer cancel()
+	it := &batchItem{ms: ms, x0: x0, ctx: ctx, res: make(chan batchResult, 1)}
+	select {
+	case s.co.in <- it:
+	default:
+		s.refuse(w, endpoint, errShed)
+		return
+	}
+	select {
+	case br := <-it.res:
+		s.metrics.latency.With(endpoint).Observe(time.Since(start).Seconds())
+		if br.err != nil {
+			s.writeError(w, endpoint, statusForSolve(br.err), br.err.Error())
+			return
+		}
+		s.writeJSON(w, endpoint, http.StatusOK, MoebiusResponse{
+			Values:    br.values,
+			BatchSize: br.size,
+			ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	case <-ctx.Done():
+		s.metrics.latency.With(endpoint).Observe(time.Since(start).Seconds())
+		s.writeError(w, endpoint, statusForSolve(ctx.Err()), ctx.Err().Error())
+	}
+}
+
+// decodeMoebius turns a linear or moebius request body into a validated
+// MoebiusSystem ready for batching.
+func (s *Server) decodeMoebius(endpoint string, body []byte) (*moebius.MoebiusSystem, []float64, ir.OptionsWire, error) {
+	var ms *moebius.MoebiusSystem
+	var x0 []float64
+	var opts ir.OptionsWire
+	switch endpoint {
+	case "linear":
+		var req LinearRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, nil, opts, fmt.Errorf("bad request body: %v", err)
+		}
+		if req.Extended {
+			if len(req.X0) != req.M {
+				return nil, nil, opts, fmt.Errorf("extended form: len(x0) = %d, want m = %d", len(req.X0), req.M)
+			}
+			ms = moebius.NewExtended(req.M, req.G, req.F, req.A, req.B, req.X0)
+		} else {
+			ms = moebius.NewLinear(req.M, req.G, req.F, req.A, req.B)
+		}
+		x0, opts = req.X0, req.Opts
+	case "moebius":
+		var req MoebiusRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, nil, opts, fmt.Errorf("bad request body: %v", err)
+		}
+		ms = &moebius.MoebiusSystem{M: req.M, G: req.G, F: req.F, A: req.A, B: req.B, C: req.C, D: req.D}
+		x0, opts = req.X0, req.Opts
+	default:
+		panic("unreachable endpoint " + endpoint)
+	}
+	if len(ms.G) > s.cfg.MaxN {
+		return nil, nil, opts, fmt.Errorf("n = %d exceeds the server limit %d", len(ms.G), s.cfg.MaxN)
+	}
+	if err := ms.Validate(); err != nil {
+		return nil, nil, opts, err
+	}
+	if err := ms.CheckFinite(); err != nil {
+		return nil, nil, opts, err
+	}
+	if len(x0) != ms.M {
+		return nil, nil, opts, fmt.Errorf("len(x0) = %d, want m = %d", len(x0), ms.M)
+	}
+	for i, v := range x0 {
+		if v != v || v > maxFinite || v < -maxFinite {
+			return nil, nil, opts, fmt.Errorf("x0[%d] = %v is not finite", i, v)
+		}
+	}
+	return ms, x0, opts, nil
+}
+
+const maxFinite = 1.7976931348623157e308
+
+// ------------------------------------------------------------ direct execs
+
+func (s *Server) execOrdinary(body []byte) (func(ctx context.Context) (any, error), error) {
+	var req OrdinaryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+	sys, opt, err := s.systemAndOptions(req.System, req.Opts)
+	if err != nil {
+		return nil, err
+	}
+	if !sys.Ordinary() {
+		return nil, fmt.Errorf("%w: /v1/solve/ordinary requires H = G (use /v1/solve/general)", ir.ErrInvalidSystem)
+	}
+	iop, err := intOp(req.Op, req.Mod)
+	if err != nil {
+		return nil, err
+	}
+	if iop != nil {
+		init, err := decodeInitInt(req.Init)
+		if err != nil {
+			return nil, err
+		}
+		if len(init) != sys.M {
+			return nil, fmt.Errorf("len(init) = %d, want m = %d", len(init), sys.M)
+		}
+		return func(ctx context.Context) (any, error) {
+			start := time.Now()
+			res, err := ir.SolveOrdinaryCtx[int64](ctx, sys, iop, init, opt)
+			if err != nil {
+				return nil, err
+			}
+			return OrdinaryResponse{ValuesInt: res.Values, Rounds: res.Rounds,
+				Combines: res.Combines, ElapsedMs: ms(start)}, nil
+		}, nil
+	}
+	fop, err := floatOp(req.Op)
+	if err != nil {
+		return nil, err
+	}
+	if fop == nil {
+		return nil, fmt.Errorf("unknown op %q (one of %s)", req.Op, strings.Join(OpNames(), ", "))
+	}
+	init, err := decodeInitFloat(req.Init)
+	if err != nil {
+		return nil, err
+	}
+	if len(init) != sys.M {
+		return nil, fmt.Errorf("len(init) = %d, want m = %d", len(init), sys.M)
+	}
+	return func(ctx context.Context) (any, error) {
+		start := time.Now()
+		res, err := ir.SolveOrdinaryCtx[float64](ctx, sys, fop, init, opt)
+		if err != nil {
+			return nil, err
+		}
+		return OrdinaryResponse{ValuesFloat: res.Values, Rounds: res.Rounds,
+			Combines: res.Combines, ElapsedMs: ms(start)}, nil
+	}, nil
+}
+
+func (s *Server) execGeneral(body []byte) (func(ctx context.Context) (any, error), error) {
+	var req GeneralRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+	sys, opt, err := s.systemAndOptions(req.System, req.Opts)
+	if err != nil {
+		return nil, err
+	}
+	opt.MaxExponentBits = s.cfg.MaxExponentBits
+	if b := req.Opts.MaxExponentBits; b > 0 && b < opt.MaxExponentBits {
+		opt.MaxExponentBits = b
+	}
+	iop, err := intOp(req.Op, req.Mod)
+	if err != nil {
+		return nil, err
+	}
+	if iop != nil {
+		init, err := decodeInitInt(req.Init)
+		if err != nil {
+			return nil, err
+		}
+		if len(init) != sys.M {
+			return nil, fmt.Errorf("len(init) = %d, want m = %d", len(init), sys.M)
+		}
+		return func(ctx context.Context) (any, error) {
+			start := time.Now()
+			res, err := ir.SolveGeneralCtx[int64](ctx, sys, iop, init, opt)
+			if err != nil {
+				return nil, err
+			}
+			out := GeneralResponse{ValuesInt: res.Values, CAPRounds: res.CAPRounds, ElapsedMs: ms(start)}
+			if req.WithPowers {
+				out.Powers = res.Powers
+			}
+			return out, nil
+		}, nil
+	}
+	fop, err := floatOp(req.Op)
+	if err != nil {
+		return nil, err
+	}
+	if fop == nil {
+		return nil, fmt.Errorf("unknown op %q (one of %s)", req.Op, strings.Join(OpNames(), ", "))
+	}
+	init, err := decodeInitFloat(req.Init)
+	if err != nil {
+		return nil, err
+	}
+	if len(init) != sys.M {
+		return nil, fmt.Errorf("len(init) = %d, want m = %d", len(init), sys.M)
+	}
+	return func(ctx context.Context) (any, error) {
+		start := time.Now()
+		res, err := ir.SolveGeneralCtx[float64](ctx, sys, fop, init, opt)
+		if err != nil {
+			return nil, err
+		}
+		out := GeneralResponse{ValuesFloat: res.Values, CAPRounds: res.CAPRounds, ElapsedMs: ms(start)}
+		if req.WithPowers {
+			out.Powers = res.Powers
+		}
+		return out, nil
+	}, nil
+}
+
+func (s *Server) execLoop(body []byte) (func(ctx context.Context) (any, error), error) {
+	var req LoopRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+	if req.Loop == "" {
+		return nil, fmt.Errorf("missing \"loop\" source")
+	}
+	loop, err := ir.ParseLoop(req.Loop)
+	if err != nil {
+		return nil, err
+	}
+	c := ir.CompileLoop(loop)
+	procs := s.clampProcs(req.Opts.Procs)
+	return func(ctx context.Context) (any, error) {
+		start := time.Now()
+		env := ir.NewEnv()
+		if req.N != 0 {
+			env.Scalars["n"] = float64(req.N)
+		}
+		for k, v := range req.Scalars {
+			env.Scalars[k] = v
+		}
+		for k, v := range req.Arrays {
+			env.Arrays[k] = append([]float64(nil), v...)
+		}
+		if err := c.ExecuteCtx(ctx, env, procs); err != nil {
+			return nil, err
+		}
+		return LoopResponse{
+			Analysis:  c.Analysis.Describe(),
+			Strategy:  c.Strategy(),
+			Arrays:    env.Arrays,
+			ElapsedMs: ms(start),
+		}, nil
+	}, nil
+}
+
+// ---------------------------------------------------------------- plumbing
+
+// systemAndOptions validates the wire system against server limits and
+// resolves the effective solve options.
+func (s *Server) systemAndOptions(w ir.SystemWire, ow ir.OptionsWire) (*ir.System, ir.SolveOptions, error) {
+	if w.N > s.cfg.MaxN || len(w.G) > s.cfg.MaxN {
+		return nil, ir.SolveOptions{}, fmt.Errorf("n = %d exceeds the server limit %d", max(w.N, len(w.G)), s.cfg.MaxN)
+	}
+	sys, err := w.System()
+	if err != nil {
+		return nil, ir.SolveOptions{}, err
+	}
+	opt, err := ow.Options()
+	if err != nil {
+		return nil, ir.SolveOptions{}, err
+	}
+	opt.Procs = s.clampProcs(opt.Procs)
+	return sys, opt, nil
+}
+
+// clampProcs resolves a client-requested procs count against the server's
+// per-solve budget.
+func (s *Server) clampProcs(req int) int {
+	if req <= 0 || req > s.cfg.Procs {
+		return s.cfg.Procs
+	}
+	return req
+}
+
+// requestContext derives the solve ctx: the request's own ctx (cancelled on
+// client disconnect) bounded by the effective deadline.
+func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// timeoutOf peeks the timeout_ms option out of a raw body; decode errors
+// are reported by the endpoint's own decoder, so they're ignored here.
+func timeoutOf(body []byte) int {
+	var probe struct {
+		Opts ir.OptionsWire `json:"opts"`
+	}
+	_ = json.Unmarshal(body, &probe)
+	return probe.Opts.TimeoutMs
+}
+
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	defer rd.Close()
+	body, err := io.ReadAll(rd)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxRequestBytes)
+		}
+		return nil, fmt.Errorf("reading request body: %v", err)
+	}
+	return body, nil
+}
+
+// refuse answers an admission failure: 429 + Retry-After for a full queue,
+// 503 for draining.
+func (s *Server) refuse(w http.ResponseWriter, endpoint string, err error) {
+	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	if errors.Is(err, errDraining) {
+		s.writeError(w, endpoint, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.metrics.shed.Inc(endpoint)
+	s.writeError(w, endpoint, http.StatusTooManyRequests,
+		fmt.Sprintf("admission queue full (capacity %d), retry later", s.cfg.QueueDepth))
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// statusForValidation maps pre-admission errors (all client mistakes) to 400.
+func statusForValidation(err error) int {
+	return http.StatusBadRequest
+}
+
+// statusForSolve maps solver errors to HTTP statuses.
+func statusForSolve(err error) int {
+	var pe *parallel.PanicError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ir.ErrInvalidSystem), errors.Is(err, moebius.ErrBadSystem):
+		return http.StatusBadRequest
+	case errors.Is(err, ir.ErrNonFinite), errors.Is(err, ir.ErrExponentLimit):
+		return http.StatusUnprocessableEntity
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+	s.metrics.requests.Inc(endpoint, strconv.Itoa(code))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, code int, msg string) {
+	s.writeJSON(w, endpoint, code, ErrorResponse{Error: msg, Code: code})
+}
+
+func (s *Server) writeText(w http.ResponseWriter, endpoint string, code int, body string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	_, _ = w.Write([]byte(body))
+	s.metrics.requests.Inc(endpoint, strconv.Itoa(code))
+}
+
+func ms(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}

@@ -1,6 +1,7 @@
 package simparc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -78,7 +79,24 @@ func (vm *VM) activeCount() int {
 // Run executes until every processor has halted, or maxCycles elapse, or a
 // fault occurs.
 func (vm *VM) Run(maxCycles int64) error {
+	return vm.RunCtx(context.Background(), maxCycles)
+}
+
+// ctxCheckInterval is how many lock-step cycles RunCtx executes between
+// cancellation checks — frequent enough that interrupts feel immediate,
+// rare enough that the check never shows up in a profile.
+const ctxCheckInterval = 4096
+
+// RunCtx is Run bounded by ctx: cancellation is observed between lock-step
+// cycles and returns ctx.Err() with the VM state (Cycles, Mem, profile)
+// intact up to the cycle where it stopped.
+func (vm *VM) RunCtx(ctx context.Context, maxCycles int64) error {
 	for {
+		if vm.Cycles%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		// Admit pending processors up to the cap.
 		for len(vm.pending) > 0 && (vm.Cap <= 0 || vm.activeCount() < vm.Cap) {
 			vm.procs = append(vm.procs, vm.pending[0])

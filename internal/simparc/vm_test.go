@@ -1,9 +1,11 @@
 package simparc
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"indexedrec/internal/core"
 	"indexedrec/internal/paperfig"
@@ -324,4 +326,56 @@ func TestVMDeterminism(t *testing.T) {
 	if r1.Cycles != r2.Cycles || r1.Instrs != r2.Instrs {
 		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", r1.Cycles, r1.Instrs, r2.Cycles, r2.Instrs)
 	}
+}
+
+func TestVMRunCtx(t *testing.T) {
+	// An infinite loop: only cancellation can stop it before the budget.
+	const spin = `
+loop:
+    ADDI r1, r1, 1
+    JMP loop
+`
+	p, err := Assemble(spin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		vm := NewVM(p, 4)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := vm.RunCtx(ctx, 1<<30); !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunCtx = %v, want context.Canceled", err)
+		}
+		if vm.Cycles != 0 {
+			t.Fatalf("Cycles = %d, want 0 (cancelled before the first cycle)", vm.Cycles)
+		}
+	})
+
+	t.Run("deadline mid-run", func(t *testing.T) {
+		vm := NewVM(p, 4)
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		if err := vm.RunCtx(ctx, 1<<62); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("RunCtx = %v, want context.DeadlineExceeded", err)
+		}
+		// State must be intact up to the stopping cycle: the loop body ran
+		// once per cycle, so the profile and cycle count agree.
+		if vm.Cycles == 0 {
+			t.Fatal("Cycles = 0: deadline fired before any progress")
+		}
+		if vm.Instrs != vm.Cycles {
+			t.Fatalf("Instrs = %d, Cycles = %d: single-proc loop should execute one instruction per cycle",
+				vm.Instrs, vm.Cycles)
+		}
+	})
+
+	t.Run("background completes", func(t *testing.T) {
+		// Run delegates to RunCtx(context.Background()): a terminating
+		// program still halts normally.
+		vm := mustRun(t, "LDI r1, 1\nHALT", 4, 100)
+		if vm.Cycles == 0 {
+			t.Fatal("no cycles executed")
+		}
+	})
 }

@@ -1,0 +1,70 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Wire types: the JSON shapes a System and SolveOptions take on the network.
+// internal/server and its client both marshal through these, so the service
+// protocol is defined next to the API it transports rather than inside the
+// server. The field names are the paper's (g, f, h over m cells, n
+// iterations), lower-cased for JSON convention.
+
+// SystemWire is the JSON form of a System.
+type SystemWire struct {
+	M int   `json:"m"`
+	N int   `json:"n"`
+	G []int `json:"g"`
+	F []int `json:"f"`
+	H []int `json:"h,omitempty"`
+}
+
+// WireFromSystem converts a System to its wire form (slices are shared, not
+// copied — marshal before mutating).
+func WireFromSystem(s *System) SystemWire {
+	return SystemWire{M: s.M, N: s.N, G: s.G, F: s.F, H: s.H}
+}
+
+// System converts the wire form back and validates it structurally, so a
+// malformed request fails with ErrInvalidSystem before reaching a solver.
+// An omitted n is inferred from len(g).
+func (w SystemWire) System() (*System, error) {
+	n := w.N
+	if n == 0 {
+		n = len(w.G)
+	}
+	s := &System{M: w.M, N: n, G: w.G, F: w.F, H: w.H}
+	if s.G == nil {
+		s.G = []int{}
+	}
+	if s.F == nil {
+		s.F = []int{}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OptionsWire is the JSON form of SolveOptions plus the per-request deadline.
+type OptionsWire struct {
+	// Procs bounds solver-internal goroutines; 0 lets the server choose.
+	Procs int `json:"procs,omitempty"`
+	// MaxExponentBits caps CAP trace-exponent growth (general solves).
+	MaxExponentBits int `json:"max_exponent_bits,omitempty"`
+	// TimeoutMs is the client's solve deadline in milliseconds; 0 means
+	// the server default. Servers clamp it to their configured maximum.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// Options converts the wire form to SolveOptions; the deadline is the
+// transport's concern and is applied by the server, not here.
+func (w OptionsWire) Options() (SolveOptions, error) {
+	if w.Procs < 0 {
+		return SolveOptions{}, fmt.Errorf("%w: procs = %d, want >= 0", ErrInvalidSystem, w.Procs)
+	}
+	if w.TimeoutMs < 0 {
+		return SolveOptions{}, fmt.Errorf("%w: timeout_ms = %d, want >= 0", ErrInvalidSystem, w.TimeoutMs)
+	}
+	return SolveOptions{Procs: w.Procs, MaxExponentBits: w.MaxExponentBits}, nil
+}
