@@ -1,7 +1,8 @@
 // Command irserved is the solve service daemon: an HTTP JSON API over the
 // hardened solver runtime with admission control (bounded queue, 429 load
-// shedding), dynamic batch coalescing for Möbius/linear requests, a worker
-// pool sized off GOMAXPROCS, and Prometheus metrics.
+// shedding), dynamic batch coalescing for Möbius/linear requests, an LRU
+// cache of compiled solve plans keyed by loop structure, a worker pool
+// sized off GOMAXPROCS, and Prometheus metrics.
 //
 //	irserved                                  # serve on :8080
 //	irserved -addr 127.0.0.1:9090 -queue 512 -batch-window 2ms
@@ -47,6 +48,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
 		maxN        = flag.Int("max-n", 4<<20, "max iterations per request")
+		planCache   = flag.Int64("plan-cache", 0, "compiled-plan cache budget in bytes (0 = 64 MiB default, negative disables)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxN:           *maxN,
+		PlanCacheBytes: *planCache,
 	})
 	fmt.Printf("irserved: listening on %s\n", *addr)
 	if err := s.ListenAndServe(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {

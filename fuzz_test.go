@@ -3,8 +3,9 @@ package indexedrec
 // FuzzSolveAgainstOracle drives randomly generated indexed-recurrence
 // systems through the hardened parallel solvers and checks every output
 // cell against the sequential oracle (core.RunSequential). The property
-// under fuzz: the solvers never panic, and whenever they succeed they
-// agree with the oracle exactly.
+// under fuzz: the solvers never panic, whenever they succeed they agree
+// with the oracle exactly, and a compiled plan (ir.Compile + replay)
+// reproduces the direct solve bit for bit.
 
 import (
 	"context"
@@ -16,6 +17,7 @@ import (
 	"indexedrec/internal/gir"
 	"indexedrec/internal/ordinary"
 	"indexedrec/internal/workload"
+	"indexedrec/ir"
 )
 
 func FuzzSolveAgainstOracle(f *testing.F) {
@@ -64,6 +66,27 @@ func FuzzSolveAgainstOracle(f *testing.F) {
 					t.Fatalf("ordinary cell %d: parallel %d != sequential %d", i, v, want[i])
 				}
 			}
+
+			// Compiled-plan equivalence: compiling the system and replaying
+			// the plan must be bit-identical to the direct solve, including
+			// the schedule cost counters.
+			plan, err := ir.Compile(s, ir.CompileOptions{Family: ir.FamilyOrdinary})
+			if err != nil {
+				t.Fatalf("ir.Compile(ordinary): %v", err)
+			}
+			prep, err := ir.SolveOrdinaryPlanCtx[int64](ctx, plan, op, init, ir.SolveOptions{Procs: 4})
+			if err != nil {
+				t.Fatalf("SolveOrdinaryPlanCtx: %v", err)
+			}
+			for i, v := range prep.Values {
+				if v != res.Values[i] {
+					t.Fatalf("ordinary plan cell %d: replay %d != direct %d", i, v, res.Values[i])
+				}
+			}
+			if prep.Rounds != res.Rounds || prep.Combines != res.Combines {
+				t.Fatalf("ordinary plan cost: replay (%d rounds, %d combines) != direct (%d, %d)",
+					prep.Rounds, prep.Combines, res.Rounds, res.Combines)
+			}
 		}
 
 		res, err := gir.SolveCtx[int64](ctx, s, op, init, gir.Options{Procs: 4, MaxExponentBits: 4096})
@@ -76,6 +99,80 @@ func FuzzSolveAgainstOracle(f *testing.F) {
 		for i, v := range res.Values {
 			if v != want[i] {
 				t.Fatalf("gir cell %d: parallel %d != sequential %d", i, v, want[i])
+			}
+		}
+
+		// Compiled-plan equivalence for the general family: same contract,
+		// through the facade's compile + generic replay.
+		plan, err := ir.Compile(s, ir.CompileOptions{Family: ir.FamilyGeneral, MaxExponentBits: 4096})
+		if err != nil {
+			t.Fatalf("ir.Compile(general): %v", err)
+		}
+		prep, err := ir.SolveGeneralPlanCtx[int64](ctx, plan, op, init, ir.SolveOptions{Procs: 4})
+		if err != nil {
+			t.Fatalf("SolveGeneralPlanCtx: %v", err)
+		}
+		for i, v := range prep.Values {
+			if v != res.Values[i] {
+				t.Fatalf("general plan cell %d: replay %d != direct %d", i, v, res.Values[i])
+			}
+		}
+	})
+}
+
+// FuzzMoebiusPlanAgainstDirect fuzzes the Möbius/linear families' plan
+// equivalence: for random distinct-g systems and random finite
+// coefficients, a compiled plan's replay must match the direct solver
+// bit for bit — including agreeing on which inputs are rejected
+// (ErrNonFinite from a division by zero along a chain).
+func FuzzMoebiusPlanAgainstDirect(f *testing.F) {
+	f.Add(int64(1), 8, 8, false)
+	f.Add(int64(2), 1, 1, true)
+	f.Add(int64(3), 64, 200, false)
+	f.Add(int64(4), 300, 120, true)
+
+	f.Fuzz(func(t *testing.T, seed int64, m, n int, full bool) {
+		if m < 1 || m > 512 || n < 0 || n > 512 {
+			t.Skip("out of budget")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		s := workload.RandomOrdinary(rng, m, n) // distinct g, as Möbius requires
+		a := make([]float64, s.N)
+		b := make([]float64, s.N)
+		c := make([]float64, s.N)
+		d := make([]float64, s.N)
+		for i := 0; i < s.N; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			if full {
+				c[i] = rng.NormFloat64() / 8
+			}
+			d[i] = 1
+		}
+		x0 := make([]float64, s.M)
+		for x := range x0 {
+			x0[x] = rng.NormFloat64()
+		}
+		ctx := context.Background()
+
+		direct, derr := ir.SolveMoebiusCtx(ctx, s.M, s.G, s.F, a, b, c, d, x0, ir.SolveOptions{Procs: 4})
+		plan, err := ir.CompileMoebius(s.M, s.G, s.F)
+		if err != nil {
+			t.Fatalf("ir.CompileMoebius: %v", err)
+		}
+		replay, rerr := ir.SolveMoebiusPlanCtx(ctx, plan, a, b, c, d, x0, ir.SolveOptions{Procs: 4})
+		if (derr == nil) != (rerr == nil) {
+			t.Fatalf("error disagreement: direct %v, replay %v", derr, rerr)
+		}
+		if derr != nil {
+			if !errors.Is(derr, ir.ErrNonFinite) {
+				t.Fatalf("direct solve failed unexpectedly: %v", derr)
+			}
+			return
+		}
+		for x, v := range replay {
+			if v != direct[x] {
+				t.Fatalf("moebius plan cell %d: replay %v != direct %v", x, v, direct[x])
 			}
 		}
 	})

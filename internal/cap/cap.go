@@ -1,29 +1,3 @@
-// Package cap implements CAP — Counting All Paths — the core of the paper's
-// general-IR algorithm (Definition 1): given a DAG, compute for every node v
-// and every sink l the number of distinct paths v ⇝ l. In the GIR setting
-// the sinks are initial array values and the path count is the exponent of
-// that initial value in v's trace.
-//
-// Three engines are provided and cross-checked against each other:
-//
-//   - CountDP: sequential dynamic programming over a topological order,
-//     O(V·E·S) work. The correctness reference.
-//   - CountSquaring: the paper's parallel algorithm — O(log n) lock-step
-//     rounds of "paths multiplication" (composing successive edges) and
-//     "paths addition" (summing parallel edges), Figs. 7–9. Round t's edge
-//     set contains, for interior targets, the number of walks of length
-//     exactly 2^t, and for sink targets, the number of paths of length
-//     ≤ 2^t; after ⌈log₂ L⌉ rounds (L = longest path) only sink edges
-//     remain and their labels are the answer. The scanned paper's
-//     deletion/marking step is reconstructed as: an interior edge is
-//     consumed (deleted) by the round that composes it, while sink edges
-//     persist. This is provably equivalent to repeated squaring of the
-//     adjacency matrix with unit self-loops on sinks.
-//   - CountMatrix: that dense matrix squaring, spelled out, as an
-//     independent comparator (O(n³ log n) work, O(log² n) depth).
-//
-// Path counts grow as fast as Fibonacci numbers (paper §4), so labels are
-// big.Int throughout.
 package cap
 
 import (
@@ -177,4 +151,5 @@ func (c Counts) String() string {
 	return s
 }
 
+// String renders the term as (sink:count) for traces and tests.
 func (t Term) String() string { return fmt.Sprintf("(%d:%s)", t.Sink, t.Count) }

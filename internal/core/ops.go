@@ -18,9 +18,14 @@ import (
 // truncated to int64 (wrap-around), matching repeated Combine.
 type IntAdd struct{}
 
-func (IntAdd) Name() string             { return "int64-add" }
+// Name returns "int64-add".
+func (IntAdd) Name() string { return "int64-add" }
+
+// Combine returns a + b (native wrap-around semantics).
 func (IntAdd) Combine(a, b int64) int64 { return a + b }
-func (IntAdd) Identity() int64          { return 0 }
+
+// Identity returns 0.
+func (IntAdd) Identity() int64 { return 0 }
 
 // Pow returns k*a with the same wrap-around semantics as k-fold addition.
 func (IntAdd) Pow(a int64, k *big.Int) int64 {
@@ -42,14 +47,21 @@ var mask64 = new(big.Int).SetUint64(^uint64(0))
 // IntMax is (int64, max, MinInt64). Idempotent: Pow(a,k>=1) = a.
 type IntMax struct{}
 
+// Name returns "int64-max".
 func (IntMax) Name() string { return "int64-max" }
+
+// Combine returns the larger of a and b.
 func (IntMax) Combine(a, b int64) int64 {
 	if a > b {
 		return a
 	}
 	return b
 }
+
+// Identity returns math.MinInt64.
 func (IntMax) Identity() int64 { return -1 << 63 }
+
+// Pow exploits idempotence: a for k >= 1, the identity for k = 0.
 func (IntMax) Pow(a int64, k *big.Int) int64 {
 	if k.Sign() == 0 {
 		return IntMax{}.Identity()
@@ -60,14 +72,21 @@ func (IntMax) Pow(a int64, k *big.Int) int64 {
 // IntMin is (int64, min, MaxInt64). Idempotent.
 type IntMin struct{}
 
+// Name returns "int64-min".
 func (IntMin) Name() string { return "int64-min" }
+
+// Combine returns the smaller of a and b.
 func (IntMin) Combine(a, b int64) int64 {
 	if a < b {
 		return a
 	}
 	return b
 }
+
+// Identity returns math.MaxInt64.
 func (IntMin) Identity() int64 { return 1<<63 - 1 }
+
+// Pow exploits idempotence: a for k >= 1, the identity for k = 0.
 func (IntMin) Pow(a int64, k *big.Int) int64 {
 	if k.Sign() == 0 {
 		return IntMin{}.Identity()
@@ -78,9 +97,16 @@ func (IntMin) Pow(a int64, k *big.Int) int64 {
 // IntXor is (int64, ^, 0). Pow depends only on parity of k.
 type IntXor struct{}
 
-func (IntXor) Name() string             { return "int64-xor" }
+// Name returns "int64-xor".
+func (IntXor) Name() string { return "int64-xor" }
+
+// Combine returns a XOR b.
 func (IntXor) Combine(a, b int64) int64 { return a ^ b }
-func (IntXor) Identity() int64          { return 0 }
+
+// Identity returns 0.
+func (IntXor) Identity() int64 { return 0 }
+
+// Pow returns a for odd k and 0 for even k (self-inverse operator).
 func (IntXor) Pow(a int64, k *big.Int) int64 {
 	if k.Bit(0) == 1 {
 		return a
@@ -99,7 +125,10 @@ type MulMod struct {
 	M int64
 }
 
+// Name returns "mul-mod".
 func (o MulMod) Name() string { return "mul-mod" }
+
+// Combine returns a*b mod M, normalizing negative operands first.
 func (o MulMod) Combine(a, b int64) int64 {
 	a %= o.M
 	b %= o.M
@@ -111,6 +140,8 @@ func (o MulMod) Combine(a, b int64) int64 {
 	}
 	return a * b % o.M
 }
+
+// Identity returns 1 mod M.
 func (o MulMod) Identity() int64 { return 1 % o.M }
 
 // Pow uses big.Int.Exp, which handles huge exponents (e.g. Fibonacci-sized
@@ -127,10 +158,14 @@ func (o MulMod) Pow(a int64, k *big.Int) int64 {
 
 // AddMod is (Z_m, +, 0); Pow(a,k) = (k mod m)*a mod m.
 type AddMod struct {
+	// M is the modulus; must be >= 2.
 	M int64
 }
 
+// Name returns "add-mod".
 func (o AddMod) Name() string { return "add-mod" }
+
+// Combine returns a+b mod M, normalized into [0, M).
 func (o AddMod) Combine(a, b int64) int64 {
 	r := (a%o.M + b%o.M) % o.M
 	if r < 0 {
@@ -138,7 +173,11 @@ func (o AddMod) Combine(a, b int64) int64 {
 	}
 	return r
 }
+
+// Identity returns 0.
 func (o AddMod) Identity() int64 { return 0 }
+
+// Pow returns (k mod M)*a mod M — k-fold modular addition in O(1).
 func (o AddMod) Pow(a int64, k *big.Int) int64 {
 	var km big.Int
 	km.Mod(k, big.NewInt(o.M))
@@ -153,9 +192,16 @@ func (o AddMod) Pow(a int64, k *big.Int) int64 {
 // Float64Add is (float64, +, 0).
 type Float64Add struct{}
 
-func (Float64Add) Name() string                 { return "float64-add" }
+// Name returns "float64-add".
+func (Float64Add) Name() string { return "float64-add" }
+
+// Combine returns a + b.
 func (Float64Add) Combine(a, b float64) float64 { return a + b }
-func (Float64Add) Identity() float64            { return 0 }
+
+// Identity returns 0.
+func (Float64Add) Identity() float64 { return 0 }
+
+// Pow returns a*k (one rounding step, in place of k-fold addition).
 func (Float64Add) Pow(a float64, k *big.Int) float64 {
 	kf, _ := new(big.Float).SetInt(k).Float64()
 	return a * kf
@@ -164,9 +210,16 @@ func (Float64Add) Pow(a float64, k *big.Int) float64 {
 // Float64Mul is (float64, *, 1).
 type Float64Mul struct{}
 
-func (Float64Mul) Name() string                 { return "float64-mul" }
+// Name returns "float64-mul".
+func (Float64Mul) Name() string { return "float64-mul" }
+
+// Combine returns a * b.
 func (Float64Mul) Combine(a, b float64) float64 { return a * b }
-func (Float64Mul) Identity() float64            { return 1 }
+
+// Identity returns 1.
+func (Float64Mul) Identity() float64 { return 1 }
+
+// Pow computes a^k by square-and-multiply, the grouping PowBySquaring uses.
 func (Float64Mul) Pow(a float64, k *big.Int) float64 {
 	return PowBySquaring[float64](Float64Mul{}, a, k)
 }
@@ -178,11 +231,18 @@ func (Float64Mul) Pow(a float64, k *big.Int) float64 {
 // BigMul is (big.Int, *, 1). Values are treated as immutable.
 type BigMul struct{}
 
+// Name returns "bigint-mul".
 func (BigMul) Name() string { return "bigint-mul" }
+
+// Combine returns a*b in a fresh big.Int (operands are never mutated).
 func (BigMul) Combine(a, b *big.Int) *big.Int {
 	return new(big.Int).Mul(a, b)
 }
+
+// Identity returns a fresh big.Int holding 1.
 func (BigMul) Identity() *big.Int { return big.NewInt(1) }
+
+// Pow returns a^k exactly via big.Int.Exp when k fits in int64.
 func (BigMul) Pow(a *big.Int, k *big.Int) *big.Int {
 	if !k.IsInt64() {
 		// Exact big-int powers with non-int64 exponents would not fit in
@@ -194,15 +254,21 @@ func (BigMul) Pow(a *big.Int, k *big.Int) *big.Int {
 }
 
 // ---------------------------------------------------------------------------
-// Concat: the canonical NON-commutative associative operator. It is the
+
+// Concat is the canonical NON-commutative associative operator. It is the
 // sharpest test that the ordinary-IR solver preserves operand order, and it
 // doubles as a trace extractor: running the loop over singleton strings
 // yields each cell's trace spelled out.
 type Concat struct{}
 
-func (Concat) Name() string               { return "string-concat" }
+// Name returns "string-concat".
+func (Concat) Name() string { return "string-concat" }
+
+// Combine returns the concatenation ab — order matters.
 func (Concat) Combine(a, b string) string { return a + b }
-func (Concat) Identity() string           { return "" }
+
+// Identity returns the empty string.
+func (Concat) Identity() string { return "" }
 
 // ---------------------------------------------------------------------------
 // Compile-time conformance checks.
@@ -223,11 +289,15 @@ var (
 )
 
 // ---------------------------------------------------------------------------
+
 // Gcd is (int64 >= 0, gcd, 0). Commutative and idempotent, so Pow(a, k>=1)
 // = a; useful as a second lattice-like operator besides min/max.
 type Gcd struct{}
 
+// Name returns "int64-gcd".
 func (Gcd) Name() string { return "int64-gcd" }
+
+// Combine returns gcd(|a|, |b|) by Euclid's algorithm.
 func (Gcd) Combine(a, b int64) int64 {
 	if a < 0 {
 		a = -a
@@ -240,7 +310,11 @@ func (Gcd) Combine(a, b int64) int64 {
 	}
 	return a
 }
+
+// Identity returns 0 (gcd(a, 0) = a).
 func (Gcd) Identity() int64 { return 0 }
+
+// Pow exploits idempotence: |a| for k >= 1, 0 for k = 0.
 func (Gcd) Pow(a int64, k *big.Int) int64 {
 	if k.Sign() == 0 {
 		return 0
@@ -251,18 +325,24 @@ func (Gcd) Pow(a int64, k *big.Int) int64 {
 	return a
 }
 
-// Float64Min is (float64, min, +Inf); Float64Max is (float64, max, -Inf).
-// Both idempotent.
+// Float64Min is (float64, min, +Inf). Idempotent.
 type Float64Min struct{}
 
+// Name returns "float64-min".
 func (Float64Min) Name() string { return "float64-min" }
+
+// Combine returns the smaller of a and b.
 func (Float64Min) Combine(a, b float64) float64 {
 	if a < b {
 		return a
 	}
 	return b
 }
+
+// Identity returns +Inf.
 func (Float64Min) Identity() float64 { return math.Inf(1) }
+
+// Pow exploits idempotence: a for k >= 1, +Inf for k = 0.
 func (Float64Min) Pow(a float64, k *big.Int) float64 {
 	if k.Sign() == 0 {
 		return math.Inf(1)
@@ -270,16 +350,24 @@ func (Float64Min) Pow(a float64, k *big.Int) float64 {
 	return a
 }
 
+// Float64Max is (float64, max, -Inf). Idempotent.
 type Float64Max struct{}
 
+// Name returns "float64-max".
 func (Float64Max) Name() string { return "float64-max" }
+
+// Combine returns the larger of a and b.
 func (Float64Max) Combine(a, b float64) float64 {
 	if a > b {
 		return a
 	}
 	return b
 }
+
+// Identity returns -Inf.
 func (Float64Max) Identity() float64 { return math.Inf(-1) }
+
+// Pow exploits idempotence: a for k >= 1, -Inf for k = 0.
 func (Float64Max) Pow(a float64, k *big.Int) float64 {
 	if k.Sign() == 0 {
 		return math.Inf(-1)

@@ -11,6 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig9",
 		"livermore", "livermore-exec", "loop23", "scaling", "crossover",
 		"ablation-pow", "ablation-cap", "speedup", "scan-vs-ir", "ops", "sched",
+		"cold_vs_warm",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -51,6 +52,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		"scan-vs-ir":     "Kogge-Stone",
 		"ops":            "commutativity",
 		"sched":          "scheduling",
+		"cold_vs_warm":   "identical",
 	}
 	for _, e := range All() {
 		e := e

@@ -104,29 +104,12 @@ func solveOnGraphCtx[T any](ctx context.Context, d *DepGraph, s *core.System, op
 	if len(init) != s.M {
 		return nil, fmt.Errorf("%w: len(init) = %d, want s.M = %d", ErrInitLen, len(init), s.M)
 	}
-	var counts cap.Counts
-	res := &Result[T]{}
-	switch opt.Engine {
-	case EngineSquaring:
-		var st *cap.Stats
-		counts, st, err = cap.CountSquaringCtx(ctx, d.G, cap.SquaringOptions{
-			Procs:   opt.Procs,
-			MaxBits: opt.MaxExponentBits,
-		})
-		res.CAPStats = st
-	case EngineDP:
-		counts, err = cap.CountDPCtx(ctx, d.G, opt.MaxExponentBits)
-	case EngineMatrix:
-		counts, err = cap.CountMatrixCtx(ctx, d.G, opt.Procs, opt.MaxExponentBits)
-	case EngineWavefront:
-		counts, err = cap.CountWavefrontCtx(ctx, d.G, opt.Procs, opt.MaxExponentBits)
-	default:
-		return nil, fmt.Errorf("%w: %d", ErrEngine, int(opt.Engine))
-	}
+	counts, st, err := countCtx(ctx, d, opt)
 	if err != nil {
 		return nil, fmt.Errorf("gir: CAP failed: %w", err)
 	}
-	if err := evalPowersCtx(ctx, d, s, op, init, counts, res, opt.Procs); err != nil {
+	res := &Result[T]{CAPStats: st}
+	if err := evalPowersCtx(ctx, d, op, init, counts, res, opt.Procs); err != nil {
 		return nil, err
 	}
 	return res, nil

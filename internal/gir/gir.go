@@ -124,6 +124,7 @@ const (
 	EngineWavefront
 )
 
+// String names the engine as it appears in options and reports.
 func (e Engine) String() string {
 	switch e {
 	case EngineSquaring:
@@ -200,11 +201,11 @@ func SolveCtx[T any](ctx context.Context, s *core.System, op core.CommutativeMon
 // parallel step of O(k) combines per cell (O(log k) with tree reduction;
 // k is tiny in practice compared to the trace length it replaces). Panics
 // in op.Combine/op.Pow surface as errors; cancellation stops the sweep.
-func evalPowersCtx[T any](ctx context.Context, d *DepGraph, s *core.System, op core.CommutativeMonoid[T], init []T, counts cap.Counts, res *Result[T], procs int) error {
-	values := make([]T, s.M)
-	powers := make([][]cap.Term, s.M)
+func evalPowersCtx[T any](ctx context.Context, d *DepGraph, op core.CommutativeMonoid[T], init []T, counts cap.Counts, res *Result[T], procs int) error {
+	values := make([]T, d.M)
+	powers := make([][]cap.Term, d.M)
 	var powCalls int64
-	if err := parallel.ForCtx(ctx, s.M, procs, func(lo, hi int) error {
+	if err := parallel.ForCtx(ctx, d.M, procs, func(lo, hi int) error {
 		var local int64
 		for x := lo; x < hi; x++ {
 			terms := counts[d.Final[x]]

@@ -1,0 +1,111 @@
+package gir
+
+import (
+	"context"
+	"fmt"
+
+	"indexedrec/internal/cap"
+	"indexedrec/internal/core"
+	"indexedrec/internal/parallel"
+)
+
+// Compiled solve plans for the general solver. The dependence graph and the
+// CAP path counts depend only on the index maps (g, f, h) and the dimensions
+// — never on operator or data — and CAP is by far the dominant cost of a
+// general solve. CompilePlanCtx runs graph construction plus CAP once;
+// SolvePlanCtx replays just the power-evaluation phase against fresh init
+// data, bit-identical to SolveCtx (it is literally the same final phase).
+
+// Plan is the compiled, data-independent part of a general-IR solve.
+// Immutable after compilation and safe for concurrent replays; the Powers
+// slices inside replay results alias the plan's counts and are read-only.
+type Plan struct {
+	// D is the versioned dependence graph the counts were computed on.
+	D *DepGraph
+	// Counts holds every node's CAP path counts to every reachable sink —
+	// the exponent of each initial value in each trace.
+	Counts cap.Counts
+	// Stats is the squaring engine's cost profile (nil for other engines).
+	Stats *cap.Stats
+	// MaxExponentBits records the bit cap the counts were computed under
+	// (0 = unlimited); replays inherit it by construction.
+	MaxExponentBits int
+}
+
+// countCtx runs the CAP engine selected by opt over d's graph — the
+// structure-only phase shared by direct solves and plan compilation.
+func countCtx(ctx context.Context, d *DepGraph, opt Options) (cap.Counts, *cap.Stats, error) {
+	switch opt.Engine {
+	case EngineSquaring:
+		return cap.CountSquaringCtx(ctx, d.G, cap.SquaringOptions{
+			Procs:   opt.Procs,
+			MaxBits: opt.MaxExponentBits,
+		})
+	case EngineDP:
+		counts, err := cap.CountDPCtx(ctx, d.G, opt.MaxExponentBits)
+		return counts, nil, err
+	case EngineMatrix:
+		counts, err := cap.CountMatrixCtx(ctx, d.G, opt.Procs, opt.MaxExponentBits)
+		return counts, nil, err
+	case EngineWavefront:
+		counts, err := cap.CountWavefrontCtx(ctx, d.G, opt.Procs, opt.MaxExponentBits)
+		return counts, nil, err
+	default:
+		return nil, nil, fmt.Errorf("%w: %d", ErrEngine, int(opt.Engine))
+	}
+}
+
+// CompilePlanCtx builds the dependence graph and runs CAP — everything a
+// general solve does before it first touches init values. Cancellation and
+// the exponent bit cap follow the SolveCtx contract.
+func CompilePlanCtx(ctx context.Context, s *core.System, opt Options) (_ *Plan, err error) {
+	defer parallel.RecoverTo(&err)
+	d, err := Build(s)
+	if err != nil {
+		return nil, err
+	}
+	counts, st, err := countCtx(ctx, d, opt)
+	if err != nil {
+		return nil, fmt.Errorf("gir: CAP failed: %w", err)
+	}
+	return &Plan{D: d, Counts: counts, Stats: st, MaxExponentBits: opt.MaxExponentBits}, nil
+}
+
+// SizeBytes estimates the plan's resident size for cache accounting: graph
+// edges plus every count term (sink id + big.Int words).
+func (p *Plan) SizeBytes() int64 {
+	var size int64
+	if p.D != nil && p.D.G != nil {
+		for _, out := range p.D.G.Out {
+			size += int64(len(out)) * 24
+			for _, e := range out {
+				size += int64(len(e.Label.Bits())) * 8
+			}
+		}
+		size += int64(len(p.D.Final)) * 8
+	}
+	for _, terms := range p.Counts {
+		size += int64(len(terms)) * 24
+		for _, t := range terms {
+			size += int64(len(t.Count.Bits())) * 8
+		}
+	}
+	return size
+}
+
+// SolvePlanCtx replays a compiled plan against fresh init data: only the
+// power-evaluation phase runs — one parallel sweep of atomic powers and
+// combines per cell — which is exactly the final phase of SolveCtx, so
+// results are bit-identical to the direct solve's. Panics in
+// op.Combine/op.Pow return as errors; cancellation stops the sweep.
+func SolvePlanCtx[T any](ctx context.Context, p *Plan, op core.CommutativeMonoid[T], init []T, procs int) (_ *Result[T], err error) {
+	defer parallel.RecoverTo(&err)
+	if len(init) != p.D.M {
+		return nil, fmt.Errorf("%w: len(init) = %d, want m = %d", ErrInitLen, len(init), p.D.M)
+	}
+	res := &Result[T]{CAPStats: p.Stats}
+	if err := evalPowersCtx(ctx, p.D, op, init, p.Counts, res, procs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

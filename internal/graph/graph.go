@@ -1,13 +1,3 @@
-// Package graph provides the small DAG substrate used by the CAP (count all
-// paths) algorithms and their tests: a compact multigraph representation,
-// topological ordering, longest-path computation, and generators for the
-// graph families appearing in the paper (chains, double chains, Fibonacci
-// dependence DAGs) plus random DAGs for property tests.
-//
-// Edge direction follows the dependence convention of package gir: an edge
-// v → w means "v's value is computed from w's value", so initial values are
-// the sinks (out-degree 0). The paper's Definition 1 phrases the same thing
-// with its own orientation; only the direction label differs.
 package graph
 
 import (

@@ -25,6 +25,7 @@ const (
 	FormMoebius
 )
 
+// String names the recurrence form for reports and the loop endpoint.
 func (f Form) String() string {
 	switch f {
 	case FormMap:
@@ -59,6 +60,7 @@ const (
 	BucketIndexed
 )
 
+// String describes the classification bucket in prose.
 func (b Bucket) String() string {
 	switch b {
 	case BucketNone:

@@ -50,16 +50,25 @@ type Bin struct {
 // Neg is unary minus.
 type Neg struct{ E Expr }
 
+// String renders the literal, preferring integer formatting.
 func (n *Num) String() string {
 	if n.Val == float64(int64(n.Val)) {
 		return fmt.Sprintf("%d", int64(n.Val))
 	}
 	return fmt.Sprintf("%g", n.Val)
 }
-func (v *Var) String() string   { return v.Name }
+
+// String returns the variable name.
+func (v *Var) String() string { return v.Name }
+
+// String renders the subscripted array reference.
 func (x *Index) String() string { return fmt.Sprintf("%s[%s]", x.Array, x.Idx) }
-func (b *Bin) String() string   { return fmt.Sprintf("(%s %c %s)", b.L, b.Op, b.R) }
-func (n *Neg) String() string   { return fmt.Sprintf("(-%s)", n.E) }
+
+// String renders the operation fully parenthesized.
+func (b *Bin) String() string { return fmt.Sprintf("(%s %c %s)", b.L, b.Op, b.R) }
+
+// String renders the negation fully parenthesized.
+func (n *Neg) String() string { return fmt.Sprintf("(-%s)", n.E) }
 
 // Stmt is a loop-body statement: an assignment or a nested loop.
 type Stmt interface {
@@ -73,6 +82,7 @@ type Assign struct {
 	RHS    Expr
 }
 
+// String renders the assignment in DSL syntax.
 func (a *Assign) String() string { return fmt.Sprintf("%s := %s", a.Target, a.RHS) }
 func (*Assign) stmtNode()        {}
 
@@ -86,6 +96,7 @@ type Loop struct {
 	Body []Stmt
 }
 
+// String renders the loop back into DSL syntax.
 func (l *Loop) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "for %s = %s to %s do begin ", l.Var, l.Lo, l.Hi)

@@ -1,0 +1,184 @@
+package moebius
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"indexedrec/internal/ordinary"
+	"indexedrec/internal/parallel"
+)
+
+// Compiled solve plans for the Möbius family. Everything the three-step
+// reduction does before coefficients enter — validation of the index maps,
+// the shadow-cell rewrite, the write-chain forest, and the full
+// pointer-jumping schedule over it — depends only on (m, g, f). CompilePlan
+// computes those once; Plan.SolveCtx replays the schedule against fresh
+// (a, b, c, d, x0) data. Replays perform the same matrix compositions and
+// map applications as MoebiusSystem.SolveCtx, in the same order, so results
+// are bit-identical.
+
+// Plan is the compiled, coefficient-independent part of a Möbius solve.
+// Immutable after compilation and safe for concurrent replays.
+type Plan struct {
+	// M is the cell count, N the iteration count (= len(g)).
+	M, N int
+	// g retains the write map: replays need it to place per-iteration
+	// matrices and to apply composed maps.
+	g []int
+	// shadowM is the cell count of the shadow-extended ordinary system.
+	shadowM int
+	// ord is the compiled pointer-jumping schedule over the shadow system.
+	ord *ordinary.Plan
+	// applyRoot[x], for written cells x, is the original cell whose initial
+	// value x's composed map is applied to (chain root with shadow cells
+	// resolved); -1 for unwritten cells.
+	applyRoot []int
+}
+
+// CompilePlan validates the index maps and compiles the shadow system's
+// pointer-jumping schedule. Coefficients and initial values play no part;
+// they are supplied per replay.
+func CompilePlan(ctx context.Context, m int, g, f []int) (*Plan, error) {
+	if len(f) != len(g) {
+		return nil, fmt.Errorf("%w: len(g) = %d, len(f) = %d", ErrBadSystem, len(g), len(f))
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: M = %d", ErrBadSystem, m)
+	}
+	seen := make(map[int]struct{}, len(g))
+	for i := range g {
+		if g[i] < 0 || g[i] >= m || f[i] < 0 || f[i] >= m {
+			return nil, fmt.Errorf("%w: index out of range at iteration %d", ErrBadSystem, i)
+		}
+		if _, dup := seen[g[i]]; dup {
+			return nil, fmt.Errorf("%w: g not distinct (cell %d)", ErrBadSystem, g[i])
+		}
+		seen[g[i]] = struct{}{}
+	}
+
+	sys, origOf := buildShadowSystem(m, g, f)
+	ord, err := ordinary.CompilePlan(ctx, sys)
+	if err != nil {
+		return nil, fmt.Errorf("moebius: %w", err)
+	}
+	p := &Plan{
+		M:         m,
+		N:         len(g),
+		g:         append([]int(nil), g...),
+		shadowM:   sys.M,
+		ord:       ord,
+		applyRoot: make([]int, m),
+	}
+	for x := range p.applyRoot {
+		p.applyRoot[x] = -1
+	}
+	roots := ord.Roots()
+	for i := range g {
+		x := g[i]
+		root := roots[x]
+		if orig, ok := origOf[root]; ok {
+			root = orig
+		}
+		p.applyRoot[x] = root
+	}
+	return p, nil
+}
+
+// SizeBytes estimates the plan's resident size for cache accounting.
+func (p *Plan) SizeBytes() int64 {
+	return int64(len(p.g)+len(p.applyRoot))*8 + p.ord.SizeBytes()
+}
+
+// SolveCtx replays the plan against fresh coefficients and initial values,
+// with the exact guard set of MoebiusSystem.SolveCtx: non-finite
+// coefficients or x0 entries return ErrNonFinite up front, and a division
+// by zero surfacing as a non-finite output cell returns ErrNonFinite after
+// the solve. The affine forms are the special case c = 0, d = 1 (compose
+// the extended form's b rewrite before calling, as NewExtended does).
+func (p *Plan) SolveCtx(ctx context.Context, a, b, c, d, x0 []float64, opt ordinary.Options) ([]float64, error) {
+	n := p.N
+	if len(a) != n || len(b) != n || len(c) != n || len(d) != n {
+		return nil, fmt.Errorf("%w: coefficient lengths disagree with n = %d", ErrBadSystem, n)
+	}
+	for name, cs := range map[string][]float64{"A": a, "B": b, "C": c, "D": d} {
+		for i, v := range cs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: coefficient %s[%d] = %v", ErrNonFinite, name, i, v)
+			}
+		}
+	}
+	if len(x0) != p.M {
+		return nil, fmt.Errorf("%w: len(x0) = %d, want M = %d", ErrInitLen, len(x0), p.M)
+	}
+	for x, v := range x0 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: x0[%d] = %v", ErrNonFinite, x, v)
+		}
+	}
+
+	// Step 1: per-cell matrices (identity on unwritten and shadow cells).
+	mats := make([]Mat2, p.shadowM)
+	for x := range mats {
+		mats[x] = Identity()
+	}
+	for i := 0; i < n; i++ {
+		mats[p.g[i]] = Mat2{A: a[i], B: b[i], C: c[i], D: d[i]}
+	}
+
+	// Step 2: replay the compiled ordinary schedule over ⊙.
+	res, err := ordinary.SolvePlanCtx[Mat2](ctx, p.ord, ChainOp{}, mats, opt)
+	if err != nil {
+		return nil, fmt.Errorf("moebius: %w", err)
+	}
+
+	// Step 3: apply composed maps to precomputed chain-root initial values.
+	out := append([]float64(nil), x0...)
+	for i := 0; i < n; i++ {
+		x := p.g[i]
+		out[x] = res.Values[x].Apply(x0[p.applyRoot[x]])
+	}
+	for x, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: cell %d = %v (division by zero along its chain)",
+				ErrNonFinite, x, v)
+		}
+	}
+	return out, nil
+}
+
+// SolveLinearCtx replays the plan for the affine form
+// X[g(i)] := a[i]·X[f(i)] + b[i] (c = 0, d = 1).
+func (p *Plan) SolveLinearCtx(ctx context.Context, a, b, x0 []float64, opt ordinary.Options) ([]float64, error) {
+	c := make([]float64, p.N)
+	d := make([]float64, p.N)
+	for i := range d {
+		d[i] = 1
+	}
+	return p.SolveCtx(ctx, a, b, c, d, x0, opt)
+}
+
+// SolveBatchPlansCtx solves independent Möbius systems through their
+// compiled plans concurrently — the plan-aware SolveBatchCtx. plans[k] must
+// have been compiled from systems[k]'s index maps. The sweep stops at the
+// first failing system; cancellation stops scheduling further systems.
+func SolveBatchPlansCtx(ctx context.Context, plans []*Plan, systems []*MoebiusSystem, x0s [][]float64, opt ordinary.Options) ([][]float64, error) {
+	if len(plans) != len(systems) || len(systems) != len(x0s) {
+		return nil, fmt.Errorf("moebius: SolveBatchPlansCtx: %d plans, %d systems, %d initial arrays",
+			len(plans), len(systems), len(x0s))
+	}
+	out := make([][]float64, len(systems))
+	err := parallel.ForEachCtx(ctx, len(systems), opt.Procs, func(k int) error {
+		ms := systems[k]
+		res, err := plans[k].SolveCtx(ctx, ms.A, ms.B, ms.C, ms.D, x0s[k], opt)
+		if err != nil {
+			return fmt.Errorf("moebius: SolveBatchPlansCtx system %d: %w", k, err)
+		}
+		out[k] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package ordinary
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/parallel"
+)
+
+// This file implements compiled solve plans for the ordinary solver: the
+// structure-only half of SolveCtx — forest construction plus the entire
+// pointer-jumping schedule (which cell combines which, in which round) —
+// is computed once by CompilePlan and replayed against fresh data by
+// SolvePlanCtx. The pointer arrays nx/rt evolve independently of the values,
+// so the schedule depends only on (g, f, n, m); replays skip all pointer
+// bookkeeping and perform exactly the value combines SolveCtx would,
+// in the same order, making results bit-identical.
+
+// pair is one scheduled combine: v[Dst] = op(v[Src], v[Dst]) where both
+// reads see the previous round's values (PRAM semantics).
+type pair struct {
+	Dst, Src int32
+}
+
+// Plan is the compiled, data-independent part of an ordinary-IR solve.
+// A Plan is immutable after CompilePlan returns and safe for concurrent
+// replays; the slices returned inside replay results (Roots) alias the plan
+// and must be treated as read-only.
+type Plan struct {
+	// M and N mirror the compiled system's dimensions.
+	M, N int
+	// Forest is the write-chain forest the schedule was compiled from
+	// (retained for diagnostics and MaxChainLen).
+	Forest *Forest
+	// initPairs holds the initialization-phase combines of terminal written
+	// cells: v[Dst] = op(init[Src], init[Dst]). Both operands read the
+	// caller's init array, so no ordering constraints apply.
+	initPairs []pair
+	// rounds[r] is the combine schedule of pointer-jumping round r+1.
+	// Within a round all Dst cells are distinct and all Src reads observe
+	// pre-round values.
+	rounds [][]pair
+	// roots[x] is the cell whose initial value the trace of x begins with
+	// (Result.Roots of every replay).
+	roots []int
+	// combines is the total op-application count of any replay
+	// (Result.Combines).
+	combines int64
+}
+
+// CompilePlan runs the structure-only half of SolveCtx: it validates the
+// system, builds the write-chain forest, and records the full pointer-jumping
+// combine schedule. Cancelling ctx stops compilation between rounds.
+func CompilePlan(ctx context.Context, s *core.System) (*Plan, error) {
+	fr, err := BuildForest(s)
+	if err != nil {
+		return nil, err
+	}
+	if s.M > math.MaxInt32 {
+		return nil, fmt.Errorf("ordinary: CompilePlan: m = %d exceeds the plan cell limit %d", s.M, math.MaxInt32)
+	}
+	p := &Plan{M: s.M, N: s.N, Forest: fr, roots: make([]int, s.M)}
+
+	// Initialization phase, mirroring SolveCtx: unwritten and non-terminal
+	// cells start at init[x]; terminal written cells fold in init[InitF[x]].
+	nx := make([]int, s.M)
+	rt := make([]int, s.M)
+	for x := 0; x < s.M; x++ {
+		switch {
+		case !fr.Written[x]:
+			nx[x], rt[x] = -1, x
+		case fr.Next[x] >= 0:
+			nx[x], rt[x] = fr.Next[x], x
+		default:
+			p.initPairs = append(p.initPairs, pair{Dst: int32(x), Src: int32(fr.InitF[x])})
+			nx[x], rt[x] = -1, fr.InitF[x]
+		}
+	}
+	p.combines = int64(len(p.initPairs))
+
+	// Lock-step rounds: record each round's (dst, src) combine list while
+	// advancing the pointers exactly as SolveCtx does (double-buffered reads).
+	cells := fr.Cells
+	nx2 := make([]int, s.M)
+	rt2 := make([]int, s.M)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var round []pair
+		for _, x := range cells {
+			n := nx[x]
+			if n < 0 {
+				nx2[x], rt2[x] = -1, rt[x]
+				continue
+			}
+			round = append(round, pair{Dst: int32(x), Src: int32(n)})
+			nx2[x] = nx[n]
+			rt2[x] = rt[n]
+		}
+		if len(round) == 0 {
+			break
+		}
+		p.rounds = append(p.rounds, round)
+		p.combines += int64(len(round))
+		nx, nx2 = nx2, nx
+		rt, rt2 = rt2, rt
+	}
+	copy(p.roots, rt)
+	return p, nil
+}
+
+// Rounds returns the number of pointer-jumping rounds a replay executes.
+func (p *Plan) Rounds() int { return len(p.rounds) }
+
+// Combines returns the op-application count of a replay (identical to the
+// direct solve's Result.Combines).
+func (p *Plan) Combines() int64 { return p.combines }
+
+// Roots returns the chain-root array shared with every replay result.
+// The slice is owned by the plan; callers must not modify it.
+func (p *Plan) Roots() []int { return p.roots }
+
+// SizeBytes estimates the plan's resident size, for cache accounting.
+func (p *Plan) SizeBytes() int64 {
+	size := int64(len(p.initPairs)) * 8
+	for _, r := range p.rounds {
+		size += int64(len(r)) * 8
+	}
+	size += int64(p.M) * 8 // roots
+	if p.Forest != nil {
+		size += int64(len(p.Forest.Next)+len(p.Forest.InitF)+len(p.Forest.Cells))*8 +
+			int64(len(p.Forest.Written))
+	}
+	return size
+}
+
+// SolvePlanCtx replays a compiled plan against fresh data. The value combines
+// are the ones SolveCtx would perform, on the same operands in the same
+// round order, so for any op the result is bit-identical to the direct
+// solve's. Error and cancellation behavior follows the SolveCtx contract:
+// panics in op.Combine return as errors with all workers joined, and
+// cancellation stops the replay between rounds and chunks.
+func SolvePlanCtx[T any](ctx context.Context, p *Plan, op core.Semigroup[T], init []T, opt Options) (res *Result[T], err error) {
+	defer parallel.RecoverTo(&err)
+	if len(init) != p.M {
+		return nil, fmt.Errorf("%w: len(init) = %d, want M = %d", ErrInitLen, len(init), p.M)
+	}
+	v := make([]T, p.M)
+	copy(v, init)
+	if err := parallel.ForCtx(ctx, len(p.initPairs), opt.Procs, func(lo, hi int) error {
+		for k := lo; k < hi; k++ {
+			pr := p.initPairs[k]
+			v[pr.Dst] = op.Combine(init[pr.Src], init[pr.Dst])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Per round: gather every source value first, then apply — the explicit
+	// form of SolveCtx's double buffering (all reads precede all writes).
+	var src []T
+	for _, round := range p.rounds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cap(src) < len(round) {
+			src = make([]T, len(round))
+		}
+		src = src[:len(round)]
+		if err := parallel.ForCtx(ctx, len(round), opt.Procs, func(lo, hi int) error {
+			for k := lo; k < hi; k++ {
+				src[k] = v[round[k].Src]
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if err := parallel.ForCtx(ctx, len(round), opt.Procs, func(lo, hi int) error {
+			for k := lo; k < hi; k++ {
+				x := round[k].Dst
+				v[x] = op.Combine(src[k], v[x])
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &Result[T]{
+		Values:   v,
+		Roots:    p.roots,
+		Rounds:   len(p.rounds),
+		Combines: p.combines,
+	}, nil
+}

@@ -34,6 +34,7 @@ type PanicError struct {
 	Stack []byte
 }
 
+// Error reports the recovered panic value.
 func (p *PanicError) Error() string {
 	return fmt.Sprintf("parallel: worker panic: %v", p.Value)
 }

@@ -1,0 +1,19 @@
+// Package parallel provides the small goroutine runtime the solvers are
+// built on: chunked parallel-for loops with a configurable processor count,
+// and a reusable cyclic barrier for lock-step (PRAM-style) rounds.
+//
+// The design follows the fixed-worker-pool idiom: a bounded number of
+// goroutines each own a contiguous index range, synchronized by WaitGroup or
+// Barrier, so the solvers control their parallelism explicitly (the paper's
+// "forks only up to P processes at the same time" discipline).
+//
+// # Contract
+//
+// ForCtx(ctx, n, procs, body) splits [0, n) into at most procs contiguous
+// ranges and runs body(lo, hi) on each; ForEachCtx is its per-index
+// convenience. Cancellation is checked between chunks, the first error
+// cancels the rest, and worker panics are converted to *PanicError rather
+// than crashing the process (RecoverTo is the helper exported for solver
+// entry points). Callers own all slices they pass; the runtime never
+// retains references past the call.
+package parallel

@@ -1,11 +1,3 @@
-// Package parallel provides the small goroutine runtime the solvers are
-// built on: chunked parallel-for loops with a configurable processor count,
-// and a reusable cyclic barrier for lock-step (PRAM-style) rounds.
-//
-// The design follows the fixed-worker-pool idiom: a bounded number of
-// goroutines each own a contiguous index range, synchronized by WaitGroup or
-// Barrier, so the solvers control their parallelism explicitly (the paper's
-// "forks only up to P processes at the same time" discipline).
 package parallel
 
 import (

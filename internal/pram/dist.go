@@ -24,6 +24,7 @@ const (
 	DistCyclic
 )
 
+// String returns "block" or "cyclic".
 func (d Dist) String() string {
 	if d == DistCyclic {
 		return "cyclic"

@@ -37,6 +37,7 @@ const (
 	EREW
 )
 
+// String returns "CREW" or "EREW".
 func (m Mode) String() string {
 	if m == EREW {
 		return "EREW"

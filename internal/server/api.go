@@ -1,10 +1,3 @@
-// Package server is the solve service over the hardened solver runtime: an
-// HTTP JSON API (stdlib only) exposing the ordinary, general, linear/Möbius
-// and loop-source solvers behind admission control (bounded queue, load
-// shedding), a dynamic batch coalescer for Möbius-family requests, a worker
-// pool sized off GOMAXPROCS, and built-in observability (/healthz, /readyz,
-// Prometheus /metrics). cmd/irserved is a thin daemon over this package;
-// the client subpackage is the matching Go client.
 package server
 
 import (
@@ -125,59 +118,22 @@ type ErrorResponse struct {
 	Code int `json:"code"`
 }
 
-// intOp and floatOp are the operator registries for the ordinary and
-// general endpoints, keyed by the operators' canonical Name() strings.
-// Every registered operator satisfies CommutativeMonoid, so one table
-// serves both endpoints (SolveOrdinary only needs the Semigroup subset).
+// intOp and floatOp resolve the endpoints' operator specs through the
+// registry that now lives next to the API it serves (ir.IntOpByName /
+// ir.FloatOpByName); every registered operator satisfies CommutativeMonoid,
+// so one table serves both endpoints (SolveOrdinary only needs the
+// Semigroup subset).
 func intOp(name string, mod int64) (ir.CommutativeMonoid[int64], error) {
-	switch name {
-	case "int64-add":
-		return ir.IntAdd{}, nil
-	case "int64-max":
-		return ir.IntMax{}, nil
-	case "int64-min":
-		return ir.IntMin{}, nil
-	case "int64-xor":
-		return ir.IntXor{}, nil
-	case "int64-gcd":
-		return ir.Gcd{}, nil
-	case "mul-mod":
-		if mod < 2 {
-			return nil, fmt.Errorf("op %q needs \"mod\" >= 2, got %d", name, mod)
-		}
-		return ir.MulMod{M: mod}, nil
-	case "add-mod":
-		if mod < 2 {
-			return nil, fmt.Errorf("op %q needs \"mod\" >= 2, got %d", name, mod)
-		}
-		return ir.AddMod{M: mod}, nil
-	}
-	return nil, nil
+	return ir.IntOpByName(name, mod)
 }
 
 func floatOp(name string) (ir.CommutativeMonoid[float64], error) {
-	switch name {
-	case "float64-add":
-		return ir.Float64Add{}, nil
-	case "float64-mul":
-		return ir.Float64Mul{}, nil
-	case "float64-min":
-		return ir.Float64Min{}, nil
-	case "float64-max":
-		return ir.Float64Max{}, nil
-	}
-	return nil, nil
+	return ir.FloatOpByName(name)
 }
 
 // OpNames lists every operator spec the solve endpoints accept, for error
 // messages and docs.
-func OpNames() []string {
-	return []string{
-		"int64-add", "int64-max", "int64-min", "int64-xor", "int64-gcd",
-		"mul-mod", "add-mod",
-		"float64-add", "float64-mul", "float64-min", "float64-max",
-	}
-}
+func OpNames() []string { return ir.OpNames() }
 
 // decodeInitInt parses the raw init array as int64s, rejecting non-integral
 // values rather than truncating.

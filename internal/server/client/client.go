@@ -44,6 +44,7 @@ type APIError struct {
 	Message    string
 }
 
+// Error formats the failure with its HTTP status and server message.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("irserved: HTTP %d: %s", e.Status, e.Message)
 }

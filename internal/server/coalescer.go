@@ -21,6 +21,9 @@ type batchItem struct {
 	ms  *moebius.MoebiusSystem
 	x0  []float64
 	ctx context.Context
+	// fp is the plan-cache fingerprint of (m, g, f); empty when the plan
+	// cache is disabled.
+	fp string
 	// res receives exactly one result; buffered so a worker never blocks
 	// on a requester that gave up.
 	res chan batchResult
@@ -136,6 +139,44 @@ func (s *Server) runBatch(items []*batchItem) {
 		x0s[k] = it.x0
 	}
 	opt := ordinary.Options{Procs: s.cfg.Procs}
+
+	// Plan path: resolve each item's compiled plan (items coalesced together
+	// usually share one shape, so after the first miss the rest hit the
+	// cache) and sweep through them. A compile failure — only cancellation
+	// can cause one here, admission already validated the maps — drops the
+	// batch to the plan-less sweep below, which reports it per item.
+	if s.plans != nil {
+		plans := make([]*moebius.Plan, len(live))
+		planned := true
+		for k, it := range live {
+			p, err := planFor(s.plans, ctx, it.fp, func(ctx context.Context) (*moebius.Plan, error) {
+				return moebius.CompilePlan(ctx, it.ms.M, it.ms.G, it.ms.F)
+			})
+			if err != nil {
+				planned = false
+				break
+			}
+			plans[k] = p
+		}
+		if planned {
+			out, err := moebius.SolveBatchPlansCtx(ctx, plans, systems, x0s, opt)
+			if err == nil {
+				for k, it := range live {
+					it.res <- batchResult{values: out[k], size: len(live)}
+				}
+				return
+			}
+			// Fallback: per-item replays under each item's own ctx, so one
+			// poisoned request cannot fail its batch neighbors.
+			s.metrics.batchFallbacks.Inc()
+			for k, it := range live {
+				v, ierr := plans[k].SolveCtx(it.ctx, it.ms.A, it.ms.B, it.ms.C, it.ms.D, it.x0, opt)
+				it.res <- batchResult{values: v, size: len(live), err: ierr}
+			}
+			return
+		}
+	}
+
 	out, err := moebius.SolveBatchCtx(ctx, systems, x0s, opt)
 	if err == nil {
 		for k, it := range live {

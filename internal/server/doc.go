@@ -1,0 +1,36 @@
+// Package server is the solve service over the hardened solver runtime: an
+// HTTP JSON API (stdlib only) exposing the ordinary, general, linear/Möbius
+// and loop-source solvers behind admission control (bounded queue, load
+// shedding), a dynamic batch coalescer for Möbius-family requests, a
+// compiled-plan LRU cache, a worker pool sized off GOMAXPROCS, and built-in
+// observability (/healthz, /readyz, Prometheus /metrics). cmd/irserved is a
+// thin daemon over this package; the client subpackage is the matching Go
+// client.
+//
+// # Request path
+//
+// Every solve request is validated before admission (client mistakes cost no
+// worker time), then queued; a full queue sheds with 429 + Retry-After.
+// Workers execute solves under the request's context, so deadlines and
+// client disconnects abandon work promptly. Möbius-family requests pass
+// through the coalescer, which holds the first request of a batch up to
+// BatchWindow waiting for companions and dispatches the whole batch as one
+// sweep. Solves resolve their structure through the plan cache (see
+// plancache.go): requests sharing an index-map fingerprint reuse one
+// compiled plan and pay only the data phase; DESIGN.md §9 has the diagram.
+//
+// # Invariants
+//
+// Responses are bit-identical whether a solve ran direct, through a cached
+// plan, batched, or fell back to a per-item solve — caching and coalescing
+// are performance layers, never semantic ones. Every admitted request gets
+// exactly one response; Shutdown drains in-flight work before the pool
+// exits.
+//
+// # Concurrency
+//
+// Server is safe for concurrent use by any number of HTTP clients. Internal
+// state is guarded per-structure (the pool's queue, the coalescer's
+// channel, the plan cache's mutex, atomic metrics); handlers share no
+// mutable per-request state.
+package server

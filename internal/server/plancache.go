@@ -1,0 +1,176 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"indexedrec/ir"
+)
+
+// The compiled-plan LRU cache. Production traffic often re-solves one loop
+// shape with fresh data every timestep, and the structure-only half of a
+// solve — chain decomposition, the CAP dependence DAG and path counts, the
+// Möbius shadow rewrite — depends only on the index maps. The server
+// compiles that half once into a plan keyed by its canonical fingerprint
+// (ir.PlanFingerprint over family, n, m, g, f, h) and replays it for every
+// request with the same shape; replays are bit-identical to direct solves.
+// The cache is bounded by plan SizeBytes, evicts least-recently-used
+// entries, and is observable as irserved_plan_cache_{hits,misses,
+// evictions}_total and irserved_plan_cache_bytes.
+
+// cachedPlan is what the cache stores: a compiled plan of any family that
+// can report its resident size (*ir.Plan, *moebius.Plan).
+type cachedPlan interface {
+	SizeBytes() int64
+}
+
+// planCache is a size-accounted LRU of compiled plans, keyed by fingerprint.
+// All methods are safe for concurrent use; a nil *planCache means caching is
+// disabled (see planFor).
+type planCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions *Counter
+	bytesGauge              *Gauge
+}
+
+type planEntry struct {
+	key  string
+	plan cachedPlan
+	size int64
+}
+
+// newPlanCache builds a cache bounded by maxBytes (> 0).
+func newPlanCache(maxBytes int64, m *serverMetrics) *planCache {
+	return &planCache{
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		hits:       m.planHits,
+		misses:     m.planMisses,
+		evictions:  m.planEvictions,
+		bytesGauge: m.planBytes,
+	}
+}
+
+// get returns the cached plan for key, marking it most recently used.
+func (c *planCache) get(key string) (cachedPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*planEntry).plan, true
+}
+
+// put inserts a compiled plan, evicting LRU entries until the byte bound
+// holds again. A plan larger than the whole cache is not stored (it would
+// evict everything for a single use). Re-inserting an existing key keeps the
+// already-cached plan: equal fingerprints mean interchangeable plans.
+func (c *planCache) put(key string, plan cachedPlan) {
+	size := plan.SizeBytes()
+	if size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&planEntry{key: key, plan: plan, size: size})
+	c.items[key] = el
+	c.bytes += size
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil || back == el {
+			break
+		}
+		ent := back.Value.(*planEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.bytes -= ent.size
+		c.evictions.Inc()
+	}
+	c.bytesGauge.Set(c.bytes)
+}
+
+// len reports the entry count (tests and diagnostics).
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// planFor resolves a plan by fingerprint: cache hit, or compile (on the
+// calling worker goroutine, under the request ctx) and insert. Concurrent
+// misses on one key may compile twice; the first insert wins and the
+// duplicate is dropped, which is harmless because equal fingerprints mean
+// interchangeable plans. A nil cache (caching disabled) compiles every time.
+func planFor[P cachedPlan](c *planCache, ctx context.Context, key string, compile func(context.Context) (P, error)) (P, error) {
+	if c != nil {
+		if v, ok := c.get(key); ok {
+			if p, ok := v.(P); ok {
+				return p, nil
+			}
+			// A fingerprint can only collide across plan types if the hash
+			// itself collides; recompile rather than misreplay.
+		}
+	}
+	p, err := compile(ctx)
+	if err != nil {
+		var zero P
+		return zero, err
+	}
+	if c != nil {
+		c.put(key, p)
+	}
+	return p, nil
+}
+
+// solveOrdinary runs one ordinary-family solve, through the plan cache when
+// it is enabled and directly otherwise. Replayed results are bit-identical
+// to ir.SolveOrdinaryCtx by the plan layer's contract.
+func solveOrdinary[T any](ctx context.Context, s *Server, sys *ir.System, op ir.Semigroup[T], init []T, opt ir.SolveOptions) (*ir.OrdinaryResult[T], error) {
+	if s.plans == nil {
+		return ir.SolveOrdinaryCtx[T](ctx, sys, op, init, opt)
+	}
+	fp := ir.PlanFingerprint(ir.FamilyOrdinary, sys.N, sys.M, sys.G, sys.F, nil, 0)
+	p, err := planFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+		return ir.CompileCtx(ctx, sys, ir.CompileOptions{Family: ir.FamilyOrdinary, Procs: opt.Procs})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ir.SolveOrdinaryPlanCtx[T](ctx, p, op, init, opt)
+}
+
+// solveGeneral is solveOrdinary's general-family counterpart. The effective
+// MaxExponentBits is part of the fingerprint because it changes the compiled
+// CAP counts.
+func solveGeneral[T any](ctx context.Context, s *Server, sys *ir.System, op ir.CommutativeMonoid[T], init []T, opt ir.SolveOptions) (*ir.GeneralResult[T], error) {
+	if s.plans == nil {
+		return ir.SolveGeneralCtx[T](ctx, sys, op, init, opt)
+	}
+	fp := ir.PlanFingerprint(ir.FamilyGeneral, sys.N, sys.M, sys.G, sys.F, sys.H, opt.MaxExponentBits)
+	p, err := planFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+		return ir.CompileCtx(ctx, sys, ir.CompileOptions{
+			Family:          ir.FamilyGeneral,
+			Procs:           opt.Procs,
+			MaxExponentBits: opt.MaxExponentBits,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ir.SolveGeneralPlanCtx[T](ctx, p, op, init, opt)
+}

@@ -53,6 +53,10 @@ type Config struct {
 	// MaxExponentBits caps CAP trace-exponent growth for general solves
 	// (default 16384); requests may lower it but not raise it.
 	MaxExponentBits int
+	// PlanCacheBytes bounds the compiled-plan LRU cache (default 64 MiB).
+	// Negative disables plan caching: every request then runs the direct
+	// solve paths, recomputing structure each time.
+	PlanCacheBytes int64
 }
 
 func (c *Config) setDefaults() {
@@ -98,6 +102,9 @@ func (c *Config) setDefaults() {
 	if c.MaxExponentBits <= 0 {
 		c.MaxExponentBits = 16384
 	}
+	if c.PlanCacheBytes == 0 {
+		c.PlanCacheBytes = 64 << 20
+	}
 }
 
 // serverMetrics is the service's metrics contract; see DESIGN.md §8.
@@ -112,6 +119,10 @@ type serverMetrics struct {
 	batchSize      *Histogram    // irserved_batch_size
 	batchFallbacks *Counter      // irserved_batch_fallbacks_total
 	latency        *HistogramVec // irserved_solve_seconds{endpoint}
+	planHits       *Counter      // irserved_plan_cache_hits_total
+	planMisses     *Counter      // irserved_plan_cache_misses_total
+	planEvictions  *Counter      // irserved_plan_cache_evictions_total
+	planBytes      *Gauge        // irserved_plan_cache_bytes
 }
 
 func newServerMetrics(reg *Registry, depthFn func() float64, capacity int) *serverMetrics {
@@ -139,6 +150,14 @@ func newServerMetrics(reg *Registry, depthFn func() float64, capacity int) *serv
 			"End-to-end solve latency (admission queueing included).",
 			[]float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10},
 			"endpoint"),
+		planHits: reg.NewCounter("irserved_plan_cache_hits_total",
+			"Solves replayed from a cached compiled plan."),
+		planMisses: reg.NewCounter("irserved_plan_cache_misses_total",
+			"Solves that compiled a plan because none was cached."),
+		planEvictions: reg.NewCounter("irserved_plan_cache_evictions_total",
+			"Compiled plans evicted to respect the cache byte bound."),
+		planBytes: reg.NewGauge("irserved_plan_cache_bytes",
+			"Resident bytes of cached compiled plans."),
 	}
 	m.queueCapacity.Set(int64(capacity))
 	m.ready.Set(1)
@@ -148,11 +167,14 @@ func newServerMetrics(reg *Registry, depthFn func() float64, capacity int) *serv
 // Server is the solve service. Create with New, mount Handler (or use
 // ListenAndServe), stop with Shutdown.
 type Server struct {
-	cfg      Config
-	reg      *Registry
-	metrics  *serverMetrics
-	pool     *pool
-	co       *coalescer
+	cfg     Config
+	reg     *Registry
+	metrics *serverMetrics
+	pool    *pool
+	co      *coalescer
+	// plans caches compiled solve plans by fingerprint; nil when
+	// Config.PlanCacheBytes is negative (caching disabled).
+	plans    *planCache
 	mux      *http.ServeMux
 	lifetime context.Context
 	cancel   context.CancelFunc
@@ -175,6 +197,9 @@ func New(cfg Config) *Server {
 	s.metrics = newServerMetrics(s.reg,
 		func() float64 { return float64(s.pool.depth() + len(s.co.in)) },
 		cfg.QueueDepth)
+	if cfg.PlanCacheBytes > 0 {
+		s.plans = newPlanCache(cfg.PlanCacheBytes, s.metrics)
+	}
 	s.co = newCoalescer(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, func(items []*batchItem) {
 		j := &job{ctx: s.lifetime, run: func() {
 			if s.testHook != nil {
@@ -392,6 +417,9 @@ func (s *Server) handleCoalesced(w http.ResponseWriter, r *http.Request, endpoin
 	ctx, cancel := s.requestContext(r, opts.TimeoutMs)
 	defer cancel()
 	it := &batchItem{ms: ms, x0: x0, ctx: ctx, res: make(chan batchResult, 1)}
+	if s.plans != nil {
+		it.fp = ir.PlanFingerprint(ir.FamilyMoebius, len(ms.G), ms.M, ms.G, ms.F, nil, 0)
+	}
 	select {
 	case s.co.in <- it:
 	default:
@@ -497,7 +525,7 @@ func (s *Server) execOrdinary(body []byte) (func(ctx context.Context) (any, erro
 		}
 		return func(ctx context.Context) (any, error) {
 			start := time.Now()
-			res, err := ir.SolveOrdinaryCtx[int64](ctx, sys, iop, init, opt)
+			res, err := solveOrdinary(ctx, s, sys, iop, init, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -521,7 +549,7 @@ func (s *Server) execOrdinary(body []byte) (func(ctx context.Context) (any, erro
 	}
 	return func(ctx context.Context) (any, error) {
 		start := time.Now()
-		res, err := ir.SolveOrdinaryCtx[float64](ctx, sys, fop, init, opt)
+		res, err := solveOrdinary(ctx, s, sys, fop, init, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -557,7 +585,7 @@ func (s *Server) execGeneral(body []byte) (func(ctx context.Context) (any, error
 		}
 		return func(ctx context.Context) (any, error) {
 			start := time.Now()
-			res, err := ir.SolveGeneralCtx[int64](ctx, sys, iop, init, opt)
+			res, err := solveGeneral(ctx, s, sys, iop, init, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -584,7 +612,7 @@ func (s *Server) execGeneral(body []byte) (func(ctx context.Context) (any, error
 	}
 	return func(ctx context.Context) (any, error) {
 		start := time.Now()
-		res, err := ir.SolveGeneralCtx[float64](ctx, sys, fop, init, opt)
+		res, err := solveGeneral(ctx, s, sys, fop, init, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -22,32 +22,32 @@ import "fmt"
 type OpCode int
 
 const (
-	NOP OpCode = iota
-	LDI        // LDI rd, imm        rd ← imm
-	MOV        // MOV rd, rs         rd ← rs
-	ADD        // ADD rd, rs, rt     rd ← rs + rt
-	SUB
-	MUL
-	DIV // toward zero; DIV by 0 faults
-	MOD
-	AND
-	OR
-	XOR
-	SHL
-	SHR
-	ADDI // ADDI rd, rs, imm   rd ← rs + imm
-	LD   // LD rd, rs, imm     rd ← Mem[rs+imm]
-	ST   // ST rs, rt, imm     Mem[rt+imm] ← rs
-	BEQ  // BEQ rs, rt, label
-	BNE
-	BLT
-	BGE
-	JMP  // JMP label
-	FORK // FORK rs, label     spawn proc with r1 = rs at label
-	PID  // PID rd             rd ← processor id
-	OPX  // OPX rd, rs, rt     rd ← ⊗(rs, rt)  (configurable operation)
-	SYNC // barrier across all live processors
-	HALT
+	NOP  OpCode = iota // no operation
+	LDI                // LDI rd, imm        rd ← imm
+	MOV                // MOV rd, rs         rd ← rs
+	ADD                // ADD rd, rs, rt     rd ← rs + rt
+	SUB                // SUB rd, rs, rt     rd ← rs - rt
+	MUL                // MUL rd, rs, rt     rd ← rs * rt
+	DIV                // toward zero; DIV by 0 faults
+	MOD                // MOD rd, rs, rt     rd ← rs mod rt
+	AND                // AND rd, rs, rt     rd ← rs & rt
+	OR                 // OR rd, rs, rt      rd ← rs | rt
+	XOR                // XOR rd, rs, rt     rd ← rs ^ rt
+	SHL                // SHL rd, rs, rt     rd ← rs << rt
+	SHR                // SHR rd, rs, rt     rd ← rs >> rt
+	ADDI               // ADDI rd, rs, imm   rd ← rs + imm
+	LD                 // LD rd, rs, imm     rd ← Mem[rs+imm]
+	ST                 // ST rs, rt, imm     Mem[rt+imm] ← rs
+	BEQ                // BEQ rs, rt, label
+	BNE                // BNE rs, rt, label
+	BLT                // BLT rs, rt, label
+	BGE                // BGE rs, rt, label
+	JMP                // JMP label
+	FORK               // FORK rs, label     spawn proc with r1 = rs at label
+	PID                // PID rd             rd ← processor id
+	OPX                // OPX rd, rs, rt     rd ← ⊗(rs, rt)  (configurable operation)
+	SYNC               // barrier across all live processors
+	HALT               // stop this processor
 )
 
 var opNames = map[OpCode]string{
@@ -66,6 +66,7 @@ var opByName = func() map[string]OpCode {
 	return m
 }()
 
+// String returns the mnemonic (e.g. "ADDI") for disassembly listings.
 func (o OpCode) String() string {
 	if n, ok := opNames[o]; ok {
 		return n

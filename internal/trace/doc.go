@@ -1,0 +1,18 @@
+// Package trace computes the symbolic trace of every cell of an IR system:
+// which initial values, in which order (ordinary form) or with which powers
+// (general form), make up each final value A'[x].
+//
+// Lemma 1 of the paper characterizes ordinary traces as lists
+//
+//	A'[g(i)] = A[f(j_k)] ⊗ ... ⊗ A[f(j_1)] ⊗ A[g(i)]
+//
+// and §4 shows general (GIR) traces are binary trees whose leaves collapse,
+// under a commutative op, to a product of powers A[j_1]^x_1 ⊗ ... ⊗ A[j_k]^x_k.
+//
+// The implementation is a sequential symbolic execution of the loop with
+// list-valued (ordinary) or multiset-valued (general) cells. It is O(n·L)
+// where L bounds trace size, so it is strictly a test/visualization oracle —
+// the parallel solvers never call it — but it is *independent* of their
+// pointer-jumping and path-counting logic, which is what makes it a useful
+// cross-check.
+package trace

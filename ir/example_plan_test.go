@@ -1,0 +1,75 @@
+package ir_test
+
+import (
+	"context"
+	"fmt"
+
+	"indexedrec/ir"
+)
+
+// Compile separates the structure-only work (index maps, schedule) from the
+// data: one plan, many solves. Each replay is bit-identical to the direct
+// SolveOrdinary call but skips the per-solve analysis.
+func ExampleCompile() {
+	sys := ir.FromFuncs(7, 8,
+		func(i int) int { return i + 1 }, // g: write cell i+1
+		func(i int) int { return i },     // f: read cell i
+		nil,                              // ordinary form: h = g
+	)
+	plan, err := ir.Compile(sys, ir.CompileOptions{Family: ir.FamilyOrdinary})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("family:", plan.Family())
+
+	ctx := context.Background()
+	for _, init := range [][]int64{
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{8, 7, 6, 5, 4, 3, 2, 1},
+	} {
+		res, err := ir.SolveOrdinaryPlanCtx[int64](ctx, plan, ir.IntAdd{}, init, ir.SolveOptions{Procs: 4})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(res.Values)
+	}
+	// Output:
+	// family: ordinary
+	// [1 3 6 10 15 21 28 36]
+	// [8 15 21 26 30 33 35 36]
+}
+
+// Plan.SolveCtx is the name-dispatched replay used by the solve service:
+// the operator arrives as a string and the result is family-tagged. Here a
+// Möbius plan (structure: m, g, f) is replayed against two coefficient
+// sets of the affine recurrence X[i+1] := a·X[i] + b.
+func ExamplePlan_SolveCtx() {
+	const n, m = 4, 5
+	g := []int{1, 2, 3, 4} // write cell i+1
+	f := []int{0, 1, 2, 3} // read cell i
+	plan, err := ir.CompileMoebius(m, g, f)
+	if err != nil {
+		panic(err)
+	}
+
+	ctx := context.Background()
+	for _, coef := range []struct{ a, b float64 }{{2, 1}, {1, 10}} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = coef.a, coef.b
+		}
+		sol, err := plan.SolveCtx(ctx, ir.PlanData{
+			A: a, B: b, // nil C, D: affine form
+			X0:   []float64{1, 0, 0, 0, 0},
+			Opts: ir.SolveOptions{Procs: 2},
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(sol.Values)
+	}
+	// Output:
+	// [1 3 7 15 31]
+	// [1 11 21 31 41]
+}

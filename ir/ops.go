@@ -1,0 +1,65 @@
+package ir
+
+import "fmt"
+
+// The named-operator registry: every standard operator under its canonical
+// Name() string, for callers whose operator arrives as data — the solve
+// service's wire protocol and Plan.SolveCtx. Every registered operator
+// satisfies CommutativeMonoid, so one table serves both the ordinary
+// endpoints (which only need the Semigroup subset) and the general ones.
+
+// IntOpByName resolves an integer-domain operator by its canonical name, or
+// (nil, nil) when the name belongs to no integer operator (callers then try
+// FloatOpByName). The modular operators mul-mod and add-mod require
+// mod >= 2 and return an error otherwise.
+func IntOpByName(name string, mod int64) (CommutativeMonoid[int64], error) {
+	switch name {
+	case "int64-add":
+		return IntAdd{}, nil
+	case "int64-max":
+		return IntMax{}, nil
+	case "int64-min":
+		return IntMin{}, nil
+	case "int64-xor":
+		return IntXor{}, nil
+	case "int64-gcd":
+		return Gcd{}, nil
+	case "mul-mod":
+		if mod < 2 {
+			return nil, fmt.Errorf("op %q needs \"mod\" >= 2, got %d", name, mod)
+		}
+		return MulMod{M: mod}, nil
+	case "add-mod":
+		if mod < 2 {
+			return nil, fmt.Errorf("op %q needs \"mod\" >= 2, got %d", name, mod)
+		}
+		return AddMod{M: mod}, nil
+	}
+	return nil, nil
+}
+
+// FloatOpByName resolves a float-domain operator by its canonical name, or
+// (nil, nil) when the name is not a float operator.
+func FloatOpByName(name string) (CommutativeMonoid[float64], error) {
+	switch name {
+	case "float64-add":
+		return Float64Add{}, nil
+	case "float64-mul":
+		return Float64Mul{}, nil
+	case "float64-min":
+		return Float64Min{}, nil
+	case "float64-max":
+		return Float64Max{}, nil
+	}
+	return nil, nil
+}
+
+// OpNames lists every operator name IntOpByName and FloatOpByName accept,
+// for error messages and docs.
+func OpNames() []string {
+	return []string{
+		"int64-add", "int64-max", "int64-min", "int64-xor", "int64-gcd",
+		"mul-mod", "add-mod",
+		"float64-add", "float64-mul", "float64-min", "float64-max",
+	}
+}

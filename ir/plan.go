@@ -1,0 +1,393 @@
+package ir
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"indexedrec/internal/gir"
+	"indexedrec/internal/moebius"
+	"indexedrec/internal/ordinary"
+)
+
+// Compiled solve plans: the compile-once/solve-many split of the solver
+// runtime. Every solver family spends a large, data-independent fraction of
+// its work on structure-only preprocessing — the ordinary solver's
+// chain/trace decomposition depends only on (g, f, n, m), the general
+// solver's dependence DAG and CAP path counts only on (g, f, h, n, m), and
+// the Möbius reduction's shadow rewrite and composition schedule only on
+// (m, g, f). Compile runs that preprocessing once into an immutable Plan;
+// the Solve*PlanCtx functions (and the non-generic Plan.SolveCtx
+// convenience) replay it against fresh operator/coefficient/init data with
+// results bit-identical to the direct Solve* paths.
+//
+// Plans are safe for concurrent replays from any number of goroutines, and
+// report their fingerprint and resident size so callers (internal/server's
+// LRU plan cache) can key and bound them.
+
+// Family identifies which solver family a Plan was compiled for.
+type Family int
+
+const (
+	// FamilyAuto (compile option only) selects FamilyOrdinary when the
+	// system qualifies (H = G, G distinct) and FamilyGeneral otherwise.
+	FamilyAuto Family = iota
+	// FamilyOrdinary is the pointer-jumping solver (SolveOrdinaryCtx).
+	FamilyOrdinary
+	// FamilyGeneral is the dependence-graph + CAP solver (SolveGeneralCtx).
+	FamilyGeneral
+	// FamilyMoebius is the fractional-linear family (SolveLinearCtx,
+	// SolveLinearExtendedCtx, SolveMoebiusCtx — one structure, three data
+	// shapes).
+	FamilyMoebius
+)
+
+// String names the family as it appears in fingerprints and metrics.
+func (f Family) String() string {
+	switch f {
+	case FamilyAuto:
+		return "auto"
+	case FamilyOrdinary:
+		return "ordinary"
+	case FamilyGeneral:
+		return "general"
+	case FamilyMoebius:
+		return "moebius"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// CompileOptions configure plan compilation.
+type CompileOptions struct {
+	// Family forces a solver family; FamilyAuto (the zero value) picks
+	// FamilyOrdinary when eligible, else FamilyGeneral. Forcing
+	// FamilyGeneral on an ordinary-eligible system is valid (the general
+	// solver covers it); forcing FamilyOrdinary on a general system fails.
+	Family Family
+	// Procs bounds goroutines during compilation (the CAP rounds); <= 0
+	// means GOMAXPROCS. Replays take their own procs via SolveOptions.
+	Procs int
+	// MaxExponentBits caps CAP path-count growth for general-family
+	// compilation, exactly as SolveOptions.MaxExponentBits does for direct
+	// solves; <= 0 means unlimited. It is part of the plan's fingerprint,
+	// because it changes the compiled artifact.
+	MaxExponentBits int
+}
+
+// ErrPlanFamily is returned when a plan is replayed through the wrong
+// family's entry point, or compilation is forced onto an ineligible family.
+var ErrPlanFamily = errors.New("ir: plan family mismatch")
+
+// Plan is a compiled indexed-recurrence solve: the structure-only artifacts
+// of one family, ready to replay against new data. Immutable and safe for
+// concurrent use.
+type Plan struct {
+	family      Family
+	n, m        int
+	fingerprint string
+	size        int64
+
+	ord *ordinary.Plan
+	gen *gir.Plan
+	mb  *moebius.Plan
+}
+
+// Family reports which solver family the plan replays.
+func (p *Plan) Family() Family { return p.family }
+
+// N returns the compiled iteration count.
+func (p *Plan) N() int { return p.n }
+
+// M returns the compiled cell count.
+func (p *Plan) M() int { return p.m }
+
+// Fingerprint returns the canonical structure hash the plan was compiled
+// from (see PlanFingerprint) — the natural cache key.
+func (p *Plan) Fingerprint() string { return p.fingerprint }
+
+// SizeBytes estimates the plan's resident size, for cache accounting.
+func (p *Plan) SizeBytes() int64 { return p.size }
+
+// PlanFingerprint returns a canonical fingerprint of a system's structure:
+// a hash over (family, n, m, g, f, h, maxExponentBits). Two solves share a
+// fingerprint exactly when they can share a compiled plan. h may be nil
+// (ordinary and Möbius families); maxExponentBits only matters for the
+// general family and should be 0 otherwise.
+func PlanFingerprint(family Family, n, m int, g, f, h []int, maxExponentBits int) string {
+	hsh := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		hsh.Write(buf[:])
+	}
+	writeSlice := func(tag byte, s []int) {
+		hsh.Write([]byte{tag})
+		writeInt(len(s))
+		for _, v := range s {
+			writeInt(v)
+		}
+	}
+	hsh.Write([]byte{byte(family)})
+	writeInt(n)
+	writeInt(m)
+	writeInt(maxExponentBits)
+	writeSlice('g', g)
+	writeSlice('f', f)
+	writeSlice('h', h)
+	return family.String() + ":" + hex.EncodeToString(hsh.Sum(nil)[:16])
+}
+
+// Compile precomputes the structure-only artifacts of a solve — see the
+// file comment. It is CompileCtx with a background context.
+func Compile(s *System, opt CompileOptions) (*Plan, error) {
+	return CompileCtx(context.Background(), s, opt)
+}
+
+// CompileCtx compiles a system into a Plan. For the ordinary family this
+// builds the write-chain forest and records the full pointer-jumping
+// schedule; for the general family it builds the dependence DAG and runs
+// CAP (the dominant cost of a general solve, so warm replays skip almost
+// everything). Cancelling ctx stops compilation; errors follow the
+// hardened-solver contract.
+func CompileCtx(ctx context.Context, s *System, opt CompileOptions) (*Plan, error) {
+	family := opt.Family
+	if family == FamilyAuto {
+		if s.Ordinary() && s.GDistinct() {
+			family = FamilyOrdinary
+		} else {
+			family = FamilyGeneral
+		}
+	}
+	switch family {
+	case FamilyOrdinary:
+		if !s.Ordinary() {
+			return nil, fmt.Errorf("%w: %v is not ordinary (H != G)", ErrPlanFamily, s)
+		}
+		op, err := ordinary.CompilePlan(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		p := &Plan{family: FamilyOrdinary, n: s.N, m: s.M, ord: op}
+		p.fingerprint = PlanFingerprint(FamilyOrdinary, s.N, s.M, s.G, s.F, nil, 0)
+		p.size = op.SizeBytes()
+		return p, nil
+	case FamilyGeneral:
+		gp, err := gir.CompilePlanCtx(ctx, s, gir.Options{
+			Procs:           opt.Procs,
+			MaxExponentBits: opt.MaxExponentBits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := &Plan{family: FamilyGeneral, n: s.N, m: s.M, gen: gp}
+		p.fingerprint = PlanFingerprint(FamilyGeneral, s.N, s.M, s.G, s.F, s.H, opt.MaxExponentBits)
+		p.size = gp.SizeBytes()
+		return p, nil
+	default:
+		return nil, fmt.Errorf("%w: cannot compile family %v", ErrPlanFamily, family)
+	}
+}
+
+// CompileMoebius compiles the shared structure of the Möbius family —
+// the shadow-cell rewrite and the matrix-composition schedule over
+// (m, g, f). One Möbius plan serves the plain linear, extended linear and
+// full fractional-linear forms: they differ only in data.
+func CompileMoebius(m int, g, f []int) (*Plan, error) {
+	return CompileMoebiusCtx(context.Background(), m, g, f)
+}
+
+// CompileMoebiusCtx is CompileMoebius bounded by ctx.
+func CompileMoebiusCtx(ctx context.Context, m int, g, f []int) (*Plan, error) {
+	mp, err := moebius.CompilePlan(ctx, m, g, f)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{family: FamilyMoebius, n: len(g), m: m, mb: mp}
+	p.fingerprint = PlanFingerprint(FamilyMoebius, len(g), m, g, f, nil, 0)
+	p.size = mp.SizeBytes()
+	return p, nil
+}
+
+// SolveOrdinaryPlanCtx replays an ordinary-family plan against a fresh
+// operator and init array. The combines are the ones SolveOrdinaryCtx would
+// perform, on the same operands in the same round order, so the result is
+// bit-identical to the direct solve's.
+func SolveOrdinaryPlanCtx[T any](ctx context.Context, p *Plan, op Semigroup[T], init []T, opt SolveOptions) (*OrdinaryResult[T], error) {
+	if p.family != FamilyOrdinary {
+		return nil, fmt.Errorf("%w: plan is %v, want ordinary", ErrPlanFamily, p.family)
+	}
+	res, err := ordinary.SolvePlanCtx[T](ctx, p.ord, op, init, ordinary.Options{Procs: opt.Procs})
+	if err != nil {
+		return nil, err
+	}
+	return &OrdinaryResult[T]{Values: res.Values, Rounds: res.Rounds, Combines: res.Combines}, nil
+}
+
+// SolveGeneralPlanCtx replays a general-family plan: only the
+// power-evaluation phase runs (the dependence graph and CAP counts are
+// baked into the plan), bit-identical to SolveGeneralCtx.
+func SolveGeneralPlanCtx[T any](ctx context.Context, p *Plan, op CommutativeMonoid[T], init []T, opt SolveOptions) (*GeneralResult[T], error) {
+	if p.family != FamilyGeneral {
+		return nil, fmt.Errorf("%w: plan is %v, want general", ErrPlanFamily, p.family)
+	}
+	res, err := gir.SolvePlanCtx[T](ctx, p.gen, op, init, opt.Procs)
+	if err != nil {
+		return nil, err
+	}
+	out := &GeneralResult[T]{Values: res.Values, Powers: make([][]PowerTerm, len(res.Powers))}
+	if res.CAPStats != nil {
+		out.CAPRounds = res.CAPStats.Rounds
+	}
+	for x, terms := range res.Powers {
+		pts := make([]PowerTerm, len(terms))
+		for k, t := range terms {
+			pts[k] = PowerTerm{Cell: t.Sink, Exp: t.Count.String()}
+		}
+		out.Powers[x] = pts
+	}
+	return out, nil
+}
+
+// SolveMoebiusPlanCtx replays a Möbius-family plan against fresh
+// coefficients and initial values, bit-identical to SolveMoebiusCtx.
+// For the plain linear form pass c = all zeros, d = all ones (or use
+// PlanData.SolveCtx, which builds them); for the extended form rewrite
+// b[i] += x0[g[i]] first, as SolveLinearExtendedCtx does.
+func SolveMoebiusPlanCtx(ctx context.Context, p *Plan, a, b, c, d, x0 []float64, opt SolveOptions) ([]float64, error) {
+	if p.family != FamilyMoebius {
+		return nil, fmt.Errorf("%w: plan is %v, want moebius", ErrPlanFamily, p.family)
+	}
+	return p.mb.SolveCtx(ctx, a, b, c, d, x0, ordinary.Options{Procs: opt.Procs})
+}
+
+// PlanData is the per-solve data a compiled plan is replayed against — the
+// complement of the structure captured at compile time. Exactly one family's
+// fields apply:
+//
+//   - ordinary/general: Op (and Mod for the modular operators) plus exactly
+//     one of InitInt/InitFloat, matching the operator's domain;
+//   - moebius: the coefficient arrays A, B (and C, D for the full
+//     fractional-linear form; omitted means the affine c=0, d=1) plus X0.
+type PlanData struct {
+	// Op names the operator (see OpNames); Mod parameterizes the modular
+	// operators. Ordinary and general families only.
+	Op  string
+	Mod int64
+	// InitInt / InitFloat is the initial array for integer / float
+	// operators. Ordinary and general families only.
+	InitInt   []int64
+	InitFloat []float64
+	// WithPowers requests the symbolic power traces in the solution
+	// (general family; they can be large, so default off).
+	WithPowers bool
+	// A, B, C, D are the per-iteration Möbius coefficients; nil C and D
+	// select the affine form. Möbius family only.
+	A, B, C, D []float64
+	// X0 is the initial value array. Möbius family only.
+	X0 []float64
+	// Opts carries replay-time options (Procs; MaxExponentBits is a
+	// compile-time property of general plans and is ignored here).
+	Opts SolveOptions
+}
+
+// PlanSolution is the family-tagged result of Plan.SolveCtx. For the
+// ordinary and general families exactly one of ValuesInt/ValuesFloat is set,
+// matching the operator's domain; for the Möbius family Values is set.
+type PlanSolution struct {
+	// ValuesInt / ValuesFloat is the final array (ordinary and general).
+	ValuesInt   []int64
+	ValuesFloat []float64
+	// Values is the final array (moebius).
+	Values []float64
+	// Rounds and Combines report the replayed ordinary schedule's cost.
+	Rounds   int
+	Combines int64
+	// CAPRounds reports the compiled CAP round count (general).
+	CAPRounds int
+	// Powers carries the symbolic traces when PlanData.WithPowers was set.
+	Powers [][]PowerTerm
+}
+
+// SolveCtx replays the plan against data, dispatching on the plan's family.
+// It is the non-generic convenience over SolveOrdinaryPlanCtx /
+// SolveGeneralPlanCtx / SolveMoebiusPlanCtx for callers (like the solve
+// service) whose operator arrives as a name; results are bit-identical to
+// the corresponding direct Solve*Ctx call.
+func (p *Plan) SolveCtx(ctx context.Context, data PlanData) (*PlanSolution, error) {
+	switch p.family {
+	case FamilyMoebius:
+		c, d := data.C, data.D
+		if c == nil && d == nil {
+			c = make([]float64, p.n)
+			d = make([]float64, p.n)
+			for i := range d {
+				d[i] = 1
+			}
+		}
+		values, err := SolveMoebiusPlanCtx(ctx, p, data.A, data.B, c, d, data.X0, data.Opts)
+		if err != nil {
+			return nil, err
+		}
+		return &PlanSolution{Values: values}, nil
+	case FamilyOrdinary, FamilyGeneral:
+		// fall through to the operator dispatch below
+	default:
+		return nil, fmt.Errorf("%w: cannot replay family %v", ErrPlanFamily, p.family)
+	}
+
+	iop, err := IntOpByName(data.Op, data.Mod)
+	if err != nil {
+		return nil, err
+	}
+	if iop != nil {
+		if data.InitInt == nil {
+			return nil, fmt.Errorf("ir: op %q has integer domain but PlanData.InitInt is nil", data.Op)
+		}
+		if p.family == FamilyOrdinary {
+			res, err := SolveOrdinaryPlanCtx[int64](ctx, p, iop, data.InitInt, data.Opts)
+			if err != nil {
+				return nil, err
+			}
+			return &PlanSolution{ValuesInt: res.Values, Rounds: res.Rounds, Combines: res.Combines}, nil
+		}
+		res, err := SolveGeneralPlanCtx[int64](ctx, p, iop, data.InitInt, data.Opts)
+		if err != nil {
+			return nil, err
+		}
+		sol := &PlanSolution{ValuesInt: res.Values, CAPRounds: res.CAPRounds}
+		if data.WithPowers {
+			sol.Powers = res.Powers
+		}
+		return sol, nil
+	}
+	fop, err := FloatOpByName(data.Op)
+	if err != nil {
+		return nil, err
+	}
+	if fop == nil {
+		return nil, fmt.Errorf("ir: unknown op %q (one of %v)", data.Op, OpNames())
+	}
+	if data.InitFloat == nil {
+		return nil, fmt.Errorf("ir: op %q has float domain but PlanData.InitFloat is nil", data.Op)
+	}
+	if p.family == FamilyOrdinary {
+		res, err := SolveOrdinaryPlanCtx[float64](ctx, p, fop, data.InitFloat, data.Opts)
+		if err != nil {
+			return nil, err
+		}
+		return &PlanSolution{ValuesFloat: res.Values, Rounds: res.Rounds, Combines: res.Combines}, nil
+	}
+	res, err := SolveGeneralPlanCtx[float64](ctx, p, fop, data.InitFloat, data.Opts)
+	if err != nil {
+		return nil, err
+	}
+	sol := &PlanSolution{ValuesFloat: res.Values, CAPRounds: res.CAPRounds}
+	if data.WithPowers {
+		sol.Powers = res.Powers
+	}
+	return sol, nil
+}

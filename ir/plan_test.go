@@ -1,0 +1,316 @@
+package ir
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randOrdinary builds a random ordinary system with distinct g over m cells.
+func randOrdinary(rng *rand.Rand, m, n int) *System {
+	perm := rng.Perm(m)
+	if n > m {
+		n = m
+	}
+	g := make([]int, n)
+	f := make([]int, n)
+	for i := 0; i < n; i++ {
+		g[i] = perm[i]
+		f[i] = rng.Intn(m)
+	}
+	return &System{M: m, N: n, G: g, F: f}
+}
+
+// randGeneral builds a random general system (g may repeat, H present).
+func randGeneral(rng *rand.Rand, m, n int) *System {
+	g := make([]int, n)
+	f := make([]int, n)
+	h := make([]int, n)
+	for i := 0; i < n; i++ {
+		g[i] = rng.Intn(m)
+		f[i] = rng.Intn(m)
+		h[i] = rng.Intn(m)
+	}
+	return &System{M: m, N: n, G: g, F: f, H: h}
+}
+
+func TestCompileOrdinaryBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(64)
+		s := randOrdinary(rng, m, rng.Intn(m+1))
+		init := make([]float64, m)
+		for x := range init {
+			init[x] = rng.Float64()*100 - 50
+		}
+		direct, err := SolveOrdinaryCtx[float64](ctx, s, Float64Add{}, init, SolveOptions{Procs: 3})
+		if err != nil {
+			t.Fatalf("trial %d: direct: %v", trial, err)
+		}
+		plan, err := CompileCtx(ctx, s, CompileOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		if plan.Family() != FamilyOrdinary {
+			t.Fatalf("trial %d: family = %v, want ordinary", trial, plan.Family())
+		}
+		replay, err := SolveOrdinaryPlanCtx[float64](ctx, plan, Float64Add{}, init, SolveOptions{Procs: 3})
+		if err != nil {
+			t.Fatalf("trial %d: replay: %v", trial, err)
+		}
+		for x := range direct.Values {
+			if direct.Values[x] != replay.Values[x] {
+				t.Fatalf("trial %d cell %d: direct %v != replay %v (float sums must be bit-identical)",
+					trial, x, direct.Values[x], replay.Values[x])
+			}
+		}
+		if direct.Rounds != replay.Rounds || direct.Combines != replay.Combines {
+			t.Fatalf("trial %d: cost profile diverged: direct (%d rounds, %d combines), replay (%d, %d)",
+				trial, direct.Rounds, direct.Combines, replay.Rounds, replay.Combines)
+		}
+	}
+}
+
+func TestCompileGeneralBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+	op := MulMod{M: 1_000_003}
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(24)
+		s := randGeneral(rng, m, rng.Intn(48))
+		init := make([]int64, m)
+		for x := range init {
+			init[x] = rng.Int63n(1_000_000)
+		}
+		direct, err := SolveGeneralCtx[int64](ctx, s, op, init, SolveOptions{Procs: 3, MaxExponentBits: 4096})
+		if err != nil {
+			t.Fatalf("trial %d: direct: %v", trial, err)
+		}
+		plan, err := CompileCtx(ctx, s, CompileOptions{Family: FamilyGeneral, MaxExponentBits: 4096})
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		replay, err := SolveGeneralPlanCtx[int64](ctx, plan, op, init, SolveOptions{Procs: 3})
+		if err != nil {
+			t.Fatalf("trial %d: replay: %v", trial, err)
+		}
+		for x := range direct.Values {
+			if direct.Values[x] != replay.Values[x] {
+				t.Fatalf("trial %d cell %d: direct %d != replay %d", trial, x, direct.Values[x], replay.Values[x])
+			}
+		}
+		if direct.CAPRounds != replay.CAPRounds {
+			t.Fatalf("trial %d: CAP rounds diverged: %d vs %d", trial, direct.CAPRounds, replay.CAPRounds)
+		}
+		for x := range direct.Powers {
+			if len(direct.Powers[x]) != len(replay.Powers[x]) {
+				t.Fatalf("trial %d cell %d: power traces diverged", trial, x)
+			}
+			for k := range direct.Powers[x] {
+				if direct.Powers[x][k] != replay.Powers[x][k] {
+					t.Fatalf("trial %d cell %d term %d: %v != %v",
+						trial, x, k, direct.Powers[x][k], replay.Powers[x][k])
+				}
+			}
+		}
+	}
+}
+
+func TestCompileMoebiusBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ctx := context.Background()
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(48)
+		s := randOrdinary(rng, m, rng.Intn(m+1))
+		n := s.N
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		d := make([]float64, n)
+		x0 := make([]float64, m)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Float64()*4 - 2
+			b[i] = rng.Float64()*4 - 2
+			c[i] = rng.Float64() * 0.25
+			d[i] = 1 + rng.Float64()
+		}
+		for x := range x0 {
+			x0[x] = rng.Float64()*2 - 1
+		}
+		direct, derr := SolveMoebiusCtx(ctx, m, s.G, s.F, a, b, c, d, x0, SolveOptions{Procs: 3})
+		plan, err := CompileMoebiusCtx(ctx, m, s.G, s.F)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		replay, rerr := SolveMoebiusPlanCtx(ctx, plan, a, b, c, d, x0, SolveOptions{Procs: 3})
+		if (derr == nil) != (rerr == nil) {
+			t.Fatalf("trial %d: error parity broken: direct %v, replay %v", trial, derr, rerr)
+		}
+		if derr != nil {
+			if !errors.Is(rerr, ErrNonFinite) {
+				t.Fatalf("trial %d: replay error %v, want ErrNonFinite", trial, rerr)
+			}
+			continue
+		}
+		for x := range direct {
+			if direct[x] != replay[x] {
+				t.Fatalf("trial %d cell %d: direct %v != replay %v (must be bit-identical)",
+					trial, x, direct[x], replay[x])
+			}
+		}
+
+		// The affine special case through PlanData (nil C/D builds c=0, d=1).
+		directLin, err := SolveLinearCtx(ctx, m, s.G, s.F, a, b, x0, SolveOptions{Procs: 2})
+		if err != nil {
+			continue // a zero divide in the affine variant: nothing to compare
+		}
+		sol, err := plan.SolveCtx(ctx, PlanData{A: a, B: b, X0: x0, Opts: SolveOptions{Procs: 2}})
+		if err != nil {
+			t.Fatalf("trial %d: PlanData replay: %v", trial, err)
+		}
+		for x := range directLin {
+			if directLin[x] != sol.Values[x] {
+				t.Fatalf("trial %d cell %d: linear direct %v != replay %v", trial, x, directLin[x], sol.Values[x])
+			}
+		}
+	}
+}
+
+func TestPlanSolveCtxDispatch(t *testing.T) {
+	ctx := context.Background()
+	s := &System{M: 4, N: 3, G: []int{1, 2, 3}, F: []int{0, 1, 2}}
+	plan, err := Compile(s, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := plan.SolveCtx(ctx, PlanData{Op: "int64-add", InitInt: []int64{1, 1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3, 4}
+	for x, v := range sol.ValuesInt {
+		if v != want[x] {
+			t.Fatalf("cell %d = %d, want %d", x, v, want[x])
+		}
+	}
+	if _, err := plan.SolveCtx(ctx, PlanData{Op: "no-such-op", InitInt: []int64{1, 1, 1, 1}}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := SolveGeneralPlanCtx[int64](ctx, plan, IntAdd{}, []int64{1, 1, 1, 1}, SolveOptions{}); !errors.Is(err, ErrPlanFamily) {
+		t.Fatalf("family mismatch error = %v, want ErrPlanFamily", err)
+	}
+}
+
+// TestPlanConcurrentReplay hammers one shared plan from 32 goroutines — the
+// plan cache's access pattern — and checks every replay under -race.
+func TestPlanConcurrentReplay(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(31))
+	s := randOrdinary(rng, 512, 512)
+	plan, err := Compile(s, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := randGeneral(rng, 24, 40)
+	gplan, err := Compile(gs, CompileOptions{Family: FamilyGeneral, MaxExponentBits: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := MulMod{M: 1_000_003}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 32; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			init := make([]int64, s.M)
+			for x := range init {
+				init[x] = int64((x*7 + w) % 1000)
+			}
+			want, err := SolveOrdinaryCtx[int64](ctx, s, op, init, SolveOptions{Procs: 2})
+			if err != nil {
+				errs <- err
+				return
+			}
+			ginit := make([]int64, gs.M)
+			for x := range ginit {
+				ginit[x] = int64((x*13 + w) % 1000)
+			}
+			gwant, err := SolveGeneralCtx[int64](ctx, gs, op, ginit, SolveOptions{Procs: 2, MaxExponentBits: 4096})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for rep := 0; rep < 8; rep++ {
+				got, err := SolveOrdinaryPlanCtx[int64](ctx, plan, op, init, SolveOptions{Procs: 2})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for x := range want.Values {
+					if got.Values[x] != want.Values[x] {
+						errs <- errors.New("ordinary replay diverged under concurrency")
+						return
+					}
+				}
+				ggot, err := SolveGeneralPlanCtx[int64](ctx, gplan, op, ginit, SolveOptions{Procs: 2})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for x := range gwant.Values {
+					if ggot.Values[x] != gwant.Values[x] {
+						errs <- errors.New("general replay diverged under concurrency")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanFingerprint(t *testing.T) {
+	g := []int{1, 2, 3}
+	f := []int{0, 1, 2}
+	fp := PlanFingerprint(FamilyOrdinary, 3, 4, g, f, nil, 0)
+	if fp != PlanFingerprint(FamilyOrdinary, 3, 4, []int{1, 2, 3}, []int{0, 1, 2}, nil, 0) {
+		t.Fatal("equal structures produced different fingerprints")
+	}
+	distinct := map[string]string{
+		"family":  PlanFingerprint(FamilyGeneral, 3, 4, g, f, nil, 0),
+		"n":       PlanFingerprint(FamilyOrdinary, 2, 4, g[:2], f[:2], nil, 0),
+		"m":       PlanFingerprint(FamilyOrdinary, 3, 5, g, f, nil, 0),
+		"g":       PlanFingerprint(FamilyOrdinary, 3, 4, []int{1, 3, 2}, f, nil, 0),
+		"f":       PlanFingerprint(FamilyOrdinary, 3, 4, g, []int{0, 0, 2}, nil, 0),
+		"h":       PlanFingerprint(FamilyOrdinary, 3, 4, g, f, []int{0, 0, 0}, 0),
+		"bits":    PlanFingerprint(FamilyOrdinary, 3, 4, g, f, nil, 64),
+		"swapped": PlanFingerprint(FamilyOrdinary, 3, 4, f, g, nil, 0),
+	}
+	for dim, other := range distinct {
+		if other == fp {
+			t.Fatalf("fingerprint ignores %s", dim)
+		}
+	}
+	// A compiled plan reports the fingerprint of its own structure.
+	s := &System{M: 4, N: 3, G: g, F: f}
+	plan, err := Compile(s, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Fingerprint() != fp {
+		t.Fatalf("plan fingerprint %s != PlanFingerprint %s", plan.Fingerprint(), fp)
+	}
+	if plan.SizeBytes() <= 0 {
+		t.Fatal("plan reports non-positive size")
+	}
+}
