@@ -8,6 +8,7 @@
 //	irbench -exp fig3 -n 10000 -procs 1,16,256
 //	irbench -exp all -quick           # small sizes for smoke runs
 //	irbench -exp all -quick -json     # one JSON object per experiment
+//	irbench -cluster localhost:8070   # local vs distributed throughput
 package main
 
 import (
@@ -54,6 +55,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		asJSON  = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
+		cluster = flag.String("cluster", "", "benchmark an ircluster coordinator at host:port against local solves")
 	)
 	flag.Parse()
 
@@ -63,6 +65,14 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *cluster != "" {
+		if err := runClusterBench(ctx, *cluster, *n, *quick, *asJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "irbench: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *list || *exp == "" {

@@ -1,0 +1,100 @@
+// Command ircoord is the ircluster coordinator daemon: it fronts a fleet of
+// irserved workers with the same /v1/solve JSON API a single irserved
+// exposes, scattering each solve's shards across the fleet and gathering
+// the slices into a bit-identical solution (see internal/cluster).
+//
+//	ircoord -workers host1:8080,host2:8080            # serve on :8070
+//	ircoord -addr :9000 -workers host1:8080 -hedge-after 500ms
+//	curl -s localhost:8070/v1/cluster/workers
+//
+// Endpoints: POST /v1/solve/{ordinary,general,linear,moebius} (the loop
+// endpoint is intentionally absent — loop *execution* stays single-node),
+// GET /healthz, /readyz, /metrics, /version, /v1/cluster/workers.
+// SIGINT/SIGTERM trigger a graceful shutdown; in-flight solves finish
+// under their deadlines.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"indexedrec/internal/cluster"
+	"indexedrec/internal/server"
+)
+
+func main() {
+	defer func() {
+		if r := recover(); r != nil {
+			fail("internal error: %v", r)
+		}
+	}()
+	var (
+		addr          = flag.String("addr", ":8070", "listen address")
+		workers       = flag.String("workers", "", "comma-separated worker addresses (required)")
+		retries       = flag.Int("retries", 3, "max per-shard re-sends after the first attempt")
+		retryBackoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "base backoff between a shard's attempts")
+		hedgeAfter    = flag.Duration("hedge-after", 2*time.Second, "hedge a duplicate shard request after this long (negative disables)")
+		probeInterval = flag.Duration("probe-interval", 5*time.Second, "worker health-probe period (negative disables)")
+		reqTimeout    = flag.Duration("request-timeout", 60*time.Second, "cap on one shard HTTP request")
+		planCache     = flag.Int64("plan-cache", 0, "compiled-plan cache budget in bytes (0 = 256 MiB default, negative disables)")
+		maxN          = flag.Int("max-n", 4<<20, "max iterations per request")
+		procs         = flag.Int("procs", 0, "local-fallback solver goroutines (0 = GOMAXPROCS)")
+		showVersion   = flag.Bool("version", false, "print build version and exit")
+	)
+	flag.Parse()
+
+	if *showVersion {
+		v := server.BuildVersion()
+		fmt.Printf("ircoord %s %s rev %s\n", v.Version, v.Go, v.Revision)
+		return
+	}
+
+	fleet := splitList(*workers)
+	if len(fleet) == 0 {
+		fail("no workers: pass -workers host:port[,host:port...]")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	co := cluster.New(cluster.Config{
+		Workers:        fleet,
+		MaxRetries:     *retries,
+		RetryBackoff:   *retryBackoff,
+		HedgeAfter:     *hedgeAfter,
+		ProbeInterval:  *probeInterval,
+		RequestTimeout: *reqTimeout,
+		PlanCacheBytes: *planCache,
+		MaxN:           *maxN,
+		Procs:          *procs,
+	})
+	fmt.Printf("ircoord: coordinating %d workers on %s\n", len(fleet), *addr)
+	if err := co.ListenAndServe(ctx, *addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail("%v", err)
+	}
+	fmt.Println("ircoord: stopped, bye")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ircoord: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// splitList parses a comma-separated address list, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

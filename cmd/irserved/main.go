@@ -6,14 +6,20 @@
 //
 //	irserved                                  # serve on :8080
 //	irserved -addr 127.0.0.1:9090 -queue 512 -batch-window 2ms
+//	irserved -coordinator -workers-list host1:8080,host2:8080
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/solve/linear -d \
 //	  '{"m":4,"g":[1,2,3],"f":[0,1,2],"a":[1,1,1],"b":[1,1,1],"x0":[1,0,0,0]}'
 //
-// Endpoints: POST /v1/solve/{ordinary,general,linear,moebius,loop}, and
-// GET /healthz, /readyz (503 while draining), /metrics (Prometheus text).
-// SIGINT/SIGTERM trigger a graceful drain: readiness flips, in-flight
-// solves finish under their deadlines, then the process exits 0.
+// Endpoints: POST /v1/solve/{ordinary,general,linear,moebius,loop}, POST
+// /v1/shard/solve (the worker role of a cluster; see internal/cluster), and
+// GET /healthz, /readyz (503 while draining), /metrics (Prometheus text),
+// /version. SIGINT/SIGTERM trigger a graceful drain: readiness flips,
+// in-flight solves finish under their deadlines, then the process exits 0.
+//
+// With -coordinator the process serves the ircluster coordinator instead:
+// solves scatter across the -workers-list fleet (see also cmd/ircoord,
+// the standalone coordinator daemon with the full flag set).
 package main
 
 import (
@@ -24,9 +30,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"indexedrec/internal/cluster"
 	"indexedrec/internal/server"
 )
 
@@ -49,11 +57,41 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
 		maxN        = flag.Int("max-n", 4<<20, "max iterations per request")
 		planCache   = flag.Int64("plan-cache", 0, "compiled-plan cache budget in bytes (0 = 64 MiB default, negative disables)")
+		coordinator = flag.Bool("coordinator", false, "run as an ircluster coordinator instead of a worker")
+		workerList  = flag.String("workers-list", "", "comma-separated worker addresses (coordinator mode)")
+		probeEvery  = flag.Duration("probe-interval", 5*time.Second, "worker health-probe period (coordinator mode)")
+		showVersion = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 
+	if *showVersion {
+		v := server.BuildVersion()
+		fmt.Printf("irserved %s %s rev %s\n", v.Version, v.Go, v.Revision)
+		return
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *coordinator {
+		co := cluster.New(cluster.Config{
+			Workers:       splitList(*workerList),
+			ProbeInterval: *probeEvery,
+			MaxN:          *maxN,
+			PlanCacheBytes: func() int64 {
+				if *planCache != 0 {
+					return *planCache
+				}
+				return 64 << 20
+			}(),
+		})
+		fmt.Printf("irserved: coordinating %d workers on %s\n", len(splitList(*workerList)), *addr)
+		if err := co.ListenAndServe(ctx, *addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail("%v", err)
+		}
+		fmt.Println("irserved: coordinator stopped, bye")
+		return
+	}
 
 	s := server.New(server.Config{
 		Addr:           *addr,
@@ -77,4 +115,15 @@ func main() {
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "irserved: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// splitList parses a comma-separated address list, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

@@ -1,0 +1,258 @@
+// Package cluster is the distributed-solve layer over irserved workers: a
+// coordinator that compiles (or cache-loads) a solve plan, cuts its shard
+// domain along the paper's own parallel structure — chains of the ordinary
+// write-chain forest, output cells for the general and Möbius families —
+// scatters the shards to workers' POST /v1/shard/solve, and gathers the
+// slices back into a solution bit-identical to ir.Plan.SolveCtx.
+//
+// Placement uses rendezvous hashing on (plan fingerprint, shard index), so
+// a plan's shards spread across the fleet yet stay sticky to the same
+// workers across requests, keeping the workers' fingerprint-keyed plan
+// caches hot. Failures are handled by bounded retries with jittered
+// backoff onto the next-ranked worker (which is also how a dead worker's
+// shards re-scatter), stragglers by a single hedged duplicate request, and
+// a fleet with no reachable workers by graceful degradation to a local
+// in-process solve. Stdlib only, like everything else in the repo.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"indexedrec/internal/server"
+	"indexedrec/internal/server/client"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Workers lists worker base URLs ("http://host:port"). Bare host:port
+	// entries get an http:// prefix.
+	Workers []string
+	// MaxRetries bounds per-shard re-sends after the first attempt
+	// (default 3).
+	MaxRetries int
+	// RetryBackoff is the base backoff between a shard's attempts; each
+	// retry waits backoff·attempt plus up to 50% jitter (default 50ms).
+	RetryBackoff time.Duration
+	// HedgeAfter is how long a shard request may run before a duplicate is
+	// hedged onto the next-ranked worker (default 2s; 0 keeps the default,
+	// negative disables hedging).
+	HedgeAfter time.Duration
+	// ProbeInterval is the health-probe period (default 5s; negative
+	// disables background probing).
+	ProbeInterval time.Duration
+	// RequestTimeout caps one shard HTTP request (default 60s); the solve
+	// ctx's deadline still applies on top.
+	RequestTimeout time.Duration
+	// PlanCacheBytes bounds the coordinator's own compiled-plan cache
+	// (default 256 MiB, negative disables).
+	PlanCacheBytes int64
+	// MaxN bounds accepted system sizes on the HTTP front-end (default
+	// 4,194,304, as irserved).
+	MaxN int
+	// MaxExponentBits caps CAP trace-exponent growth for general solves
+	// (default 16384, as irserved); requests may lower it but not raise it.
+	MaxExponentBits int
+	// Procs bounds local-fallback solver parallelism (default GOMAXPROCS
+	// via the solvers' own defaulting).
+	Procs int
+	// Logger receives worker lifecycle events; nil means log.Default().
+	Logger *log.Logger
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 2 * time.Second
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 5 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.PlanCacheBytes == 0 {
+		c.PlanCacheBytes = 256 << 20
+	}
+	if c.MaxN == 0 {
+		c.MaxN = 4 << 20
+	}
+	if c.MaxExponentBits <= 0 {
+		c.MaxExponentBits = 16384
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+}
+
+// worker is one irserved instance in the fleet.
+type worker struct {
+	name   string // display name (the configured address)
+	client *client.Client
+
+	mu      sync.Mutex
+	up      bool
+	version string // reported at registration, for mixed-fleet diagnosis
+}
+
+// setUp transitions the worker's liveness, returning whether it changed.
+func (w *worker) setUp(up bool) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.up == up {
+		return false
+	}
+	w.up = up
+	return true
+}
+
+func (w *worker) isUp() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.up
+}
+
+// Coordinator owns the fleet view and executes distributed solves. Create
+// with New, serve its Handler, stop with Close.
+type Coordinator struct {
+	cfg     Config
+	reg     *server.Registry
+	metrics *clusterMetrics
+	workers []*worker
+	plans   *server.PlanCache
+	mux     *http.ServeMux
+
+	probeCtx    context.Context
+	probeCancel context.CancelFunc
+	probeDone   chan struct{}
+}
+
+// New builds a Coordinator, registers its workers (one synchronous probe
+// each, logging the worker's reported build version), and starts the
+// background health prober.
+func New(cfg Config) *Coordinator {
+	cfg.setDefaults()
+	co := &Coordinator{cfg: cfg, reg: server.NewRegistry(), probeDone: make(chan struct{})}
+	co.metrics = newClusterMetrics(co.reg)
+	if cfg.PlanCacheBytes > 0 {
+		co.plans = server.NewPlanCache(cfg.PlanCacheBytes, co.metrics.planCacheMetrics())
+	}
+	for _, addr := range cfg.Workers {
+		base := addr
+		if !hasScheme(base) {
+			base = "http://" + base
+		}
+		co.workers = append(co.workers, &worker{
+			name:   addr,
+			client: client.NewPooled(base, cfg.RequestTimeout),
+		})
+	}
+	co.probeCtx, co.probeCancel = context.WithCancel(context.Background())
+	for _, w := range co.workers {
+		co.probe(co.probeCtx, w)
+	}
+	go co.probeLoop()
+	co.routes()
+	return co
+}
+
+func hasScheme(addr string) bool {
+	for i := 0; i < len(addr); i++ {
+		switch addr[i] {
+		case ':':
+			return i+2 < len(addr) && addr[i+1] == '/' && addr[i+2] == '/'
+		case '/', '?', '#':
+			return false
+		}
+	}
+	return false
+}
+
+// probe checks one worker's health, updating liveness and — on a fresh
+// registration or a down→up transition — logging its build version.
+func (co *Coordinator) probe(ctx context.Context, w *worker) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	err := w.client.Healthz(ctx)
+	up := err == nil
+	changed := w.setUp(up)
+	co.metrics.workerUp.Set(boolGauge(up), w.name)
+	if !changed {
+		return
+	}
+	if !up {
+		co.cfg.Logger.Printf("ircluster: worker %s down: %v", w.name, err)
+		return
+	}
+	version := "(unknown)"
+	if v, err := w.client.Version(ctx); err == nil {
+		version = fmt.Sprintf("%s go %s rev %.12s", v.Version, v.Go, v.Revision)
+		w.mu.Lock()
+		w.version = version
+		w.mu.Unlock()
+	}
+	co.cfg.Logger.Printf("ircluster: worker %s up, version %s", w.name, version)
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// probeLoop re-probes the fleet every ProbeInterval until Close.
+func (co *Coordinator) probeLoop() {
+	defer close(co.probeDone)
+	if co.cfg.ProbeInterval < 0 {
+		<-co.probeCtx.Done()
+		return
+	}
+	t := time.NewTicker(co.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.probeCtx.Done():
+			return
+		case <-t.C:
+			for _, w := range co.workers {
+				co.probe(co.probeCtx, w)
+			}
+		}
+	}
+}
+
+// alive snapshots the currently-up workers.
+func (co *Coordinator) alive() []*worker {
+	var ws []*worker
+	for _, w := range co.workers {
+		if w.isUp() {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// Registry exposes the coordinator's metrics registry.
+func (co *Coordinator) Registry() *server.Registry { return co.reg }
+
+// Close stops the health prober. In-flight solves finish under their own
+// contexts.
+func (co *Coordinator) Close() {
+	co.probeCancel()
+	<-co.probeDone
+}
+
+// ErrNoWorkers reports a scatter attempted against an empty or fully-down
+// fleet; Solve converts it into a local fallback.
+var ErrNoWorkers = errors.New("ircluster: no reachable workers")

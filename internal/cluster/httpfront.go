@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"indexedrec/internal/moebius"
+	"indexedrec/internal/server"
+	"indexedrec/ir"
+)
+
+// The coordinator's HTTP front-end speaks the same /v1/solve API as a
+// single irserved, so clients point at a coordinator without changing a
+// line: ordinary, general, linear and moebius solves scatter across the
+// fleet, /v1/solve/loop answers 501 (loop execution is whole-machine by
+// construction), and /healthz, /readyz, /metrics, /version behave as on
+// irserved. /v1/cluster/workers reports the fleet view.
+
+func (co *Coordinator) routes() {
+	co.mux = http.NewServeMux()
+	co.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	co.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// The coordinator is ready even with zero workers: solves degrade
+		// to local execution rather than failing.
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	co.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = co.reg.WriteTo(w)
+	})
+	co.mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
+		co.writeJSON(w, "version", http.StatusOK, server.BuildVersion())
+	})
+	co.mux.HandleFunc("GET /v1/cluster/workers", co.handleWorkers)
+	co.mux.HandleFunc("POST "+server.APIPrefix+"ordinary", func(w http.ResponseWriter, r *http.Request) {
+		co.handleSolve(w, r, "ordinary", co.specOrdinary)
+	})
+	co.mux.HandleFunc("POST "+server.APIPrefix+"general", func(w http.ResponseWriter, r *http.Request) {
+		co.handleSolve(w, r, "general", co.specGeneral)
+	})
+	co.mux.HandleFunc("POST "+server.APIPrefix+"linear", func(w http.ResponseWriter, r *http.Request) {
+		co.handleSolve(w, r, "linear", co.specLinear)
+	})
+	co.mux.HandleFunc("POST "+server.APIPrefix+"moebius", func(w http.ResponseWriter, r *http.Request) {
+		co.handleSolve(w, r, "moebius", co.specMoebius)
+	})
+	co.mux.HandleFunc("POST "+server.APIPrefix+"loop", func(w http.ResponseWriter, r *http.Request) {
+		co.writeError(w, "loop", http.StatusNotImplemented,
+			"loop execution is not distributed; POST /v1/solve/loop to a worker directly")
+	})
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (co *Coordinator) Handler() http.Handler { return co.mux }
+
+// ListenAndServe serves the coordinator API on addr until ctx is cancelled.
+func (co *Coordinator) ListenAndServe(ctx context.Context, addr string) error {
+	hs := &http.Server{Addr: addr, Handler: co.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := hs.Shutdown(shCtx)
+	co.Close()
+	return err
+}
+
+// WorkerStatus is one row of GET /v1/cluster/workers.
+type WorkerStatus struct {
+	// Name is the configured worker address.
+	Name string `json:"name"`
+	// Up reports the last probe's outcome.
+	Up bool `json:"up"`
+	// Version is the build the worker reported at registration.
+	Version string `json:"version,omitempty"`
+}
+
+func (co *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	out := make([]WorkerStatus, 0, len(co.workers))
+	for _, wk := range co.workers {
+		wk.mu.Lock()
+		out = append(out, WorkerStatus{Name: wk.name, Up: wk.up, Version: wk.version})
+		wk.mu.Unlock()
+	}
+	co.writeJSON(w, "workers", http.StatusOK, out)
+}
+
+// specFunc decodes a request body into a solve spec plus a function that
+// shapes the finished PlanSolution into the endpoint's response type.
+type specFunc func(body []byte) (*solveSpec, func(*ir.PlanSolution, time.Duration) any, error)
+
+// handleSolve is the shared endpoint path: decode, distribute, respond.
+func (co *Coordinator) handleSolve(w http.ResponseWriter, r *http.Request, endpoint string, decode specFunc) {
+	start := time.Now()
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		co.writeError(w, endpoint, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec, shape, err := decode(body)
+	if err != nil {
+		co.writeError(w, endpoint, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := co.requestContext(r, spec.timeoutMs)
+	defer cancel()
+	sol, err := co.Solve(ctx, spec)
+	co.metrics.solveLatency.With(endpoint).Observe(time.Since(start).Seconds())
+	if err != nil {
+		co.writeError(w, endpoint, statusFor(err), err.Error())
+		return
+	}
+	co.writeJSON(w, endpoint, http.StatusOK, shape(sol, time.Since(start)))
+}
+
+// requestContext bounds a solve by the client's timeout_ms (clamped to two
+// minutes, as irserved) or a 30s default.
+func (co *Coordinator) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	d := 30 * time.Second
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+		if d > 2*time.Minute {
+			d = 2 * time.Minute
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (co *Coordinator) specOrdinary(body []byte) (*solveSpec, func(*ir.PlanSolution, time.Duration) any, error) {
+	var req server.OrdinaryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, fmt.Errorf("bad request body: %v", err)
+	}
+	sys, data, err := co.systemAndData(req.System, req.Op, req.Mod, req.Init, req.Opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !sys.Ordinary() {
+		return nil, nil, fmt.Errorf("/v1/solve/ordinary requires H = G (use /v1/solve/general)")
+	}
+	spec := &solveSpec{family: ir.FamilyOrdinary, sys: sys, data: data, timeoutMs: req.Opts.TimeoutMs}
+	return spec, func(sol *ir.PlanSolution, elapsed time.Duration) any {
+		return server.OrdinaryResponse{
+			ValuesInt:   sol.ValuesInt,
+			ValuesFloat: sol.ValuesFloat,
+			Rounds:      sol.Rounds,
+			Combines:    sol.Combines,
+			ElapsedMs:   float64(elapsed.Microseconds()) / 1000,
+		}
+	}, nil
+}
+
+func (co *Coordinator) specGeneral(body []byte) (*solveSpec, func(*ir.PlanSolution, time.Duration) any, error) {
+	var req server.GeneralRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, fmt.Errorf("bad request body: %v", err)
+	}
+	sys, data, err := co.systemAndData(req.System, req.Op, req.Mod, req.Init, req.Opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	bits := co.cfg.MaxExponentBits
+	if b := req.Opts.MaxExponentBits; b > 0 && b < bits {
+		bits = b
+	}
+	data.WithPowers = req.WithPowers
+	spec := &solveSpec{family: ir.FamilyGeneral, sys: sys, bits: bits, data: data, timeoutMs: req.Opts.TimeoutMs}
+	return spec, func(sol *ir.PlanSolution, elapsed time.Duration) any {
+		return server.GeneralResponse{
+			ValuesInt:   sol.ValuesInt,
+			ValuesFloat: sol.ValuesFloat,
+			Powers:      sol.Powers,
+			CAPRounds:   sol.CAPRounds,
+			ElapsedMs:   float64(elapsed.Microseconds()) / 1000,
+		}
+	}, nil
+}
+
+func (co *Coordinator) specLinear(body []byte) (*solveSpec, func(*ir.PlanSolution, time.Duration) any, error) {
+	var req server.LinearRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, fmt.Errorf("bad request body: %v", err)
+	}
+	var ms *moebius.MoebiusSystem
+	if req.Extended {
+		if len(req.X0) != req.M {
+			return nil, nil, fmt.Errorf("extended form: len(x0) = %d, want m = %d", len(req.X0), req.M)
+		}
+		ms = moebius.NewExtended(req.M, req.G, req.F, req.A, req.B, req.X0)
+	} else {
+		ms = moebius.NewLinear(req.M, req.G, req.F, req.A, req.B)
+	}
+	return co.specFromMoebius(ms, req.X0, req.Opts)
+}
+
+func (co *Coordinator) specMoebius(body []byte) (*solveSpec, func(*ir.PlanSolution, time.Duration) any, error) {
+	var req server.MoebiusRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, fmt.Errorf("bad request body: %v", err)
+	}
+	ms := &moebius.MoebiusSystem{M: req.M, G: req.G, F: req.F, A: req.A, B: req.B, C: req.C, D: req.D}
+	return co.specFromMoebius(ms, req.X0, req.Opts)
+}
+
+func (co *Coordinator) specFromMoebius(ms *moebius.MoebiusSystem, x0 []float64, opts ir.OptionsWire) (*solveSpec, func(*ir.PlanSolution, time.Duration) any, error) {
+	if len(ms.G) > co.cfg.MaxN {
+		return nil, nil, fmt.Errorf("n = %d exceeds the coordinator limit %d", len(ms.G), co.cfg.MaxN)
+	}
+	if err := ms.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := ms.CheckFinite(); err != nil {
+		return nil, nil, err
+	}
+	if len(x0) != ms.M {
+		return nil, nil, fmt.Errorf("len(x0) = %d, want m = %d", len(x0), ms.M)
+	}
+	for i, v := range x0 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, nil, fmt.Errorf("x0[%d] = %v is not finite", i, v)
+		}
+	}
+	opt, err := opts.Options()
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := &solveSpec{
+		family: ir.FamilyMoebius,
+		m:      ms.M, g: ms.G, f: ms.F,
+		data:      ir.PlanData{A: ms.A, B: ms.B, C: ms.C, D: ms.D, X0: x0, Opts: opt},
+		timeoutMs: opts.TimeoutMs,
+	}
+	return spec, func(sol *ir.PlanSolution, elapsed time.Duration) any {
+		return server.MoebiusResponse{
+			Values:    sol.Values,
+			BatchSize: 1,
+			ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+		}
+	}, nil
+}
+
+// systemAndData validates an ordinary/general request's system and decodes
+// its init array into PlanData by the operator's domain.
+func (co *Coordinator) systemAndData(w ir.SystemWire, op string, mod int64, init json.RawMessage, opts ir.OptionsWire) (*ir.System, ir.PlanData, error) {
+	var data ir.PlanData
+	if w.N > co.cfg.MaxN || len(w.G) > co.cfg.MaxN {
+		return nil, data, fmt.Errorf("n = %d exceeds the coordinator limit %d", max(w.N, len(w.G)), co.cfg.MaxN)
+	}
+	sys, err := w.System()
+	if err != nil {
+		return nil, data, err
+	}
+	opt, err := opts.Options()
+	if err != nil {
+		return nil, data, err
+	}
+	data = ir.PlanData{Op: op, Mod: mod, Opts: opt}
+	iop, err := ir.IntOpByName(op, mod)
+	if err != nil {
+		return nil, data, err
+	}
+	if iop != nil {
+		if data.InitInt, err = server.DecodeInitInt(init); err != nil {
+			return nil, data, err
+		}
+		if len(data.InitInt) != sys.M {
+			return nil, data, fmt.Errorf("len(init) = %d, want m = %d", len(data.InitInt), sys.M)
+		}
+		return sys, data, nil
+	}
+	fop, err := ir.FloatOpByName(op)
+	if err != nil {
+		return nil, data, err
+	}
+	if fop == nil {
+		return nil, data, fmt.Errorf("unknown op %q (one of %s)", op, strings.Join(ir.OpNames(), ", "))
+	}
+	if data.InitFloat, err = server.DecodeInitFloat(init); err != nil {
+		return nil, data, err
+	}
+	if len(data.InitFloat) != sys.M {
+		return nil, data, fmt.Errorf("len(init) = %d, want m = %d", len(data.InitFloat), sys.M)
+	}
+	return sys, data, nil
+}
+
+// statusFor maps solve errors to HTTP statuses (the coordinator-side twin
+// of irserved's mapping).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ir.ErrInvalidSystem), errors.Is(err, moebius.ErrBadSystem), errors.Is(err, ir.ErrShard):
+		return http.StatusBadRequest
+	case errors.Is(err, ir.ErrNonFinite), errors.Is(err, ir.ErrExponentLimit):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (co *Coordinator) writeJSON(w http.ResponseWriter, endpoint string, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+	co.metrics.requests.Inc(endpoint, strconv.Itoa(code))
+}
+
+func (co *Coordinator) writeError(w http.ResponseWriter, endpoint string, code int, msg string) {
+	co.writeJSON(w, endpoint, code, server.ErrorResponse{Error: msg, Code: code})
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"indexedrec/internal/server"
+)
+
+// clusterMetrics is the coordinator's observability surface, registered on
+// the coordinator's own Registry and rendered by GET /metrics in the same
+// hand-rolled exposition format irserved uses.
+type clusterMetrics struct {
+	shards       *server.Counter      // ircluster_shards_total
+	retries      *server.Counter      // ircluster_retries_total
+	hedges       *server.Counter      // ircluster_hedges_total
+	fallbacks    *server.Counter      // ircluster_local_fallbacks_total
+	workerUp     *server.GaugeVec     // ircluster_worker_up{worker}
+	shardLatency *server.Histogram    // ircluster_shard_latency_seconds
+	requests     *server.CounterVec   // ircluster_requests_total{endpoint,code}
+	solveLatency *server.HistogramVec // ircluster_solve_seconds{endpoint}
+
+	planHits, planMisses, planEvictions *server.Counter
+	planBytes                           *server.Gauge
+}
+
+func newClusterMetrics(reg *server.Registry) *clusterMetrics {
+	latencyBounds := []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60}
+	return &clusterMetrics{
+		shards: reg.NewCounter("ircluster_shards_total",
+			"Shards scattered to workers (every attempt's first send; retries and hedges counted separately)."),
+		retries: reg.NewCounter("ircluster_retries_total",
+			"Shard attempts re-sent after a failure, including re-scatters off dead workers."),
+		hedges: reg.NewCounter("ircluster_hedges_total",
+			"Duplicate shard requests hedged onto a second worker for stragglers."),
+		fallbacks: reg.NewCounter("ircluster_local_fallbacks_total",
+			"Solves executed locally because no worker was reachable or a scatter failed."),
+		workerUp: reg.NewGaugeVec("ircluster_worker_up",
+			"Worker liveness (1 = last probe succeeded).", "worker"),
+		shardLatency: reg.NewHistogram("ircluster_shard_latency_seconds",
+			"Per-shard round-trip time, successful attempts.", latencyBounds),
+		requests: reg.NewCounterVec("ircluster_requests_total",
+			"Coordinator HTTP responses by endpoint and status.", "endpoint", "code"),
+		solveLatency: reg.NewHistogramVec("ircluster_solve_seconds",
+			"End-to-end distributed solve latency by endpoint.", latencyBounds, "endpoint"),
+		planHits: reg.NewCounter("ircluster_plan_cache_hits_total",
+			"Coordinator plan-cache hits."),
+		planMisses: reg.NewCounter("ircluster_plan_cache_misses_total",
+			"Coordinator plan-cache misses."),
+		planEvictions: reg.NewCounter("ircluster_plan_cache_evictions_total",
+			"Coordinator plan-cache evictions."),
+		planBytes: reg.NewGauge("ircluster_plan_cache_bytes",
+			"Resident bytes of the coordinator's cached plans."),
+	}
+}
+
+func (m *clusterMetrics) planCacheMetrics() server.PlanCacheMetrics {
+	return server.PlanCacheMetrics{
+		Hits:      m.planHits,
+		Misses:    m.planMisses,
+		Evictions: m.planEvictions,
+		Bytes:     m.planBytes,
+	}
+}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"indexedrec/internal/server"
+	"indexedrec/internal/server/client"
+	"indexedrec/ir"
+)
+
+// solveSpec is one distributed solve, family-dispatched: sys for the
+// ordinary/general families, (m, g, f) for Möbius, data for the values.
+type solveSpec struct {
+	family ir.Family
+	sys    *ir.System // ordinary / general
+	m      int        // moebius
+	g, f   []int      // moebius
+	bits   int        // general: effective MaxExponentBits (compile-time)
+	data   ir.PlanData
+	// timeoutMs is the client's requested deadline (the wire option is not
+	// part of ir.SolveOptions; the coordinator applies it to the solve ctx).
+	timeoutMs int
+}
+
+// planFor compiles or cache-loads the spec's plan on the coordinator. The
+// coordinator needs the plan itself — not just its fingerprint — because
+// Partition and MergeShards read the compiled structure.
+func (co *Coordinator) planFor(ctx context.Context, spec *solveSpec) (*ir.Plan, error) {
+	if spec.family == ir.FamilyMoebius {
+		fp := ir.PlanFingerprint(ir.FamilyMoebius, len(spec.g), spec.m, spec.g, spec.f, nil, 0)
+		return server.PlanFor(co.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+			return ir.CompileMoebiusCtx(ctx, spec.m, spec.g, spec.f)
+		})
+	}
+	fp := ir.PlanFingerprint(spec.family, spec.sys.N, spec.sys.M, spec.sys.G, spec.sys.F, spec.sys.H, spec.bits)
+	return server.PlanFor(co.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+		return ir.CompileCtx(ctx, spec.sys, ir.CompileOptions{
+			Family: spec.family, Procs: spec.data.Opts.Procs, MaxExponentBits: spec.bits,
+		})
+	})
+}
+
+// Solve runs one distributed solve: plan, partition, scatter, gather,
+// merge. Any scatter-level failure — including an empty fleet — degrades to
+// a local in-process solve, so the coordinator answers whenever a single
+// machine could. Results are bit-identical to ir.Plan.SolveCtx by the shard
+// layer's contract.
+func (co *Coordinator) Solve(ctx context.Context, spec *solveSpec) (*ir.PlanSolution, error) {
+	p, err := co.planFor(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.data.WithPowers {
+		// Power traces are a whole-plan artifact; the shard path does not
+		// carry them.
+		return p.SolveCtx(ctx, spec.data)
+	}
+	parts, err := co.scatter(ctx, p, spec)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		co.metrics.fallbacks.Inc()
+		if !errors.Is(err, ErrNoWorkers) {
+			co.cfg.Logger.Printf("ircluster: scatter failed (%v); solving locally", err)
+		}
+		return p.SolveCtx(ctx, spec.data)
+	}
+	return p.MergeShards(spec.data, parts)
+}
+
+// scatter partitions the plan over the live fleet and executes every shard
+// remotely, gathering the slices in shard order.
+func (co *Coordinator) scatter(ctx context.Context, p *ir.Plan, spec *solveSpec) ([]*ir.ShardSolution, error) {
+	ws := co.alive()
+	if len(ws) == 0 {
+		return nil, ErrNoWorkers
+	}
+	shards := p.Partition(len(ws))
+	if len(shards) == 0 {
+		// Empty shard domain (no writes): the merge of zero parts is the
+		// init-copy answer, no network needed.
+		return nil, nil
+	}
+	base, err := shardRequest(spec, ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	parts := make([]*ir.ShardSolution, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh ir.Shard) {
+			defer wg.Done()
+			req := base
+			req.Shard = server.ShardWire{Lo: sh.Lo, Hi: sh.Hi}
+			prefs := rankWorkers(ws, p.Fingerprint(), i)
+			resp, err := co.solveShard(sctx, req, prefs)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d [%d, %d): %w", i, sh.Lo, sh.Hi, err)
+				cancel() // no point finishing the rest; we fall back locally
+				return
+			}
+			parts[i] = &ir.ShardSolution{
+				Shard:       ir.Shard{Lo: resp.Shard.Lo, Hi: resp.Shard.Hi},
+				Cells:       resp.Cells,
+				ValuesInt:   resp.ValuesInt,
+				ValuesFloat: resp.ValuesFloat,
+				Values:      resp.Values,
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// solveShard executes one shard with bounded retries (jittered backoff,
+// next-ranked worker — the re-scatter path) and a single hedged duplicate
+// for stragglers. prefs is the shard's rendezvous ranking of the fleet.
+func (co *Coordinator) solveShard(ctx context.Context, req server.ShardRequest, prefs []*worker) (*server.ShardResponse, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels in any straggler the hedge raced against
+
+	maxSends := 1 + co.cfg.MaxRetries
+	type attempt struct {
+		resp  *server.ShardResponse
+		err   error
+		w     *worker
+		start time.Time
+	}
+	resCh := make(chan attempt, maxSends+1) // +1: the hedge; buffered so stragglers never block
+	sends := 0
+	launch := func(counter *server.Counter) {
+		w := prefs[sends%len(prefs)]
+		sends++
+		if counter != nil {
+			counter.Inc()
+		}
+		go func() {
+			start := time.Now()
+			resp, err := w.client.SolveShard(sctx, req)
+			resCh <- attempt{resp: resp, err: err, w: w, start: start}
+		}()
+	}
+	co.metrics.shards.Inc()
+	launch(nil)
+	inflight := 1
+
+	var hedgeC <-chan time.Time // nil channel: never fires
+	if co.cfg.HedgeAfter > 0 && len(prefs) > 1 {
+		t := time.NewTimer(co.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	for inflight > 0 {
+		select {
+		case a := <-resCh:
+			inflight--
+			if a.err == nil {
+				co.metrics.shardLatency.Observe(time.Since(a.start).Seconds())
+				return a.resp, nil
+			}
+			lastErr = a.err
+			co.noteFailure(a.w, a.err)
+			if !retryable(a.err) {
+				return nil, a.err
+			}
+			if sends < maxSends {
+				if err := sleepCtx(ctx, co.backoff(sends)); err != nil {
+					return nil, err
+				}
+				launch(co.metrics.retries)
+				inflight++
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if sends < maxSends {
+				launch(co.metrics.hedges)
+				inflight++
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+// noteFailure marks a worker down on transport-level errors (the probe loop
+// will bring it back); HTTP-level errors leave liveness alone.
+func (co *Coordinator) noteFailure(w *worker, err error) {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	if w.setUp(false) {
+		co.metrics.workerUp.Set(0, w.name)
+		co.cfg.Logger.Printf("ircluster: worker %s down: %v", w.name, err)
+	}
+}
+
+// retryable reports whether another worker could plausibly answer: network
+// failures and overload/5xx responses retry, request errors (4xx) do not.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500 || apiErr.IsShed()
+	}
+	return true
+}
+
+// backoff returns the jittered delay before retry number attempt (1-based):
+// base·attempt plus up to 50% random jitter.
+func (co *Coordinator) backoff(attempt int) time.Duration {
+	d := co.cfg.RetryBackoff * time.Duration(attempt)
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// shardRequest builds the scatter's base request (everything but the Shard
+// field) from a spec. Per-shard deadlines inherit the solve ctx's deadline,
+// forwarded as timeout_ms so workers bound their own admission.
+func shardRequest(spec *solveSpec, ctx context.Context) (server.ShardRequest, error) {
+	req := server.ShardRequest{
+		Family: spec.family.String(),
+		Opts: ir.OptionsWire{
+			Procs:           spec.data.Opts.Procs,
+			MaxExponentBits: spec.bits,
+		},
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl).Milliseconds()
+		if remaining < 1 {
+			remaining = 1
+		}
+		req.Opts.TimeoutMs = int(remaining)
+	}
+	if spec.family == ir.FamilyMoebius {
+		req.System = ir.SystemWire{M: spec.m, N: len(spec.g), G: spec.g, F: spec.f}
+		req.A, req.B, req.C, req.D = spec.data.A, spec.data.B, spec.data.C, spec.data.D
+		req.X0 = spec.data.X0
+		return req, nil
+	}
+	req.System = ir.WireFromSystem(spec.sys)
+	req.Op, req.Mod = spec.data.Op, spec.data.Mod
+	var init any = spec.data.InitFloat
+	if spec.data.InitInt != nil {
+		init = spec.data.InitInt
+	}
+	raw, err := json.Marshal(init)
+	if err != nil {
+		return req, err
+	}
+	req.Init = raw
+	return req, nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"indexedrec/internal/core"
 	"indexedrec/internal/parallel"
@@ -48,6 +49,14 @@ type Plan struct {
 	// combines is the total op-application count of any replay
 	// (Result.Combines).
 	combines int64
+
+	// Chain decomposition (shard.go), computed lazily on first use: chainOf
+	// maps each written cell to its chain id (-1 for unwritten cells), and
+	// chainSizes[c] counts the cells of chain c. Chains are the connected
+	// components of the write-chain forest — the natural distribution unit.
+	chainsOnce sync.Once
+	chainOf    []int32
+	chainSizes []int
 }
 
 // CompilePlan runs the structure-only half of SolveCtx: it validates the

@@ -1,0 +1,228 @@
+package ordinary
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/parallel"
+)
+
+// Shard-slice replays of compiled ordinary plans. The write-chain forest is
+// a disjoint union of chains (paper §3): every pointer-jumping read of a
+// cell x targets a cell on x's own Next-path, so the connected components of
+// the forest are closed under the entire combine schedule. Replaying the
+// schedule restricted to a subset of chains therefore performs exactly the
+// combines the full replay performs on those cells — same operands, same
+// round order — making per-chain slices bit-identical to the full solve and
+// safe to distribute across machines.
+
+// ErrShardRange is returned when a requested chain or cell range does not
+// fit the plan.
+var ErrShardRange = fmt.Errorf("ordinary: shard range out of bounds")
+
+// initChains computes the chain decomposition once: chain ids are assigned
+// by ascending terminal-root cell, so the numbering is deterministic for a
+// given plan structure (coordinator and workers agree on it by construction).
+func (p *Plan) initChains() {
+	p.chainsOnce.Do(func() {
+		fr := p.Forest
+		rootOf := make([]int32, p.M)
+		for x := range rootOf {
+			rootOf[x] = -1
+		}
+		var path []int
+		for _, x := range fr.Cells {
+			y := x
+			path = path[:0]
+			for rootOf[y] < 0 && fr.Next[y] >= 0 {
+				path = append(path, y)
+				y = fr.Next[y]
+			}
+			r := rootOf[y]
+			if r < 0 {
+				r = int32(y) // y is a terminal written cell: a chain root
+				rootOf[y] = r
+			}
+			for _, c := range path {
+				rootOf[c] = r
+			}
+		}
+		roots := make([]int, 0, 16)
+		seen := make(map[int32]int)
+		for _, x := range fr.Cells {
+			r := rootOf[x]
+			if _, ok := seen[r]; !ok {
+				seen[r] = 0
+				roots = append(roots, int(r))
+			}
+		}
+		sort.Ints(roots)
+		for id, r := range roots {
+			seen[int32(r)] = id
+		}
+		p.chainOf = make([]int32, p.M)
+		for x := range p.chainOf {
+			p.chainOf[x] = -1
+		}
+		p.chainSizes = make([]int, len(roots))
+		for _, x := range fr.Cells {
+			id := seen[rootOf[x]]
+			p.chainOf[x] = int32(id)
+			p.chainSizes[id]++
+		}
+	})
+}
+
+// NumChains returns the number of chains (forest components) in the plan —
+// the size of the ordinary family's shard domain.
+func (p *Plan) NumChains() int {
+	p.initChains()
+	return len(p.chainSizes)
+}
+
+// ChainSizes returns the cell count of each chain, indexed by chain id. The
+// slice is owned by the plan; callers must not modify it. Partitioners use
+// it to cut balanced contiguous chain ranges.
+func (p *Plan) ChainSizes() []int {
+	p.initChains()
+	return p.chainSizes
+}
+
+// ChainOf returns the chain id of every cell (-1 for unwritten cells). The
+// slice is owned by the plan; callers must not modify it.
+func (p *Plan) ChainOf() []int32 {
+	p.initChains()
+	return p.chainOf
+}
+
+// ShardResult is a sparse slice of a replay: the final values of the cells
+// a shard owns, in ascending cell order.
+type ShardResult[T any] struct {
+	// Cells lists the cells this shard computed, ascending.
+	Cells []int
+	// Values[k] is the final value of Cells[k], bit-identical to the full
+	// replay's Values[Cells[k]].
+	Values []T
+}
+
+// SolvePlanMemberCtx replays a compiled plan restricted to a member set of
+// cells. member must be closed under the forest's Next relation (chain
+// unions are; see SolvePlanChainsCtx). The combines performed on member
+// cells are exactly those of SolvePlanCtx, on the same operands in the same
+// round order, so member cells' values are bit-identical to the full
+// replay's; non-member cells keep their init values. Error and cancellation
+// behavior follows the SolvePlanCtx contract.
+func SolvePlanMemberCtx[T any](ctx context.Context, p *Plan, op core.Semigroup[T], init []T, member []bool, opt Options) (_ []T, err error) {
+	defer parallel.RecoverTo(&err)
+	if len(init) != p.M {
+		return nil, fmt.Errorf("%w: len(init) = %d, want M = %d", ErrInitLen, len(init), p.M)
+	}
+	if len(member) != p.M {
+		return nil, fmt.Errorf("%w: len(member) = %d, want M = %d", ErrShardRange, len(member), p.M)
+	}
+	v := make([]T, p.M)
+	copy(v, init)
+
+	// Initialization phase: member cells' terminal init folds. Reads target
+	// the caller's init array directly, so no closure constraint applies.
+	sel := make([]pair, 0, len(p.initPairs))
+	for _, pr := range p.initPairs {
+		if member[pr.Dst] {
+			sel = append(sel, pr)
+		}
+	}
+	if err := parallel.ForCtx(ctx, len(sel), opt.Procs, func(lo, hi int) error {
+		for k := lo; k < hi; k++ {
+			pr := sel[k]
+			v[pr.Dst] = op.Combine(init[pr.Src], init[pr.Dst])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Rounds: gather-then-apply over the member subset of each round. Every
+	// Src lies on its Dst's Next-path, hence inside the member set.
+	var src []T
+	for _, round := range p.rounds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sel = sel[:0]
+		for _, pr := range round {
+			if member[pr.Dst] {
+				sel = append(sel, pr)
+			}
+		}
+		if cap(src) < len(sel) {
+			src = make([]T, len(sel))
+		}
+		src = src[:len(sel)]
+		if err := parallel.ForCtx(ctx, len(sel), opt.Procs, func(lo, hi int) error {
+			for k := lo; k < hi; k++ {
+				src[k] = v[sel[k].Src]
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if err := parallel.ForCtx(ctx, len(sel), opt.Procs, func(lo, hi int) error {
+			for k := lo; k < hi; k++ {
+				x := sel[k].Dst
+				v[x] = op.Combine(src[k], v[x])
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// MemberForChains returns the cell membership bitmap of the chain range
+// [chainLo, chainHi) — the closure SolvePlanMemberCtx requires.
+func (p *Plan) MemberForChains(chainLo, chainHi int) ([]bool, error) {
+	p.initChains()
+	if chainLo < 0 || chainHi > len(p.chainSizes) || chainLo > chainHi {
+		return nil, fmt.Errorf("%w: chains [%d, %d) of %d", ErrShardRange, chainLo, chainHi, len(p.chainSizes))
+	}
+	member := make([]bool, p.M)
+	for _, x := range p.Forest.Cells {
+		if c := p.chainOf[x]; int(c) >= chainLo && int(c) < chainHi {
+			member[x] = true
+		}
+	}
+	return member, nil
+}
+
+// SolvePlanChainsCtx replays the chain range [chainLo, chainHi) of a
+// compiled plan and returns the owned cells' final values, bit-identical to
+// the same cells of SolvePlanCtx. It is the worker-side entry point of a
+// distributed ordinary solve.
+func SolvePlanChainsCtx[T any](ctx context.Context, p *Plan, op core.Semigroup[T], init []T, chainLo, chainHi int, opt Options) (*ShardResult[T], error) {
+	member, err := p.MemberForChains(chainLo, chainHi)
+	if err != nil {
+		return nil, err
+	}
+	v, err := SolvePlanMemberCtx(ctx, p, op, init, member, opt)
+	if err != nil {
+		return nil, err
+	}
+	count := 0
+	for c := chainLo; c < chainHi; c++ {
+		count += p.chainSizes[c]
+	}
+	res := &ShardResult[T]{
+		Cells:  make([]int, 0, count),
+		Values: make([]T, 0, count),
+	}
+	for x := 0; x < p.M; x++ {
+		if member[x] {
+			res.Cells = append(res.Cells, x)
+			res.Values = append(res.Values, v[x])
+		}
+	}
+	return res, nil
+}

@@ -111,6 +111,72 @@ type LoopResponse struct {
 	ElapsedMs float64              `json:"elapsed_ms"`
 }
 
+// ShardPrefix is the worker-role API prefix: coordinators scatter compiled
+// plan slices to POST /v1/shard/solve.
+const ShardPrefix = "/v1/shard/"
+
+// ShardWire is the JSON form of an ir.Shard.
+type ShardWire struct {
+	// Lo and Hi bound the half-open slice of the plan's shard domain
+	// (chains for the ordinary family, cells otherwise).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// ShardRequest is the body of POST /v1/shard/solve: the system's structure
+// (so the worker can compile or cache-load the plan by fingerprint), one
+// shard of its domain, and the full PlanData the plan replays against.
+// The Möbius family posts its coefficients in A..D/X0 and leaves Op/Init
+// empty; ordinary and general post Op/Mod/Init and leave the arrays empty.
+type ShardRequest struct {
+	// Family names the solver family: "ordinary", "general" or "moebius".
+	Family string `json:"family"`
+	// System carries the index maps; the Möbius family uses M, G, F with
+	// H absent.
+	System ir.SystemWire `json:"system"`
+	// Shard is the slice of the plan's shard domain to execute.
+	Shard ShardWire `json:"shard"`
+	// Op, Mod and Init feed ordinary/general replays (see OrdinaryRequest).
+	Op   string          `json:"op,omitempty"`
+	Mod  int64           `json:"mod,omitempty"`
+	Init json.RawMessage `json:"init,omitempty"`
+	// A, B, C, D and X0 feed Möbius replays (nil C, D = the affine form).
+	A  []float64 `json:"a,omitempty"`
+	B  []float64 `json:"b,omitempty"`
+	C  []float64 `json:"c,omitempty"`
+	D  []float64 `json:"d,omitempty"`
+	X0 []float64 `json:"x0,omitempty"`
+	// Opts carries procs/deadline/exponent options as elsewhere.
+	Opts ir.OptionsWire `json:"opts,omitempty"`
+}
+
+// ShardResponse mirrors ir.ShardSolution on the wire, plus timing.
+type ShardResponse struct {
+	// Shard echoes the executed slice.
+	Shard ShardWire `json:"shard"`
+	// Cells lists a sparse (ordinary) shard's owned cells, ascending.
+	Cells []int `json:"cells,omitempty"`
+	// ValuesInt / ValuesFloat / Values carry the slice values; exactly one
+	// is set, as in ir.ShardSolution.
+	ValuesInt   []int64   `json:"values_int,omitempty"`
+	ValuesFloat []float64 `json:"values_float,omitempty"`
+	Values      []float64 `json:"values,omitempty"`
+	// ElapsedMs is the worker-side solve time.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// VersionResponse is the body of GET /version — build identification for
+// mixed-version cluster diagnosis.
+type VersionResponse struct {
+	// Version is the main module version (or "(devel)" for local builds).
+	Version string `json:"version"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+	// Revision and Modified identify the VCS state when embedded.
+	Revision string `json:"revision,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -135,9 +201,9 @@ func floatOp(name string) (ir.CommutativeMonoid[float64], error) {
 // messages and docs.
 func OpNames() []string { return ir.OpNames() }
 
-// decodeInitInt parses the raw init array as int64s, rejecting non-integral
+// DecodeInitInt parses the raw init array as int64s, rejecting non-integral
 // values rather than truncating.
-func decodeInitInt(raw json.RawMessage) ([]int64, error) {
+func DecodeInitInt(raw json.RawMessage) ([]int64, error) {
 	if len(raw) == 0 {
 		return nil, fmt.Errorf("missing \"init\"")
 	}
@@ -156,9 +222,9 @@ func decodeInitInt(raw json.RawMessage) ([]int64, error) {
 	return out, nil
 }
 
-// decodeInitFloat parses the raw init array as float64s, rejecting
+// DecodeInitFloat parses the raw init array as float64s, rejecting
 // non-finite values up front (the solvers would reject them anyway).
-func decodeInitFloat(raw json.RawMessage) ([]float64, error) {
+func DecodeInitFloat(raw json.RawMessage) ([]float64, error) {
 	if len(raw) == 0 {
 		return nil, fmt.Errorf("missing \"init\"")
 	}

@@ -159,6 +159,21 @@ func (c *Client) get(ctx context.Context, path string) (int, string, error) {
 	return resp.StatusCode, string(body), err
 }
 
+// getJSON fetches a JSON endpoint into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	code, body, err := c.get(ctx, path)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return &APIError{Status: code, Message: body}
+	}
+	if err := json.Unmarshal([]byte(body), out); err != nil {
+		return fmt.Errorf("irserved client: decoding response: %w", err)
+	}
+	return nil
+}
+
 // Healthz reports whether the server process is up.
 func (c *Client) Healthz(ctx context.Context) error {
 	code, body, err := c.get(ctx, "/healthz")

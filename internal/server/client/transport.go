@@ -1,0 +1,71 @@
+package client
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"indexedrec/internal/server"
+)
+
+// Connection reuse. A coordinator fires many small shard requests at the
+// same few workers; the stdlib default of two idle connections per host
+// forces most of them through fresh TCP handshakes under fan-out. One
+// shared transport with a deeper idle pool keeps the scatter path on warm
+// connections without every caller tuning http.Transport by hand.
+
+// SharedTransport returns the process-wide HTTP transport for irserved
+// clients: keep-alives on, a per-host idle pool sized for coordinator
+// fan-out, and bounded dial/TLS handshake times. All clients built with
+// NewPooled share it, so connections to a worker are reused across client
+// values.
+func SharedTransport() *http.Transport {
+	sharedOnce.Do(func() {
+		d := &net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}
+		shared = &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+			DialContext:         d.DialContext,
+			TLSHandshakeTimeout: 10 * time.Second,
+		}
+	})
+	return shared
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *http.Transport
+)
+
+// NewPooled returns a client on the shared keep-alive transport with a
+// per-request timeout (0 means no client-side cap; the server still applies
+// its own deadline). Use this for coordinators and anything else that talks
+// to the same hosts repeatedly.
+func NewPooled(base string, timeout time.Duration) *Client {
+	return &Client{
+		Base: base,
+		HTTP: &http.Client{Transport: SharedTransport(), Timeout: timeout},
+	}
+}
+
+// SolveShard executes one shard of a plan on a worker (the worker role's
+// POST /v1/shard/solve).
+func (c *Client) SolveShard(ctx context.Context, req server.ShardRequest) (*server.ShardResponse, error) {
+	var out server.ShardResponse
+	if err := c.do(ctx, server.ShardPrefix+"solve", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Version fetches the server's build identification (GET /version).
+func (c *Client) Version(ctx context.Context) (*server.VersionResponse, error) {
+	var out server.VersionResponse
+	if err := c.getJSON(ctx, "/version", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

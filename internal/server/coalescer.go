@@ -149,7 +149,7 @@ func (s *Server) runBatch(items []*batchItem) {
 		plans := make([]*moebius.Plan, len(live))
 		planned := true
 		for k, it := range live {
-			p, err := planFor(s.plans, ctx, it.fp, func(ctx context.Context) (*moebius.Plan, error) {
+			p, err := PlanFor(s.plans, ctx, it.fp, func(ctx context.Context) (*moebius.Plan, error) {
 				return moebius.CompilePlan(ctx, it.ms.M, it.ms.G, it.ms.F)
 			})
 			if err != nil {

@@ -193,6 +193,73 @@ func (cv *CounterVec) samples(b *strings.Builder) {
 	}
 }
 
+// GaugeVec is a gauge family keyed by label values (the coordinator's
+// ircluster_worker_up{worker="..."}).
+type GaugeVec struct {
+	fname, fhelp string
+	labelNames   []string
+	mu           sync.Mutex
+	children     map[string]*vecChild
+}
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	gv := &GaugeVec{
+		fname:      name,
+		fhelp:      help,
+		labelNames: labelNames,
+		children:   make(map[string]*vecChild),
+	}
+	r.register(gv)
+	return gv
+}
+
+func (gv *GaugeVec) child(labelValues ...string) *vecChild {
+	if len(labelValues) != len(gv.labelNames) {
+		panic(fmt.Sprintf("metrics: %s: got %d label values, want %d",
+			gv.fname, len(labelValues), len(gv.labelNames)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	ch, ok := gv.children[key]
+	if !ok {
+		labels := make(map[string]string, len(gv.labelNames))
+		for i, n := range gv.labelNames {
+			labels[n] = labelValues[i]
+		}
+		ch = &vecChild{labels: labels}
+		gv.children[key] = ch
+	}
+	return ch
+}
+
+// Set stores v for the child with the given label values.
+func (gv *GaugeVec) Set(v int64, labelValues ...string) { gv.child(labelValues...).v.Store(v) }
+
+// Value returns the stored value for the given label values.
+func (gv *GaugeVec) Value(labelValues ...string) int64 { return gv.child(labelValues...).v.Load() }
+
+func (gv *GaugeVec) name() string { return gv.fname }
+func (gv *GaugeVec) help() string { return gv.fhelp }
+func (gv *GaugeVec) typ() string  { return "gauge" }
+func (gv *GaugeVec) samples(b *strings.Builder) {
+	gv.mu.Lock()
+	keys := make([]string, 0, len(gv.children))
+	for k := range gv.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]*vecChild, len(keys))
+	for i, k := range keys {
+		children[i] = gv.children[k]
+	}
+	gv.mu.Unlock()
+	for _, ch := range children {
+		fmt.Fprintf(b, "%s%s %d\n", gv.fname, labelString(ch.labels), ch.v.Load())
+	}
+}
+
 // Gauge is a settable value; an optional Func overrides the stored value at
 // scrape time (used for live readings like queue depth).
 type Gauge struct {

@@ -19,16 +19,16 @@ import (
 // entries, and is observable as irserved_plan_cache_{hits,misses,
 // evictions}_total and irserved_plan_cache_bytes.
 
-// cachedPlan is what the cache stores: a compiled plan of any family that
+// CachedPlan is what the cache stores: a compiled plan of any family that
 // can report its resident size (*ir.Plan, *moebius.Plan).
-type cachedPlan interface {
+type CachedPlan interface {
 	SizeBytes() int64
 }
 
-// planCache is a size-accounted LRU of compiled plans, keyed by fingerprint.
-// All methods are safe for concurrent use; a nil *planCache means caching is
-// disabled (see planFor).
-type planCache struct {
+// PlanCache is a size-accounted LRU of compiled plans, keyed by fingerprint.
+// All methods are safe for concurrent use; a nil *PlanCache means caching is
+// disabled (see PlanFor).
+type PlanCache struct {
 	mu       sync.Mutex
 	maxBytes int64
 	bytes    int64
@@ -41,42 +41,59 @@ type planCache struct {
 
 type planEntry struct {
 	key  string
-	plan cachedPlan
+	plan CachedPlan
 	size int64
 }
 
-// newPlanCache builds a cache bounded by maxBytes (> 0).
-func newPlanCache(maxBytes int64, m *serverMetrics) *planCache {
-	return &planCache{
+// PlanCacheMetrics wires a cache's observability: hit/miss/eviction
+// counters and a resident-bytes gauge. Any field may be nil (unobserved).
+// The cache is shared with internal/cluster, whose coordinator keys the
+// same plans under ircluster_* metric names.
+type PlanCacheMetrics struct {
+	// Hits, Misses and Evictions count cache outcomes.
+	Hits, Misses, Evictions *Counter
+	// Bytes tracks resident plan bytes.
+	Bytes *Gauge
+}
+
+// NewPlanCache builds a cache bounded by maxBytes (> 0).
+func NewPlanCache(maxBytes int64, m PlanCacheMetrics) *PlanCache {
+	return &PlanCache{
 		maxBytes:   maxBytes,
 		ll:         list.New(),
 		items:      make(map[string]*list.Element),
-		hits:       m.planHits,
-		misses:     m.planMisses,
-		evictions:  m.planEvictions,
-		bytesGauge: m.planBytes,
+		hits:       m.Hits,
+		misses:     m.Misses,
+		evictions:  m.Evictions,
+		bytesGauge: m.Bytes,
 	}
 }
 
-// get returns the cached plan for key, marking it most recently used.
-func (c *planCache) get(key string) (cachedPlan, bool) {
+func inc(c *Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// Get returns the cached plan for key, marking it most recently used.
+func (c *PlanCache) Get(key string) (CachedPlan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses.Inc()
+		inc(c.misses)
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	c.hits.Inc()
+	inc(c.hits)
 	return el.Value.(*planEntry).plan, true
 }
 
-// put inserts a compiled plan, evicting LRU entries until the byte bound
+// Put inserts a compiled plan, evicting LRU entries until the byte bound
 // holds again. A plan larger than the whole cache is not stored (it would
 // evict everything for a single use). Re-inserting an existing key keeps the
 // already-cached plan: equal fingerprints mean interchangeable plans.
-func (c *planCache) put(key string, plan cachedPlan) {
+func (c *PlanCache) Put(key string, plan CachedPlan) {
 	size := plan.SizeBytes()
 	if size > c.maxBytes {
 		return
@@ -99,26 +116,28 @@ func (c *planCache) put(key string, plan cachedPlan) {
 		c.ll.Remove(back)
 		delete(c.items, ent.key)
 		c.bytes -= ent.size
-		c.evictions.Inc()
+		inc(c.evictions)
 	}
-	c.bytesGauge.Set(c.bytes)
+	if c.bytesGauge != nil {
+		c.bytesGauge.Set(c.bytes)
+	}
 }
 
-// len reports the entry count (tests and diagnostics).
-func (c *planCache) len() int {
+// Len reports the entry count (tests and diagnostics).
+func (c *PlanCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
 
-// planFor resolves a plan by fingerprint: cache hit, or compile (on the
+// PlanFor resolves a plan by fingerprint: cache hit, or compile (on the
 // calling worker goroutine, under the request ctx) and insert. Concurrent
 // misses on one key may compile twice; the first insert wins and the
 // duplicate is dropped, which is harmless because equal fingerprints mean
 // interchangeable plans. A nil cache (caching disabled) compiles every time.
-func planFor[P cachedPlan](c *planCache, ctx context.Context, key string, compile func(context.Context) (P, error)) (P, error) {
+func PlanFor[P CachedPlan](c *PlanCache, ctx context.Context, key string, compile func(context.Context) (P, error)) (P, error) {
 	if c != nil {
-		if v, ok := c.get(key); ok {
+		if v, ok := c.Get(key); ok {
 			if p, ok := v.(P); ok {
 				return p, nil
 			}
@@ -132,7 +151,7 @@ func planFor[P cachedPlan](c *planCache, ctx context.Context, key string, compil
 		return zero, err
 	}
 	if c != nil {
-		c.put(key, p)
+		c.Put(key, p)
 	}
 	return p, nil
 }
@@ -145,7 +164,7 @@ func solveOrdinary[T any](ctx context.Context, s *Server, sys *ir.System, op ir.
 		return ir.SolveOrdinaryCtx[T](ctx, sys, op, init, opt)
 	}
 	fp := ir.PlanFingerprint(ir.FamilyOrdinary, sys.N, sys.M, sys.G, sys.F, nil, 0)
-	p, err := planFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+	p, err := PlanFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
 		return ir.CompileCtx(ctx, sys, ir.CompileOptions{Family: ir.FamilyOrdinary, Procs: opt.Procs})
 	})
 	if err != nil {
@@ -162,7 +181,7 @@ func solveGeneral[T any](ctx context.Context, s *Server, sys *ir.System, op ir.C
 		return ir.SolveGeneralCtx[T](ctx, sys, op, init, opt)
 	}
 	fp := ir.PlanFingerprint(ir.FamilyGeneral, sys.N, sys.M, sys.G, sys.F, sys.H, opt.MaxExponentBits)
-	p, err := planFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+	p, err := PlanFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
 		return ir.CompileCtx(ctx, sys, ir.CompileOptions{
 			Family:          ir.FamilyGeneral,
 			Procs:           opt.Procs,

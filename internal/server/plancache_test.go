@@ -9,16 +9,16 @@ import (
 	"testing"
 )
 
-// fakePlan is a cachedPlan of a declared size, for exercising the LRU
+// fakePlan is a CachedPlan of a declared size, for exercising the LRU
 // bookkeeping without compiling anything.
 type fakePlan int64
 
 func (p fakePlan) SizeBytes() int64 { return int64(p) }
 
-func newBareCache(t *testing.T, maxBytes int64) (*planCache, *serverMetrics) {
+func newBareCache(t *testing.T, maxBytes int64) (*PlanCache, *serverMetrics) {
 	t.Helper()
 	m := newServerMetrics(NewRegistry(), func() float64 { return 0 }, 1)
-	return newPlanCache(maxBytes, m), m
+	return NewPlanCache(maxBytes, m.planCacheMetrics()), m
 }
 
 // TestPlanCacheLRU drives the cache directly: byte accounting, recency
@@ -27,16 +27,16 @@ func newBareCache(t *testing.T, maxBytes int64) (*planCache, *serverMetrics) {
 func TestPlanCacheLRU(t *testing.T) {
 	c, m := newBareCache(t, 100)
 
-	c.put("a", fakePlan(40))
-	c.put("b", fakePlan(40))
-	if _, ok := c.get("a"); !ok { // refresh a: now b is LRU
+	c.Put("a", fakePlan(40))
+	c.Put("b", fakePlan(40))
+	if _, ok := c.Get("a"); !ok { // refresh a: now b is LRU
 		t.Fatal("a missing after put")
 	}
-	c.put("c", fakePlan(40)) // 120 > 100: evicts b
-	if _, ok := c.get("b"); ok {
+	c.Put("c", fakePlan(40)) // 120 > 100: evicts b
+	if _, ok := c.Get("b"); ok {
 		t.Error("b survived eviction; want LRU evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.Get("a"); !ok {
 		t.Error("a evicted; want the recently-used entry kept")
 	}
 	if got := m.planEvictions.Value(); got != 1 {
@@ -47,18 +47,18 @@ func TestPlanCacheLRU(t *testing.T) {
 	}
 
 	// An entry larger than the whole cache is refused outright.
-	c.put("huge", fakePlan(101))
-	if _, ok := c.get("huge"); ok {
+	c.Put("huge", fakePlan(101))
+	if _, ok := c.Get("huge"); ok {
 		t.Error("oversized plan was cached")
 	}
-	if c.len() != 2 {
-		t.Errorf("len = %d, want 2", c.len())
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
 	}
 
 	// Re-inserting an existing key neither duplicates nor re-accounts.
-	c.put("a", fakePlan(40))
-	if c.len() != 2 || c.bytes != 80 {
-		t.Errorf("after duplicate put: len = %d bytes = %d, want 2 and 80", c.len(), c.bytes)
+	c.Put("a", fakePlan(40))
+	if c.Len() != 2 || c.bytes != 80 {
+		t.Errorf("after duplicate put: len = %d bytes = %d, want 2 and 80", c.Len(), c.bytes)
 	}
 }
 

@@ -164,6 +164,17 @@ func newServerMetrics(reg *Registry, depthFn func() float64, capacity int) *serv
 	return m
 }
 
+// planCacheMetrics packs the plan-cache slice of the server metrics into the
+// exported form NewPlanCache accepts.
+func (m *serverMetrics) planCacheMetrics() PlanCacheMetrics {
+	return PlanCacheMetrics{
+		Hits:      m.planHits,
+		Misses:    m.planMisses,
+		Evictions: m.planEvictions,
+		Bytes:     m.planBytes,
+	}
+}
+
 // Server is the solve service. Create with New, mount Handler (or use
 // ListenAndServe), stop with Shutdown.
 type Server struct {
@@ -174,7 +185,7 @@ type Server struct {
 	co      *coalescer
 	// plans caches compiled solve plans by fingerprint; nil when
 	// Config.PlanCacheBytes is negative (caching disabled).
-	plans    *planCache
+	plans    *PlanCache
 	mux      *http.ServeMux
 	lifetime context.Context
 	cancel   context.CancelFunc
@@ -198,7 +209,7 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.pool.depth() + len(s.co.in)) },
 		cfg.QueueDepth)
 	if cfg.PlanCacheBytes > 0 {
-		s.plans = newPlanCache(cfg.PlanCacheBytes, s.metrics)
+		s.plans = NewPlanCache(cfg.PlanCacheBytes, s.metrics.planCacheMetrics())
 	}
 	s.co = newCoalescer(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, func(items []*batchItem) {
 		j := &job{ctx: s.lifetime, run: func() {
@@ -237,6 +248,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST "+APIPrefix+"loop", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSolve(w, r, "loop", s.execLoop)
 	})
+	s.mux.HandleFunc("POST "+ShardPrefix+"solve", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSolve(w, r, "shard", s.execShard)
+	})
+	s.mux.HandleFunc("GET /version", s.handleVersion)
 }
 
 // Handler returns the service's HTTP handler (for tests and embedding).
@@ -516,7 +531,7 @@ func (s *Server) execOrdinary(body []byte) (func(ctx context.Context) (any, erro
 		return nil, err
 	}
 	if iop != nil {
-		init, err := decodeInitInt(req.Init)
+		init, err := DecodeInitInt(req.Init)
 		if err != nil {
 			return nil, err
 		}
@@ -540,7 +555,7 @@ func (s *Server) execOrdinary(body []byte) (func(ctx context.Context) (any, erro
 	if fop == nil {
 		return nil, fmt.Errorf("unknown op %q (one of %s)", req.Op, strings.Join(OpNames(), ", "))
 	}
-	init, err := decodeInitFloat(req.Init)
+	init, err := DecodeInitFloat(req.Init)
 	if err != nil {
 		return nil, err
 	}
@@ -576,7 +591,7 @@ func (s *Server) execGeneral(body []byte) (func(ctx context.Context) (any, error
 		return nil, err
 	}
 	if iop != nil {
-		init, err := decodeInitInt(req.Init)
+		init, err := DecodeInitInt(req.Init)
 		if err != nil {
 			return nil, err
 		}
@@ -603,7 +618,7 @@ func (s *Server) execGeneral(body []byte) (func(ctx context.Context) (any, error
 	if fop == nil {
 		return nil, fmt.Errorf("unknown op %q (one of %s)", req.Op, strings.Join(OpNames(), ", "))
 	}
-	init, err := decodeInitFloat(req.Init)
+	init, err := DecodeInitFloat(req.Init)
 	if err != nil {
 		return nil, err
 	}
@@ -762,7 +777,8 @@ func statusForSolve(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled), errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, ir.ErrInvalidSystem), errors.Is(err, moebius.ErrBadSystem):
+	case errors.Is(err, ir.ErrInvalidSystem), errors.Is(err, moebius.ErrBadSystem),
+		errors.Is(err, ir.ErrShard):
 		return http.StatusBadRequest
 	case errors.Is(err, ir.ErrNonFinite), errors.Is(err, ir.ErrExponentLimit):
 		return http.StatusUnprocessableEntity

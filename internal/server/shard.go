@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"indexedrec/ir"
+)
+
+// The worker role. A coordinator (internal/cluster) cuts a compiled plan's
+// shard domain with ir.Plan.Partition and scatters the slices here; each
+// worker compiles — or cache-loads, since the request carries the same
+// structure the fingerprint hashes — the plan and executes its slice with
+// ir.Plan.SolveShardCtx. Shard solves go through the same admission pool,
+// deadlines, and load-shedding as whole solves, so a worker that also takes
+// direct traffic degrades both honestly rather than either silently.
+
+// execShard validates a ShardRequest and returns the pool closure that
+// resolves the plan (via the shared cache) and executes the slice.
+func (s *Server) execShard(body []byte) (func(ctx context.Context) (any, error), error) {
+	var req ShardRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+	fam, err := ir.FamilyByName(req.Family)
+	if err != nil {
+		return nil, err
+	}
+	sh := ir.Shard{Lo: req.Shard.Lo, Hi: req.Shard.Hi}
+	if sh.Lo < 0 || sh.Hi < sh.Lo {
+		return nil, fmt.Errorf("%w: [%d, %d)", ir.ErrShard, sh.Lo, sh.Hi)
+	}
+	if fam == ir.FamilyMoebius {
+		return s.execShardMoebius(&req, sh)
+	}
+
+	sys, opt, err := s.systemAndOptions(req.System, req.Opts)
+	if err != nil {
+		return nil, err
+	}
+	var bits int
+	if fam == ir.FamilyGeneral {
+		bits = s.cfg.MaxExponentBits
+		if b := req.Opts.MaxExponentBits; b > 0 && b < bits {
+			bits = b
+		}
+	} else if !sys.Ordinary() {
+		return nil, fmt.Errorf("%w: ordinary shard requires H = G", ir.ErrInvalidSystem)
+	}
+	data := ir.PlanData{Op: req.Op, Mod: req.Mod, Opts: opt}
+	iop, err := intOp(req.Op, req.Mod)
+	if err != nil {
+		return nil, err
+	}
+	if iop != nil {
+		if data.InitInt, err = DecodeInitInt(req.Init); err != nil {
+			return nil, err
+		}
+		if len(data.InitInt) != sys.M {
+			return nil, fmt.Errorf("len(init) = %d, want m = %d", len(data.InitInt), sys.M)
+		}
+	} else {
+		fop, err := floatOp(req.Op)
+		if err != nil {
+			return nil, err
+		}
+		if fop == nil {
+			return nil, fmt.Errorf("unknown op %q (one of %s)", req.Op, strings.Join(OpNames(), ", "))
+		}
+		if data.InitFloat, err = DecodeInitFloat(req.Init); err != nil {
+			return nil, err
+		}
+		if len(data.InitFloat) != sys.M {
+			return nil, fmt.Errorf("len(init) = %d, want m = %d", len(data.InitFloat), sys.M)
+		}
+	}
+	fp := ir.PlanFingerprint(fam, sys.N, sys.M, sys.G, sys.F, sys.H, bits)
+	return func(ctx context.Context) (any, error) {
+		start := time.Now()
+		p, err := PlanFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+			return ir.CompileCtx(ctx, sys, ir.CompileOptions{
+				Family: fam, Procs: opt.Procs, MaxExponentBits: bits,
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		part, err := p.SolveShardCtx(ctx, data, sh)
+		if err != nil {
+			return nil, err
+		}
+		return shardResponse(part, start), nil
+	}, nil
+}
+
+// execShardMoebius is execShard's Möbius-family arm: coefficients travel in
+// A..D/X0, structure in System.M/G/F, and the compiled plan is the shadow
+// ordinary system over 2x2 matrices.
+func (s *Server) execShardMoebius(req *ShardRequest, sh ir.Shard) (func(ctx context.Context) (any, error), error) {
+	g, f, m := req.System.G, req.System.F, req.System.M
+	if len(g) > s.cfg.MaxN {
+		return nil, fmt.Errorf("n = %d exceeds the server limit %d", len(g), s.cfg.MaxN)
+	}
+	opt, err := req.Opts.Options()
+	if err != nil {
+		return nil, err
+	}
+	opt.Procs = s.clampProcs(opt.Procs)
+	data := ir.PlanData{A: req.A, B: req.B, C: req.C, D: req.D, X0: req.X0, Opts: opt}
+	fp := ir.PlanFingerprint(ir.FamilyMoebius, len(g), m, g, f, nil, 0)
+	return func(ctx context.Context) (any, error) {
+		start := time.Now()
+		p, err := PlanFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+			return ir.CompileMoebiusCtx(ctx, m, g, f)
+		})
+		if err != nil {
+			return nil, err
+		}
+		part, err := p.SolveShardCtx(ctx, data, sh)
+		if err != nil {
+			return nil, err
+		}
+		return shardResponse(part, start), nil
+	}, nil
+}
+
+// shardResponse packs a shard solution for the wire.
+func shardResponse(part *ir.ShardSolution, start time.Time) ShardResponse {
+	return ShardResponse{
+		Shard:       ShardWire{Lo: part.Shard.Lo, Hi: part.Shard.Hi},
+		Cells:       part.Cells,
+		ValuesInt:   part.ValuesInt,
+		ValuesFloat: part.ValuesFloat,
+		Values:      part.Values,
+		ElapsedMs:   ms(start),
+	}
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"indexedrec/ir"
+)
+
+// TestShardEndpoint drives the worker role end to end over HTTP: an
+// ordinary chain is cut into two shards, each solved via POST
+// /v1/shard/solve, and the merged values must equal the whole-system solve.
+func TestShardEndpoint(t *testing.T) {
+	leak := checkGoroutines(t)
+	func() {
+		_, ts, down := newTestServer(t, Config{})
+		defer down()
+
+		// X[i] := X[i] + X[i-1] over 9 cells — prefix sums of init.
+		sys := ir.SystemWire{M: 9, G: []int{1, 2, 3, 4, 5, 6, 7, 8}, F: []int{0, 1, 2, 3, 4, 5, 6, 7}}
+		init := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+		rawInit, _ := json.Marshal(init)
+
+		solve := func(sh ShardWire) ShardResponse {
+			t.Helper()
+			resp, data := post(t, ts.URL+ShardPrefix+"solve", ShardRequest{
+				Family: "ordinary",
+				System: sys,
+				Shard:  sh,
+				Op:     "int64-add",
+				Init:   rawInit,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("shard %+v: HTTP %d: %s", sh, resp.StatusCode, data)
+			}
+			var out ShardResponse
+			if err := json.Unmarshal(data, &out); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+
+		// One chain → one shard; solving it in full must reproduce the
+		// sequential recurrence.
+		full := solve(ShardWire{Lo: 0, Hi: 1})
+		if len(full.Cells) != 8 || len(full.ValuesInt) != 8 {
+			t.Fatalf("full shard: %d cells, %d values, want 8 each", len(full.Cells), len(full.ValuesInt))
+		}
+		want := init[0]
+		for k, x := range full.Cells {
+			want += init[k+1]
+			if x != k+1 || full.ValuesInt[k] != want {
+				t.Fatalf("cell %d = %d (value %d), want %d (value %d)", k, x, full.ValuesInt[k], k+1, want)
+			}
+		}
+
+		// Out-of-range shard → 400 with ErrShard semantics.
+		resp, data := post(t, ts.URL+ShardPrefix+"solve", ShardRequest{
+			Family: "ordinary", System: sys, Shard: ShardWire{Lo: 0, Hi: 5},
+			Op: "int64-add", Init: rawInit,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("oversized shard: HTTP %d: %s", resp.StatusCode, data)
+		}
+
+		// Unknown family → 400 before admission.
+		resp, data = post(t, ts.URL+ShardPrefix+"solve", ShardRequest{
+			Family: "fancy", System: sys, Shard: ShardWire{Lo: 0, Hi: 1},
+			Op: "int64-add", Init: rawInit,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("unknown family: HTTP %d: %s", resp.StatusCode, data)
+		}
+	}()
+	leak()
+}
+
+// TestShardEndpointMoebius checks the Möbius arm of the worker role against
+// the local plan solve.
+func TestShardEndpointMoebius(t *testing.T) {
+	leak := checkGoroutines(t)
+	func() {
+		_, ts, down := newTestServer(t, Config{})
+		defer down()
+
+		m, g, f := 5, []int{1, 2, 3, 4}, []int{0, 1, 2, 3}
+		data := ir.PlanData{
+			A:  []float64{2, 1, 3, 1},
+			B:  []float64{1, 0, 2, 1},
+			X0: []float64{1, 0, 0, 0, 0},
+		}
+		p, err := ir.CompileMoebius(m, g, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := p.SolveCtx(t.Context(), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		resp, body := post(t, ts.URL+ShardPrefix+"solve", ShardRequest{
+			Family: "moebius",
+			System: ir.SystemWire{M: m, G: g, F: f},
+			Shard:  ShardWire{Lo: 1, Hi: 5},
+			A:      data.A, B: data.B, X0: data.X0,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+		}
+		var out ShardResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Values) != 4 {
+			t.Fatalf("%d values, want 4", len(out.Values))
+		}
+		for k, v := range out.Values {
+			if v != want.Values[1+k] {
+				t.Fatalf("cell %d: shard %v != local %v", 1+k, v, want.Values[1+k])
+			}
+		}
+	}()
+	leak()
+}
+
+// TestVersionEndpoint asserts GET /version answers with the build info the
+// binary embeds.
+func TestVersionEndpoint(t *testing.T) {
+	_, ts, down := newTestServer(t, Config{})
+	defer down()
+	resp, err := http.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	var v VersionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Version == "" || v.Go == "" {
+		t.Fatalf("version response missing fields: %+v", v)
+	}
+}

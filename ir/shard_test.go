@@ -1,0 +1,221 @@
+package ir
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// solveViaShards cuts the plan into k shards, solves each independently,
+// and merges — the in-process model of a distributed solve.
+func solveViaShards(t *testing.T, p *Plan, data PlanData, k int) *PlanSolution {
+	t.Helper()
+	ctx := context.Background()
+	shards := p.Partition(k)
+	if len(shards) == 0 {
+		// Empty shard domain: nothing to scatter; the merge of zero parts
+		// must still reproduce the local solve.
+		sol, err := p.MergeShards(data, nil)
+		if err != nil {
+			t.Fatalf("merge of empty scatter: %v", err)
+		}
+		return sol
+	}
+	parts := make([]*ShardSolution, len(shards))
+	for i, sh := range shards {
+		part, err := p.SolveShardCtx(ctx, data, sh)
+		if err != nil {
+			t.Fatalf("shard %v: %v", sh, err)
+		}
+		parts[i] = part
+	}
+	sol, err := p.MergeShards(data, parts)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return sol
+}
+
+func TestPartitionCoversDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(40)
+		s := randOrdinary(rng, m, rng.Intn(m+1))
+		p, err := Compile(s, CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 3, 7, 100} {
+			shards := p.Partition(k)
+			units := p.ShardUnits()
+			if units == 0 {
+				if shards != nil {
+					t.Fatalf("empty domain produced shards %v", shards)
+				}
+				continue
+			}
+			if len(shards) > k {
+				t.Fatalf("Partition(%d) produced %d shards", k, len(shards))
+			}
+			at := 0
+			for _, sh := range shards {
+				if sh.Lo != at || sh.Hi <= sh.Lo {
+					t.Fatalf("Partition(%d) = %v: bad shard %v at %d", k, shards, sh, at)
+				}
+				at = sh.Hi
+			}
+			if at != units {
+				t.Fatalf("Partition(%d) covers %d of %d units", k, at, units)
+			}
+		}
+	}
+}
+
+func TestShardedOrdinaryBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ctx := context.Background()
+	for trial := 0; trial < 60; trial++ {
+		m := 1 + rng.Intn(48)
+		s := randOrdinary(rng, m, rng.Intn(m+1))
+		p, err := Compile(s, CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := make([]float64, m)
+		for x := range init {
+			init[x] = rng.Float64()*100 - 50
+		}
+		data := PlanData{Op: "float64-add", InitFloat: init, Opts: SolveOptions{Procs: 2}}
+		want, err := p.SolveCtx(ctx, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 4} {
+			got := solveViaShards(t, p, data, k)
+			if len(got.ValuesFloat) != len(want.ValuesFloat) {
+				t.Fatalf("trial %d k=%d: %d values, want %d", trial, k, len(got.ValuesFloat), len(want.ValuesFloat))
+			}
+			for x := range want.ValuesFloat {
+				if got.ValuesFloat[x] != want.ValuesFloat[x] {
+					t.Fatalf("trial %d k=%d cell %d: sharded %v != local %v",
+						trial, k, x, got.ValuesFloat[x], want.ValuesFloat[x])
+				}
+			}
+			if got.Rounds != want.Rounds || got.Combines != want.Combines {
+				t.Fatalf("trial %d k=%d: cost profile diverged", trial, k)
+			}
+		}
+	}
+}
+
+func TestShardedGeneralBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	ctx := context.Background()
+	for trial := 0; trial < 40; trial++ {
+		m := 1 + rng.Intn(24)
+		s := randGeneral(rng, m, rng.Intn(2*m+1))
+		p, err := Compile(s, CompileOptions{MaxExponentBits: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := make([]int64, m)
+		for x := range init {
+			init[x] = rng.Int63n(1000) + 1
+		}
+		data := PlanData{Op: "mul-mod", Mod: 1_000_003, InitInt: init, Opts: SolveOptions{Procs: 2}}
+		want, err := p.SolveCtx(ctx, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 4} {
+			got := solveViaShards(t, p, data, k)
+			for x := range want.ValuesInt {
+				if got.ValuesInt[x] != want.ValuesInt[x] {
+					t.Fatalf("trial %d k=%d cell %d: sharded %v != local %v",
+						trial, k, x, got.ValuesInt[x], want.ValuesInt[x])
+				}
+			}
+			if got.CAPRounds != want.CAPRounds {
+				t.Fatalf("trial %d k=%d: CAPRounds %d != %d", trial, k, got.CAPRounds, want.CAPRounds)
+			}
+		}
+	}
+}
+
+func TestShardedMoebiusBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ctx := context.Background()
+	for trial := 0; trial < 40; trial++ {
+		m := 1 + rng.Intn(32)
+		s := randOrdinary(rng, m, rng.Intn(m+1))
+		p, err := CompileMoebius(m, s.G, s.F)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(s.G)
+		data := PlanData{
+			A:  randFloats(rng, n, 2),
+			B:  randFloats(rng, n, 5),
+			C:  randFloats(rng, n, 0.1),
+			D:  randFloats(rng, n, 3),
+			X0: randFloats(rng, m, 10),
+		}
+		for i := range data.D {
+			data.D[i] += 1.5 // keep denominators away from zero
+		}
+		want, err := p.SolveCtx(ctx, data)
+		if err != nil {
+			continue // a division-by-zero draw; sharding equivalence needs a finite baseline
+		}
+		for _, k := range []int{1, 2, 4} {
+			got := solveViaShards(t, p, data, k)
+			for x := range want.Values {
+				if got.Values[x] != want.Values[x] {
+					t.Fatalf("trial %d k=%d cell %d: sharded %v != local %v",
+						trial, k, x, got.Values[x], want.Values[x])
+				}
+			}
+		}
+	}
+}
+
+func randFloats(rng *rand.Rand, n int, scale float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return out
+}
+
+func TestShardErrors(t *testing.T) {
+	ctx := context.Background()
+	s := &System{M: 4, N: 3, G: []int{1, 2, 3}, F: []int{0, 1, 2}}
+	p, err := Compile(s, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := PlanData{Op: "int64-add", InitInt: []int64{1, 2, 3, 4}}
+	if _, err := p.SolveShardCtx(ctx, data, Shard{Lo: 0, Hi: p.ShardUnits() + 1}); !errors.Is(err, ErrShard) {
+		t.Fatalf("oversized shard: err = %v, want ErrShard", err)
+	}
+	if _, err := p.SolveShardCtx(ctx, data, Shard{Lo: 2, Hi: 1}); !errors.Is(err, ErrShard) {
+		t.Fatalf("inverted shard: err = %v, want ErrShard", err)
+	}
+	part, err := p.SolveShardCtx(ctx, data, Shard{Lo: 0, Hi: p.ShardUnits()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropping a shard from the gather must fail loudly, not merge silently.
+	if _, err := p.MergeShards(data, nil); !errors.Is(err, ErrShard) {
+		t.Fatalf("empty gather: err = %v, want ErrShard", err)
+	}
+	if sol, err := p.MergeShards(data, []*ShardSolution{part}); err != nil {
+		t.Fatal(err)
+	} else if len(sol.ValuesInt) != 4 {
+		t.Fatalf("merged %d values, want 4", len(sol.ValuesInt))
+	}
+	if _, err := FamilyByName("nope"); !errors.Is(err, ErrShard) {
+		t.Fatalf("FamilyByName: err = %v, want ErrShard", err)
+	}
+}
