@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof-addr listener
 	"os"
 	"os/signal"
 	"strings"
@@ -47,9 +48,11 @@ func main() {
 		planCache     = flag.Int64("plan-cache", 0, "compiled-plan cache budget in bytes (0 = 256 MiB default, negative disables)")
 		maxN          = flag.Int("max-n", 4<<20, "max iterations per request")
 		procs         = flag.Int("procs", 0, "local-fallback solver goroutines (0 = GOMAXPROCS)")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 		showVersion   = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	servePprof(*pprofAddr)
 
 	if *showVersion {
 		v := server.BuildVersion()
@@ -86,6 +89,21 @@ func main() {
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ircoord: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// servePprof exposes the net/http/pprof endpoints (registered on the default
+// mux by the blank import) on their own listener, kept off the service
+// address so profiling is never publicly routable by accident.
+func servePprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "ircoord: pprof listener: %v\n", err)
+		}
+	}()
+	fmt.Printf("ircoord: pprof on http://%s/debug/pprof/\n", addr)
 }
 
 // splitList parses a comma-separated address list, dropping empties.

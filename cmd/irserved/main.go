@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof-addr listener
 	"os"
 	"os/signal"
 	"strings"
@@ -60,9 +61,11 @@ func main() {
 		coordinator = flag.Bool("coordinator", false, "run as an ircluster coordinator instead of a worker")
 		workerList  = flag.String("workers-list", "", "comma-separated worker addresses (coordinator mode)")
 		probeEvery  = flag.Duration("probe-interval", 5*time.Second, "worker health-probe period (coordinator mode)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 		showVersion = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	servePprof(*pprofAddr)
 
 	if *showVersion {
 		v := server.BuildVersion()
@@ -115,6 +118,21 @@ func main() {
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "irserved: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// servePprof exposes the net/http/pprof endpoints (registered on the default
+// mux by the blank import) on their own listener, kept off the service
+// address so profiling is never publicly routable by accident.
+func servePprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "irserved: pprof listener: %v\n", err)
+		}
+	}()
+	fmt.Printf("irserved: pprof on http://%s/debug/pprof/\n", addr)
 }
 
 // splitList parses a comma-separated address list, dropping empties.

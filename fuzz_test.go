@@ -5,7 +5,10 @@ package indexedrec
 // cell against the sequential oracle (core.RunSequential). The property
 // under fuzz: the solvers never panic, whenever they succeed they agree
 // with the oracle exactly, and a compiled plan (ir.Compile + replay)
-// reproduces the direct solve bit for bit.
+// reproduces the direct solve bit for bit. Each input also picks an
+// execution configuration — persistent gang vs spawn-per-round, and
+// monomorphized kernels vs generic dispatch — so the equivalence holds
+// across every path the hot-path engine can take.
 
 import (
 	"context"
@@ -15,10 +18,24 @@ import (
 
 	"indexedrec/internal/core"
 	"indexedrec/internal/gir"
+	"indexedrec/internal/moebius"
 	"indexedrec/internal/ordinary"
+	"indexedrec/internal/parallel"
 	"indexedrec/internal/workload"
 	"indexedrec/ir"
 )
+
+// toggleEngine selects the gang and kernel dispatch paths from two fuzz
+// seed bits and returns a restore function. The solvers must be
+// bit-identical across all four combinations.
+func toggleEngine(seed int64) func() {
+	prevGang := parallel.SetGangEnabled(seed&1 == 0)
+	prevKern := ordinary.SetKernelsEnabled(seed&2 == 0)
+	return func() {
+		parallel.SetGangEnabled(prevGang)
+		ordinary.SetKernelsEnabled(prevKern)
+	}
+}
 
 func FuzzSolveAgainstOracle(f *testing.F) {
 	// Seed corpus: shapes that historically stress the solvers — tiny
@@ -37,6 +54,7 @@ func FuzzSolveAgainstOracle(f *testing.F) {
 		if m < 1 || m > 512 || n < 0 || n > 1024 {
 			t.Skip("out of budget")
 		}
+		defer toggleEngine(seed)()
 		rng := rand.New(rand.NewSource(seed))
 		var s *core.System
 		switch kind % 3 {
@@ -87,6 +105,24 @@ func FuzzSolveAgainstOracle(f *testing.F) {
 				t.Fatalf("ordinary plan cost: replay (%d rounds, %d combines) != direct (%d, %d)",
 					prep.Rounds, prep.Combines, res.Rounds, res.Combines)
 			}
+
+			// IntAdd implements the monomorphized kernel (MulMod does not),
+			// so this cross-check is the one that actually drives kernel
+			// dispatch when the toggle enables it: direct solve and plan
+			// replay must agree bit for bit on whichever path was selected.
+			sumDirect, err := ordinary.SolveCtx[int64](ctx, s, ir.IntAdd{}, init, ordinary.Options{Procs: 3})
+			if err != nil {
+				t.Fatalf("ordinary.SolveCtx(IntAdd): %v", err)
+			}
+			sumReplay, err := ir.SolveOrdinaryPlanCtx[int64](ctx, plan, ir.IntAdd{}, init, ir.SolveOptions{Procs: 3})
+			if err != nil {
+				t.Fatalf("SolveOrdinaryPlanCtx(IntAdd): %v", err)
+			}
+			for i, v := range sumReplay.Values {
+				if v != sumDirect.Values[i] {
+					t.Fatalf("IntAdd plan cell %d: replay %d != direct %d", i, v, sumDirect.Values[i])
+				}
+			}
 		}
 
 		res, err := gir.SolveCtx[int64](ctx, s, op, init, gir.Options{Procs: 4, MaxExponentBits: 4096})
@@ -124,7 +160,10 @@ func FuzzSolveAgainstOracle(f *testing.F) {
 // equivalence: for random distinct-g systems and random finite
 // coefficients, a compiled plan's replay must match the direct solver
 // bit for bit — including agreeing on which inputs are rejected
-// (ErrNonFinite from a division by zero along a chain).
+// (ErrNonFinite from a division by zero along a chain). The same contract
+// is asserted for the explicit arena replays (including a back-to-back
+// second replay on the same arena, proving prime-in-place reuse is stable)
+// under fuzz-selected gang and kernel dispatch paths.
 func FuzzMoebiusPlanAgainstDirect(f *testing.F) {
 	f.Add(int64(1), 8, 8, false)
 	f.Add(int64(2), 1, 1, true)
@@ -135,6 +174,7 @@ func FuzzMoebiusPlanAgainstDirect(f *testing.F) {
 		if m < 1 || m > 512 || n < 0 || n > 512 {
 			t.Skip("out of budget")
 		}
+		defer toggleEngine(seed)()
 		rng := rand.New(rand.NewSource(seed))
 		s := workload.RandomOrdinary(rng, m, n) // distinct g, as Möbius requires
 		a := make([]float64, s.N)
@@ -164,6 +204,38 @@ func FuzzMoebiusPlanAgainstDirect(f *testing.F) {
 		if (derr == nil) != (rerr == nil) {
 			t.Fatalf("error disagreement: direct %v, replay %v", derr, rerr)
 		}
+
+		// Explicit arena replays, twice on the same arena: the second run
+		// exercises the primed (no init copy) steady state over slots the
+		// first replay already dirtied.
+		mp, err := moebius.CompilePlan(ctx, s.M, s.G, s.F)
+		if err != nil {
+			t.Fatalf("moebius.CompilePlan: %v", err)
+		}
+		ar := mp.NewArena()
+		sopt := ordinary.Options{Procs: 4}
+		for pass := 1; pass <= 2; pass++ {
+			var warm []float64
+			var werr error
+			if full {
+				warm, werr = mp.SolveArenaCtx(ctx, ar, a, b, c, d, x0, sopt)
+			} else {
+				// c = 0, d = 1 exactly, so the affine fill must reproduce
+				// the full solve on these coefficients bit for bit.
+				warm, werr = mp.SolveLinearArenaCtx(ctx, ar, a, b, x0, sopt)
+			}
+			if (derr == nil) != (werr == nil) {
+				t.Fatalf("arena pass %d error disagreement: direct %v, arena %v", pass, derr, werr)
+			}
+			if derr == nil {
+				for x, v := range warm {
+					if v != direct[x] {
+						t.Fatalf("arena pass %d cell %d: arena %v != direct %v", pass, x, v, direct[x])
+					}
+				}
+			}
+		}
+
 		if derr != nil {
 			if !errors.Is(derr, ir.ErrNonFinite) {
 				t.Fatalf("direct solve failed unexpectedly: %v", derr)

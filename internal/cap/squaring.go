@@ -104,6 +104,18 @@ func CountSquaringCtx(ctx context.Context, g *Graph, opt SquaringOptions) (_ Cou
 				if len(cur[v]) == 0 {
 					continue
 				}
+				// A lone sink edge can neither compose nor merge: carry the
+				// slice itself instead of copying. Later rounds only read
+				// cur, so the alias is safe, and by the last rounds — when
+				// most nodes have collapsed to one sink edge — this removes
+				// the bulk of the round's allocation.
+				if len(cur[v]) == 1 && g.sink[cur[v][0].To] {
+					if err := checkBits(cur[v][0].Label, opt.MaxBits); err != nil {
+						return err
+					}
+					next[v] = cur[v]
+					continue
+				}
 				buf := make([]Edge, 0, len(cur[v]))
 				for _, e := range cur[v] {
 					if g.sink[e.To] {

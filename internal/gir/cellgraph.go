@@ -104,6 +104,10 @@ func solveOnGraphCtx[T any](ctx context.Context, d *DepGraph, s *core.System, op
 	if len(init) != s.M {
 		return nil, fmt.Errorf("%w: len(init) = %d, want s.M = %d", ErrInitLen, len(init), s.M)
 	}
+	// One gang carries every CAP round and the evaluation sweep; the graph
+	// has M + N nodes, which bounds every parallel round of the solve.
+	ctx, release := parallel.EnsureGang(ctx, opt.Procs, s.M+s.N)
+	defer release()
 	counts, st, err := countCtx(ctx, d, opt)
 	if err != nil {
 		return nil, fmt.Errorf("gir: CAP failed: %w", err)

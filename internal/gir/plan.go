@@ -64,6 +64,10 @@ func CompilePlanCtx(ctx context.Context, s *core.System, opt Options) (_ *Plan, 
 	if err != nil {
 		return nil, err
 	}
+	// CAP is many parallel rounds over a graph of M + N nodes; one gang
+	// carries them all instead of spawning workers per round.
+	ctx, release := parallel.EnsureGang(ctx, opt.Procs, s.M+s.N)
+	defer release()
 	counts, st, err := countCtx(ctx, d, opt)
 	if err != nil {
 		return nil, fmt.Errorf("gir: CAP failed: %w", err)
@@ -103,6 +107,8 @@ func SolvePlanCtx[T any](ctx context.Context, p *Plan, op core.CommutativeMonoid
 	if len(init) != p.D.M {
 		return nil, fmt.Errorf("%w: len(init) = %d, want m = %d", ErrInitLen, len(init), p.D.M)
 	}
+	ctx, release := parallel.EnsureGang(ctx, procs, p.D.M)
+	defer release()
 	res := &Result[T]{CAPStats: p.Stats}
 	if err := evalPowersCtx(ctx, p.D, op, init, p.Counts, res, procs); err != nil {
 		return nil, err

@@ -33,14 +33,42 @@ func (m Mat2) Apply(x float64) float64 {
 	return (m.A*x + m.B) / (m.C*x + m.D)
 }
 
+// normLim is the entry magnitude at which normScale rescales a matrix.
+const normLim = 1e150
+
 // normScale rescales a matrix when entries grow huge. A Möbius map is
 // projective — scaling all four entries leaves Apply unchanged — so this
 // guards long chains against float overflow without altering semantics.
+// The all-small test here is the hot path: its branches are almost always
+// taken the same way (unlike a running-max reduction, whose comparisons
+// flip unpredictably), it is branchless-Abs only, and "every |entry| <
+// normLim" is exactly "max |entry| < normLim" — NaN entries fail the
+// comparison and fall through to rescale's explicit guards.
 func (m Mat2) normScale() Mat2 {
-	const lim = 1e150
-	a := math.Max(math.Max(math.Abs(m.A), math.Abs(m.B)),
-		math.Max(math.Abs(m.C), math.Abs(m.D)))
-	if a < lim || math.IsInf(a, 0) || math.IsNaN(a) {
+	if math.Abs(m.A) < normLim && math.Abs(m.B) < normLim &&
+		math.Abs(m.C) < normLim && math.Abs(m.D) < normLim {
+		return m
+	}
+	return m.rescale()
+}
+
+// rescale is normScale's cold half: some |entry| is ≥ normLim, non-finite,
+// or NaN. Division by the max keeps the map unchanged projectively; Inf and
+// NaN maxima are left alone (scaling by 0 or NaN would corrupt the map).
+func (m Mat2) rescale() Mat2 {
+	a1, a2, a3, a4 := math.Abs(m.A), math.Abs(m.B), math.Abs(m.C), math.Abs(m.D)
+	a := a1
+	if a2 > a {
+		a = a2
+	}
+	if a3 > a {
+		a = a3
+	}
+	if a4 > a {
+		a = a4
+	}
+	if a < normLim || math.IsInf(a, 0) ||
+		a1 != a1 || a2 != a2 || a3 != a3 || a4 != a4 {
 		return m
 	}
 	s := 1 / a
@@ -66,3 +94,58 @@ func (ChainOp) Combine(a, b Mat2) Mat2 {
 
 // Identity implements core.Monoid.
 func (ChainOp) Identity() Mat2 { return Identity() }
+
+// The Kernel methods below are ChainOp's monomorphized fast path: the same
+// guarded product ⊙, inlined over Mat2 slices so the solvers' hot combine
+// loops skip per-element interface dispatch. Each loop body calls exactly
+// Combine's code path (det guard, Mul, normScale), so results are
+// bit-identical to the generic loops.
+
+// CombineGathered implements core.Kernel. The [lo, hi) re-slice lets the
+// compiler drop the per-element bounds checks on the pair arrays.
+func (o ChainOp) CombineGathered(v, src []Mat2, dst []int32, lo, hi int) {
+	dst, src = dst[lo:hi], src[lo:hi]
+	for k := range dst {
+		x := dst[k]
+		b := v[x]
+		if b.Det() == 0 {
+			continue
+		}
+		v[x] = b.Mul(src[k]).normScale()
+	}
+}
+
+// CombineScatter implements core.Kernel. Same bounds-check treatment as
+// CombineGathered.
+func (o ChainOp) CombineScatter(v, from []Mat2, dst, src []int32, lo, hi int) {
+	dst, src = dst[lo:hi], src[lo:hi]
+	for k := range dst {
+		x := dst[k]
+		b := v[x]
+		if b.Det() == 0 {
+			continue
+		}
+		v[x] = b.Mul(from[src[k]]).normScale()
+	}
+}
+
+// JumpRound implements core.Kernel.
+func (o ChainOp) JumpRound(v2, v []Mat2, nx []int, cells []int, lo, hi int) int {
+	combines := 0
+	for k := lo; k < hi; k++ {
+		x := cells[k]
+		n := nx[x]
+		if n < 0 {
+			v2[x] = v[x]
+			continue
+		}
+		combines++
+		b := v[x]
+		if b.Det() == 0 {
+			v2[x] = b
+			continue
+		}
+		v2[x] = b.Mul(v[n]).normScale()
+	}
+	return combines
+}

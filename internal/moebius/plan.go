@@ -3,7 +3,7 @@ package moebius
 import (
 	"context"
 	"fmt"
-	"math"
+	"sync"
 
 	"indexedrec/internal/ordinary"
 	"indexedrec/internal/parallel"
@@ -34,6 +34,11 @@ type Plan struct {
 	// value x's composed map is applied to (chain root with shadow cells
 	// resolved); -1 for unwritten cells.
 	applyRoot []int
+	// arenas pools replay scratch (see Arena): together with the plan
+	// cache's fingerprint keying, warm replays through SolveCtx check their
+	// shadow matrices, pointer-jumping buffers and output row out and back
+	// in instead of allocating them.
+	arenas sync.Pool
 }
 
 // CompilePlan validates the index maps and compiles the shadow system's
@@ -96,66 +101,18 @@ func (p *Plan) SizeBytes() int64 {
 // by zero surfacing as a non-finite output cell returns ErrNonFinite after
 // the solve. The affine forms are the special case c = 0, d = 1 (compose
 // the extended form's b rewrite before calling, as NewExtended does).
+// Scratch comes from the plan's arena pool, so a warm replay's only
+// allocation is the returned result; see SolveArenaCtx for the explicit,
+// zero-allocation arena API.
 func (p *Plan) SolveCtx(ctx context.Context, a, b, c, d, x0 []float64, opt ordinary.Options) ([]float64, error) {
-	n := p.N
-	if len(a) != n || len(b) != n || len(c) != n || len(d) != n {
-		return nil, fmt.Errorf("%w: coefficient lengths disagree with n = %d", ErrBadSystem, n)
-	}
-	for name, cs := range map[string][]float64{"A": a, "B": b, "C": c, "D": d} {
-		for i, v := range cs {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("%w: coefficient %s[%d] = %v", ErrNonFinite, name, i, v)
-			}
-		}
-	}
-	if len(x0) != p.M {
-		return nil, fmt.Errorf("%w: len(x0) = %d, want M = %d", ErrInitLen, len(x0), p.M)
-	}
-	for x, v := range x0 {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("%w: x0[%d] = %v", ErrNonFinite, x, v)
-		}
-	}
-
-	// Step 1: per-cell matrices (identity on unwritten and shadow cells).
-	mats := make([]Mat2, p.shadowM)
-	for x := range mats {
-		mats[x] = Identity()
-	}
-	for i := 0; i < n; i++ {
-		mats[p.g[i]] = Mat2{A: a[i], B: b[i], C: c[i], D: d[i]}
-	}
-
-	// Step 2: replay the compiled ordinary schedule over ⊙.
-	res, err := ordinary.SolvePlanCtx[Mat2](ctx, p.ord, ChainOp{}, mats, opt)
-	if err != nil {
-		return nil, fmt.Errorf("moebius: %w", err)
-	}
-
-	// Step 3: apply composed maps to precomputed chain-root initial values.
-	out := append([]float64(nil), x0...)
-	for i := 0; i < n; i++ {
-		x := p.g[i]
-		out[x] = res.Values[x].Apply(x0[p.applyRoot[x]])
-	}
-	for x, v := range out {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("%w: cell %d = %v (division by zero along its chain)",
-				ErrNonFinite, x, v)
-		}
-	}
-	return out, nil
+	return p.solvePooled(ctx, a, b, c, d, x0, false, opt)
 }
 
 // SolveLinearCtx replays the plan for the affine form
-// X[g(i)] := a[i]·X[f(i)] + b[i] (c = 0, d = 1).
+// X[g(i)] := a[i]·X[f(i)] + b[i] (c = 0, d = 1, written by the replay's
+// matrix fill itself).
 func (p *Plan) SolveLinearCtx(ctx context.Context, a, b, x0 []float64, opt ordinary.Options) ([]float64, error) {
-	c := make([]float64, p.N)
-	d := make([]float64, p.N)
-	for i := range d {
-		d[i] = 1
-	}
-	return p.SolveCtx(ctx, a, b, c, d, x0, opt)
+	return p.solvePooled(ctx, a, b, nil, nil, x0, true, opt)
 }
 
 // SolveBatchPlansCtx solves independent Möbius systems through their

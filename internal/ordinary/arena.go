@@ -1,0 +1,223 @@
+package ordinary
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/parallel"
+)
+
+// kernelsDisabled is the global kill switch for monomorphized kernels (see
+// SetKernelsEnabled): when set, replays and direct solves use the generic
+// op.Combine element loops even for ops implementing core.Kernel. Fuzzers
+// flip it to prove both dispatch paths are bit-identical.
+var kernelsDisabled atomic.Bool
+
+// SetKernelsEnabled globally enables (default) or disables monomorphized
+// kernel dispatch and reports whether it was enabled before. Intended for
+// tests and fuzzers exercising the generic path; not a production tunable.
+func SetKernelsEnabled(on bool) bool {
+	return !kernelsDisabled.Swap(!on)
+}
+
+// kernelFor resolves op's monomorphized kernel, or nil for generic dispatch.
+func kernelFor[T any](op core.Semigroup[T]) core.Kernel[T] {
+	if kernelsDisabled.Load() {
+		return nil
+	}
+	k, _ := op.(core.Kernel[T])
+	return k
+}
+
+// Arena is the reusable scratch of plan replays: the working value array,
+// the gather snapshot buffer, the result shell, and the pre-bound parallel
+// round bodies, all sized once for one plan. A steady-state warm replay
+// through an arena performs no allocation at all. An arena is single-solve
+// at a time (not safe for concurrent SolveCtx calls on the same arena), and
+// the result of a solve aliases the arena's buffers — it is valid only
+// until the next SolveCtx on the same arena. Use one arena per worker, or
+// SolvePlanPooledCtx for a pool-managed copy-out replay.
+type Arena[T any] struct {
+	plan *Plan
+	v    []T
+	src  []T
+	res  Result[T]
+
+	// Per-solve bindings, cleared on return so pooled arenas retain no
+	// caller data.
+	op    core.Semigroup[T]
+	kern  core.Kernel[T]
+	init  []T
+	round *roundSched
+
+	// Round bodies, bound once so ForCtx dispatch never allocates.
+	initBody   func(lo, hi int) error
+	gatherBody func(lo, hi int) error
+	applyBody  func(lo, hi int) error
+}
+
+// NewArena allocates replay scratch for p: the value array, a gather
+// snapshot buffer of the plan's widest round, and the bound round bodies.
+func NewArena[T any](p *Plan) *Arena[T] {
+	a := &Arena[T]{
+		plan: p,
+		v:    make([]T, p.M),
+		src:  make([]T, p.maxGather),
+	}
+	a.initBody = a.initFold
+	a.gatherBody = a.gather
+	a.applyBody = a.apply
+	return a
+}
+
+// initFold is the initialization-phase round body: terminal written cells
+// fold in their chain root's initial value.
+func (a *Arena[T]) initFold(lo, hi int) error {
+	p := a.plan
+	if a.kern != nil {
+		a.kern.CombineScatter(a.v, a.init, p.initDst, p.initSrc, lo, hi)
+		return nil
+	}
+	for k := lo; k < hi; k++ {
+		x := p.initDst[k]
+		a.v[x] = a.op.Combine(a.init[p.initSrc[k]], a.v[x])
+	}
+	return nil
+}
+
+// gather snapshots the current round's gather-pair sources (pre-round
+// values, the explicit form of SolveCtx's double buffering).
+func (a *Arena[T]) gather(lo, hi int) error {
+	rd := a.round
+	for k := lo; k < hi; k++ {
+		a.src[k] = a.v[rd.gatherSrc[k]]
+	}
+	return nil
+}
+
+// apply runs the current round's combines over the chunk [lo, hi) of the
+// concatenated gather-then-direct pair index space.
+func (a *Arena[T]) apply(lo, hi int) error {
+	rd := a.round
+	gl := len(rd.gatherDst)
+	if lo < gl {
+		e := hi
+		if e > gl {
+			e = gl
+		}
+		if a.kern != nil {
+			a.kern.CombineGathered(a.v, a.src, rd.gatherDst, lo, e)
+		} else {
+			for k := lo; k < e; k++ {
+				x := rd.gatherDst[k]
+				a.v[x] = a.op.Combine(a.src[k], a.v[x])
+			}
+		}
+	}
+	if hi > gl {
+		s := lo
+		if s < gl {
+			s = gl
+		}
+		if a.kern != nil {
+			a.kern.CombineScatter(a.v, a.v, rd.directDst, rd.directSrc, s-gl, hi-gl)
+		} else {
+			for k := s - gl; k < hi-gl; k++ {
+				x := rd.directDst[k]
+				a.v[x] = a.op.Combine(a.v[rd.directSrc[k]], a.v[x])
+			}
+		}
+	}
+	return nil
+}
+
+// Buf exposes the arena's working value array for prime-in-place replays:
+// load initial values into it and call SolvePrimedCtx to replay without the
+// arena's own init copy. The buffer is owned by the arena and aliased by
+// every result; len(Buf()) == Plan().M.
+func (a *Arena[T]) Buf() []T { return a.v }
+
+// SolveCtx replays the arena's plan against fresh data, reusing the arena's
+// scratch: a steady-state warm replay allocates nothing. The returned result
+// aliases the arena (Values is the working array, Roots the plan's) and is
+// valid until the next SolveCtx on the same arena. Combines and operand
+// order are exactly SolvePlanCtx's, so results are bit-identical; error and
+// cancellation behavior follows the same contract.
+func (a *Arena[T]) SolveCtx(ctx context.Context, op core.Semigroup[T], init []T, opt Options) (*Result[T], error) {
+	if len(init) != a.plan.M {
+		return nil, fmt.Errorf("%w: len(init) = %d, want M = %d", ErrInitLen, len(init), a.plan.M)
+	}
+	return a.solve(ctx, op, init, opt)
+}
+
+// SolvePrimedCtx replays the arena's plan reading initial values from the
+// working array itself: the caller fills Buf() with this replay's initial
+// values and no copy is made. Only valid for primeable plans (see
+// Plan.Primeable) — the initialization fold then reads sources the solve
+// never writes, so in-place reads observe exactly the values SolveCtx's
+// init copy would. The solve overwrites written cells of Buf() only;
+// callers that keep unwritten cells loaded (the Möbius shadow arenas) can
+// re-prime just the written slots between replays. Results are bit-identical
+// to SolveCtx with the same buffer contents as init.
+func (a *Arena[T]) SolvePrimedCtx(ctx context.Context, op core.Semigroup[T], opt Options) (*Result[T], error) {
+	if !a.plan.primeable {
+		return nil, fmt.Errorf("ordinary: SolvePrimedCtx: plan is not primeable (an initialization source cell is written)")
+	}
+	return a.solve(ctx, op, nil, opt)
+}
+
+// solve is the shared replay body; init == nil means primed mode (a.v
+// already holds the initial values and doubles as the init array).
+func (a *Arena[T]) solve(ctx context.Context, op core.Semigroup[T], init []T, opt Options) (res *Result[T], err error) {
+	defer parallel.RecoverTo(&err)
+	p := a.plan
+	ctx, release := parallel.EnsureGang(ctx, opt.Procs, p.M)
+	defer release()
+
+	a.op = op
+	a.kern = kernelFor(op)
+	if init != nil {
+		a.init = init
+		copy(a.v, init)
+	} else {
+		a.init = a.v
+	}
+	if err := parallel.ForCtx(ctx, len(p.initDst), opt.Procs, a.initBody); err != nil {
+		a.reset()
+		return nil, err
+	}
+	for r := range p.rounds {
+		rd := &p.rounds[r]
+		if err := ctx.Err(); err != nil {
+			a.reset()
+			return nil, err
+		}
+		a.round = rd
+		if g := len(rd.gatherDst); g > 0 {
+			a.src = a.src[:g]
+			if err := parallel.ForCtx(ctx, g, opt.Procs, a.gatherBody); err != nil {
+				a.reset()
+				return nil, err
+			}
+		}
+		if err := parallel.ForCtx(ctx, rd.pairs(), opt.Procs, a.applyBody); err != nil {
+			a.reset()
+			return nil, err
+		}
+	}
+	a.reset()
+	a.res = Result[T]{Values: a.v, Roots: p.roots, Rounds: len(p.rounds), Combines: p.combines}
+	return &a.res, nil
+}
+
+// reset drops the per-solve bindings so a pooled arena retains no caller
+// references.
+func (a *Arena[T]) reset() {
+	a.op, a.kern, a.init, a.round = nil, nil, nil, nil
+	a.src = a.src[:cap(a.src)]
+}
+
+// Plan returns the plan this arena's scratch is sized for.
+func (a *Arena[T]) Plan() *Plan { return a.plan }

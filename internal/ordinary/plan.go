@@ -7,7 +7,6 @@ import (
 	"sync"
 
 	"indexedrec/internal/core"
-	"indexedrec/internal/parallel"
 )
 
 // This file implements compiled solve plans for the ordinary solver: the
@@ -19,11 +18,22 @@ import (
 // bookkeeping and perform exactly the value combines SolveCtx would,
 // in the same order, making results bit-identical.
 
-// pair is one scheduled combine: v[Dst] = op(v[Src], v[Dst]) where both
-// reads see the previous round's values (PRAM semantics).
-type pair struct {
-	Dst, Src int32
+// roundSched is the combine schedule of one pointer-jumping round, split at
+// compile time by data dependence. Every scheduled combine is
+// v[dst] = op(v[src], v[dst]) with all src reads observing pre-round values
+// (PRAM semantics). Gather pairs are those whose src cell is itself a dst
+// of the same round: replays snapshot their source values before applying.
+// Direct pairs read a src no combine of the round writes, so they read v in
+// place — no snapshot, no extra memory pass. The split is structural, so it
+// costs nothing per replay, and the operands are identical either way:
+// results stay bit-identical to the unsplit schedule.
+type roundSched struct {
+	gatherDst, gatherSrc []int32
+	directDst, directSrc []int32
 }
+
+// pairs returns the round's total combine count.
+func (r *roundSched) pairs() int { return len(r.gatherDst) + len(r.directDst) }
 
 // Plan is the compiled, data-independent part of an ordinary-IR solve.
 // A Plan is immutable after CompilePlan returns and safe for concurrent
@@ -35,20 +45,34 @@ type Plan struct {
 	// Forest is the write-chain forest the schedule was compiled from
 	// (retained for diagnostics and MaxChainLen).
 	Forest *Forest
-	// initPairs holds the initialization-phase combines of terminal written
-	// cells: v[Dst] = op(init[Src], init[Dst]). Both operands read the
-	// caller's init array, so no ordering constraints apply.
-	initPairs []pair
+	// initDst/initSrc hold the initialization-phase combines of terminal
+	// written cells: v[initDst[k]] = op(init[initSrc[k]], init[initDst[k]]).
+	// Both operands read initial values, so no ordering constraints apply.
+	initDst, initSrc []int32
 	// rounds[r] is the combine schedule of pointer-jumping round r+1.
-	// Within a round all Dst cells are distinct and all Src reads observe
-	// pre-round values.
-	rounds [][]pair
+	// Within a round all dst cells are distinct.
+	rounds []roundSched
+	// maxGather is the largest per-round gather-pair count — the snapshot
+	// buffer size an Arena needs.
+	maxGather int
 	// roots[x] is the cell whose initial value the trace of x begins with
 	// (Result.Roots of every replay).
 	roots []int
 	// combines is the total op-application count of any replay
 	// (Result.Combines).
 	combines int64
+	// primeable reports that every initialization-phase source cell is
+	// unwritten, so a replay may read initial values straight from the
+	// working array (see Arena.SolvePrimedCtx).
+	primeable bool
+
+	// arenas pools replay scratch (see Arena) per plan — together with the
+	// plan cache's fingerprint keying this is the "arena pool keyed by plan
+	// fingerprint": warm replays through SolvePlanPooledCtx check scratch
+	// out and back in instead of allocating. Entries are *Arena[T] boxed as
+	// any; a type mismatch (same plan replayed under two element types)
+	// just drops the entry.
+	arenas sync.Pool
 
 	// Chain decomposition (shard.go), computed lazily on first use: chainOf
 	// maps each written cell to its chain id (-1 for unwritten cells), and
@@ -83,37 +107,69 @@ func CompilePlan(ctx context.Context, s *core.System) (*Plan, error) {
 		case fr.Next[x] >= 0:
 			nx[x], rt[x] = fr.Next[x], x
 		default:
-			p.initPairs = append(p.initPairs, pair{Dst: int32(x), Src: int32(fr.InitF[x])})
+			p.initDst = append(p.initDst, int32(x))
+			p.initSrc = append(p.initSrc, int32(fr.InitF[x]))
 			nx[x], rt[x] = -1, fr.InitF[x]
 		}
 	}
-	p.combines = int64(len(p.initPairs))
+	p.combines = int64(len(p.initDst))
+	p.primeable = true
+	for _, s := range p.initSrc {
+		if fr.Written[s] {
+			p.primeable = false
+			break
+		}
+	}
 
 	// Lock-step rounds: record each round's (dst, src) combine list while
-	// advancing the pointers exactly as SolveCtx does (double-buffered reads).
+	// advancing the pointers exactly as SolveCtx does (double-buffered
+	// reads), then split it by dependence: a pair whose src is also written
+	// this round (dstRound stamp) must gather a pre-round snapshot; the
+	// rest read in place.
 	cells := fr.Cells
 	nx2 := make([]int, s.M)
 	rt2 := make([]int, s.M)
-	for {
+	tmpDst := make([]int32, 0, len(cells))
+	tmpSrc := make([]int32, 0, len(cells))
+	dstRound := make([]int32, s.M)
+	for x := range dstRound {
+		dstRound[x] = -1
+	}
+	for r := int32(0); ; r++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var round []pair
+		tmpDst, tmpSrc = tmpDst[:0], tmpSrc[:0]
 		for _, x := range cells {
 			n := nx[x]
 			if n < 0 {
 				nx2[x], rt2[x] = -1, rt[x]
 				continue
 			}
-			round = append(round, pair{Dst: int32(x), Src: int32(n)})
+			tmpDst = append(tmpDst, int32(x))
+			tmpSrc = append(tmpSrc, int32(n))
+			dstRound[x] = r
 			nx2[x] = nx[n]
 			rt2[x] = rt[n]
 		}
-		if len(round) == 0 {
+		if len(tmpDst) == 0 {
 			break
 		}
-		p.rounds = append(p.rounds, round)
-		p.combines += int64(len(round))
+		var rs roundSched
+		for k := range tmpDst {
+			if dstRound[tmpSrc[k]] == r {
+				rs.gatherDst = append(rs.gatherDst, tmpDst[k])
+				rs.gatherSrc = append(rs.gatherSrc, tmpSrc[k])
+			} else {
+				rs.directDst = append(rs.directDst, tmpDst[k])
+				rs.directSrc = append(rs.directSrc, tmpSrc[k])
+			}
+		}
+		if len(rs.gatherDst) > p.maxGather {
+			p.maxGather = len(rs.gatherDst)
+		}
+		p.rounds = append(p.rounds, rs)
+		p.combines += int64(len(tmpDst))
 		nx, nx2 = nx2, nx
 		rt, rt2 = rt2, rt
 	}
@@ -123,6 +179,14 @@ func CompilePlan(ctx context.Context, s *core.System) (*Plan, error) {
 
 // Rounds returns the number of pointer-jumping rounds a replay executes.
 func (p *Plan) Rounds() int { return len(p.rounds) }
+
+// Primeable reports whether the plan supports prime-in-place replays
+// (Arena.SolvePrimedCtx): true when every initialization-phase source cell
+// is unwritten, so the fold can read initial values from the working array
+// itself. Systems whose chain terminals read initial values of later-written
+// cells (possible in raw ordinary systems, never in the Möbius layer's
+// shadow systems) are not primeable.
+func (p *Plan) Primeable() bool { return p.primeable }
 
 // Combines returns the op-application count of a replay (identical to the
 // direct solve's Result.Combines).
@@ -134,9 +198,10 @@ func (p *Plan) Roots() []int { return p.roots }
 
 // SizeBytes estimates the plan's resident size, for cache accounting.
 func (p *Plan) SizeBytes() int64 {
-	size := int64(len(p.initPairs)) * 8
-	for _, r := range p.rounds {
-		size += int64(len(r)) * 8
+	size := int64(len(p.initDst)+len(p.initSrc)) * 4
+	for i := range p.rounds {
+		r := &p.rounds[i]
+		size += int64(len(r.gatherDst)+len(r.gatherSrc)+len(r.directDst)+len(r.directSrc)) * 4
 	}
 	size += int64(p.M) * 8 // roots
 	if p.Forest != nil {
@@ -151,57 +216,30 @@ func (p *Plan) SizeBytes() int64 {
 // round order, so for any op the result is bit-identical to the direct
 // solve's. Error and cancellation behavior follows the SolveCtx contract:
 // panics in op.Combine return as errors with all workers joined, and
-// cancellation stops the replay between rounds and chunks.
-func SolvePlanCtx[T any](ctx context.Context, p *Plan, op core.Semigroup[T], init []T, opt Options) (res *Result[T], err error) {
-	defer parallel.RecoverTo(&err)
-	if len(init) != p.M {
-		return nil, fmt.Errorf("%w: len(init) = %d, want M = %d", ErrInitLen, len(init), p.M)
+// cancellation stops the replay between rounds and chunks. The returned
+// result owns fresh value storage; hot loops that can recycle scratch
+// should use an Arena (or SolvePlanPooledCtx) instead.
+func SolvePlanCtx[T any](ctx context.Context, p *Plan, op core.Semigroup[T], init []T, opt Options) (*Result[T], error) {
+	return NewArena[T](p).SolveCtx(ctx, op, init, opt)
+}
+
+// SolvePlanPooledCtx replays a compiled plan through the plan's arena pool:
+// scratch buffers (value array, gather snapshots) are checked out, reused,
+// and returned, so a warm replay's only allocation is the caller-owned copy
+// of the final values. Results are bit-identical to SolvePlanCtx.
+func SolvePlanPooledCtx[T any](ctx context.Context, p *Plan, op core.Semigroup[T], init []T, opt Options) (*Result[T], error) {
+	a, _ := p.arenas.Get().(*Arena[T])
+	if a == nil {
+		a = NewArena[T](p)
 	}
-	v := make([]T, p.M)
-	copy(v, init)
-	if err := parallel.ForCtx(ctx, len(p.initPairs), opt.Procs, func(lo, hi int) error {
-		for k := lo; k < hi; k++ {
-			pr := p.initPairs[k]
-			v[pr.Dst] = op.Combine(init[pr.Src], init[pr.Dst])
-		}
-		return nil
-	}); err != nil {
+	res, err := a.SolveCtx(ctx, op, init, opt)
+	if err != nil {
+		p.arenas.Put(a)
 		return nil, err
 	}
-
-	// Per round: gather every source value first, then apply — the explicit
-	// form of SolveCtx's double buffering (all reads precede all writes).
-	var src []T
-	for _, round := range p.rounds {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if cap(src) < len(round) {
-			src = make([]T, len(round))
-		}
-		src = src[:len(round)]
-		if err := parallel.ForCtx(ctx, len(round), opt.Procs, func(lo, hi int) error {
-			for k := lo; k < hi; k++ {
-				src[k] = v[round[k].Src]
-			}
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-		if err := parallel.ForCtx(ctx, len(round), opt.Procs, func(lo, hi int) error {
-			for k := lo; k < hi; k++ {
-				x := round[k].Dst
-				v[x] = op.Combine(src[k], v[x])
-			}
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-	}
-	return &Result[T]{
-		Values:   v,
-		Roots:    p.roots,
-		Rounds:   len(p.rounds),
-		Combines: p.combines,
-	}, nil
+	values := make([]T, p.M)
+	copy(values, res.Values)
+	out := &Result[T]{Values: values, Roots: res.Roots, Rounds: res.Rounds, Combines: res.Combines}
+	p.arenas.Put(a)
+	return out, nil
 }

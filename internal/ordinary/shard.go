@@ -122,55 +122,69 @@ func SolvePlanMemberCtx[T any](ctx context.Context, p *Plan, op core.Semigroup[T
 	if len(member) != p.M {
 		return nil, fmt.Errorf("%w: len(member) = %d, want M = %d", ErrShardRange, len(member), p.M)
 	}
+	ctx, release := parallel.EnsureGang(ctx, opt.Procs, p.M)
+	defer release()
 	v := make([]T, p.M)
 	copy(v, init)
 
 	// Initialization phase: member cells' terminal init folds. Reads target
 	// the caller's init array directly, so no closure constraint applies.
-	sel := make([]pair, 0, len(p.initPairs))
-	for _, pr := range p.initPairs {
-		if member[pr.Dst] {
-			sel = append(sel, pr)
+	selDst := make([]int32, 0, len(p.initDst))
+	selSrc := make([]int32, 0, len(p.initDst))
+	for k, dst := range p.initDst {
+		if member[dst] {
+			selDst = append(selDst, dst)
+			selSrc = append(selSrc, p.initSrc[k])
 		}
 	}
-	if err := parallel.ForCtx(ctx, len(sel), opt.Procs, func(lo, hi int) error {
+	if err := parallel.ForCtx(ctx, len(selDst), opt.Procs, func(lo, hi int) error {
 		for k := lo; k < hi; k++ {
-			pr := sel[k]
-			v[pr.Dst] = op.Combine(init[pr.Src], init[pr.Dst])
+			x := selDst[k]
+			v[x] = op.Combine(init[selSrc[k]], init[x])
 		}
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 
-	// Rounds: gather-then-apply over the member subset of each round. Every
-	// Src lies on its Dst's Next-path, hence inside the member set.
+	// Rounds: gather-then-apply over the member subset of each round
+	// (snapshotting every selected source is safe for both halves of the
+	// compile-time gather/direct split). Every src lies on its dst's
+	// Next-path, hence inside the member set.
 	var src []T
-	for _, round := range p.rounds {
+	for r := range p.rounds {
+		rd := &p.rounds[r]
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sel = sel[:0]
-		for _, pr := range round {
-			if member[pr.Dst] {
-				sel = append(sel, pr)
+		selDst, selSrc = selDst[:0], selSrc[:0]
+		for k, dst := range rd.gatherDst {
+			if member[dst] {
+				selDst = append(selDst, dst)
+				selSrc = append(selSrc, rd.gatherSrc[k])
 			}
 		}
-		if cap(src) < len(sel) {
-			src = make([]T, len(sel))
+		for k, dst := range rd.directDst {
+			if member[dst] {
+				selDst = append(selDst, dst)
+				selSrc = append(selSrc, rd.directSrc[k])
+			}
 		}
-		src = src[:len(sel)]
-		if err := parallel.ForCtx(ctx, len(sel), opt.Procs, func(lo, hi int) error {
+		if cap(src) < len(selDst) {
+			src = make([]T, len(selDst))
+		}
+		src = src[:len(selDst)]
+		if err := parallel.ForCtx(ctx, len(selDst), opt.Procs, func(lo, hi int) error {
 			for k := lo; k < hi; k++ {
-				src[k] = v[sel[k].Src]
+				src[k] = v[selSrc[k]]
 			}
 			return nil
 		}); err != nil {
 			return nil, err
 		}
-		if err := parallel.ForCtx(ctx, len(sel), opt.Procs, func(lo, hi int) error {
+		if err := parallel.ForCtx(ctx, len(selDst), opt.Procs, func(lo, hi int) error {
 			for k := lo; k < hi; k++ {
-				x := sel[k].Dst
+				x := selDst[k]
 				v[x] = op.Combine(src[k], v[x])
 			}
 			return nil

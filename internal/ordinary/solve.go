@@ -79,6 +79,13 @@ func SolveCtx[T any](ctx context.Context, s *core.System, op core.Semigroup[T], 
 	if len(init) != s.M {
 		return nil, fmt.Errorf("%w: len(init) = %d, want s.M = %d", ErrInitLen, len(init), s.M)
 	}
+	// One worker gang carries every parallel round of the solve; the
+	// monomorphized kernel (when op provides one) replaces per-element
+	// interface dispatch in the combine loops. Both are transparent:
+	// operands and order are unchanged.
+	ctx, release := parallel.EnsureGang(ctx, opt.Procs, s.M)
+	defer release()
+	kern := kernelFor(op)
 
 	m := s.M
 	v := make([]T, m)
@@ -125,17 +132,31 @@ func SolveCtx[T any](ctx context.Context, s *core.System, op core.Semigroup[T], 
 		var roundCombines atomic.Int64
 		if err := parallel.ForCtx(ctx, len(cells), opt.Procs, func(lo, hi int) error {
 			var local int64
-			for k := lo; k < hi; k++ {
-				x := cells[k]
-				n := nx[x]
-				if n < 0 {
-					v2[x], nx2[x], rt2[x] = v[x], -1, rt[x]
-					continue
+			if kern != nil {
+				// Monomorphized value pass, then the generic pointer pass —
+				// same combines on the same operands as the fused loop.
+				local = int64(kern.JumpRound(v2, v, nx, cells, lo, hi))
+				for k := lo; k < hi; k++ {
+					x := cells[k]
+					if n := nx[x]; n >= 0 {
+						nx2[x], rt2[x] = nx[n], rt[n]
+					} else {
+						nx2[x], rt2[x] = -1, rt[x]
+					}
 				}
-				v2[x] = op.Combine(v[n], v[x])
-				nx2[x] = nx[n]
-				rt2[x] = rt[n]
-				local++
+			} else {
+				for k := lo; k < hi; k++ {
+					x := cells[k]
+					n := nx[x]
+					if n < 0 {
+						v2[x], nx2[x], rt2[x] = v[x], -1, rt[x]
+						continue
+					}
+					v2[x] = op.Combine(v[n], v[x])
+					nx2[x] = nx[n]
+					rt2[x] = rt[n]
+					local++
+				}
 			}
 			if local > 0 {
 				changed.Store(true)

@@ -90,6 +90,14 @@ func guard(f func() error) (err error) {
 	return f()
 }
 
+// runRange runs body(lo, hi), converting panics (including Abort) into a
+// returned error. It is guard specialized to range bodies so the hot replay
+// path never allocates a closure per sub-chunk.
+func runRange(body func(lo, hi int) error, lo, hi int) (err error) {
+	defer RecoverTo(&err)
+	return body(lo, hi)
+}
+
 // firstErr records the first failure of a parallel region.
 type firstErr struct {
 	mu  sync.Mutex
@@ -117,18 +125,61 @@ func (f *firstErr) get() error {
 const ctxGrain = 4
 
 // ForCtx is the panic-safe, cancellable For: body(lo, hi) runs over a
-// partition of [0, n) on up to p goroutines (p <= 0 means DefaultProcs).
+// partition of [0, n) on up to p workers (p <= 0 means DefaultProcs; chunks
+// below the minimum grain shrink the worker count instead of fanning out).
 // The partition is the same static one For uses — worker w owns the w-th
 // contiguous range, so a solver calling ForCtx once per round keeps each
 // range cache-warm on the same worker across rounds — but every worker
 // walks its range in ctxGrain sub-chunks and checks for cancellation and
-// earlier failures between them. Returns the first body error or recovered
-// panic, else ctx.Err() if the run was cut short by cancellation, else nil.
+// earlier failures between them. When ctx carries a worker gang (WithGang,
+// EnsureGang) the round is dispatched on the gang's parked workers with no
+// goroutine spawns and no allocation; otherwise, or while the gang is busy
+// with an enclosing round, one goroutine per chunk is spawned as before.
+// Returns the first body error or recovered panic, else ctx.Err() if the
+// run was cut short by cancellation, else nil.
 func ForCtx(ctx context.Context, n, p int, body func(lo, hi int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
-	chunks := Chunks(n, p)
+	k := grainProcs(p, n)
+	if k == 1 {
+		return forCtxSeq(ctx, n, body)
+	}
+	if gangEnabled() {
+		if g := GangFrom(ctx); g != nil {
+			if err, ok := g.tryForCtx(ctx, n, k, body); ok {
+				return err
+			}
+		}
+	}
+	return forCtxSpawn(ctx, n, k, body)
+}
+
+// forCtxSeq is ForCtx's single-worker path: the dispatcher walks [0, n)
+// itself in ctxGrain sub-chunks, polling for cancellation in between.
+func forCtxSeq(ctx context.Context, n int, body func(lo, hi int) error) error {
+	step := (n + ctxGrain - 1) / ctxGrain
+	if step < 1 {
+		step = 1
+	}
+	for s := 0; s < n; s += step {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e := s + step
+		if e > n {
+			e = n
+		}
+		if err := runRange(body, s, e); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// forCtxSpawn is ForCtx's spawn-per-round path: one goroutine per chunk,
+// joined before return. k must already be clamped against n.
+func forCtxSpawn(ctx context.Context, n, k int, body func(lo, hi int) error) error {
 	var fe firstErr
 	var stop atomic.Bool
 	worker := func(lo, hi int) {
@@ -144,26 +195,29 @@ func ForCtx(ctx context.Context, n, p int, body func(lo, hi int) error) error {
 			if e > hi {
 				e = hi
 			}
-			if err := guard(func() error { return body(s, e) }); err != nil {
+			if err := runRange(body, s, e); err != nil {
 				fe.set(err)
 				stop.Store(true)
 				return
 			}
 		}
 	}
-	if len(chunks) == 1 {
-		worker(chunks[0][0], chunks[0][1])
-	} else {
-		var wg sync.WaitGroup
-		wg.Add(len(chunks))
-		for _, c := range chunks {
-			go func(lo, hi int) {
-				defer wg.Done()
-				worker(lo, hi)
-			}(c[0], c[1])
+	var wg sync.WaitGroup
+	wg.Add(k)
+	q, r := n/k, n%k
+	lo := 0
+	for w := 0; w < k; w++ {
+		hi := lo + q
+		if w < r {
+			hi++
 		}
-		wg.Wait()
+		go func(lo, hi int) {
+			defer wg.Done()
+			worker(lo, hi)
+		}(lo, hi)
+		lo = hi
 	}
+	wg.Wait()
 	if err := fe.get(); err != nil {
 		return err
 	}
@@ -183,13 +237,16 @@ func ForEachCtx(ctx context.Context, n, p int, body func(i int) error) error {
 	})
 }
 
-// SPMDCtx is the panic-safe, cancellable SPMD: p goroutines run
+// SPMDCtx is the panic-safe, cancellable SPMD: p workers run
 // body(ctx, id, b) against a shared p-party barrier. A worker that panics,
 // returns an error, or calls Abort breaks the barrier, so lock-step peers
 // blocked in b.Wait are released with an error instead of deadlocking;
 // cancellation of ctx also breaks the barrier. The ctx passed to body is a
 // child of the caller's ctx that is cancelled on the first failure, so
-// bodies can poll it between rounds. All workers are joined before return.
+// bodies can poll it between rounds. When ctx carries a worker gang with at
+// least p workers, the parties run on the gang's parked workers; otherwise
+// p goroutines are spawned (the party count is never reduced — barrier
+// semantics require exactly p). All workers are joined before return.
 func SPMDCtx(ctx context.Context, p int, body func(ctx context.Context, id int, b *Barrier) error) error {
 	if p < 1 {
 		p = 1
@@ -198,17 +255,14 @@ func SPMDCtx(ctx context.Context, p int, body func(ctx context.Context, id int, 
 	defer cancel()
 	b := NewBarrier(p)
 	var fe firstErr
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for id := 0; id < p; id++ {
-		go func(id int) {
-			defer wg.Done()
-			if err := guard(func() error { return body(cctx, id, b) }); err != nil {
-				fe.set(err)
-				b.Break(err)
-				cancel()
-			}
-		}(id)
+	// run is one party: it breaks the barrier before surfacing a failure, so
+	// a party that never starts (gang stop latch) cannot strand its peers.
+	run := func(id int) {
+		if err := guard(func() error { return body(cctx, id, b) }); err != nil {
+			fe.set(err)
+			b.Break(err)
+			cancel()
+		}
 	}
 	// Watchdog: external cancellation must release workers blocked in
 	// b.Wait. It exits as soon as the workers are joined.
@@ -220,7 +274,27 @@ func SPMDCtx(ctx context.Context, p int, body func(ctx context.Context, id int, 
 		case <-joined:
 		}
 	}()
-	wg.Wait()
+	dispatched := false
+	if gangEnabled() {
+		if g := GangFrom(ctx); g != nil && p <= g.Procs() {
+			// n = k = p gives every gang worker exactly one index: its party id.
+			_, dispatched = g.tryForCtx(cctx, p, p, func(lo, _ int) error {
+				run(lo)
+				return nil
+			})
+		}
+	}
+	if !dispatched {
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for id := 0; id < p; id++ {
+			go func(id int) {
+				defer wg.Done()
+				run(id)
+			}(id)
+		}
+		wg.Wait()
+	}
 	close(joined)
 	if err := fe.get(); err != nil {
 		return err

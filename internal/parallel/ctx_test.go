@@ -279,15 +279,32 @@ func TestSPMDCtxCompletesCleanly(t *testing.T) {
 // Edge cases of the legacy primitives (previously only happy-path tested).
 
 func TestForSmallerThanP(t *testing.T) {
+	// n far below p must not fan tiny chunks out to goroutines: the minimum
+	// grain collapses the run to a single sequential chunk covering [0, n).
 	var count int64
 	For(3, 64, func(lo, hi int) {
-		if hi-lo != 1 {
-			t.Errorf("chunk [%d,%d): n < p must yield singleton chunks", lo, hi)
+		if lo != 0 || hi != 3 {
+			t.Errorf("chunk [%d,%d): n below the grain must run as one chunk", lo, hi)
 		}
 		atomic.AddInt64(&count, 1)
 	})
-	if count != 3 {
-		t.Fatalf("ran %d chunks, want 3", count)
+	if count != 1 {
+		t.Fatalf("ran %d chunks, want 1", count)
+	}
+}
+
+func TestForGrainCutover(t *testing.T) {
+	// n slightly above p: worker count is capped at ceil(n/minGrain), so no
+	// chunk is smaller than roughly the grain.
+	var count int64
+	For(70, 64, func(lo, hi int) {
+		if hi-lo < minGrain/2 {
+			t.Errorf("chunk [%d,%d): smaller than half the minimum grain", lo, hi)
+		}
+		atomic.AddInt64(&count, 1)
+	})
+	if got, want := count, int64((70+minGrain-1)/minGrain); got != want {
+		t.Fatalf("ran %d chunks, want %d", got, want)
 	}
 }
 

@@ -15,5 +15,21 @@
 // cancels the rest, and worker panics are converted to *PanicError rather
 // than crashing the process (RecoverTo is the helper exported for solver
 // entry points). Callers own all slices they pass; the runtime never
-// retains references past the call.
+// retains references past the call. Loops never cross a goroutine boundary
+// for tiny work: chunk counts are clamped so every chunk carries a minimum
+// grain of iterations, and single-chunk loops run inline on the caller.
+//
+// # Gangs
+//
+// A Gang (gang.go) is the persistent form of the worker pool: a fixed set
+// of goroutines parked on a round-dispatch channel, reused across all
+// O(log n) rounds of a solve instead of being spawned per round. Solvers
+// acquire one per solve via EnsureGang, and long-lived owners (the irserved
+// worker pool) pin one on the context with WithGang so every solve they run
+// reuses the same parked workers. ForCtx and SPMDCtx dispatch onto a
+// context's gang transparently when one is present and idle, and fall back
+// to spawn-per-round otherwise (including under re-entrancy, where an inner
+// loop finds the gang busy); both paths run the same chunk bodies in the
+// same index ranges, so results are identical. SetGangEnabled is the global
+// kill switch fuzzers use to prove that.
 package parallel

@@ -1,0 +1,8 @@
+//go:build !race
+
+package parallel
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-count gates skip themselves under race instrumentation, which
+// allocates on its own behalf.
+const RaceEnabled = false

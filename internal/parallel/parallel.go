@@ -26,15 +26,34 @@ func clampProcs(p, n int) int {
 	return p
 }
 
+// minGrain is the smallest chunk worth crossing a goroutine boundary: with
+// n work items and p requested processors, For and ForCtx cap the worker
+// count at ⌈n/minGrain⌉ so n slightly above p never fans 1–2 element chunks
+// out to p goroutines (whose handoff costs more than the work). Chunks and
+// the SPMD primitives are exempt: their callers rely on an exact partition
+// or party count.
+const minGrain = 32
+
+// grainProcs clamps a requested processor count against n like clampProcs,
+// then applies the minGrain sequential cutover.
+func grainProcs(p, n int) int {
+	p = clampProcs(p, n)
+	if maxp := (n + minGrain - 1) / minGrain; p > maxp {
+		p = maxp
+	}
+	return p
+}
+
 // For runs body(lo, hi) over a partition of [0, n) into at most p contiguous
 // chunks, one goroutine per chunk, and waits for all of them. p <= 0 means
 // DefaultProcs(). n <= 0 is a no-op. Chunks differ in size by at most one,
-// so the load is balanced for uniform-cost bodies.
+// so the load is balanced for uniform-cost bodies; chunks smaller than the
+// minimum grain run on fewer workers instead.
 func For(n, p int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	p = clampProcs(p, n)
+	p = grainProcs(p, n)
 	if p == 1 {
 		body(0, n)
 		return

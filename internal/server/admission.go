@@ -24,22 +24,26 @@ var errDraining = errors.New("server: draining, not accepting work")
 
 // job is one unit of solver work. run executes on a worker goroutine and is
 // responsible for delivering its own results (each handler waits on its own
-// result channel).
+// result channel). The context run receives is the job's own ctx, wrapped
+// with the worker's persistent gang (when the server runs solves in
+// parallel), so every solve of a worker's lifetime shares one set of parked
+// solver goroutines.
 type job struct {
 	ctx context.Context
-	run func()
+	run func(ctx context.Context)
 }
 
 // pool is the bounded admission queue plus its workers.
 type pool struct {
 	queue  chan *job
+	procs  int          // per-solve parallelism; sizes each worker's gang
 	mu     sync.RWMutex // guards closed vs. concurrent submits
 	closed bool
 	wg     sync.WaitGroup
 }
 
-func newPool(workers, depth int) *pool {
-	p := &pool{queue: make(chan *job, depth)}
+func newPool(workers, depth, procs int) *pool {
+	p := &pool{queue: make(chan *job, depth), procs: procs}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -49,15 +53,26 @@ func newPool(workers, depth int) *pool {
 
 func (p *pool) worker() {
 	defer p.wg.Done()
+	// Each worker owns one gang for its whole lifetime: the solvers find it
+	// pinned on the job context and reuse it across every round of every
+	// solve, so steady-state service traffic spawns no solver goroutines at
+	// all. Width is the per-solve procs budget (requests are clamped to it);
+	// a budget of 1 means sequential solves and no gang.
+	var g *parallel.Gang
+	if p.procs > 1 {
+		g = parallel.NewGang(p.procs)
+		defer g.Close()
+	}
 	for j := range p.queue {
 		if j.ctx.Err() != nil {
 			// The requester gave up (deadline or disconnect) while the
 			// job sat in the queue; its run func observes ctx and
 			// reports the cancellation without doing solver work.
-			j.run()
+			j.run(j.ctx)
 			continue
 		}
-		runSafely(j.run)
+		ctx := parallel.WithGang(j.ctx, g)
+		runSafely(func() { j.run(ctx) })
 	}
 }
 

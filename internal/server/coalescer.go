@@ -104,13 +104,14 @@ func (c *coalescer) close() {
 	<-c.done
 }
 
-// runBatch executes one coalesced batch on a worker. The happy path is a
-// single SolveBatchCtx sweep; because every item was validated at admission,
-// a sweep error means either cancellation or a data-dependent failure
-// (division by zero along one item's chain), so on error the batch falls
-// back to solving items individually — one poisoned request must not fail
-// its batch neighbors.
-func (s *Server) runBatch(items []*batchItem) {
+// runBatch executes one coalesced batch on a worker; base is the job
+// context the worker delivered (the server lifetime, carrying the worker's
+// gang). The happy path is a single SolveBatchCtx sweep; because every item
+// was validated at admission, a sweep error means either cancellation or a
+// data-dependent failure (division by zero along one item's chain), so on
+// error the batch falls back to solving items individually — one poisoned
+// request must not fail its batch neighbors.
+func (s *Server) runBatch(base context.Context, items []*batchItem) {
 	// Requests whose caller already gave up are answered (they are waited
 	// on) but excluded from the sweep.
 	live := items[:0:0]
@@ -127,9 +128,9 @@ func (s *Server) runBatch(items []*batchItem) {
 	s.metrics.batches.Inc()
 	s.metrics.batchSize.Observe(float64(len(live)))
 
-	// The sweep runs under the server's lifetime ctx bounded by the latest
-	// item deadline, so one slow batch cannot outlive every caller.
-	ctx, cancel := s.batchContext(live)
+	// The sweep runs under the job ctx bounded by the latest item deadline,
+	// so one slow batch cannot outlive every caller.
+	ctx, cancel := batchContext(base, live)
 	defer cancel()
 
 	systems := make([]*moebius.MoebiusSystem, len(live))
@@ -193,10 +194,10 @@ func (s *Server) runBatch(items []*batchItem) {
 	}
 }
 
-// batchContext derives the sweep context: the server lifetime ctx, bounded
-// by the latest deadline among the batch items (every item carries one —
-// the handler applied the server default if the client didn't ask).
-func (s *Server) batchContext(items []*batchItem) (context.Context, context.CancelFunc) {
+// batchContext derives the sweep context from base (the worker's job ctx),
+// bounded by the latest deadline among the batch items (every item carries
+// one — the handler applied the server default if the client didn't ask).
+func batchContext(base context.Context, items []*batchItem) (context.Context, context.CancelFunc) {
 	var latest time.Time
 	haveAll := true
 	for _, it := range items {
@@ -210,7 +211,7 @@ func (s *Server) batchContext(items []*batchItem) (context.Context, context.Canc
 		}
 	}
 	if haveAll {
-		return context.WithDeadline(s.lifetime, latest)
+		return context.WithDeadline(base, latest)
 	}
-	return context.WithCancel(s.lifetime)
+	return context.WithCancel(base)
 }

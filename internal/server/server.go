@@ -204,7 +204,7 @@ func New(cfg Config) *Server {
 	cfg.setDefaults()
 	s := &Server{cfg: cfg, reg: NewRegistry()}
 	s.lifetime, s.cancel = context.WithCancel(context.Background())
-	s.pool = newPool(cfg.Workers, cfg.QueueDepth)
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.Procs)
 	s.metrics = newServerMetrics(s.reg,
 		func() float64 { return float64(s.pool.depth() + len(s.co.in)) },
 		cfg.QueueDepth)
@@ -212,11 +212,11 @@ func New(cfg Config) *Server {
 		s.plans = NewPlanCache(cfg.PlanCacheBytes, s.metrics.planCacheMetrics())
 	}
 	s.co = newCoalescer(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, func(items []*batchItem) {
-		j := &job{ctx: s.lifetime, run: func() {
+		j := &job{ctx: s.lifetime, run: func(jctx context.Context) {
 			if s.testHook != nil {
 				s.testHook()
 			}
-			s.runBatch(items)
+			s.runBatch(jctx, items)
 		}}
 		if err := s.pool.submitWait(j); err != nil {
 			for _, it := range items {
@@ -375,15 +375,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, endpoint st
 		err error
 	}
 	res := make(chan outcome, 1)
-	j := &job{ctx: ctx, run: func() {
-		if err := ctx.Err(); err != nil {
+	j := &job{ctx: ctx, run: func(jctx context.Context) {
+		if err := jctx.Err(); err != nil {
 			res <- outcome{err: err}
 			return
 		}
 		if s.testHook != nil {
 			s.testHook()
 		}
-		v, err := run(ctx)
+		v, err := run(jctx)
 		res <- outcome{v: v, err: err}
 	}}
 	if err := s.pool.submit(j); err != nil {

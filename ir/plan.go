@@ -215,12 +215,13 @@ func CompileMoebiusCtx(ctx context.Context, m int, g, f []int) (*Plan, error) {
 // SolveOrdinaryPlanCtx replays an ordinary-family plan against a fresh
 // operator and init array. The combines are the ones SolveOrdinaryCtx would
 // perform, on the same operands in the same round order, so the result is
-// bit-identical to the direct solve's.
+// bit-identical to the direct solve's. Replays draw scratch from the plan's
+// arena pool, so a warm replay's only allocation is the returned result.
 func SolveOrdinaryPlanCtx[T any](ctx context.Context, p *Plan, op Semigroup[T], init []T, opt SolveOptions) (*OrdinaryResult[T], error) {
 	if p.family != FamilyOrdinary {
 		return nil, fmt.Errorf("%w: plan is %v, want ordinary", ErrPlanFamily, p.family)
 	}
-	res, err := ordinary.SolvePlanCtx[T](ctx, p.ord, op, init, ordinary.Options{Procs: opt.Procs})
+	res, err := ordinary.SolvePlanPooledCtx[T](ctx, p.ord, op, init, ordinary.Options{Procs: opt.Procs})
 	if err != nil {
 		return nil, err
 	}
@@ -320,15 +321,17 @@ type PlanSolution struct {
 func (p *Plan) SolveCtx(ctx context.Context, data PlanData) (*PlanSolution, error) {
 	switch p.family {
 	case FamilyMoebius:
-		c, d := data.C, data.D
-		if c == nil && d == nil {
-			c = make([]float64, p.n)
-			d = make([]float64, p.n)
-			for i := range d {
-				d[i] = 1
-			}
+		var (
+			values []float64
+			err    error
+		)
+		if data.C == nil && data.D == nil {
+			// Affine form: the plan's pooled arenas cache the c = 0, d = 1
+			// rows, so no per-solve coefficient allocation.
+			values, err = p.mb.SolveLinearCtx(ctx, data.A, data.B, data.X0, ordinary.Options{Procs: data.Opts.Procs})
+		} else {
+			values, err = SolveMoebiusPlanCtx(ctx, p, data.A, data.B, data.C, data.D, data.X0, data.Opts)
 		}
-		values, err := SolveMoebiusPlanCtx(ctx, p, data.A, data.B, c, d, data.X0, data.Opts)
 		if err != nil {
 			return nil, err
 		}
