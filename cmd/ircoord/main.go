@@ -3,13 +3,22 @@
 // exposes, scattering each solve's shards across the fleet and gathering
 // the slices into a bit-identical solution (see internal/cluster).
 //
-//	ircoord -workers host1:8080,host2:8080            # serve on :8070
+//	ircoord                                           # elastic fleet on :8070
+//	ircoord -workers host1:8080,host2:8080            # static fleet
 //	ircoord -addr :9000 -workers host1:8080 -hedge-after 500ms
 //	curl -s localhost:8070/v1/cluster/workers
 //
+// The fleet is elastic: -workers is optional, and workers started with
+// -coordinator-url self-register (POST /v1/cluster/register) and hold
+// heartbeat leases of -lease; a missed lease drops the worker and its
+// shards re-home by rendezvous hashing. Each worker sits behind a circuit
+// breaker tuned by -breaker-threshold/-breaker-cooldown, and retries draw
+// on a per-solve -retry-budget.
+//
 // Endpoints: POST /v1/solve/{ordinary,general,linear,moebius} (the loop
 // endpoint is intentionally absent — loop *execution* stays single-node),
-// GET /healthz, /readyz, /metrics, /version, /v1/cluster/workers.
+// GET /healthz, /readyz, /metrics, /version, and the membership API
+// /v1/cluster/{workers,register,heartbeat,deregister}.
 // SIGINT/SIGTERM trigger a graceful shutdown; in-flight solves finish
 // under their deadlines.
 package main
@@ -39,11 +48,16 @@ func main() {
 	}()
 	var (
 		addr          = flag.String("addr", ":8070", "listen address")
-		workers       = flag.String("workers", "", "comma-separated worker addresses (required)")
+		workers       = flag.String("workers", "", "comma-separated static worker addresses (optional; elastic workers self-register)")
 		retries       = flag.Int("retries", 3, "max per-shard re-sends after the first attempt")
+		retryBudget   = flag.Int("retry-budget", 0, "per-solve retry budget shared by all shards (0 = 4 + 2 per shard, negative disables)")
 		retryBackoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "base backoff between a shard's attempts")
+		maxRetryAfter = flag.Duration("max-retry-after", 2*time.Second, "cap on how far a worker's Retry-After hint stretches one backoff")
 		hedgeAfter    = flag.Duration("hedge-after", 2*time.Second, "hedge a duplicate shard request after this long (negative disables)")
-		probeInterval = flag.Duration("probe-interval", 5*time.Second, "worker health-probe period (negative disables)")
+		probeInterval = flag.Duration("probe-interval", 5*time.Second, "static-worker health-probe period (negative disables)")
+		lease         = flag.Duration("lease", 5*time.Second, "membership lease granted to self-registering workers")
+		brThreshold   = flag.Int("breaker-threshold", 3, "consecutive failures that open a worker's circuit breaker (negative disables)")
+		brCooldown    = flag.Duration("breaker-cooldown", 5*time.Second, "wait before an open breaker admits its half-open probe")
 		reqTimeout    = flag.Duration("request-timeout", 60*time.Second, "cap on one shard HTTP request")
 		planCache     = flag.Int64("plan-cache", 0, "compiled-plan cache budget in bytes (0 = 256 MiB default, negative disables)")
 		maxN          = flag.Int("max-n", 4<<20, "max iterations per request")
@@ -61,25 +75,31 @@ func main() {
 	}
 
 	fleet := splitList(*workers)
-	if len(fleet) == 0 {
-		fail("no workers: pass -workers host:port[,host:port...]")
-	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	co := cluster.New(cluster.Config{
-		Workers:        fleet,
-		MaxRetries:     *retries,
-		RetryBackoff:   *retryBackoff,
-		HedgeAfter:     *hedgeAfter,
-		ProbeInterval:  *probeInterval,
-		RequestTimeout: *reqTimeout,
-		PlanCacheBytes: *planCache,
-		MaxN:           *maxN,
-		Procs:          *procs,
+		Workers:          fleet,
+		MaxRetries:       *retries,
+		RetryBudget:      *retryBudget,
+		RetryBackoff:     *retryBackoff,
+		MaxRetryAfter:    *maxRetryAfter,
+		HedgeAfter:       *hedgeAfter,
+		ProbeInterval:    *probeInterval,
+		LeaseTTL:         *lease,
+		BreakerThreshold: *brThreshold,
+		BreakerCooldown:  *brCooldown,
+		RequestTimeout:   *reqTimeout,
+		PlanCacheBytes:   *planCache,
+		MaxN:             *maxN,
+		Procs:            *procs,
 	})
-	fmt.Printf("ircoord: coordinating %d workers on %s\n", len(fleet), *addr)
+	if len(fleet) == 0 {
+		fmt.Printf("ircoord: elastic fleet on %s (workers self-register; lease %v)\n", *addr, *lease)
+	} else {
+		fmt.Printf("ircoord: coordinating %d workers on %s\n", len(fleet), *addr)
+	}
 	if err := co.ListenAndServe(ctx, *addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail("%v", err)
 	}

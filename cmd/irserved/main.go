@@ -6,6 +6,7 @@
 //
 //	irserved                                  # serve on :8080
 //	irserved -addr 127.0.0.1:9090 -queue 512 -batch-window 2ms
+//	irserved -addr 127.0.0.1:9090 -coordinator-url http://coord:8070
 //	irserved -coordinator -workers-list host1:8080,host2:8080
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/solve/linear -d \
@@ -17,6 +18,15 @@
 // /version. SIGINT/SIGTERM trigger a graceful drain: readiness flips,
 // in-flight solves finish under their deadlines, then the process exits 0.
 //
+// With -coordinator-url the worker joins an ircoord fleet elastically: it
+// registers its -advertise address (derived from -addr when that has a
+// concrete host), heartbeats to hold its membership lease, and deregisters
+// during the graceful drain so the coordinator stops routing to it at once.
+//
+// Per-tenant admission is configured with -tenants: requests carrying an
+// X-IR-Tenant header are fair-queued by weight, bounded by their quota, and
+// may evict queued work of lower-priority tenants when the queue fills.
+//
 // With -coordinator the process serves the ircluster coordinator instead:
 // solves scatter across the -workers-list fleet (see also cmd/ircoord,
 // the standalone coordinator daemon with the full flag set).
@@ -27,16 +37,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // profiling endpoints on the -pprof-addr listener
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"indexedrec/internal/cluster"
 	"indexedrec/internal/server"
+	"indexedrec/internal/server/client"
 )
 
 func main() {
@@ -61,6 +74,10 @@ func main() {
 		coordinator = flag.Bool("coordinator", false, "run as an ircluster coordinator instead of a worker")
 		workerList  = flag.String("workers-list", "", "comma-separated worker addresses (coordinator mode)")
 		probeEvery  = flag.Duration("probe-interval", 5*time.Second, "worker health-probe period (coordinator mode)")
+		coordURL    = flag.String("coordinator-url", "", "register with this ircoord and heartbeat a membership lease (worker mode)")
+		advertise   = flag.String("advertise", "", "address the coordinator dials back (default derived from -addr)")
+		heartbeat   = flag.Duration("heartbeat", 0, "lease heartbeat period (0 = a third of the granted lease)")
+		tenants     = flag.String("tenants", "", "per-tenant admission, name:weight:priority:max-queued[,...] (e.g. paid:4:10:0,free:1:0:8)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 		showVersion = flag.Bool("version", false, "print build version and exit")
 	)
@@ -96,6 +113,10 @@ func main() {
 		return
 	}
 
+	tenantCfg, err := parseTenants(*tenants)
+	if err != nil {
+		fail("%v", err)
+	}
 	s := server.New(server.Config{
 		Addr:           *addr,
 		QueueDepth:     *queue,
@@ -107,12 +128,77 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxN:           *maxN,
 		PlanCacheBytes: *planCache,
+		Tenants:        tenantCfg,
 	})
+	regDone := runRegistrar(ctx, *coordURL, *advertise, *addr, *heartbeat)
 	fmt.Printf("irserved: listening on %s\n", *addr)
 	if err := s.ListenAndServe(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail("%v", err)
 	}
+	<-regDone
 	fmt.Println("irserved: drained, bye")
+}
+
+// runRegistrar enrolls this worker with an ircoord fleet when
+// -coordinator-url is set: it registers the advertise address, heartbeats
+// the membership lease until ctx ends (SIGINT/SIGTERM), then deregisters so
+// the drain removes the worker from routing immediately. The returned
+// channel closes once deregistration finished; it is already closed when no
+// coordinator is configured.
+func runRegistrar(ctx context.Context, coordURL, advertise, addr string, heartbeat time.Duration) <-chan struct{} {
+	done := make(chan struct{})
+	if coordURL == "" {
+		close(done)
+		return done
+	}
+	adv := advertise
+	if adv == "" {
+		host, port, err := net.SplitHostPort(addr)
+		if err != nil || host == "" || host == "0.0.0.0" || host == "::" {
+			fail("cannot derive an advertise address from -addr %q; pass -advertise host:port", addr)
+		}
+		adv = net.JoinHostPort(host, port)
+	}
+	v := server.BuildVersion()
+	reg := client.NewRegistrar(client.RegistrarConfig{
+		Coordinator: coordURL,
+		Advertise:   adv,
+		Version:     fmt.Sprintf("%s go %s", v.Version, v.Go),
+		Interval:    heartbeat,
+	})
+	go func() {
+		defer close(done)
+		reg.Run(ctx)
+	}()
+	return done
+}
+
+// parseTenants decodes the -tenants flag: comma-separated
+// name:weight:priority:max-queued entries, where trailing fields may be
+// omitted.
+func parseTenants(s string) (map[string]server.TenantConfig, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]server.TenantConfig)
+	for _, entry := range splitList(s) {
+		parts := strings.Split(entry, ":")
+		if parts[0] == "" || len(parts) > 4 {
+			return nil, fmt.Errorf("bad -tenants entry %q (want name:weight:priority:max-queued)", entry)
+		}
+		var cfg server.TenantConfig
+		var err error
+		for i, field := range []*int{nil, &cfg.Weight, &cfg.Priority, &cfg.MaxQueued} {
+			if i == 0 || i >= len(parts) || parts[i] == "" {
+				continue
+			}
+			if *field, err = strconv.Atoi(parts[i]); err != nil {
+				return nil, fmt.Errorf("bad -tenants entry %q: %v", entry, err)
+			}
+		}
+		out[parts[0]] = cfg
+	}
+	return out, nil
 }
 
 func fail(format string, args ...any) {

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-worker circuit breaker. Every worker carries one; the scatter path
+// asks allow() before sending a shard and reports the outcome back. The
+// state machine is the classic three-state breaker:
+//
+//	closed    — requests flow; consecutive failures are counted.
+//	open      — threshold consecutive failures tripped it; requests are
+//	            skipped (the next rendezvous rank takes the shard) until
+//	            the cooldown elapses.
+//	half-open — after the cooldown ONE probe request is admitted; success
+//	            closes the breaker, failure re-opens it for another
+//	            cooldown.
+//
+// The breaker complements — not replaces — liveness: leases and probes
+// decide who is in the fleet, the breaker decides whether a member that is
+// nominally up should receive traffic right now. Only failures that
+// indicate worker trouble (transport errors, 5xx, shed) count; request
+// errors (4xx) and caller-side cancellation do not.
+
+// Breaker states, exported through the ircluster_breaker_state gauge and
+// the fleet view.
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+// breakerStateName renders a breaker state for the fleet view.
+func breakerStateName(s int) string {
+	switch s {
+	case breakerHalfOpen:
+		return "half-open"
+	case breakerOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one worker's circuit breaker. A zero threshold disables it
+// (allow always admits, outcomes are ignored).
+type breaker struct {
+	threshold int           // consecutive failures to trip open
+	cooldown  time.Duration // open → half-open delay
+	onState   func(state int)
+
+	mu       sync.Mutex
+	state    int
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+	now      func() time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, onState func(int)) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, onState: onState, now: time.Now}
+}
+
+// allow reports whether a request may be sent through this breaker right
+// now. In the open state it transitions to half-open once the cooldown has
+// elapsed and admits exactly one probe.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.setLocked(breakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open: only the single in-flight probe
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess records a successful request: it resets the failure streak and
+// closes a half-open breaker.
+func (b *breaker) onSuccess() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.setLocked(breakerClosed)
+	}
+}
+
+// onFailure records a worker-attributable failure: it trips a closed
+// breaker after threshold consecutive failures and re-opens a half-open
+// one immediately.
+func (b *breaker) onFailure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	case breakerHalfOpen:
+		b.trip()
+	case breakerOpen:
+		// Late result from before the trip; the clock keeps running.
+	}
+}
+
+// trip opens the breaker and restarts the cooldown clock. Caller holds mu.
+func (b *breaker) trip() {
+	b.fails = 0
+	b.openedAt = b.now()
+	b.setLocked(breakerOpen)
+}
+
+// setLocked transitions the state and fires the hook. Caller holds mu.
+func (b *breaker) setLocked(state int) {
+	b.state = state
+	if b.onState != nil {
+		b.onState(state)
+	}
+}
+
+// snapshot returns the current state without transitions (for the fleet
+// view; a cooled-down open breaker still reads open until traffic probes
+// it).
+func (b *breaker) snapshot() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

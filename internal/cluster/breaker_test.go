@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine drives the three-state machine on a fake clock:
+// closed trips open after threshold consecutive failures, open refuses
+// until the cooldown, half-open admits exactly one probe, and the probe's
+// outcome decides between closed and another open period.
+func TestBreakerStateMachine(t *testing.T) {
+	clock := time.Unix(0, 0)
+	var transitions []int
+	b := newBreaker(3, time.Second, func(s int) { transitions = append(transitions, s) })
+	b.now = func() time.Time { return clock }
+
+	// Closed: failures below the threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.onFailure()
+	}
+	if got := b.snapshot(); got != breakerClosed {
+		t.Fatalf("state after 2/3 failures = %s", breakerStateName(got))
+	}
+
+	// A success resets the streak: two more failures must not trip it.
+	b.onSuccess()
+	b.onFailure()
+	b.onFailure()
+	if got := b.snapshot(); got != breakerClosed {
+		t.Fatalf("streak survived a success: state = %s", breakerStateName(got))
+	}
+
+	// The third consecutive failure trips it open.
+	b.onFailure()
+	if got := b.snapshot(); got != breakerOpen {
+		t.Fatalf("state after threshold failures = %s", breakerStateName(got))
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	clock = clock.Add(time.Second + time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if got := b.snapshot(); got != breakerHalfOpen {
+		t.Fatalf("state during probe = %s", breakerStateName(got))
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe failure re-opens for another full cooldown.
+	b.onFailure()
+	if got := b.snapshot(); got != breakerOpen {
+		t.Fatalf("state after failed probe = %s", breakerStateName(got))
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request immediately")
+	}
+
+	// Second probe succeeds: closed again, and failures count from zero.
+	clock = clock.Add(time.Second + time.Millisecond)
+	if !b.allow() {
+		t.Fatal("re-cooled breaker refused the probe")
+	}
+	b.onSuccess()
+	if got := b.snapshot(); got != breakerClosed {
+		t.Fatalf("state after successful probe = %s", breakerStateName(got))
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+
+	want := []int{breakerOpen, breakerHalfOpen, breakerOpen, breakerHalfOpen, breakerClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i,
+				breakerStateName(transitions[i]), breakerStateName(want[i]))
+		}
+	}
+}
+
+// TestBreakerDisabled asserts a zero threshold turns the breaker off
+// entirely: it always admits and never changes state.
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0, time.Second, func(int) { t.Fatal("disabled breaker fired a transition") })
+	for i := 0; i < 10; i++ {
+		if !b.allow() {
+			t.Fatal("disabled breaker refused a request")
+		}
+		b.onFailure()
+	}
+	if got := b.snapshot(); got != breakerClosed {
+		t.Fatalf("disabled breaker state = %s", breakerStateName(got))
+	}
+}

@@ -53,11 +53,18 @@ type testWorker struct {
 	// intercept, when non-nil, runs before each proxied request; returning
 	// false aborts the connection without a response (a crashed worker).
 	intercept atomic.Pointer[func(r *http.Request) bool]
+	// respond, when non-nil, may answer the request itself (returning
+	// true); tests use it to inject synthetic responses such as 429 +
+	// Retry-After without touching the real server.
+	respond atomic.Pointer[func(w http.ResponseWriter, r *http.Request) bool]
 }
 
 func (tw *testWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if f := tw.intercept.Load(); f != nil && !(*f)(r) {
 		panic(http.ErrAbortHandler)
+	}
+	if f := tw.respond.Load(); f != nil && (*f)(w, r) {
+		return
 	}
 	tw.srv.Handler().ServeHTTP(w, r)
 }
@@ -401,7 +408,7 @@ func TestFallbackWhenAllWorkersDown(t *testing.T) {
 		co, workers, down := newFleet(t, 1, nil)
 		dead := func(r *http.Request) bool { return false }
 		workers[0].intercept.Store(&dead)
-		for _, w := range co.workers {
+		for _, w := range co.memberList() {
 			w.setUp(false)
 		}
 

@@ -44,7 +44,10 @@ func (co *Coordinator) routes() {
 	co.mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
 		co.writeJSON(w, "version", http.StatusOK, server.BuildVersion())
 	})
-	co.mux.HandleFunc("GET /v1/cluster/workers", co.handleWorkers)
+	co.mux.HandleFunc("GET "+server.ClusterPrefix+"workers", co.handleWorkers)
+	co.mux.HandleFunc("POST "+server.ClusterPrefix+"register", co.handleRegister)
+	co.mux.HandleFunc("POST "+server.ClusterPrefix+"heartbeat", co.handleHeartbeat)
+	co.mux.HandleFunc("POST "+server.ClusterPrefix+"deregister", co.handleDeregister)
 	co.mux.HandleFunc("POST "+server.APIPrefix+"ordinary", func(w http.ResponseWriter, r *http.Request) {
 		co.handleSolve(w, r, "ordinary", co.specOrdinary)
 	})
@@ -85,22 +88,85 @@ func (co *Coordinator) ListenAndServe(ctx context.Context, addr string) error {
 
 // WorkerStatus is one row of GET /v1/cluster/workers.
 type WorkerStatus struct {
-	// Name is the configured worker address.
+	// Name is the worker's configured or registered address.
 	Name string `json:"name"`
-	// Up reports the last probe's outcome.
+	// Up reports liveness: the last probe for static workers, an unexpired
+	// lease for registered ones.
 	Up bool `json:"up"`
 	// Version is the build the worker reported at registration.
 	Version string `json:"version,omitempty"`
+	// Dynamic marks a self-registered, lease-governed member.
+	Dynamic bool `json:"dynamic,omitempty"`
+	// LeaseMs is the time left on a dynamic member's lease.
+	LeaseMs int64 `json:"lease_ms,omitempty"`
+	// Breaker is the circuit-breaker state: closed, half-open or open.
+	Breaker string `json:"breaker"`
 }
 
 func (co *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
-	out := make([]WorkerStatus, 0, len(co.workers))
-	for _, wk := range co.workers {
+	members := co.memberList()
+	out := make([]WorkerStatus, 0, len(members))
+	for _, wk := range members {
 		wk.mu.Lock()
-		out = append(out, WorkerStatus{Name: wk.name, Up: wk.up, Version: wk.version})
+		st := WorkerStatus{
+			Name:    wk.name,
+			Up:      wk.up,
+			Version: wk.version,
+			Dynamic: wk.dynamic,
+			Breaker: breakerStateName(wk.br.snapshot()),
+		}
+		if wk.dynamic {
+			if left := time.Until(wk.lease); left > 0 {
+				st.LeaseMs = left.Milliseconds()
+			}
+		}
 		wk.mu.Unlock()
+		out = append(out, st)
 	}
 	co.writeJSON(w, "workers", http.StatusOK, out)
+}
+
+// handleRegister admits a self-registering worker into the fleet and
+// grants it a heartbeat lease.
+func (co *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req server.RegisterRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		co.writeError(w, "register", http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Addr == "" {
+		co.writeError(w, "register", http.StatusBadRequest, "missing \"addr\"")
+		return
+	}
+	lease := co.register(req.Addr, req.Version)
+	co.writeJSON(w, "register", http.StatusOK, server.RegisterResponse{LeaseMs: lease.Milliseconds()})
+}
+
+// handleHeartbeat renews a registered worker's lease; unknown members get
+// 404 and should re-register.
+func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req server.MemberRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		co.writeError(w, "heartbeat", http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if !co.renew(req.Addr) {
+		co.writeError(w, "heartbeat", http.StatusNotFound,
+			fmt.Sprintf("unknown member %q, re-register", req.Addr))
+		return
+	}
+	co.writeJSON(w, "heartbeat", http.StatusOK, server.RegisterResponse{LeaseMs: co.cfg.LeaseTTL.Milliseconds()})
+}
+
+// handleDeregister removes a draining worker from the fleet.
+func (co *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	var req server.MemberRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		co.writeError(w, "deregister", http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	co.deregister(req.Addr)
+	co.writeJSON(w, "deregister", http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // specFunc decodes a request body into a solve spec plus a function that

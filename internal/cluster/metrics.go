@@ -13,6 +13,10 @@ type clusterMetrics struct {
 	hedges       *server.Counter      // ircluster_hedges_total
 	fallbacks    *server.Counter      // ircluster_local_fallbacks_total
 	workerUp     *server.GaugeVec     // ircluster_worker_up{worker}
+	members      *server.Gauge        // ircluster_members
+	rebalances   *server.Counter      // ircluster_rebalances_total
+	breakerState *server.GaugeVec     // ircluster_breaker_state{worker}
+	breakerOpens *server.Counter      // ircluster_breaker_opens_total
 	shardLatency *server.Histogram    // ircluster_shard_latency_seconds
 	requests     *server.CounterVec   // ircluster_requests_total{endpoint,code}
 	solveLatency *server.HistogramVec // ircluster_solve_seconds{endpoint}
@@ -33,7 +37,15 @@ func newClusterMetrics(reg *server.Registry) *clusterMetrics {
 		fallbacks: reg.NewCounter("ircluster_local_fallbacks_total",
 			"Solves executed locally because no worker was reachable or a scatter failed."),
 		workerUp: reg.NewGaugeVec("ircluster_worker_up",
-			"Worker liveness (1 = last probe succeeded).", "worker"),
+			"Worker liveness (1 = probe succeeded or heartbeat lease held).", "worker"),
+		members: reg.NewGauge("ircluster_members",
+			"Workers currently in the fleet view (static + lease-holding registered)."),
+		rebalances: reg.NewCounter("ircluster_rebalances_total",
+			"Membership or liveness changes that re-ranked rendezvous shard placement."),
+		breakerState: reg.NewGaugeVec("ircluster_breaker_state",
+			"Per-worker circuit-breaker state (0 = closed, 1 = half-open, 2 = open).", "worker"),
+		breakerOpens: reg.NewCounter("ircluster_breaker_opens_total",
+			"Circuit-breaker trips from closed or half-open to open."),
 		shardLatency: reg.NewHistogram("ircluster_shard_latency_seconds",
 			"Per-shard round-trip time, successful attempts.", latencyBounds),
 		requests: reg.NewCounterVec("ircluster_requests_total",

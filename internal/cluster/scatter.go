@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"indexedrec/internal/server"
@@ -93,6 +94,11 @@ func (co *Coordinator) scatter(ctx context.Context, p *ir.Plan, spec *solveSpec)
 		return nil, err
 	}
 
+	// The retry budget is per solve, not per shard: all shards draw from
+	// one pool, so a flapping fleet cannot multiply retries by shard count.
+	var budget atomic.Int64
+	budget.Store(co.retryBudget(len(shards)))
+
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	parts := make([]*ir.ShardSolution, len(shards))
@@ -105,7 +111,7 @@ func (co *Coordinator) scatter(ctx context.Context, p *ir.Plan, spec *solveSpec)
 			req := base
 			req.Shard = server.ShardWire{Lo: sh.Lo, Hi: sh.Hi}
 			prefs := rankWorkers(ws, p.Fingerprint(), i)
-			resp, err := co.solveShard(sctx, req, prefs)
+			resp, err := co.solveShard(sctx, req, prefs, &budget)
 			if err != nil {
 				errs[i] = fmt.Errorf("shard %d [%d, %d): %w", i, sh.Lo, sh.Hi, err)
 				cancel() // no point finishing the rest; we fall back locally
@@ -127,10 +133,26 @@ func (co *Coordinator) scatter(ctx context.Context, p *ir.Plan, spec *solveSpec)
 	return parts, nil
 }
 
-// solveShard executes one shard with bounded retries (jittered backoff,
-// next-ranked worker — the re-scatter path) and a single hedged duplicate
-// for stragglers. prefs is the shard's rendezvous ranking of the fleet.
-func (co *Coordinator) solveShard(ctx context.Context, req server.ShardRequest, prefs []*worker) (*server.ShardResponse, error) {
+// retryBudget resolves the per-solve retry budget for a scatter of the
+// given shard count.
+func (co *Coordinator) retryBudget(shards int) int64 {
+	if co.cfg.RetryBudget < 0 {
+		return 0
+	}
+	if co.cfg.RetryBudget > 0 {
+		return int64(co.cfg.RetryBudget)
+	}
+	return int64(4 + 2*shards)
+}
+
+// solveShard executes one shard with bounded retries (jittered backoff
+// stretched by Retry-After hints, next-ranked worker — the re-scatter
+// path) and a single hedged duplicate for stragglers, cancelled as soon as
+// a winner lands. prefs is the shard's rendezvous ranking of the fleet;
+// workers whose circuit breaker is open are skipped. budget is the solve's
+// shared retry pool; retries beyond MaxRetries per shard or an exhausted
+// budget fail the shard (and the solve then falls back locally).
+func (co *Coordinator) solveShard(ctx context.Context, req server.ShardRequest, prefs []*worker, budget *atomic.Int64) (*server.ShardResponse, error) {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel() // reels in any straggler the hedge raced against
 
@@ -142,21 +164,33 @@ func (co *Coordinator) solveShard(ctx context.Context, req server.ShardRequest, 
 		start time.Time
 	}
 	resCh := make(chan attempt, maxSends+1) // +1: the hedge; buffered so stragglers never block
-	sends := 0
-	launch := func(counter *server.Counter) {
-		w := prefs[sends%len(prefs)]
-		sends++
-		if counter != nil {
-			counter.Inc()
+	sends, idx := 0, 0
+	// launch sends to the next breaker-admitted worker in preference order,
+	// reporting false when every breaker refuses.
+	launch := func(counter *server.Counter) bool {
+		for tried := 0; tried < len(prefs); tried++ {
+			w := prefs[idx%len(prefs)]
+			idx++
+			if !w.br.allow() {
+				continue
+			}
+			sends++
+			if counter != nil {
+				counter.Inc()
+			}
+			go func() {
+				start := time.Now()
+				resp, err := w.client.SolveShard(sctx, req)
+				resCh <- attempt{resp: resp, err: err, w: w, start: start}
+			}()
+			return true
 		}
-		go func() {
-			start := time.Now()
-			resp, err := w.client.SolveShard(sctx, req)
-			resCh <- attempt{resp: resp, err: err, w: w, start: start}
-		}()
+		return false
 	}
 	co.metrics.shards.Inc()
-	launch(nil)
+	if !launch(nil) {
+		return nil, fmt.Errorf("ircluster: every worker's circuit breaker is open")
+	}
 	inflight := 1
 
 	var hedgeC <-chan time.Time // nil channel: never fires
@@ -171,25 +205,33 @@ func (co *Coordinator) solveShard(ctx context.Context, req server.ShardRequest, 
 		case a := <-resCh:
 			inflight--
 			if a.err == nil {
+				// Cancel the losing side (a straggler the hedge or a retry
+				// raced against) before anything else, so its connection and
+				// goroutine unwind while we record the win.
+				cancel()
+				a.w.br.onSuccess()
 				co.metrics.shardLatency.Observe(time.Since(a.start).Seconds())
 				return a.resp, nil
 			}
 			lastErr = a.err
+			if breakerFailure(a.err) {
+				a.w.br.onFailure()
+			}
 			co.noteFailure(a.w, a.err)
 			if !retryable(a.err) {
 				return nil, a.err
 			}
-			if sends < maxSends {
-				if err := sleepCtx(ctx, co.backoff(sends)); err != nil {
+			if sends < maxSends && budget.Add(-1) >= 0 {
+				if err := sleepCtx(ctx, co.retryDelay(sends, a.err)); err != nil {
 					return nil, err
 				}
-				launch(co.metrics.retries)
-				inflight++
+				if launch(co.metrics.retries) {
+					inflight++
+				}
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if sends < maxSends {
-				launch(co.metrics.hedges)
+			if sends < maxSends && launch(co.metrics.hedges) {
 				inflight++
 			}
 		case <-ctx.Done():
@@ -199,8 +241,38 @@ func (co *Coordinator) solveShard(ctx context.Context, req server.ShardRequest, 
 	return nil, lastErr
 }
 
-// noteFailure marks a worker down on transport-level errors (the probe loop
-// will bring it back); HTTP-level errors leave liveness alone.
+// breakerFailure reports whether err should count against the worker's
+// circuit breaker: transport failures and overload/5xx responses do,
+// request errors (4xx) and caller-side cancellation do not.
+func breakerFailure(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500 || apiErr.IsShed()
+	}
+	return true
+}
+
+// retryDelay is the wait before retry number attempt (1-based): the
+// jittered backoff, stretched to honor a shedding worker's Retry-After
+// hint (clamped to MaxRetryAfter).
+func (co *Coordinator) retryDelay(attempt int, err error) time.Duration {
+	d := co.backoff(attempt)
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > d {
+		d = apiErr.RetryAfter
+		if d > co.cfg.MaxRetryAfter {
+			d = co.cfg.MaxRetryAfter
+		}
+	}
+	return d
+}
+
+// noteFailure marks a worker down on transport-level errors (a static
+// worker's probe or a dynamic worker's next heartbeat brings it back);
+// HTTP-level errors leave liveness alone.
 func (co *Coordinator) noteFailure(w *worker, err error) {
 	var apiErr *client.APIError
 	if errors.As(err, &apiErr) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -209,6 +281,7 @@ func (co *Coordinator) noteFailure(w *worker, err error) {
 	if w.setUp(false) {
 		co.metrics.workerUp.Set(0, w.name)
 		co.cfg.Logger.Printf("ircluster: worker %s down: %v", w.name, err)
+		co.fleetChanged()
 	}
 }
 

@@ -165,6 +165,41 @@ type ShardResponse struct {
 	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
+// ClusterPrefix is the coordinator's membership API prefix: workers
+// self-register at POST /v1/cluster/register, renew their lease at POST
+// /v1/cluster/heartbeat, and leave gracefully at POST
+// /v1/cluster/deregister; GET /v1/cluster/workers reports the fleet view.
+const ClusterPrefix = "/v1/cluster/"
+
+// RegisterRequest is the body of POST /v1/cluster/register: a worker
+// announcing itself to the coordinator.
+type RegisterRequest struct {
+	// Addr is the address the coordinator should dial the worker on
+	// ("host:port" or a full base URL); it is also the membership key.
+	Addr string `json:"addr"`
+	// Version is the worker's build identification, shown in the fleet
+	// view for mixed-fleet diagnosis.
+	Version string `json:"version,omitempty"`
+}
+
+// RegisterResponse acknowledges a registration with the granted lease.
+type RegisterResponse struct {
+	// LeaseMs is how long the membership lease lasts; the worker should
+	// heartbeat at roughly a third of it.
+	LeaseMs int64 `json:"lease_ms"`
+}
+
+// MemberRequest is the body of POST /v1/cluster/heartbeat and
+// /v1/cluster/deregister: the worker's registered address.
+type MemberRequest struct {
+	// Addr is the address the member registered under.
+	Addr string `json:"addr"`
+}
+
+// TenantHeader is the request header naming the tenant for per-tenant
+// admission; absent or empty means the default tenant.
+const TenantHeader = "X-IR-Tenant"
+
 // VersionResponse is the body of GET /version — build identification for
 // mixed-version cluster diagnosis.
 type VersionResponse struct {

@@ -23,6 +23,10 @@ type Client struct {
 	Base string
 	// HTTP is the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Tenant, when non-empty, is sent as the X-IR-Tenant header so the
+	// server accounts this client's solves under that tenant's admission
+	// quota and fair-queueing weight.
+	Tenant string
 }
 
 // New returns a client for the given base URL.
@@ -66,6 +70,9 @@ func (c *Client) do(ctx context.Context, path string, reqBody, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.Tenant != "" {
+		req.Header.Set(server.TenantHeader, c.Tenant)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err

@@ -1,0 +1,137 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"indexedrec/internal/server"
+)
+
+// Registrar keeps one worker enrolled in a coordinator's elastic fleet: it
+// registers the worker's advertised address, heartbeats at a third of the
+// granted lease so the membership never lapses while the worker is healthy,
+// re-registers when the coordinator forgets it (lease expiry during a
+// partition, or a coordinator restart), and deregisters on shutdown so a
+// graceful drain leaves the fleet immediately instead of waiting out the
+// lease.
+type Registrar struct {
+	cfg RegistrarConfig
+	c   *Client
+}
+
+// RegistrarConfig parameterizes a Registrar.
+type RegistrarConfig struct {
+	// Coordinator is the coordinator's base URL ("http://host:port"; a bare
+	// host:port gets an http:// prefix).
+	Coordinator string
+	// Advertise is the address the coordinator should dial the worker on;
+	// it is also the membership key.
+	Advertise string
+	// Version is reported at registration for mixed-fleet diagnosis.
+	Version string
+	// Interval overrides the heartbeat period; 0 derives it from the
+	// granted lease (a third of it, floor 50ms).
+	Interval time.Duration
+	// Logger receives lifecycle events; nil means log.Default().
+	Logger *log.Logger
+}
+
+// NewRegistrar builds a Registrar on the shared keep-alive transport.
+func NewRegistrar(cfg RegistrarConfig) *Registrar {
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	base := cfg.Coordinator
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Registrar{cfg: cfg, c: NewPooled(base, 10*time.Second)}
+}
+
+// Run registers the worker and heartbeats until ctx is cancelled, then
+// deregisters (under a fresh short-lived context, since ctx is already
+// dead) so the coordinator drops the member without waiting for the lease
+// to lapse. Registration failures are retried with backoff; heartbeat 404s
+// trigger re-registration. Run only returns when ctx ends.
+func (r *Registrar) Run(ctx context.Context) {
+	lease, ok := r.register(ctx)
+	for ok && r.heartbeatLoop(ctx, lease) {
+		// The coordinator forgot us (its restart or our missed lease);
+		// enroll again and resume heartbeating.
+		lease, ok = r.register(ctx)
+	}
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+	defer cancel()
+	if err := r.c.Deregister(dctx, r.cfg.Advertise); err != nil {
+		r.cfg.Logger.Printf("irserved: deregister from %s: %v", r.cfg.Coordinator, err)
+		return
+	}
+	r.cfg.Logger.Printf("irserved: deregistered %s from %s", r.cfg.Advertise, r.cfg.Coordinator)
+}
+
+// register enrolls the worker, retrying with capped backoff until it
+// succeeds (returning the granted lease) or ctx ends (returning ok=false).
+func (r *Registrar) register(ctx context.Context) (time.Duration, bool) {
+	backoff := 100 * time.Millisecond
+	for {
+		resp, err := r.c.Register(ctx, server.RegisterRequest{
+			Addr:    r.cfg.Advertise,
+			Version: r.cfg.Version,
+		})
+		if err == nil {
+			lease := time.Duration(resp.LeaseMs) * time.Millisecond
+			r.cfg.Logger.Printf("irserved: registered %s with %s (lease %v)",
+				r.cfg.Advertise, r.cfg.Coordinator, lease)
+			return lease, true
+		}
+		if ctx.Err() != nil {
+			return 0, false
+		}
+		r.cfg.Logger.Printf("irserved: register with %s: %v (retrying in %v)",
+			r.cfg.Coordinator, err, backoff)
+		select {
+		case <-ctx.Done():
+			return 0, false
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+// heartbeatLoop renews the lease until ctx ends (returning false) or the
+// coordinator answers 404 (returning true: the caller should re-register).
+// Transient errors are tolerated; the next tick retries well inside the
+// lease.
+func (r *Registrar) heartbeatLoop(ctx context.Context, lease time.Duration) bool {
+	interval := r.cfg.Interval
+	if interval <= 0 {
+		interval = lease / 3
+	}
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+		}
+		_, err := r.c.Heartbeat(ctx, r.cfg.Advertise)
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+			r.cfg.Logger.Printf("irserved: coordinator %s dropped our lease, re-registering", r.cfg.Coordinator)
+			return true
+		}
+		if err != nil && ctx.Err() == nil {
+			r.cfg.Logger.Printf("irserved: heartbeat to %s: %v", r.cfg.Coordinator, err)
+		}
+	}
+}

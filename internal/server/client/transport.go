@@ -69,3 +69,29 @@ func (c *Client) Version(ctx context.Context) (*server.VersionResponse, error) {
 	}
 	return &out, nil
 }
+
+// Register announces a worker to a coordinator (POST /v1/cluster/register)
+// and returns the granted membership lease.
+func (c *Client) Register(ctx context.Context, req server.RegisterRequest) (*server.RegisterResponse, error) {
+	var out server.RegisterResponse
+	if err := c.do(ctx, server.ClusterPrefix+"register", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Heartbeat renews a registered worker's membership lease. A 404 APIError
+// means the coordinator no longer knows the worker (lease expired or the
+// coordinator restarted); the caller should Register again.
+func (c *Client) Heartbeat(ctx context.Context, addr string) (*server.RegisterResponse, error) {
+	var out server.RegisterResponse
+	if err := c.do(ctx, server.ClusterPrefix+"heartbeat", server.MemberRequest{Addr: addr}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Deregister removes a draining worker from the coordinator's fleet.
+func (c *Client) Deregister(ctx context.Context, addr string) error {
+	return c.do(ctx, server.ClusterPrefix+"deregister", server.MemberRequest{Addr: addr}, nil)
+}

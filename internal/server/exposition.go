@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks text against the Prometheus text exposition
+// format the Registry emits: every sample must belong to a declared TYPE
+// family, sample lines must parse, counters must be non-negative, histogram
+// buckets must be cumulative and end in +Inf, and every histogram series
+// must carry _sum and _count. It returns the first violation found, or nil
+// for a well-formed page. Tests across the repo (irserved, ircluster, CI
+// smoke checks) share it so every new metric is validated through the same
+// gate.
+func ValidateExposition(text string) error {
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+	declared := map[string]string{} // base name -> type
+	type histSeries struct {
+		lastCum  float64
+		sawInf   bool
+		sawSum   bool
+		sawCount bool
+	}
+	hists := map[string]*histSeries{} // name+labels(without le)
+	stripLe := regexp.MustCompile(`le="[^"]*",?`)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("bad TYPE line: %q", line)
+			}
+			declared[parts[2]] = parts[3]
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("bad sample line: %q", line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if declared[strings.TrimSuffix(name, suffix)] == "histogram" {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		typ, ok := declared[base]
+		if !ok {
+			return fmt.Errorf("sample %q has no TYPE declaration", line)
+		}
+		val, err := strconv.ParseFloat(strings.Replace(valStr, "+Inf", "Inf", 1), 64)
+		if err != nil {
+			return fmt.Errorf("bad value in %q: %v", line, err)
+		}
+		if typ == "counter" && val < 0 {
+			return fmt.Errorf("negative counter: %q", line)
+		}
+		if typ == "histogram" {
+			series := stripLe.ReplaceAllString(labels, "")
+			series = strings.ReplaceAll(series, ",}", "}")
+			if series == "{}" {
+				series = ""
+			}
+			key := base + series
+			hs := hists[key]
+			if hs == nil {
+				hs = &histSeries{}
+				hists[key] = hs
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if val < hs.lastCum {
+					return fmt.Errorf("non-cumulative bucket in %q (prev %v)", line, hs.lastCum)
+				}
+				hs.lastCum = val
+				if strings.Contains(labels, `le="+Inf"`) {
+					hs.sawInf = true
+				}
+			case strings.HasSuffix(name, "_sum"):
+				hs.sawSum = true
+			case strings.HasSuffix(name, "_count"):
+				hs.sawCount = true
+			}
+		}
+	}
+	for key, hs := range hists {
+		if !hs.sawInf || !hs.sawSum || !hs.sawCount {
+			return fmt.Errorf("histogram %s missing +Inf bucket, _sum or _count", key)
+		}
+	}
+	return nil
+}

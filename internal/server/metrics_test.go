@@ -2,97 +2,17 @@ package server
 
 import (
 	"math"
-	"regexp"
-	"strconv"
 	"strings"
 	"testing"
 )
 
-// checkExposition asserts text is valid Prometheus text exposition: every
-// sample belongs to a declared family, HELP/TYPE precede samples, histogram
-// buckets are cumulative and end in +Inf, and every histogram series has
-// _sum and _count. Shared by the server e2e tests.
+// checkExposition asserts text is valid Prometheus text exposition; the
+// checks live in the exported ValidateExposition so the cluster tests and
+// CI smoke scripts validate through the same gate.
 func checkExposition(t *testing.T, text string) {
 	t.Helper()
-	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
-	declared := map[string]string{} // base name -> type
-	type histSeries struct {
-		lastCum  float64
-		sawInf   bool
-		sawSum   bool
-		sawCount bool
-	}
-	hists := map[string]*histSeries{} // name+labels(without le)
-	stripLe := regexp.MustCompile(`le="[^"]*",?`)
-	for _, line := range strings.Split(text, "\n") {
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "# HELP ") {
-			continue
-		}
-		if strings.HasPrefix(line, "# TYPE ") {
-			parts := strings.Fields(line)
-			if len(parts) != 4 {
-				t.Fatalf("bad TYPE line: %q", line)
-			}
-			declared[parts[2]] = parts[3]
-			continue
-		}
-		m := sampleRe.FindStringSubmatch(line)
-		if m == nil {
-			t.Fatalf("bad sample line: %q", line)
-		}
-		name, labels, valStr := m[1], m[2], m[3]
-		base := name
-		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-			if declared[strings.TrimSuffix(name, suffix)] == "histogram" {
-				base = strings.TrimSuffix(name, suffix)
-			}
-		}
-		typ, ok := declared[base]
-		if !ok {
-			t.Fatalf("sample %q has no TYPE declaration", line)
-		}
-		val, err := strconv.ParseFloat(strings.Replace(valStr, "+Inf", "Inf", 1), 64)
-		if err != nil {
-			t.Fatalf("bad value in %q: %v", line, err)
-		}
-		if typ == "counter" && val < 0 {
-			t.Errorf("negative counter: %q", line)
-		}
-		if typ == "histogram" {
-			series := stripLe.ReplaceAllString(labels, "")
-			series = strings.ReplaceAll(series, ",}", "}")
-			if series == "{}" {
-				series = ""
-			}
-			key := base + series
-			hs := hists[key]
-			if hs == nil {
-				hs = &histSeries{}
-				hists[key] = hs
-			}
-			switch {
-			case strings.HasSuffix(name, "_bucket"):
-				if val < hs.lastCum {
-					t.Errorf("non-cumulative bucket in %q (prev %v)", line, hs.lastCum)
-				}
-				hs.lastCum = val
-				if strings.Contains(labels, `le="+Inf"`) {
-					hs.sawInf = true
-				}
-			case strings.HasSuffix(name, "_sum"):
-				hs.sawSum = true
-			case strings.HasSuffix(name, "_count"):
-				hs.sawCount = true
-			}
-		}
-	}
-	for key, hs := range hists {
-		if !hs.sawInf || !hs.sawSum || !hs.sawCount {
-			t.Errorf("histogram %s missing +Inf bucket, _sum or _count", key)
-		}
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
 	}
 }
 

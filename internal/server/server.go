@@ -57,6 +57,11 @@ type Config struct {
 	// Negative disables plan caching: every request then runs the direct
 	// solve paths, recomputing structure each time.
 	PlanCacheBytes int64
+	// Tenants configures per-tenant admission (WFQ weight, shed priority,
+	// queue quota) keyed by the X-IR-Tenant header value. Tenants absent
+	// from the map get the zero TenantConfig: weight 1, priority 0, no
+	// quota.
+	Tenants map[string]TenantConfig
 }
 
 func (c *Config) setDefaults() {
@@ -111,6 +116,7 @@ func (c *Config) setDefaults() {
 type serverMetrics struct {
 	requests       *CounterVec   // irserved_requests_total{endpoint,code}
 	shed           *CounterVec   // irserved_shed_total{endpoint}
+	tenantShed     *CounterVec   // irserved_tenant_shed_total{tenant}
 	queueDepth     *Gauge        // irserved_queue_depth
 	queueCapacity  *Gauge        // irserved_queue_capacity
 	inflight       *Gauge        // irserved_inflight_requests
@@ -131,6 +137,8 @@ func newServerMetrics(reg *Registry, depthFn func() float64, capacity int) *serv
 			"Requests by endpoint and HTTP status code.", "endpoint", "code"),
 		shed: reg.NewCounterVec("irserved_shed_total",
 			"Requests shed with 429 because the admission queue was full.", "endpoint"),
+		tenantShed: reg.NewCounterVec("irserved_tenant_shed_total",
+			"Requests shed per tenant: quota exhaustion, a full queue, or eviction by a higher-priority tenant.", "tenant"),
 		queueDepth: reg.NewGaugeFunc("irserved_queue_depth",
 			"Jobs waiting in the admission queue right now.", depthFn),
 		queueCapacity: reg.NewGauge("irserved_queue_capacity",
@@ -204,7 +212,8 @@ func New(cfg Config) *Server {
 	cfg.setDefaults()
 	s := &Server{cfg: cfg, reg: NewRegistry()}
 	s.lifetime, s.cancel = context.WithCancel(context.Background())
-	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.Procs)
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.Procs, cfg.Tenants,
+		func(tenant string) { s.metrics.tenantShed.Inc(tenant) })
 	s.metrics = newServerMetrics(s.reg,
 		func() float64 { return float64(s.pool.depth() + len(s.co.in)) },
 		cfg.QueueDepth)
@@ -218,7 +227,7 @@ func New(cfg Config) *Server {
 			}
 			s.runBatch(jctx, items)
 		}}
-		if err := s.pool.submitWait(j); err != nil {
+		if err := s.pool.submitInternal(j); err != nil {
 			for _, it := range items {
 				it.res <- batchResult{err: err}
 			}
@@ -375,7 +384,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, endpoint st
 		err error
 	}
 	res := make(chan outcome, 1)
-	j := &job{ctx: ctx, run: func(jctx context.Context) {
+	j := &job{ctx: ctx, tenant: tenantOf(r), run: func(jctx context.Context) {
 		if err := jctx.Err(); err != nil {
 			res <- outcome{err: err}
 			return
@@ -386,6 +395,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, endpoint st
 		v, err := run(jctx)
 		res <- outcome{v: v, err: err}
 	}}
+	// shed makes the queued job evictable under priority shedding; the
+	// buffered res channel means delivery never blocks the pool.
+	j.shed = func() { res <- outcome{err: errShed} }
 	if err := s.pool.submit(j); err != nil {
 		s.refuse(w, endpoint, err)
 		return
@@ -393,6 +405,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, endpoint st
 	select {
 	case out := <-res:
 		s.metrics.latency.With(endpoint).Observe(time.Since(start).Seconds())
+		if errors.Is(out.err, errShed) {
+			// Evicted from the queue by a higher-priority tenant.
+			s.refuse(w, endpoint, out.err)
+			return
+		}
 		if out.err != nil {
 			s.writeError(w, endpoint, statusForSolve(out.err), out.err.Error())
 			return
@@ -431,6 +448,15 @@ func (s *Server) handleCoalesced(w http.ResponseWriter, r *http.Request, endpoin
 	}
 	ctx, cancel := s.requestContext(r, opts.TimeoutMs)
 	defer cancel()
+	// Charge the tenant's quota while the request sits in the coalescer:
+	// batch jobs run under the internal tenant, so without the reservation
+	// the coalesced path would sidestep MaxQueued entirely.
+	tenant := tenantOf(r)
+	if err := s.pool.reserve(tenant); err != nil {
+		s.refuse(w, endpoint, err)
+		return
+	}
+	defer s.pool.release(tenant)
 	it := &batchItem{ms: ms, x0: x0, ctx: ctx, res: make(chan batchResult, 1)}
 	if s.plans != nil {
 		it.fp = ir.PlanFingerprint(ir.FamilyMoebius, len(ms.G), ms.M, ms.G, ms.F, nil, 0)
@@ -438,6 +464,7 @@ func (s *Server) handleCoalesced(w http.ResponseWriter, r *http.Request, endpoin
 	select {
 	case s.co.in <- it:
 	default:
+		s.metrics.tenantShed.Inc(tenant)
 		s.refuse(w, endpoint, errShed)
 		return
 	}
@@ -743,8 +770,8 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error
 	return body, nil
 }
 
-// refuse answers an admission failure: 429 + Retry-After for a full queue,
-// 503 for draining.
+// refuse answers an admission failure: 429 + Retry-After for a full queue
+// or a spent tenant quota, 503 for draining.
 func (s *Server) refuse(w http.ResponseWriter, endpoint string, err error) {
 	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 	if errors.Is(err, errDraining) {
@@ -752,8 +779,22 @@ func (s *Server) refuse(w http.ResponseWriter, endpoint string, err error) {
 		return
 	}
 	s.metrics.shed.Inc(endpoint)
+	if errors.Is(err, errTenantShed) {
+		s.writeError(w, endpoint, http.StatusTooManyRequests,
+			"tenant queue quota exceeded, retry later")
+		return
+	}
 	s.writeError(w, endpoint, http.StatusTooManyRequests,
 		fmt.Sprintf("admission queue full (capacity %d), retry later", s.cfg.QueueDepth))
+}
+
+// tenantOf names the request's admission tenant from the X-IR-Tenant
+// header; absent means DefaultTenant.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return DefaultTenant
 }
 
 func retryAfterSeconds(d time.Duration) string {
