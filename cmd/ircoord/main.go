@@ -13,7 +13,10 @@
 // heartbeat leases of -lease; a missed lease drops the worker and its
 // shards re-home by rendezvous hashing. Each worker sits behind a circuit
 // breaker tuned by -breaker-threshold/-breaker-cooldown, and retries draw
-// on a per-solve -retry-budget.
+// on a per-solve -retry-budget. With -cluster-token the membership
+// endpoints require the shared token (workers pass the same value to their
+// -cluster-token flag); without one they are open and must only be exposed
+// on a trusted network.
 //
 // Endpoints: POST /v1/solve/{ordinary,general,linear,moebius} (the loop
 // endpoint is intentionally absent — loop *execution* stays single-node),
@@ -56,6 +59,7 @@ func main() {
 		hedgeAfter    = flag.Duration("hedge-after", 2*time.Second, "hedge a duplicate shard request after this long (negative disables)")
 		probeInterval = flag.Duration("probe-interval", 5*time.Second, "static-worker health-probe period (negative disables)")
 		lease         = flag.Duration("lease", 5*time.Second, "membership lease granted to self-registering workers")
+		clusterToken  = flag.String("cluster-token", "", "shared token required on the membership endpoints (empty = open; trusted networks only)")
 		brThreshold   = flag.Int("breaker-threshold", 3, "consecutive failures that open a worker's circuit breaker (negative disables)")
 		brCooldown    = flag.Duration("breaker-cooldown", 5*time.Second, "wait before an open breaker admits its half-open probe")
 		reqTimeout    = flag.Duration("request-timeout", 60*time.Second, "cap on one shard HTTP request")
@@ -88,6 +92,7 @@ func main() {
 		HedgeAfter:       *hedgeAfter,
 		ProbeInterval:    *probeInterval,
 		LeaseTTL:         *lease,
+		ClusterToken:     *clusterToken,
 		BreakerThreshold: *brThreshold,
 		BreakerCooldown:  *brCooldown,
 		RequestTimeout:   *reqTimeout,

@@ -21,7 +21,9 @@
 // With -coordinator-url the worker joins an ircoord fleet elastically: it
 // registers its -advertise address (derived from -addr when that has a
 // concrete host), heartbeats to hold its membership lease, and deregisters
-// during the graceful drain so the coordinator stops routing to it at once.
+// during the graceful drain so the coordinator stops routing to it at once;
+// -cluster-token carries the fleet's shared registration token when the
+// coordinator requires one.
 //
 // Per-tenant admission is configured with -tenants: requests carrying an
 // X-IR-Tenant header are fair-queued by weight, bounded by their quota, and
@@ -77,6 +79,7 @@ func main() {
 		coordURL    = flag.String("coordinator-url", "", "register with this ircoord and heartbeat a membership lease (worker mode)")
 		advertise   = flag.String("advertise", "", "address the coordinator dials back (default derived from -addr)")
 		heartbeat   = flag.Duration("heartbeat", 0, "lease heartbeat period (0 = a third of the granted lease)")
+		clusterTok  = flag.String("cluster-token", "", "shared membership token: sent when registering, required of workers in coordinator mode")
 		tenants     = flag.String("tenants", "", "per-tenant admission, name:weight:priority:max-queued[,...] (e.g. paid:4:10:0,free:1:0:8)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 		showVersion = flag.Bool("version", false, "print build version and exit")
@@ -97,6 +100,7 @@ func main() {
 		co := cluster.New(cluster.Config{
 			Workers:       splitList(*workerList),
 			ProbeInterval: *probeEvery,
+			ClusterToken:  *clusterTok,
 			MaxN:          *maxN,
 			PlanCacheBytes: func() int64 {
 				if *planCache != 0 {
@@ -130,7 +134,7 @@ func main() {
 		PlanCacheBytes: *planCache,
 		Tenants:        tenantCfg,
 	})
-	regDone := runRegistrar(ctx, *coordURL, *advertise, *addr, *heartbeat)
+	regDone := runRegistrar(ctx, *coordURL, *advertise, *addr, *clusterTok, *heartbeat)
 	fmt.Printf("irserved: listening on %s\n", *addr)
 	if err := s.ListenAndServe(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail("%v", err)
@@ -145,7 +149,7 @@ func main() {
 // the drain removes the worker from routing immediately. The returned
 // channel closes once deregistration finished; it is already closed when no
 // coordinator is configured.
-func runRegistrar(ctx context.Context, coordURL, advertise, addr string, heartbeat time.Duration) <-chan struct{} {
+func runRegistrar(ctx context.Context, coordURL, advertise, addr, token string, heartbeat time.Duration) <-chan struct{} {
 	done := make(chan struct{})
 	if coordURL == "" {
 		close(done)
@@ -164,6 +168,7 @@ func runRegistrar(ctx context.Context, coordURL, advertise, addr string, heartbe
 		Coordinator: coordURL,
 		Advertise:   adv,
 		Version:     fmt.Sprintf("%s go %s", v.Version, v.Go),
+		Token:       token,
 		Interval:    heartbeat,
 	})
 	go func() {

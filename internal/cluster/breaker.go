@@ -6,8 +6,9 @@ import (
 )
 
 // Per-worker circuit breaker. Every worker carries one; the scatter path
-// asks allow() before sending a shard and reports the outcome back. The
-// state machine is the classic three-state breaker:
+// asks allow() before sending a shard and settles the admitted attempt's
+// outcome through the callback allow returns. The state machine is the
+// classic three-state breaker:
 //
 //	closed    — requests flow; consecutive failures are counted.
 //	open      — threshold consecutive failures tripped it; requests are
@@ -15,7 +16,9 @@ import (
 //	            the cooldown elapses.
 //	half-open — after the cooldown ONE probe request is admitted; success
 //	            closes the breaker, failure re-opens it for another
-//	            cooldown.
+//	            cooldown, and an abandoned probe (caller-side cancellation,
+//	            no evidence either way) releases the probe slot so the next
+//	            request probes again.
 //
 // The breaker complements — not replaces — liveness: leases and probes
 // decide who is in the fleet, the breaker decides whether a member that is
@@ -29,6 +32,21 @@ const (
 	breakerClosed   = 0
 	breakerHalfOpen = 1
 	breakerOpen     = 2
+)
+
+// Outcomes of one admitted attempt, passed to the settle callback allow
+// returns.
+const (
+	// outcomeSuccess closes the breaker and resets the failure streak.
+	outcomeSuccess = iota
+	// outcomeFailure counts against the worker: it trips a closed breaker
+	// at the threshold and re-opens a half-open one.
+	outcomeFailure
+	// outcomeAbandoned records an attempt that ended without evidence about
+	// the worker (caller-side cancellation, solve already won elsewhere): no
+	// state change, but a held half-open probe slot is released so the
+	// breaker can never latch with a probe that will never report.
+	outcomeAbandoned
 )
 
 // breakerStateName renders a breaker state for the fleet view.
@@ -62,69 +80,73 @@ func newBreaker(threshold int, cooldown time.Duration, onState func(int)) *break
 	return &breaker{threshold: threshold, cooldown: cooldown, onState: onState, now: time.Now}
 }
 
+var noopSettle = func(int) {}
+
 // allow reports whether a request may be sent through this breaker right
 // now. In the open state it transitions to half-open once the cooldown has
-// elapsed and admits exactly one probe.
-func (b *breaker) allow() bool {
+// elapsed and admits exactly one probe. An admitted attempt MUST settle by
+// calling the returned callback with its outcome when it finishes — for
+// any reason, including cancellation — so a half-open probe slot is always
+// released; extra calls are ignored.
+func (b *breaker) allow() (settle func(outcome int), ok bool) {
 	if b.threshold <= 0 {
-		return true
+		return noopSettle, true
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	probe := false
 	switch b.state {
 	case breakerClosed:
-		return true
 	case breakerOpen:
 		if b.now().Sub(b.openedAt) < b.cooldown {
-			return false
+			return nil, false
 		}
 		b.setLocked(breakerHalfOpen)
 		b.probing = true
-		return true
+		probe = true
 	default: // half-open: only the single in-flight probe
 		if b.probing {
-			return false
+			return nil, false
 		}
 		b.probing = true
-		return true
+		probe = true
 	}
+	var once sync.Once
+	return func(outcome int) {
+		once.Do(func() { b.settle(probe, outcome) })
+	}, true
 }
 
-// onSuccess records a successful request: it resets the failure streak and
-// closes a half-open breaker.
-func (b *breaker) onSuccess() {
-	if b.threshold <= 0 {
-		return
-	}
+// settle records one admitted attempt's outcome. probe marks the attempt
+// that holds the half-open probe slot; settling it — however it ended —
+// releases the slot.
+func (b *breaker) settle(probe bool, outcome int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.fails = 0
-	b.probing = false
-	if b.state != breakerClosed {
-		b.setLocked(breakerClosed)
+	if probe {
+		b.probing = false
 	}
-}
-
-// onFailure records a worker-attributable failure: it trips a closed
-// breaker after threshold consecutive failures and re-opens a half-open
-// one immediately.
-func (b *breaker) onFailure() {
-	if b.threshold <= 0 {
-		return
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.probing = false
-	switch b.state {
-	case breakerClosed:
-		b.fails++
-		if b.fails >= b.threshold {
-			b.trip()
+	switch outcome {
+	case outcomeSuccess:
+		b.fails = 0
+		if b.state != breakerClosed {
+			b.setLocked(breakerClosed)
 		}
-	case breakerHalfOpen:
-		b.trip()
-	case breakerOpen:
-		// Late result from before the trip; the clock keeps running.
+	case outcomeFailure:
+		switch b.state {
+		case breakerClosed:
+			b.fails++
+			if b.fails >= b.threshold {
+				b.trip()
+			}
+		case breakerHalfOpen:
+			b.trip()
+		case breakerOpen:
+			// Late result from before the trip; the clock keeps running.
+		}
+	case outcomeAbandoned:
+		// No evidence about the worker; only the probe slot (released
+		// above) mattered.
 	}
 }
 

@@ -68,6 +68,14 @@ type Config struct {
 	// without a heartbeat (default 5s, minimum 100ms). Workers heartbeat
 	// at TTL/3.
 	LeaseTTL time.Duration
+	// ClusterToken, when non-empty, is the shared secret the membership
+	// endpoints (register/heartbeat/deregister) require in the
+	// X-IR-Cluster-Token header; requests without it answer 401, so only
+	// holders of the token can add or remove fleet members. Leave empty
+	// ONLY when the cluster API is reachable solely from a trusted network:
+	// an open membership API lets anyone route shard payloads to an
+	// arbitrary address or deregister legitimate workers.
+	ClusterToken string
 	// BreakerThreshold is how many consecutive worker-attributable
 	// failures open a worker's circuit breaker (default 3; negative
 	// disables breakers).

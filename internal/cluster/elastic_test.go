@@ -253,6 +253,84 @@ func TestRegistrarLifecycle(t *testing.T) {
 	leak()
 }
 
+// TestClusterTokenGatesMembership starts a coordinator requiring a shared
+// registration token: membership writes without it (or with a wrong one)
+// answer 401 and leave the fleet untouched, while a tokened Registrar joins
+// and drains normally. The read-only fleet view stays open.
+func TestClusterTokenGatesMembership(t *testing.T) {
+	leak := checkGoroutines(t)
+	func() {
+		const token = "fleet-secret"
+		co, front, down := elasticFleet(t, func(cfg *Config) {
+			cfg.ClusterToken = token
+		})
+		tw, downWorker := startWorker(t)
+
+		// No token and a wrong token are both refused on every membership
+		// endpoint, and nothing joins the fleet.
+		for _, tok := range []string{"", "wrong-secret"} {
+			c := client.New(front.URL)
+			c.ClusterToken = tok
+			var apiErr *client.APIError
+			if _, err := c.Register(context.Background(), server.RegisterRequest{Addr: tw.ts.URL}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnauthorized {
+				t.Fatalf("register with token %q: %v, want 401", tok, err)
+			}
+			if _, err := c.Heartbeat(context.Background(), tw.ts.URL); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnauthorized {
+				t.Fatalf("heartbeat with token %q: %v, want 401", tok, err)
+			}
+			if err := c.Deregister(context.Background(), tw.ts.URL); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnauthorized {
+				t.Fatalf("deregister with token %q: %v, want 401", tok, err)
+			}
+		}
+		if got := len(co.memberList()); got != 0 {
+			t.Fatalf("unauthorized requests changed membership: %d members", got)
+		}
+
+		// A registrar carrying the token enrolls and serves.
+		reg := client.NewRegistrar(client.RegistrarConfig{
+			Coordinator: front.URL,
+			Advertise:   tw.ts.URL,
+			Token:       token,
+			Logger:      log.New(io.Discard, "", 0),
+		})
+		rctx, rcancel := context.WithCancel(context.Background())
+		regDone := make(chan struct{})
+		go func() { defer close(regDone); reg.Run(rctx) }()
+		waitFor(t, 5*time.Second, "tokened registration", func() bool {
+			w := co.member(tw.ts.URL)
+			return w != nil && w.isUp()
+		})
+
+		// An attacker with no token cannot evict the legitimate member.
+		if err := client.New(front.URL).Deregister(context.Background(), tw.ts.URL); err == nil {
+			t.Fatal("tokenless deregister of a live member succeeded")
+		}
+		if w := co.member(tw.ts.URL); w == nil || !w.isUp() {
+			t.Fatal("tokenless deregister removed the member")
+		}
+
+		// The fleet view needs no token.
+		resp, err := http.Get(front.URL + server.ClusterPrefix + "workers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fleet view with no token: HTTP %d", resp.StatusCode)
+		}
+
+		// The tokened drain deregisters cleanly.
+		rcancel()
+		<-regDone
+		waitFor(t, time.Second, "tokened deregistration", func() bool {
+			return co.member(tw.ts.URL) == nil
+		})
+		downWorker()
+		down()
+	}()
+	leak()
+}
+
 // TestLeaseExpiryRemovesWorker registers a worker that never heartbeats:
 // the missed-lease detector must remove it within a couple of TTLs, and
 // later heartbeats for the forgotten name must 404 so the worker knows to
@@ -555,6 +633,90 @@ func TestBreakerIsolatesFailingWorker(t *testing.T) {
 		if got := co.metrics.breakerState.Value(name); got != breakerClosed {
 			t.Fatalf("ircluster_breaker_state = %d after recovery, want closed", got)
 		}
+		down()
+	}()
+	leak()
+}
+
+// TestAbandonedProbeDoesNotBlackholeWorker reproduces the breaker-latch
+// regression at the scatter level: a half-open probe whose request dies
+// with the solve context (caller-side cancellation, no worker-attributable
+// outcome) must release the probe slot. Before the fix the abandoned probe
+// left probing latched forever, blackholing the worker from every future
+// solve.
+func TestAbandonedProbeDoesNotBlackholeWorker(t *testing.T) {
+	leak := checkGoroutines(t)
+	func() {
+		co, workers, down := newFleet(t, 1, func(cfg *Config) {
+			cfg.BreakerThreshold = 1
+			cfg.BreakerCooldown = 50 * time.Millisecond
+			cfg.ProbeInterval = 20 * time.Millisecond // liveness self-heals
+		})
+		name := workers[0].ts.URL
+		br := co.member(name).br
+
+		// Trip the breaker: one 500 opens it (threshold 1); the solve falls
+		// back locally and still answers.
+		fail := func(w http.ResponseWriter, r *http.Request) bool {
+			if r.URL.Path != server.ShardPrefix+"solve" {
+				return false
+			}
+			w.WriteHeader(http.StatusInternalServerError)
+			_, _ = w.Write([]byte(`{"error":"injected failure","code":500}`))
+			return true
+		}
+		workers[0].respond.Store(&fail)
+		spec := singleChainSpec()
+		want := localSolution(t, spec)
+		got, err := co.Solve(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("solve during trip: %v", err)
+		}
+		assertSameSolution(t, got, want)
+		if br.snapshot() != breakerOpen {
+			t.Fatalf("breaker = %s after a threshold-1 failure, want open", breakerStateName(br.snapshot()))
+		}
+		workers[0].respond.Store(nil)
+
+		// After the cooldown, hang the half-open probe until its request
+		// context dies and run a solve under a short deadline: the probe is
+		// admitted, then abandoned by the cancellation.
+		time.Sleep(60 * time.Millisecond)
+		hang := func(r *http.Request) bool {
+			if r.URL.Path != server.ShardPrefix+"solve" {
+				return true
+			}
+			_, _ = io.Copy(io.Discard, r.Body)
+			<-r.Context().Done()
+			return false // abort the connection, as a dead request would
+		}
+		workers[0].intercept.Store(&hang)
+		sctx, scancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		_, err = co.Solve(sctx, spec)
+		scancel()
+		if err == nil {
+			t.Fatal("hung-probe solve succeeded; the probe was never in flight")
+		}
+		workers[0].intercept.Store(nil)
+
+		// The abandoned probe must not latch the breaker: once the hung
+		// attempt settles, a fresh probe is re-admitted and real traffic
+		// closes the breaker again.
+		waitFor(t, 5*time.Second, "the probe slot to be released", func() bool {
+			settle, ok := br.allow()
+			if ok {
+				settle(outcomeAbandoned)
+			}
+			return ok
+		})
+		waitFor(t, 10*time.Second, "the breaker to close on live traffic", func() bool {
+			got, err := co.Solve(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("post-recovery solve: %v", err)
+			}
+			assertSameSolution(t, got, want)
+			return br.snapshot() == breakerClosed
+		})
 		down()
 	}()
 	leak()

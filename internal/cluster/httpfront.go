@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -126,9 +127,30 @@ func (co *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
 	co.writeJSON(w, "workers", http.StatusOK, out)
 }
 
+// authorizeMember gates the membership endpoints behind the shared cluster
+// token when one is configured, answering 401 (and reporting false) on a
+// missing or wrong token. Without a token the endpoints are open — the
+// deployment must then keep the cluster API on a trusted network, since
+// membership writes control where shard payloads are routed.
+func (co *Coordinator) authorizeMember(w http.ResponseWriter, r *http.Request, endpoint string) bool {
+	if co.cfg.ClusterToken == "" {
+		return true
+	}
+	got := r.Header.Get(server.ClusterTokenHeader)
+	if subtle.ConstantTimeCompare([]byte(got), []byte(co.cfg.ClusterToken)) == 1 {
+		return true
+	}
+	co.writeError(w, endpoint, http.StatusUnauthorized,
+		"missing or invalid "+server.ClusterTokenHeader+" cluster token")
+	return false
+}
+
 // handleRegister admits a self-registering worker into the fleet and
 // grants it a heartbeat lease.
 func (co *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !co.authorizeMember(w, r, "register") {
+		return
+	}
 	var req server.RegisterRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		co.writeError(w, "register", http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
@@ -145,6 +167,9 @@ func (co *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 // handleHeartbeat renews a registered worker's lease; unknown members get
 // 404 and should re-register.
 func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !co.authorizeMember(w, r, "heartbeat") {
+		return
+	}
 	var req server.MemberRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		co.writeError(w, "heartbeat", http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
@@ -160,6 +185,9 @@ func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 // handleDeregister removes a draining worker from the fleet.
 func (co *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if !co.authorizeMember(w, r, "deregister") {
+		return
+	}
 	var req server.MemberRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		co.writeError(w, "deregister", http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))

@@ -64,38 +64,39 @@ func (co *Coordinator) addMember(w *worker) (*worker, bool) {
 // register admits (or refreshes) a dynamic member and returns its lease
 // duration. Re-registration of a live member is a plain lease renewal;
 // registration of a dead or unknown name is a membership change that
-// re-ranks placement.
+// re-ranks placement. Membership is checked before any worker is built, so
+// a renewal never constructs a throwaway client or resets the resident
+// member's breaker gauge (which may legitimately read open).
 func (co *Coordinator) register(addr, version string) time.Duration {
-	base := addr
-	if !hasScheme(base) {
-		base = "http://" + base
+	co.mmu.Lock()
+	cur, resident := co.members[addr]
+	if !resident {
+		base := addr
+		if !hasScheme(base) {
+			base = "http://" + base
+		}
+		cur = co.newWorker(addr, base, true)
+		co.members[addr] = cur
 	}
-	w := co.newWorker(addr, base, true)
-	w.version = version
-	w.up = true
-	w.lease = time.Now().Add(co.cfg.LeaseTTL)
+	co.mmu.Unlock()
 
-	cur, added := co.addMember(w)
-	if !added {
-		cur.mu.Lock()
-		wasUp := cur.up
-		cur.up = true
-		cur.lease = time.Now().Add(co.cfg.LeaseTTL)
-		cur.dynamic = true
-		if version != "" {
-			cur.version = version
-		}
-		cur.mu.Unlock()
-		co.metrics.workerUp.Set(1, cur.name)
-		if !wasUp {
-			co.cfg.Logger.Printf("ircluster: worker %s re-registered", cur.name)
-			co.fleetChanged()
-		}
-		return co.cfg.LeaseTTL
+	cur.mu.Lock()
+	wasUp := cur.up
+	cur.up = true
+	cur.lease = time.Now().Add(co.cfg.LeaseTTL)
+	cur.dynamic = true
+	if version != "" {
+		cur.version = version
 	}
-	co.metrics.workerUp.Set(1, w.name)
-	co.cfg.Logger.Printf("ircluster: worker %s registered (version %s)", w.name, orUnknown(version))
-	co.fleetChanged()
+	cur.mu.Unlock()
+	co.metrics.workerUp.Set(1, cur.name)
+	if !resident {
+		co.cfg.Logger.Printf("ircluster: worker %s registered (version %s)", cur.name, orUnknown(version))
+		co.fleetChanged()
+	} else if !wasUp {
+		co.cfg.Logger.Printf("ircluster: worker %s re-registered", cur.name)
+		co.fleetChanged()
+	}
 	return co.cfg.LeaseTTL
 }
 

@@ -166,12 +166,17 @@ func (co *Coordinator) solveShard(ctx context.Context, req server.ShardRequest, 
 	resCh := make(chan attempt, maxSends+1) // +1: the hedge; buffered so stragglers never block
 	sends, idx := 0, 0
 	// launch sends to the next breaker-admitted worker in preference order,
-	// reporting false when every breaker refuses.
+	// reporting false when every breaker refuses. The send goroutine itself
+	// settles the breaker when the request finishes — not the receive loop —
+	// so an attempt abandoned mid-flight (another worker won and sctx was
+	// cancelled, or the solve ctx expired) still releases its half-open
+	// probe slot instead of latching the breaker.
 	launch := func(counter *server.Counter) bool {
 		for tried := 0; tried < len(prefs); tried++ {
 			w := prefs[idx%len(prefs)]
 			idx++
-			if !w.br.allow() {
+			settle, ok := w.br.allow()
+			if !ok {
 				continue
 			}
 			sends++
@@ -181,6 +186,14 @@ func (co *Coordinator) solveShard(ctx context.Context, req server.ShardRequest, 
 			go func() {
 				start := time.Now()
 				resp, err := w.client.SolveShard(sctx, req)
+				switch {
+				case err == nil:
+					settle(outcomeSuccess)
+				case breakerFailure(err):
+					settle(outcomeFailure)
+				default:
+					settle(outcomeAbandoned)
+				}
 				resCh <- attempt{resp: resp, err: err, w: w, start: start}
 			}()
 			return true
@@ -209,14 +222,10 @@ func (co *Coordinator) solveShard(ctx context.Context, req server.ShardRequest, 
 				// raced against) before anything else, so its connection and
 				// goroutine unwind while we record the win.
 				cancel()
-				a.w.br.onSuccess()
 				co.metrics.shardLatency.Observe(time.Since(a.start).Seconds())
 				return a.resp, nil
 			}
 			lastErr = a.err
-			if breakerFailure(a.err) {
-				a.w.br.onFailure()
-			}
 			co.noteFailure(a.w, a.err)
 			if !retryable(a.err) {
 				return nil, a.err
@@ -227,6 +236,11 @@ func (co *Coordinator) solveShard(ctx context.Context, req server.ShardRequest, 
 				}
 				if launch(co.metrics.retries) {
 					inflight++
+				} else {
+					// Nothing was sent (every breaker refused): refund the
+					// budget unit so no-op retries cannot drain the solve's
+					// pool under a fully-open fleet.
+					budget.Add(1)
 				}
 			}
 		case <-hedgeC:

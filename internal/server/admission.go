@@ -170,6 +170,18 @@ func (p *pool) tenantLocked(name string) *tenantQueue {
 	return tq
 }
 
+// gcLocked drops a tenant queue holding no state the scheduler needs: no
+// queued jobs, no coalescer reservations, and a vtime at or behind the pool
+// vclock — recreating such a queue tags new jobs identically (start =
+// vclock), so the drop is invisible to WFQ. Called after every dequeue,
+// release, and shed, it keeps the tenants map bounded even when clients
+// send arbitrary X-IR-Tenant names.
+func (p *pool) gcLocked(tq *tenantQueue) {
+	if len(tq.jobs) == 0 && tq.pending == 0 && tq.vtime <= p.vclock {
+		delete(p.tenants, tq.name)
+	}
+}
+
 func (p *pool) worker() {
 	defer p.wg.Done()
 	// Each worker owns one gang for its whole lifetime: the solvers find it
@@ -223,6 +235,7 @@ func (p *pool) next() *job {
 			if j.tag > p.vclock {
 				p.vclock = j.tag
 			}
+			p.gcLocked(best)
 			return j
 		}
 		if p.closed {
@@ -272,6 +285,7 @@ func (p *pool) evictLocked(priority int) bool {
 		p.queued--
 		p.onShed(victim.name)
 		j.shed()
+		p.gcLocked(victim)
 		return true
 	}
 	return false
@@ -290,10 +304,14 @@ func (p *pool) submit(j *job) error {
 	tq := p.tenantLocked(j.tenant)
 	if q := tq.cfg.MaxQueued; q > 0 && len(tq.jobs)+tq.pending >= q {
 		p.onShed(tq.name)
+		p.gcLocked(tq)
 		return errTenantShed
 	}
 	if p.queued >= p.depthBound && !p.evictLocked(tq.cfg.Priority) {
 		p.onShed(tq.name)
+		// A shed request must not leave behind the queue its lookup
+		// created, or arbitrary tenant names grow the map without bound.
+		p.gcLocked(tq)
 		return errShed
 	}
 	p.enqueueLocked(tq, j)
@@ -329,6 +347,7 @@ func (p *pool) reserve(tenant string) error {
 	tq := p.tenantLocked(tenant)
 	if q := tq.cfg.MaxQueued; q > 0 && len(tq.jobs)+tq.pending >= q {
 		p.onShed(tq.name)
+		p.gcLocked(tq)
 		return errTenantShed
 	}
 	tq.pending++
@@ -339,8 +358,11 @@ func (p *pool) reserve(tenant string) error {
 func (p *pool) release(tenant string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if tq := p.tenants[orDefault(tenant)]; tq != nil && tq.pending > 0 {
-		tq.pending--
+	if tq := p.tenants[orDefault(tenant)]; tq != nil {
+		if tq.pending > 0 {
+			tq.pending--
+		}
+		p.gcLocked(tq)
 	}
 }
 

@@ -171,6 +171,11 @@ type ShardResponse struct {
 // /v1/cluster/deregister; GET /v1/cluster/workers reports the fleet view.
 const ClusterPrefix = "/v1/cluster/"
 
+// ClusterTokenHeader carries the shared registration token on the
+// membership endpoints when the coordinator was started with one;
+// requests without the matching token answer 401.
+const ClusterTokenHeader = "X-IR-Cluster-Token"
+
 // RegisterRequest is the body of POST /v1/cluster/register: a worker
 // announcing itself to the coordinator.
 type RegisterRequest struct {

@@ -27,6 +27,10 @@ type Client struct {
 	// server accounts this client's solves under that tenant's admission
 	// quota and fair-queueing weight.
 	Tenant string
+	// ClusterToken, when non-empty, is sent as the X-IR-Cluster-Token
+	// header; coordinators started with a registration token require it on
+	// the membership endpoints (register/heartbeat/deregister).
+	ClusterToken string
 }
 
 // New returns a client for the given base URL.
@@ -72,6 +76,9 @@ func (c *Client) do(ctx context.Context, path string, reqBody, out any) error {
 	req.Header.Set("Content-Type", "application/json")
 	if c.Tenant != "" {
 		req.Header.Set(server.TenantHeader, c.Tenant)
+	}
+	if c.ClusterToken != "" {
+		req.Header.Set(server.ClusterTokenHeader, c.ClusterToken)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {

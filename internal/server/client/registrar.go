@@ -33,6 +33,9 @@ type RegistrarConfig struct {
 	Advertise string
 	// Version is reported at registration for mixed-fleet diagnosis.
 	Version string
+	// Token is the shared cluster registration token, required when the
+	// coordinator gates its membership API (ircoord -cluster-token).
+	Token string
 	// Interval overrides the heartbeat period; 0 derives it from the
 	// granted lease (a third of it, floor 50ms).
 	Interval time.Duration
@@ -49,7 +52,9 @@ func NewRegistrar(cfg RegistrarConfig) *Registrar {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Registrar{cfg: cfg, c: NewPooled(base, 10*time.Second)}
+	c := NewPooled(base, 10*time.Second)
+	c.ClusterToken = cfg.Token
+	return &Registrar{cfg: cfg, c: c}
 }
 
 // Run registers the worker and heartbeats until ctx is cancelled, then

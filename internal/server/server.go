@@ -138,7 +138,7 @@ func newServerMetrics(reg *Registry, depthFn func() float64, capacity int) *serv
 		shed: reg.NewCounterVec("irserved_shed_total",
 			"Requests shed with 429 because the admission queue was full.", "endpoint"),
 		tenantShed: reg.NewCounterVec("irserved_tenant_shed_total",
-			"Requests shed per tenant: quota exhaustion, a full queue, or eviction by a higher-priority tenant.", "tenant"),
+			"Requests shed per tenant: quota exhaustion, a full queue, or eviction by a higher-priority tenant. Unconfigured tenant names share the \"other\" label.", "tenant"),
 		queueDepth: reg.NewGaugeFunc("irserved_queue_depth",
 			"Jobs waiting in the admission queue right now.", depthFn),
 		queueCapacity: reg.NewGauge("irserved_queue_capacity",
@@ -213,7 +213,7 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, reg: NewRegistry()}
 	s.lifetime, s.cancel = context.WithCancel(context.Background())
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.Procs, cfg.Tenants,
-		func(tenant string) { s.metrics.tenantShed.Inc(tenant) })
+		func(tenant string) { s.metrics.tenantShed.Inc(s.shedLabel(tenant)) })
 	s.metrics = newServerMetrics(s.reg,
 		func() float64 { return float64(s.pool.depth() + len(s.co.in)) },
 		cfg.QueueDepth)
@@ -464,7 +464,7 @@ func (s *Server) handleCoalesced(w http.ResponseWriter, r *http.Request, endpoin
 	select {
 	case s.co.in <- it:
 	default:
-		s.metrics.tenantShed.Inc(tenant)
+		s.metrics.tenantShed.Inc(s.shedLabel(tenant))
 		s.refuse(w, endpoint, errShed)
 		return
 	}
@@ -786,6 +786,20 @@ func (s *Server) refuse(w http.ResponseWriter, endpoint string, err error) {
 	}
 	s.writeError(w, endpoint, http.StatusTooManyRequests,
 		fmt.Sprintf("admission queue full (capacity %d), retry later", s.cfg.QueueDepth))
+}
+
+// shedLabel bounds the irserved_tenant_shed_total label set: configured
+// tenants (plus the default and internal ones) keep their own label, while
+// arbitrary unconfigured X-IR-Tenant values fold into "other" so a client
+// inventing tenant names cannot grow the metric series without bound.
+func (s *Server) shedLabel(tenant string) string {
+	if tenant == DefaultTenant || tenant == internalTenant {
+		return tenant
+	}
+	if _, ok := s.cfg.Tenants[tenant]; ok {
+		return tenant
+	}
+	return "other"
 }
 
 // tenantOf names the request's admission tenant from the X-IR-Tenant

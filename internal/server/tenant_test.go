@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -255,6 +257,79 @@ func TestTenantPriorityEviction(t *testing.T) {
 		}
 	}()
 	leak()
+}
+
+// TestTenantQueueGC drives the pool directly and asserts the tenants map
+// stays bounded under arbitrary tenant names: a shed submission never
+// leaves its just-created queue behind, a drained tenant's queue is
+// dropped after dequeue, and a released reservation drops its queue — so a
+// client inventing X-IR-Tenant values cannot grow pool memory (or dequeue
+// scan cost) without bound.
+func TestTenantQueueGC(t *testing.T) {
+	p := newPool(1, 1, 1, map[string]TenantConfig{"cfgd": {Weight: 2}}, nil)
+
+	tenantCount := func() int {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return len(p.tenants)
+	}
+
+	// A blocker occupies the worker so later submissions queue.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := p.submit(&job{ctx: context.Background(), tenant: "blocker", run: func(context.Context) {
+		close(started)
+		<-release
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// One queued job fills the global queue (depth 1).
+	done := make(chan struct{})
+	if err := p.submit(&job{ctx: context.Background(), tenant: "cfgd", run: func(context.Context) {
+		close(done)
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 100 distinct shed tenants must leave no trace: only the queued
+	// tenant's FIFO may remain (the dequeued blocker's is already gone).
+	for i := 0; i < 100; i++ {
+		name := fmt.Sprintf("attacker-%d", i)
+		err := p.submit(&job{ctx: context.Background(), tenant: name, run: func(context.Context) {}})
+		if !errors.Is(err, errShed) {
+			t.Fatalf("submit %s: %v, want errShed", name, err)
+		}
+	}
+	if got := tenantCount(); got != 1 {
+		t.Fatalf("tenants after 100 shed names = %d, want 1 (the queued tenant)", got)
+	}
+
+	// Draining the queue drops the last FIFO.
+	close(release)
+	<-done
+	deadline := time.Now().Add(5 * time.Second)
+	for tenantCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("tenants after drain = %d, want 0", tenantCount())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A coalescer reservation pins its queue only while held.
+	if err := p.reserve("batcher"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tenantCount(); got != 1 {
+		t.Fatalf("tenants during a reservation = %d, want 1", got)
+	}
+	p.release("batcher")
+	if got := tenantCount(); got != 0 {
+		t.Fatalf("tenants after release = %d, want 0", got)
+	}
+
+	p.close()
 }
 
 // TestWFQOrdering drives the pool directly: with a weight-3 and a weight-1
