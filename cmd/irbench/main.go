@@ -9,6 +9,7 @@
 //	irbench -exp all -quick           # small sizes for smoke runs
 //	irbench -exp all -quick -json     # one JSON object per experiment
 //	irbench -cluster localhost:8070   # local vs distributed throughput
+//	irbench -session -json            # E19 streaming-session amortization
 package main
 
 import (
@@ -58,10 +59,14 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		asJSON  = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
 		cluster = flag.String("cluster", "", "benchmark an ircluster coordinator at host:port against local solves")
+		session = flag.Bool("session", false, "run the streaming-session benchmark (shorthand for -exp session)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+	if *session {
+		*exp = "session"
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -20,8 +20,11 @@
 //
 // Endpoints: POST /v1/solve/{ordinary,general,linear,moebius} (the loop
 // endpoint is intentionally absent — loop *execution* stays single-node),
-// GET /healthz, /readyz, /metrics, /version, and the membership API
-// /v1/cluster/{workers,register,heartbeat,deregister}.
+// the streaming-session pass-through POST /v1/session, POST
+// /v1/session/{id}/append, GET/DELETE /v1/session/{id} (each session is
+// pinned by rendezvous hash to one worker and re-homed by replay when that
+// worker dies), GET /healthz, /readyz, /metrics, /version, and the
+// membership API /v1/cluster/{workers,register,heartbeat,deregister}.
 // SIGINT/SIGTERM trigger a graceful shutdown; in-flight solves finish
 // under their deadlines.
 package main

@@ -13,9 +13,11 @@
 //	  '{"m":4,"g":[1,2,3],"f":[0,1,2],"a":[1,1,1],"b":[1,1,1],"x0":[1,0,0,0]}'
 //
 // Endpoints: POST /v1/solve/{ordinary,general,linear,moebius,loop}, POST
-// /v1/shard/solve (the worker role of a cluster; see internal/cluster), and
-// GET /healthz, /readyz (503 while draining), /metrics (Prometheus text),
-// /version. SIGINT/SIGTERM trigger a graceful drain: readiness flips,
+// /v1/shard/solve (the worker role of a cluster; see internal/cluster), the
+// streaming-session lifecycle POST /v1/session, POST
+// /v1/session/{id}/append, GET/DELETE /v1/session/{id} (idle sessions are
+// evicted after -session-ttl), and GET /healthz, /readyz (503 while
+// draining), /metrics (Prometheus text), /version. SIGINT/SIGTERM trigger a graceful drain: readiness flips,
 // in-flight solves finish under their deadlines, then the process exits 0.
 //
 // With -coordinator-url the worker joins an ircoord fleet elastically: it
@@ -81,6 +83,9 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", 0, "lease heartbeat period (0 = a third of the granted lease)")
 		clusterTok  = flag.String("cluster-token", "", "shared membership token: sent when registering, required of workers in coordinator mode")
 		tenants     = flag.String("tenants", "", "per-tenant admission, name:weight:priority:max-queued[,...] (e.g. paid:4:10:0,free:1:0:8)")
+		sessionTTL  = flag.Duration("session-ttl", 5*time.Minute, "evict streaming sessions idle this long (negative disables)")
+		sessionMem  = flag.Int64("session-bytes", 256<<20, "resident-byte budget across streaming sessions (negative disables)")
+		maxSessions = flag.Int("max-sessions", 1024, "max concurrently open streaming sessions (negative disables)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 		showVersion = flag.Bool("version", false, "print build version and exit")
 	)
@@ -133,6 +138,9 @@ func main() {
 		MaxN:           *maxN,
 		PlanCacheBytes: *planCache,
 		Tenants:        tenantCfg,
+		SessionTTL:     *sessionTTL,
+		SessionBytes:   *sessionMem,
+		MaxSessions:    *maxSessions,
 	})
 	regDone := runRegistrar(ctx, *coordURL, *advertise, *addr, *clusterTok, *heartbeat)
 	fmt.Printf("irserved: listening on %s\n", *addr)

@@ -1,0 +1,135 @@
+// Streaming: an exponential-moving-average tick feed through a streaming
+// session — the incremental-solve subsystem end to end.
+//
+//	go run ./examples/streaming
+//
+// An EMA over a price feed is the linear indexed recurrence
+//
+//	E[i] = α·tick[i] + (1-α)·E[i-1]
+//
+// i.e. X[g(i)] := a·X[f(i)] + b with a = 1-α and b = α·tick[i] — exactly
+// the Möbius/linear family. A one-shot solve would need the whole feed up
+// front; ticks do not work that way. So the example opens a session on the
+// first batch and streams the rest through Append as the "market" produces
+// them: each append folds k new ticks into the server-held resume state in
+// O(k) and returns the updated EMA cells, while a cold re-solve of the
+// concatenated system would pay O(n log n) per batch (EXPERIMENTS.md E19
+// measures the gap). At the end the streamed state is compared bit-for-bit
+// against the sequential fold of the full feed — the session contract.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"indexedrec/internal/server"
+	"indexedrec/internal/server/client"
+)
+
+func main() {
+	// An in-process irserved on a loopback port, as in examples/service;
+	// cmd/irserved serves the same /v1/session API with flags.
+	s := server.New(server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		_ = hs.Close()
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("irserved listening on %s\n\n", base)
+
+	const (
+		alpha   = 0.125 // EMA smoothing factor
+		batch   = 16    // ticks per append (one "market data packet")
+		batches = 64    // appends streamed after the opening batch
+		m       = 1 + batch*(batches+1)
+	)
+	rng := rand.New(rand.NewSource(42))
+	price := 100.0
+	tick := func() float64 {
+		price += rng.NormFloat64() // a random walk
+		return price
+	}
+
+	// Cell 0 seeds the EMA; cell i holds E[i] once iteration i lands. Each
+	// iteration reads the previous EMA cell, so g is globally distinct —
+	// the chain shape sessions are built for.
+	mkBatch := func(start int) (g, f []int, a, b []float64) {
+		g, f = make([]int, batch), make([]int, batch)
+		a, b = make([]float64, batch), make([]float64, batch)
+		for i := range g {
+			g[i] = start + i
+			f[i] = start + i - 1
+			a[i] = 1 - alpha
+			b[i] = alpha * tick()
+		}
+		return
+	}
+
+	c := client.New(base)
+	ctx := context.Background()
+
+	g, f, a, b := mkBatch(1)
+	allA, allB := append([]float64(nil), a...), append([]float64(nil), b...)
+	x0 := make([]float64, m)
+	x0[0] = tick() // the seed EMA: the first observed price
+	open, err := c.OpenSession(ctx, server.SessionOpenRequest{
+		Family: "linear",
+		M:      m, G: g, F: f, A: a, B: b, X0: x0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session %s open: family=%s n=%d\n", open.ID[:8], open.Family, open.N)
+
+	var last float64
+	for k := 0; k < batches; k++ {
+		g, f, a, b := mkBatch(1 + batch*(k+1))
+		allA, allB = append(allA, a...), append(allB, b...)
+		res, err := c.Append(ctx, open.ID, server.SessionAppendRequest{
+			G: g, F: f, A: a, B: b,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		last = res.Values[len(res.Values)-1]
+		if (k+1)%16 == 0 {
+			fmt.Printf("  after %4d ticks: EMA = %.4f (append #%d)\n",
+				res.N, last, res.Appends)
+		}
+	}
+
+	// The contract: the streamed state is the sequential fold of the
+	// concatenated feed, bit for bit.
+	st, err := c.GetSession(ctx, open.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ema := x0[0]
+	for i := range allA {
+		ema = allA[i]*ema + allB[i]
+	}
+	if got := st.Values[st.N]; math.Float64bits(got) != math.Float64bits(ema) {
+		log.Fatalf("streamed EMA %v != sequential fold %v", got, ema)
+	}
+	fmt.Printf("\nfinal EMA after %d ticks: %.4f — bit-identical to the sequential fold\n",
+		st.N, last)
+
+	if err := c.CloseSession(ctx, open.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("session closed")
+}

@@ -194,6 +194,9 @@ type Coordinator struct {
 	mmu     sync.RWMutex
 	members map[string]*worker
 
+	smu      sync.Mutex
+	sessions map[string]*streamEntry
+
 	probeCtx    context.Context
 	probeCancel context.CancelFunc
 	probeDone   chan struct{}
@@ -210,6 +213,7 @@ func New(cfg Config) *Coordinator {
 		cfg:       cfg,
 		reg:       server.NewRegistry(),
 		members:   make(map[string]*worker),
+		sessions:  make(map[string]*streamEntry),
 		probeDone: make(chan struct{}),
 		leaseDone: make(chan struct{}),
 	}

@@ -49,6 +49,7 @@ func (co *Coordinator) routes() {
 	co.mux.HandleFunc("POST "+server.ClusterPrefix+"register", co.handleRegister)
 	co.mux.HandleFunc("POST "+server.ClusterPrefix+"heartbeat", co.handleHeartbeat)
 	co.mux.HandleFunc("POST "+server.ClusterPrefix+"deregister", co.handleDeregister)
+	co.sessionRoutes()
 	co.mux.HandleFunc("POST "+server.APIPrefix+"ordinary", func(w http.ResponseWriter, r *http.Request) {
 		co.handleSolve(w, r, "ordinary", co.specOrdinary)
 	})

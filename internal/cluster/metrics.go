@@ -21,6 +21,9 @@ type clusterMetrics struct {
 	requests     *server.CounterVec   // ircluster_requests_total{endpoint,code}
 	solveLatency *server.HistogramVec // ircluster_solve_seconds{endpoint}
 
+	sessions       *server.Gauge   // ircluster_sessions
+	sessionRehomes *server.Counter // ircluster_session_rehomes_total
+
 	planHits, planMisses, planEvictions *server.Counter
 	planBytes                           *server.Gauge
 }
@@ -52,6 +55,10 @@ func newClusterMetrics(reg *server.Registry) *clusterMetrics {
 			"Coordinator HTTP responses by endpoint and status.", "endpoint", "code"),
 		solveLatency: reg.NewHistogramVec("ircluster_solve_seconds",
 			"End-to-end distributed solve latency by endpoint.", latencyBounds, "endpoint"),
+		sessions: reg.NewGauge("ircluster_sessions",
+			"Streaming sessions currently proxied through the coordinator."),
+		sessionRehomes: reg.NewCounter("ircluster_session_rehomes_total",
+			"Sessions rebuilt on another worker by replaying their append log."),
 		planHits: reg.NewCounter("ircluster_plan_cache_hits_total",
 			"Coordinator plan-cache hits."),
 		planMisses: reg.NewCounter("ircluster_plan_cache_misses_total",

@@ -1,0 +1,83 @@
+package gir
+
+import (
+	"fmt"
+
+	"indexedrec/internal/core"
+)
+
+// Incremental (streaming) extension of a general (GIR) solve. Unlike the
+// ordinary family, general systems may rewrite cells, so there is no
+// settled-prefix shortcut — but the sequential fold itself IS the semantic
+// definition of the result, and each appended iteration costs exactly one
+// Combine against the materialized state. AppendFold applies a batch that
+// way; Stale decides when the session's cached dependence-DAG plan (used
+// for cold re-solves and cluster re-homes) has drifted far enough from the
+// concatenated system that it should be recompiled.
+
+// AppendFold applies k iterations A[g[i]] = op(A[f[i]], A[h[i]]) to the
+// materialized state cur, in order — the incremental extension of a general
+// solve, bit-identical to core.RunSequential of the concatenated system by
+// construction. A nil h selects the ordinary shape h = g. Indices are
+// validated against len(cur) before any mutation.
+func AppendFold[T any](cur []T, op core.Semigroup[T], g, f, h []int) error {
+	k := len(g)
+	if len(f) != k || (h != nil && len(h) != k) {
+		return fmt.Errorf("%w: append map lengths disagree", core.ErrInvalidSystem)
+	}
+	m := len(cur)
+	check := func(name string, idx []int) error {
+		for i, v := range idx {
+			if v < 0 || v >= m {
+				return fmt.Errorf("%w: append %s[%d] = %d out of range [0,%d)",
+					core.ErrInvalidSystem, name, i, v, m)
+			}
+		}
+		return nil
+	}
+	if err := check("g", g); err != nil {
+		return err
+	}
+	if err := check("f", f); err != nil {
+		return err
+	}
+	if h != nil {
+		if err := check("h", h); err != nil {
+			return err
+		}
+	}
+	if h == nil {
+		for i := 0; i < k; i++ {
+			cur[g[i]] = op.Combine(cur[f[i]], cur[g[i]])
+		}
+		return nil
+	}
+	for i := 0; i < k; i++ {
+		cur[g[i]] = op.Combine(cur[f[i]], cur[h[i]])
+	}
+	return nil
+}
+
+// DefaultStaleFraction is the appended-iteration fraction past which a
+// session's cached general plan is considered stale (see Stale).
+const DefaultStaleFraction = 0.5
+
+// Stale reports whether a cached plan compiled for planN iterations should
+// be recompiled now that appended more iterations exist beyond it. The plan
+// only serves cold re-solves (a session's values advance incrementally), so
+// it is refreshed lazily: once the appended suffix exceeds fraction·planN
+// (DefaultStaleFraction when fraction <= 0), a re-solve through the stale
+// plan would miss too much of the system and the caller should recompile
+// over the concatenated structure instead.
+func Stale(planN, appended int, fraction float64) bool {
+	if fraction <= 0 {
+		fraction = DefaultStaleFraction
+	}
+	if appended <= 0 {
+		return false
+	}
+	if planN <= 0 {
+		return true
+	}
+	return float64(appended) > fraction*float64(planN)
+}

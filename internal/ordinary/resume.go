@@ -1,0 +1,102 @@
+package ordinary
+
+import (
+	"fmt"
+
+	"indexedrec/internal/core"
+)
+
+// Incremental (streaming) extension of an ordinary solve: a Resume holds the
+// materialized per-cell state of a solved prefix and folds appended
+// iterations into it one at a time, in iteration order. Because g is
+// distinct across the whole concatenated system, a cell's value never
+// changes after the iteration that writes it, so the prefix state is exactly
+// what a solve of the concatenated system would leave in those cells — the
+// appended suffix is the only new work, O(1) per appended iteration.
+//
+// The fold applies the loop body exactly as core.RunSequential does
+// (A[g] = op(A[f], A[g]) in iteration order), so the state after any number
+// of appends is bit-identical to RunSequential of the concatenated system.
+// For exactly-associative operators (the integer library) that is also
+// bit-identical to the parallel pointer-jumping solve; for float operators
+// the parallel schedule's reassociation may round differently, which is the
+// same (documented) relationship the direct solvers have to the oracle.
+
+// Resume is the materialized prefix state of an ordinary system being
+// extended incrementally. Create with NewResume; not safe for concurrent
+// use (callers serialize, as internal/session does).
+type Resume[T any] struct {
+	op core.Semigroup[T]
+	// cur is the live value array, length m. It aliases the slice passed to
+	// NewResume.
+	cur []T
+	// written[x] reports whether some iteration (prefix or appended) wrote
+	// cell x; appends must keep g distinct across the whole history.
+	written []bool
+}
+
+// NewResume builds the resume state over a current value array and the
+// written set of the already-solved prefix. cur is retained and mutated by
+// Append; written is retained too. len(written) must equal len(cur).
+func NewResume[T any](op core.Semigroup[T], cur []T, written []bool) (*Resume[T], error) {
+	if len(cur) != len(written) {
+		return nil, fmt.Errorf("%w: len(cur) = %d, len(written) = %d",
+			core.ErrInvalidSystem, len(cur), len(written))
+	}
+	return &Resume[T]{op: op, cur: cur, written: written}, nil
+}
+
+// WrittenSet computes the written bitmap of a system's prefix (every cell
+// some iteration writes), for seeding NewResume.
+func WrittenSet(s *core.System) []bool {
+	w := make([]bool, s.M)
+	for _, g := range s.G {
+		w[g] = true
+	}
+	return w
+}
+
+// Append folds k more iterations A[g[i]] = op(A[f[i]], A[g[i]]) into the
+// state, in order. Every g[i] must be a previously-unwritten cell (the
+// ordinary family's distinct-g invariant must hold over the concatenated
+// system); indices must be in range. On error the state is unchanged.
+func (r *Resume[T]) Append(g, f []int) error {
+	if len(g) != len(f) {
+		return fmt.Errorf("%w: len(g) = %d, len(f) = %d", core.ErrInvalidSystem, len(g), len(f))
+	}
+	m := len(r.cur)
+	for i := range g {
+		if g[i] < 0 || g[i] >= m || f[i] < 0 || f[i] >= m {
+			r.Rollback(g[:i])
+			return fmt.Errorf("%w: append iteration %d indexes out of range [0,%d)",
+				core.ErrInvalidSystem, i, m)
+		}
+		if r.written[g[i]] {
+			r.Rollback(g[:i])
+			return fmt.Errorf("%w: append iteration %d rewrites cell %d",
+				ErrGNotDistinct, i, g[i])
+		}
+		// Marking as we validate catches in-batch duplicates too; a failure
+		// rolls the marks back, and the fold below only runs once the whole
+		// batch validated, so an error leaves the state untouched.
+		r.written[g[i]] = true
+	}
+	for i := range g {
+		r.cur[g[i]] = r.op.Combine(r.cur[f[i]], r.cur[g[i]])
+	}
+	return nil
+}
+
+// Rollback unmarks a batch's written cells after a failed validation pass;
+// Append uses it internally, exported for symmetric callers.
+func (r *Resume[T]) Rollback(g []int) {
+	for _, x := range g {
+		r.written[x] = false
+	}
+}
+
+// Values exposes the live value array (not a copy).
+func (r *Resume[T]) Values() []T { return r.cur }
+
+// Written exposes the live written bitmap (not a copy).
+func (r *Resume[T]) Written() []bool { return r.written }

@@ -1,0 +1,73 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+
+	"indexedrec/internal/server"
+)
+
+// TestClientSessionRoundTrip drives the typed session methods end to end:
+// open a linear session, append twice, snapshot, close, and assert the
+// error mapping afterwards (appends and gets on a closed session answer
+// 404 through APIError).
+func TestClientSessionRoundTrip(t *testing.T) {
+	_, c := startService(t, server.Config{})
+	ctx := context.Background()
+
+	// X[i+1] := X[i] + 1 from X[0] = 1: cell i holds i+1 once written.
+	open, err := c.OpenSession(ctx, server.SessionOpenRequest{
+		Family: "linear",
+		M:      8, G: []int{1, 2}, F: []int{0, 1},
+		A: []float64{1, 1}, B: []float64{1, 1},
+		X0: []float64{1, 0, 0, 0, 0, 0, 0, 0},
+	})
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if open.N != 2 || open.M != 8 || open.Family != "moebius" {
+		t.Fatalf("open = %+v", open)
+	}
+
+	for step := 0; step < 2; step++ {
+		at := 3 + step
+		ar, err := c.Append(ctx, open.ID, server.SessionAppendRequest{
+			G: []int{at}, F: []int{at - 1}, A: []float64{1}, B: []float64{1},
+		})
+		if err != nil {
+			t.Fatalf("Append %d: %v", step, err)
+		}
+		if len(ar.Values) != 1 || ar.Values[0] != float64(at+1) {
+			t.Fatalf("Append %d values = %v, want [%d]", step, ar.Values, at+1)
+		}
+		if ar.Appends != int64(step+1) {
+			t.Fatalf("Append %d counter = %d", step, ar.Appends)
+		}
+	}
+
+	st, err := c.GetSession(ctx, open.ID)
+	if err != nil {
+		t.Fatalf("GetSession: %v", err)
+	}
+	if st.N != 4 || st.Values[4] != 5 {
+		t.Fatalf("state = %+v", st)
+	}
+
+	if err := c.CloseSession(ctx, open.ID); err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	var apiErr *APIError
+	if _, err := c.Append(ctx, open.ID, server.SessionAppendRequest{
+		G: []int{5}, F: []int{4}, A: []float64{1}, B: []float64{1},
+	}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("Append after close: %v, want 404", err)
+	}
+	if _, err := c.GetSession(ctx, open.ID); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("GetSession after close: %v, want 404", err)
+	}
+	if err := c.CloseSession(ctx, open.ID); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("CloseSession twice: %v, want 404", err)
+	}
+}

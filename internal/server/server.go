@@ -16,6 +16,7 @@ import (
 
 	"indexedrec/internal/moebius"
 	"indexedrec/internal/parallel"
+	"indexedrec/internal/session"
 	"indexedrec/ir"
 )
 
@@ -62,6 +63,13 @@ type Config struct {
 	// from the map get the zero TenantConfig: weight 1, priority 0, no
 	// quota.
 	Tenants map[string]TenantConfig
+	// SessionTTL evicts streaming sessions idle longer than this (default
+	// 5m; negative disables idle eviction). SessionBytes bounds the summed
+	// resident size of live sessions (default 256 MiB; negative disables),
+	// MaxSessions their count (default 1024; negative disables).
+	SessionTTL   time.Duration
+	SessionBytes int64
+	MaxSessions  int
 }
 
 func (c *Config) setDefaults() {
@@ -129,6 +137,12 @@ type serverMetrics struct {
 	planMisses     *Counter      // irserved_plan_cache_misses_total
 	planEvictions  *Counter      // irserved_plan_cache_evictions_total
 	planBytes      *Gauge        // irserved_plan_cache_bytes
+
+	sessions             *GaugeVec  // irserved_sessions{state}
+	sessionAppends       *Counter   // irserved_session_appends_total
+	sessionEvictions     *Counter   // irserved_session_evictions_total
+	sessionBytes         *Gauge     // irserved_session_bytes
+	sessionAppendLatency *Histogram // irserved_session_append_seconds
 }
 
 func newServerMetrics(reg *Registry, depthFn func() float64, capacity int) *serverMetrics {
@@ -166,6 +180,17 @@ func newServerMetrics(reg *Registry, depthFn func() float64, capacity int) *serv
 			"Compiled plans evicted to respect the cache byte bound."),
 		planBytes: reg.NewGauge("irserved_plan_cache_bytes",
 			"Resident bytes of cached compiled plans."),
+		sessions: reg.NewGaugeVec("irserved_sessions",
+			"Streaming sessions by state: \"open\" counts resident sessions, \"closed\" the cumulative total that ended (deleted, drained or evicted).", "state"),
+		sessionAppends: reg.NewCounter("irserved_session_appends_total",
+			"Append batches folded into streaming sessions."),
+		sessionEvictions: reg.NewCounter("irserved_session_evictions_total",
+			"Streaming sessions evicted by the idle TTL or the byte/count bounds."),
+		sessionBytes: reg.NewGauge("irserved_session_bytes",
+			"Resident bytes of live streaming sessions."),
+		sessionAppendLatency: reg.NewHistogram("irserved_session_append_seconds",
+			"End-to-end session append latency (admission queueing included).",
+			[]float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1}),
 	}
 	m.queueCapacity.Set(int64(capacity))
 	m.ready.Set(1)
@@ -193,13 +218,19 @@ type Server struct {
 	co      *coalescer
 	// plans caches compiled solve plans by fingerprint; nil when
 	// Config.PlanCacheBytes is negative (caching disabled).
-	plans    *PlanCache
-	mux      *http.ServeMux
-	lifetime context.Context
-	cancel   context.CancelFunc
-	draining atomic.Bool
-	inflight sync.WaitGroup
-	shutOnce sync.Once
+	plans *PlanCache
+	// sessions owns the live streaming sessions (see internal/session);
+	// sessionOpen/sessionClosed back the irserved_sessions gauge because
+	// store hooks fire under the store lock and must not call back into it.
+	sessions      *session.Store
+	sessionOpen   atomic.Int64
+	sessionClosed atomic.Int64
+	mux           *http.ServeMux
+	lifetime      context.Context
+	cancel        context.CancelFunc
+	draining      atomic.Bool
+	inflight      sync.WaitGroup
+	shutOnce      sync.Once
 
 	// testHook, when non-nil, runs on the worker goroutine before each
 	// non-batch solve and before each batch sweep — tests use it to hold
@@ -220,6 +251,22 @@ func New(cfg Config) *Server {
 	if cfg.PlanCacheBytes > 0 {
 		s.plans = NewPlanCache(cfg.PlanCacheBytes, s.metrics.planCacheMetrics())
 	}
+	s.sessions = session.NewStore(session.StoreConfig{
+		TTL:         cfg.SessionTTL,
+		MaxBytes:    cfg.SessionBytes,
+		MaxSessions: cfg.MaxSessions,
+		Hooks: session.Hooks{
+			Opened: func() { s.metrics.sessions.Set(s.sessionOpen.Add(1), "open") },
+			Closed: func(evicted bool) {
+				s.metrics.sessions.Set(s.sessionOpen.Add(-1), "open")
+				s.metrics.sessions.Set(s.sessionClosed.Add(1), "closed")
+				if evicted {
+					s.metrics.sessionEvictions.Inc()
+				}
+			},
+			Bytes: func(total int64) { s.metrics.sessionBytes.Set(total) },
+		},
+	})
 	s.co = newCoalescer(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, func(items []*batchItem) {
 		j := &job{ctx: s.lifetime, run: func(jctx context.Context) {
 			if s.testHook != nil {
@@ -261,6 +308,7 @@ func (s *Server) routes() {
 		s.handleSolve(w, r, "shard", s.execShard)
 	})
 	s.mux.HandleFunc("GET /version", s.handleVersion)
+	s.sessionRoutes()
 }
 
 // Handler returns the service's HTTP handler (for tests and embedding).
@@ -320,6 +368,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.cancel()
 			<-done
 		}
+		// Drain the streaming sessions after in-flight appends finished: every
+		// open session closes (later appends answer 404) and the idle sweeper
+		// stops.
+		s.sessions.CloseAll()
+		s.sessions.Close()
 		s.co.close()
 		s.pool.close()
 		s.cancel()

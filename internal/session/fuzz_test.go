@@ -1,0 +1,226 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/moebius"
+	"indexedrec/internal/ordinary"
+	"indexedrec/internal/workload"
+	"indexedrec/ir"
+)
+
+// FuzzSessionAppendAgainstColdSolve drives random systems through a session
+// — an opened prefix plus a random split of the rest into append batches —
+// and checks the streamed state against cold solves of the concatenated
+// system. The properties:
+//
+//   - every family, every domain: the session equals core.RunSequential of
+//     the concatenated system bit for bit (the repo's semantic oracle);
+//   - exactly-associative operators (the integer library): the session also
+//     equals the parallel plan solve bit for bit;
+//   - Möbius: the parallel solve agrees within rounding (its pointer-jumping
+//     schedule reassociates the non-bitwise-associative matrix product —
+//     the same relationship the direct solver has to the oracle).
+func FuzzSessionAppendAgainstColdSolve(f *testing.F) {
+	f.Add(int64(1), 8, 2, uint8(0))
+	f.Add(int64(2), 64, 9, uint8(1))
+	f.Add(int64(3), 33, 0, uint8(2))
+	f.Add(int64(4), 120, 17, uint8(3))
+	f.Add(int64(5), 1, 0, uint8(0))
+	f.Add(int64(6), 300, 300, uint8(1))
+	f.Add(int64(7), 17, 3, uint8(2))
+
+	f.Fuzz(func(t *testing.T, seed int64, m, n0 int, kind uint8) {
+		if m < 1 || m > 512 || n0 < 0 {
+			t.Skip("out of budget")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ctx := context.Background()
+		switch kind % 4 {
+		case 0:
+			fuzzOrdinary(t, ctx, rng, m, n0, true)
+		case 1:
+			fuzzOrdinary(t, ctx, rng, m, n0, false)
+		case 2:
+			fuzzMoebius(t, ctx, rng, m, n0)
+		default:
+			fuzzGeneral(t, ctx, rng, m, n0)
+		}
+	})
+}
+
+// batchesOf splits [lo, hi) into random non-empty batch boundaries.
+func batchesOf(rng *rand.Rand, lo, hi int) [][2]int {
+	var out [][2]int
+	for at := lo; at < hi; {
+		k := 1 + rng.Intn(hi-at)
+		out = append(out, [2]int{at, at + k})
+		at += k
+	}
+	return out
+}
+
+func fuzzOrdinary(t *testing.T, ctx context.Context, rng *rand.Rand, m, n0 int, intDomain bool) {
+	g, f := randOrdinaryParts(rng, m, m) // full permutation workload
+	n := len(g)
+	if n0 > n {
+		n0 = n
+	}
+	spec := Spec{
+		Family: ir.FamilyOrdinary,
+		System: &ir.System{M: m, N: n0, G: g[:n0], F: f[:n0]},
+	}
+	if intDomain {
+		spec.Op, spec.InitInt = "int64-add", workload.InitInt64(rng, m, 1<<40)
+	} else {
+		spec.Op = "float64-add"
+		spec.InitFloat = make([]float64, m)
+		for i := range spec.InitFloat {
+			spec.InitFloat[i] = rng.NormFloat64()
+		}
+	}
+	s, err := Open(ctx, spec)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, b := range batchesOf(rng, n0, n) {
+		if _, err := s.Append(ctx, Batch{G: g[b[0]:b[1]], F: f[b[0]:b[1]]}); err != nil {
+			t.Fatalf("Append %v: %v", b, err)
+		}
+	}
+	concat := &ir.System{M: m, N: n, G: g, F: f}
+	gi, gf, _ := s.Values()
+	if intDomain {
+		want := ir.RunSequential[int64](concat, ir.IntAdd{}, spec.InitInt)
+		plan, err := ir.CompileCtx(ctx, concat, ir.CompileOptions{Family: ir.FamilyOrdinary})
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		sol, err := plan.SolveCtx(ctx, ir.PlanData{Op: "int64-add", InitInt: spec.InitInt})
+		if err != nil {
+			t.Fatalf("cold solve: %v", err)
+		}
+		for x := range want {
+			if gi[x] != want[x] || gi[x] != sol.ValuesInt[x] {
+				t.Fatalf("cell %d: session %d, oracle %d, cold %d", x, gi[x], want[x], sol.ValuesInt[x])
+			}
+		}
+	} else {
+		want := ir.RunSequential[float64](concat, ir.Float64Add{}, spec.InitFloat)
+		for x := range want {
+			if gf[x] != want[x] && !(math.IsNaN(gf[x]) && math.IsNaN(want[x])) {
+				t.Fatalf("cell %d: session %v, oracle %v", x, gf[x], want[x])
+			}
+		}
+	}
+}
+
+func fuzzGeneral(t *testing.T, ctx context.Context, rng *rand.Rand, m, n0 int) {
+	sys := workload.RandomGIR(rng, m, min(2*m, 600))
+	if n0 > sys.N {
+		n0 = sys.N
+	}
+	init := workload.InitInt64(rng, m, 100)
+	s, err := Open(ctx, Spec{
+		Family:  ir.FamilyGeneral,
+		System:  &ir.System{M: m, N: n0, G: sys.G[:n0], F: sys.F[:n0], H: sys.H[:n0]},
+		Op:      "int64-add",
+		InitInt: init,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, b := range batchesOf(rng, n0, sys.N) {
+		if _, err := s.Append(ctx, Batch{G: sys.G[b[0]:b[1]], F: sys.F[b[0]:b[1]], H: sys.H[b[0]:b[1]]}); err != nil {
+			t.Fatalf("Append %v: %v", b, err)
+		}
+	}
+	want := ir.RunSequential[int64](sys, ir.IntAdd{}, init)
+	gi, _, _ := s.Values()
+	for x := range want {
+		if gi[x] != want[x] {
+			t.Fatalf("cell %d: session %d, oracle %d", x, gi[x], want[x])
+		}
+	}
+	// int64-add is exact, so the parallel CAP solve agrees bitwise too.
+	res, err := ir.SolveGeneralCtx[int64](ctx, sys, ir.IntAdd{}, init, ir.SolveOptions{})
+	if err != nil {
+		if errors.Is(err, ir.ErrExponentLimit) {
+			return
+		}
+		t.Fatalf("cold general solve: %v", err)
+	}
+	for x := range res.Values {
+		if gi[x] != res.Values[x] {
+			t.Fatalf("cell %d: session %d, cold %d", x, gi[x], res.Values[x])
+		}
+	}
+}
+
+func fuzzMoebius(t *testing.T, ctx context.Context, rng *rand.Rand, m, n0 int) {
+	g, f := randOrdinaryParts(rng, m, m)
+	n := len(g)
+	if n0 > n {
+		n0 = n
+	}
+	a, b, c, d := make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n)
+	for i := range a {
+		a[i] = 1 + rng.Float64()
+		b[i] = rng.NormFloat64()
+		c[i] = rng.Float64() * 0.05
+		d[i] = 1 + rng.Float64()
+	}
+	x0 := make([]float64, m)
+	for i := range x0 {
+		x0[i] = rng.NormFloat64()
+	}
+	s, err := Open(ctx, Spec{
+		Family: ir.FamilyMoebius,
+		M:      m, G: g[:n0], F: f[:n0], A: a[:n0], B: b[:n0], C: c[:n0], D: d[:n0],
+		X0: x0,
+	})
+	if err != nil {
+		if errors.Is(err, moebius.ErrNonFinite) {
+			t.Skip("prefix hits a zero denominator")
+		}
+		t.Fatalf("Open: %v", err)
+	}
+	for _, bt := range batchesOf(rng, n0, n) {
+		_, err := s.Append(ctx, Batch{G: g[bt[0]:bt[1]], F: f[bt[0]:bt[1]],
+			A: a[bt[0]:bt[1]], B: b[bt[0]:bt[1]], C: c[bt[0]:bt[1]], D: d[bt[0]:bt[1]]})
+		if errors.Is(err, moebius.ErrNonFinite) {
+			t.Skip("append hits a zero denominator")
+		}
+		if err != nil {
+			t.Fatalf("Append %v: %v", bt, err)
+		}
+	}
+	ms := &moebius.MoebiusSystem{M: m, G: g, F: f, A: a, B: b, C: c, D: d}
+	want := ms.RunSequential(x0)
+	_, _, got := s.Values()
+	for x := range want {
+		if got[x] != want[x] {
+			t.Fatalf("cell %d: session %v, oracle %v", x, got[x], want[x])
+		}
+	}
+	// The parallel composed-matrix solve reassociates; agreement is up to
+	// rounding, not bitwise — assert a tight relative error.
+	par, err := ms.SolveCtx(ctx, x0, ordinary.Options{})
+	if err != nil {
+		if errors.Is(err, moebius.ErrNonFinite) {
+			return
+		}
+		t.Fatalf("parallel solve: %v", err)
+	}
+	for x := range want {
+		diff := math.Abs(par[x] - got[x])
+		scale := math.Max(1, math.Abs(got[x]))
+		if diff/scale > 1e-9 {
+			t.Fatalf("cell %d: parallel %v vs session %v (rel %g)", x, par[x], got[x], diff/scale)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package session
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned by Store lookups for unknown (or already deleted)
+// session IDs.
+var ErrNotFound = errors.New("session: not found")
+
+// ErrStoreFull is returned by Put when even evicting every idle session
+// cannot fit the new one under the store's byte bound.
+var ErrStoreFull = errors.New("session: store full")
+
+// Hooks observe store lifecycle for metrics; nil fields are skipped.
+type Hooks struct {
+	// Opened runs after a session is admitted.
+	Opened func()
+	// Closed runs when a session leaves the store; evicted distinguishes
+	// TTL/size eviction from explicit deletes and drain.
+	Closed func(evicted bool)
+	// Bytes receives the store's resident byte total after each change.
+	Bytes func(total int64)
+}
+
+// StoreConfig tunes a Store; zero values select the documented defaults.
+type StoreConfig struct {
+	// TTL evicts sessions idle longer than this (default 5m; negative
+	// disables idle eviction).
+	TTL time.Duration
+	// MaxBytes bounds the summed SizeBytes of resident sessions (default
+	// 256 MiB; negative disables the bound).
+	MaxBytes int64
+	// MaxSessions bounds the resident session count (default 1024;
+	// negative disables).
+	MaxSessions int
+	// Hooks observe lifecycle events.
+	Hooks Hooks
+}
+
+// Store owns the live sessions of one server: ID allocation, lookup with
+// idle tracking, TTL + byte-bound eviction (least-recently-used first) and
+// drain. Create with NewStore, stop the sweeper with Close.
+type Store struct {
+	cfg StoreConfig
+
+	mu    sync.Mutex
+	byID  map[string]*entry
+	bytes int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type entry struct {
+	s        *Session
+	lastUsed time.Time
+	bytes    int64
+}
+
+// NewStore builds a store and starts its idle sweeper.
+func NewStore(cfg StoreConfig) *Store {
+	if cfg.TTL == 0 {
+		cfg.TTL = 5 * time.Minute
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = 256 << 20
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = 1024
+	}
+	st := &Store{
+		cfg:  cfg,
+		byID: make(map[string]*entry),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go st.sweep()
+	return st
+}
+
+// Put admits a session and returns its fresh ID, evicting idle sessions
+// LRU-first if the byte or count bound requires it.
+func (st *Store) Put(s *Session) (string, error) {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "", err
+	}
+	id := hex.EncodeToString(buf[:])
+	size := s.SizeBytes()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cfg.MaxBytes > 0 {
+		st.evictOverLocked(st.cfg.MaxBytes - size)
+		if st.bytes+size > st.cfg.MaxBytes {
+			return "", ErrStoreFull
+		}
+	}
+	if st.cfg.MaxSessions > 0 && len(st.byID) >= st.cfg.MaxSessions {
+		st.evictCountLocked(st.cfg.MaxSessions - 1)
+		if len(st.byID) >= st.cfg.MaxSessions {
+			return "", ErrStoreFull
+		}
+	}
+	st.byID[id] = &entry{s: s, lastUsed: time.Now(), bytes: size}
+	st.bytes += size
+	if st.cfg.Hooks.Opened != nil {
+		st.cfg.Hooks.Opened()
+	}
+	st.reportBytesLocked()
+	return id, nil
+}
+
+// Get returns the session for id, refreshing its idle clock.
+func (st *Store) Get(id string) (*Session, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.byID[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	e.lastUsed = time.Now()
+	return e.s, nil
+}
+
+// Touch re-accounts a session's size after it grew (appends) and refreshes
+// its idle clock. Unknown IDs (racing a delete) are ignored.
+func (st *Store) Touch(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.byID[id]
+	if !ok {
+		return
+	}
+	size := e.s.SizeBytes()
+	st.bytes += size - e.bytes
+	e.bytes = size
+	e.lastUsed = time.Now()
+	// A grown session may now breach the bound; evict others, never the
+	// session just touched (it is the most recently used anyway).
+	if st.cfg.MaxBytes > 0 && st.bytes > st.cfg.MaxBytes {
+		st.evictOverLocked(st.cfg.MaxBytes)
+	}
+	st.reportBytesLocked()
+}
+
+// Delete closes and removes a session, reporting ErrNotFound for unknown
+// IDs.
+func (st *Store) Delete(id string) error {
+	st.mu.Lock()
+	e, ok := st.byID[id]
+	if ok {
+		delete(st.byID, id)
+		st.bytes -= e.bytes
+		st.reportBytesLocked()
+	}
+	st.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	e.s.Close()
+	if st.cfg.Hooks.Closed != nil {
+		st.cfg.Hooks.Closed(false)
+	}
+	return nil
+}
+
+// Len reports the resident session count.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.byID)
+}
+
+// Bytes reports the resident byte total.
+func (st *Store) Bytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bytes
+}
+
+// CloseAll closes every session and empties the store — the drain path.
+// The sweeper keeps running (Close stops it); new Puts are still accepted,
+// but irserved's draining gate refuses opens before they reach the store.
+func (st *Store) CloseAll() {
+	st.mu.Lock()
+	entries := make([]*entry, 0, len(st.byID))
+	for id, e := range st.byID {
+		entries = append(entries, e)
+		delete(st.byID, id)
+	}
+	st.bytes = 0
+	st.reportBytesLocked()
+	st.mu.Unlock()
+	for _, e := range entries {
+		e.s.Close()
+		if st.cfg.Hooks.Closed != nil {
+			st.cfg.Hooks.Closed(false)
+		}
+	}
+}
+
+// Close stops the idle sweeper (sessions themselves are left to CloseAll).
+func (st *Store) Close() {
+	close(st.stop)
+	<-st.done
+}
+
+// sweep evicts idle sessions every TTL/4.
+func (st *Store) sweep() {
+	defer close(st.done)
+	if st.cfg.TTL < 0 {
+		<-st.stop
+		return
+	}
+	period := st.cfg.TTL / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-t.C:
+			st.evictIdle()
+		}
+	}
+}
+
+// evictIdle removes sessions idle past the TTL.
+func (st *Store) evictIdle() {
+	cutoff := time.Now().Add(-st.cfg.TTL)
+	st.mu.Lock()
+	var evicted []*entry
+	for id, e := range st.byID {
+		if e.lastUsed.Before(cutoff) {
+			evicted = append(evicted, e)
+			delete(st.byID, id)
+			st.bytes -= e.bytes
+		}
+	}
+	if evicted != nil {
+		st.reportBytesLocked()
+	}
+	st.mu.Unlock()
+	for _, e := range evicted {
+		e.s.Close()
+		if st.cfg.Hooks.Closed != nil {
+			st.cfg.Hooks.Closed(true)
+		}
+	}
+}
+
+// evictOverLocked evicts least-recently-used sessions until the resident
+// bytes fit under budget (or the store is empty). Callers hold st.mu.
+func (st *Store) evictOverLocked(budget int64) {
+	for st.bytes > budget && len(st.byID) > 0 {
+		st.evictOldestLocked()
+	}
+}
+
+// evictCountLocked evicts LRU sessions until at most want remain.
+func (st *Store) evictCountLocked(want int) {
+	for len(st.byID) > want && len(st.byID) > 0 {
+		st.evictOldestLocked()
+	}
+}
+
+func (st *Store) evictOldestLocked() {
+	var oldID string
+	var old *entry
+	for id, e := range st.byID {
+		if old == nil || e.lastUsed.Before(old.lastUsed) {
+			oldID, old = id, e
+		}
+	}
+	if old == nil {
+		return
+	}
+	delete(st.byID, oldID)
+	st.bytes -= old.bytes
+	// Closing under st.mu is fine: Session.Close takes only the session's
+	// own lock, and no session method takes st.mu.
+	old.s.Close()
+	if st.cfg.Hooks.Closed != nil {
+		st.cfg.Hooks.Closed(true)
+	}
+	st.reportBytesLocked()
+}
+
+func (st *Store) reportBytesLocked() {
+	if st.cfg.Hooks.Bytes != nil {
+		st.cfg.Hooks.Bytes(st.bytes)
+	}
+}

@@ -1,0 +1,94 @@
+package ir
+
+import (
+	"context"
+	"fmt"
+)
+
+// Streaming support: extending a compiled system with appended iterations.
+// A session (internal/session, surfaced as irserved's /v1/session API)
+// advances its value state incrementally — O(1) per appended iteration —
+// and only needs a fresh Plan when something wants to re-solve the
+// concatenated system from scratch: a cluster re-home, a verification
+// pass, or a general-family session whose cached plan went stale. Extend
+// builds that concatenated structure, validating that the appended
+// iterations keep the family's invariants.
+
+// ExtendSystem returns the concatenation of s with k appended iterations
+// (g, f, h; nil h keeps the ordinary shape when s has one). The result is a
+// fresh System — s is not mutated — validated structurally, with the
+// ordinary family's distinct-g invariant re-checked across the whole
+// concatenation when s qualified for it.
+func ExtendSystem(s *System, g, f, h []int) (*System, error) {
+	if len(f) != len(g) || (h != nil && len(h) != len(g)) {
+		return nil, fmt.Errorf("%w: appended map lengths disagree", ErrInvalidSystem)
+	}
+	ext := &System{
+		M: s.M,
+		N: s.N + len(g),
+		G: append(append([]int(nil), s.G...), g...),
+		F: append(append([]int(nil), s.F...), f...),
+	}
+	switch {
+	case s.H == nil && h == nil:
+		// stays ordinary-shaped
+	case s.H == nil && h != nil:
+		ext.H = append(append([]int(nil), s.G...), h...)
+	case h == nil:
+		ext.H = append(append([]int(nil), s.H...), g...)
+	default:
+		ext.H = append(append([]int(nil), s.H...), h...)
+	}
+	if err := ext.Validate(); err != nil {
+		return nil, err
+	}
+	return ext, nil
+}
+
+// ExtendCtx compiles the plan of s extended by the appended iterations
+// (see ExtendSystem), preserving p's family. s must be the system p was
+// compiled from — checked through the fingerprint, so a mismatched base is
+// an ErrPlanFamily error rather than a silently wrong plan. For the
+// ordinary family the appended g must stay distinct against the whole
+// concatenated history; for the Möbius family pass the appended (g, f)
+// with nil h. The returned system is the concatenation the new plan was
+// compiled over.
+func (p *Plan) ExtendCtx(ctx context.Context, s *System, g, f, h []int, opt CompileOptions) (*System, *Plan, error) {
+	var baseFP string
+	switch p.family {
+	case FamilyOrdinary:
+		baseFP = PlanFingerprint(FamilyOrdinary, s.N, s.M, s.G, s.F, nil, 0)
+	case FamilyGeneral:
+		baseFP = PlanFingerprint(FamilyGeneral, s.N, s.M, s.G, s.F, s.H, opt.MaxExponentBits)
+	case FamilyMoebius:
+		baseFP = PlanFingerprint(FamilyMoebius, s.N, s.M, s.G, s.F, nil, 0)
+	default:
+		return nil, nil, fmt.Errorf("%w: cannot extend family %v", ErrPlanFamily, p.family)
+	}
+	if baseFP != p.fingerprint {
+		return nil, nil, fmt.Errorf("%w: base system does not match the plan (fingerprint %s != %s)",
+			ErrPlanFamily, baseFP, p.fingerprint)
+	}
+	ext, err := ExtendSystem(s, g, f, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.family == FamilyMoebius {
+		np, err := CompileMoebiusCtx(ctx, ext.M, ext.G, ext.F)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ext, np, nil
+	}
+	opt.Family = p.family
+	np, err := CompileCtx(ctx, ext, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ext, np, nil
+}
+
+// Extend is ExtendCtx with a background context.
+func (p *Plan) Extend(s *System, g, f, h []int, opt CompileOptions) (*System, *Plan, error) {
+	return p.ExtendCtx(context.Background(), s, g, f, h, opt)
+}
