@@ -99,6 +99,41 @@ func checkPackageDocs(t *testing.T, fset *token.FileSet, dir string, pkg *ast.Pa
 	}
 }
 
+// TestDocFileContract is the stricter half of the doc gate: the packages
+// listed here must carry their package comment in a file literally named
+// doc.go, not inline above some arbitrary declaration. A dedicated doc.go is
+// where the package-level invariants live (see internal/scan/doc.go for the
+// template), and pinning the file name keeps `go doc` output, the DESIGN
+// cross-references, and future package splits from silently dropping it.
+// Adding a package to the repo does not add it here automatically — promote
+// it once it has a real doc.go.
+func TestDocFileContract(t *testing.T) {
+	pkgs := []string{
+		"internal/core",
+		"internal/graph",
+		"internal/moebius",
+		"internal/ordinary",
+		"internal/parallel",
+		"internal/scan",
+		"internal/server",
+		"internal/session",
+		"internal/trace",
+		"internal/workload",
+	}
+	for _, dir := range pkgs {
+		path := filepath.Join(dir, "doc.go")
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Errorf("%s: missing or unparsable doc.go: %v", dir, err)
+			continue
+		}
+		if f.Doc == nil || len(strings.TrimSpace(f.Doc.Text())) == 0 {
+			t.Errorf("%s: doc.go exists but carries no package comment", dir)
+		}
+	}
+}
+
 // exportedReceiver reports whether a method receiver names an exported type.
 func exportedReceiver(recv *ast.FieldList) bool {
 	if len(recv.List) == 0 {

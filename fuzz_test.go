@@ -6,9 +6,10 @@ package indexedrec
 // under fuzz: the solvers never panic, whenever they succeed they agree
 // with the oracle exactly, and a compiled plan (ir.Compile + replay)
 // reproduces the direct solve bit for bit. Each input also picks an
-// execution configuration — persistent gang vs spawn-per-round, and
-// monomorphized kernels vs generic dispatch — so the equivalence holds
-// across every path the hot-path engine can take.
+// execution configuration — persistent gang vs spawn-per-round,
+// monomorphized kernels vs generic dispatch, and blocked-scan vs
+// pointer-jumping replays of blocked-compiled plans — so the equivalence
+// holds across every path the hot-path engine can take.
 
 import (
 	"context"
@@ -25,15 +26,17 @@ import (
 	"indexedrec/ir"
 )
 
-// toggleEngine selects the gang and kernel dispatch paths from two fuzz
-// seed bits and returns a restore function. The solvers must be
-// bit-identical across all four combinations.
+// toggleEngine selects the gang, kernel, and blocked-scan dispatch paths
+// from three fuzz seed bits and returns a restore function. The solvers
+// must be bit-identical across all eight combinations.
 func toggleEngine(seed int64) func() {
 	prevGang := parallel.SetGangEnabled(seed&1 == 0)
 	prevKern := ordinary.SetKernelsEnabled(seed&2 == 0)
+	prevBlk := ordinary.SetBlockedEnabled(seed&4 == 0)
 	return func() {
 		parallel.SetGangEnabled(prevGang)
 		ordinary.SetKernelsEnabled(prevKern)
+		ordinary.SetBlockedEnabled(prevBlk)
 	}
 }
 
@@ -49,6 +52,10 @@ func FuzzSolveAgainstOracle(f *testing.F) {
 	f.Add(int64(6), 32, 32, uint8(2))
 	f.Add(int64(7), 2, 300, uint8(2))
 	f.Add(int64(8), 500, 499, uint8(0))
+	// Long single chains compile to the blocked-scan schedule (m > 256);
+	// seed 9 replays it blocked, seed 12 forces the jumping fallback.
+	f.Add(int64(9), 512, 511, uint8(3))
+	f.Add(int64(12), 512, 511, uint8(3))
 
 	f.Fuzz(func(t *testing.T, seed int64, m, n int, kind uint8) {
 		if m < 1 || m > 512 || n < 0 || n > 1024 {
@@ -57,13 +64,17 @@ func FuzzSolveAgainstOracle(f *testing.F) {
 		defer toggleEngine(seed)()
 		rng := rand.New(rand.NewSource(seed))
 		var s *core.System
-		switch kind % 3 {
+		switch kind % 4 {
 		case 0:
 			s = workload.RandomOrdinary(rng, m, n)
 		case 1:
 			s = workload.Scatter(rng, n, m)
-		default:
+		case 2:
 			s = workload.RandomGIR(rng, m, n)
+		default:
+			// One chain spanning every cell: the shape that selects the
+			// blocked-scan schedule once it crosses the length threshold.
+			s = workload.Chain(min(n, m-1))
 		}
 
 		// Commutative, associative, and immune to overflow discrepancies:
@@ -101,7 +112,11 @@ func FuzzSolveAgainstOracle(f *testing.F) {
 					t.Fatalf("ordinary plan cell %d: replay %d != direct %d", i, v, res.Values[i])
 				}
 			}
-			if prep.Rounds != res.Rounds || prep.Combines != res.Combines {
+			// A blocked-scan replay does O(n) combines against the direct
+			// solver's O(n log n), so the cost counters only match when the
+			// replay actually ran the jumping schedule.
+			blockedReplay := plan.Schedule() == "blocked-scan" && seed&4 == 0
+			if !blockedReplay && (prep.Rounds != res.Rounds || prep.Combines != res.Combines) {
 				t.Fatalf("ordinary plan cost: replay (%d rounds, %d combines) != direct (%d, %d)",
 					prep.Rounds, prep.Combines, res.Rounds, res.Combines)
 			}

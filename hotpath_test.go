@@ -103,6 +103,114 @@ func TestWarmReplayZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestBlockedWarmReplayZeroAlloc is TestWarmReplayZeroAlloc for the
+// blocked-scan schedule: a long-chain plan (auto-selected blocked) must
+// replay warm with zero allocations — the segment-summary double buffers
+// come out of the arena, and the double-buffer swap allocates nothing.
+// Both the kernel (IntAdd) and primed replay paths are gated.
+func TestBlockedWarmReplayZeroAlloc(t *testing.T) {
+	if parallel.RaceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race job")
+	}
+	const n = 1 << 15
+	ctx := context.Background()
+	gang := parallel.NewGang(8)
+	defer gang.Close()
+	gctx := parallel.WithGang(ctx, gang)
+	opt := ordinary.Options{Procs: 8}
+
+	sys := workload.Chain(n)
+	rng := rand.New(rand.NewSource(9))
+	init := workload.InitInt64(rng, sys.M, 1<<20)
+	p, err := ordinary.CompilePlan(ctx, sys)
+	if err != nil {
+		t.Fatalf("ordinary.CompilePlan: %v", err)
+	}
+	if !p.BlockedScan() {
+		t.Fatalf("Chain(%d) plan schedule = %s, want blocked-scan", n, p.Schedule())
+	}
+	ar := ordinary.NewArena[int64](p)
+	if _, err := ar.SolveCtx(gctx, ir.IntAdd{}, init, opt); err != nil {
+		t.Fatalf("blocked warm replay: %v", err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ar.SolveCtx(gctx, ir.IntAdd{}, init, opt); err != nil {
+			panic(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("blocked warm replay: %.0f allocs/op, want 0", allocs)
+	}
+	if !p.Primeable() {
+		t.Fatal("Chain plan should be primeable")
+	}
+	copy(ar.Buf(), init)
+	if allocs := testing.AllocsPerRun(10, func() {
+		copy(ar.Buf(), init)
+		if _, err := ar.SolvePrimedCtx(gctx, ir.IntAdd{}, opt); err != nil {
+			panic(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("blocked primed replay: %.0f allocs/op, want 0", allocs)
+	}
+}
+
+// TestBlockedGangReuseConcurrentSolves shares one persistent gang across
+// concurrent blocked-scan replays on per-goroutine arenas — the race gate
+// for the three-phase schedule's gang dispatch and the arena's summary
+// double-buffering. Every replay must be bit-identical to a reference.
+func TestBlockedGangReuseConcurrentSolves(t *testing.T) {
+	const n, workers = 1 << 13, 32
+	ctx := context.Background()
+	opt := ordinary.Options{Procs: 4}
+	sys := workload.Chains(n, 4)
+	rng := rand.New(rand.NewSource(10))
+	init := workload.InitInt64(rng, sys.M, 1<<20)
+	p, err := ordinary.CompilePlan(ctx, sys)
+	if err != nil {
+		t.Fatalf("ordinary.CompilePlan: %v", err)
+	}
+	if !p.BlockedScan() {
+		t.Fatalf("Chains(%d, 4) plan schedule = %s, want blocked-scan", n, p.Schedule())
+	}
+	ref, err := ordinary.SolvePlanCtx[int64](ctx, p, ir.IntAdd{}, init, opt)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	want := append([]int64(nil), ref.Values...)
+
+	gang := parallel.NewGang(4)
+	defer gang.Close()
+	gctx := parallel.WithGang(ctx, gang)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ar := ordinary.NewArena[int64](p)
+			for rep := 0; rep < 4; rep++ {
+				out, err := ar.SolveCtx(gctx, ir.IntAdd{}, init, opt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for x, v := range out.Values {
+					if v != want[x] {
+						t.Errorf("concurrent blocked replay cell %d: %d != %d", x, v, want[x])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent blocked replay: %v", err)
+	}
+}
+
 // TestGangReuseConcurrentSolves shares one persistent gang across many
 // concurrent solves on per-goroutine arenas — the irserved worker-pool
 // shape, where at most one solve wins the gang per round and the rest take

@@ -9,7 +9,7 @@ package core
 // observationally identical to calling Combine per element — same operand
 // order, same float semantics — so results stay bit-identical either way.
 //
-// All three methods operate on the half-open index range [lo, hi) of their
+// All methods operate on the half-open index range [lo, hi) of their
 // schedule slices, matching the chunk protocol of parallel.ForCtx.
 type Kernel[T any] interface {
 	Semigroup[T]
@@ -29,6 +29,17 @@ type Kernel[T any] interface {
 	// caller can maintain Result.Combines. Pointer bookkeeping (nx2, rt2)
 	// stays with the generic caller.
 	JumpRound(v2, v []T, nx []int, cells []int, lo, hi int) int
+	// FoldSeg runs the ascending sequential fold
+	// acc = Combine(acc, from[idx[k]]) for every k in [lo, hi) and returns
+	// the final acc — the segment-reduce phase of the blocked (work-optimal)
+	// scan schedule, where idx is the chain-major cell sequence.
+	FoldSeg(acc T, from []T, idx []int32, lo, hi int) T
+	// ScanSeg runs the same ascending fold as FoldSeg but also stores every
+	// intermediate: acc = Combine(acc, from[idx[k]]); v[idx[k]] = acc — the
+	// prefix-apply phase of the blocked scan. v and from may alias (the
+	// primed replay path): each slot is read before it is written, and no
+	// slot is visited twice. Returns the final acc.
+	ScanSeg(v []T, acc T, from []T, idx []int32, lo, hi int) T
 }
 
 // CombineGathered implements Kernel for int64 sums.
@@ -60,6 +71,24 @@ func (o IntAdd) JumpRound(v2, v []int64, nx []int, cells []int, lo, hi int) int 
 	return combines
 }
 
+// FoldSeg implements Kernel for int64 sums.
+func (o IntAdd) FoldSeg(acc int64, from []int64, idx []int32, lo, hi int) int64 {
+	for k := lo; k < hi; k++ {
+		acc += from[idx[k]]
+	}
+	return acc
+}
+
+// ScanSeg implements Kernel for int64 sums.
+func (o IntAdd) ScanSeg(v []int64, acc int64, from []int64, idx []int32, lo, hi int) int64 {
+	for k := lo; k < hi; k++ {
+		x := idx[k]
+		acc += from[x]
+		v[x] = acc
+	}
+	return acc
+}
+
 // CombineGathered implements Kernel for float64 sums.
 func (o Float64Add) CombineGathered(v, src []float64, dst []int32, lo, hi int) {
 	for k := lo; k < hi; k++ {
@@ -87,6 +116,24 @@ func (o Float64Add) JumpRound(v2, v []float64, nx []int, cells []int, lo, hi int
 		}
 	}
 	return combines
+}
+
+// FoldSeg implements Kernel for float64 sums.
+func (o Float64Add) FoldSeg(acc float64, from []float64, idx []int32, lo, hi int) float64 {
+	for k := lo; k < hi; k++ {
+		acc = acc + from[idx[k]]
+	}
+	return acc
+}
+
+// ScanSeg implements Kernel for float64 sums.
+func (o Float64Add) ScanSeg(v []float64, acc float64, from []float64, idx []int32, lo, hi int) float64 {
+	for k := lo; k < hi; k++ {
+		x := idx[k]
+		acc = acc + from[x]
+		v[x] = acc
+	}
+	return acc
 }
 
 // CombineGathered implements Kernel for float64 minima.
@@ -118,6 +165,24 @@ func (o Float64Min) JumpRound(v2, v []float64, nx []int, cells []int, lo, hi int
 	return combines
 }
 
+// FoldSeg implements Kernel for float64 minima.
+func (o Float64Min) FoldSeg(acc float64, from []float64, idx []int32, lo, hi int) float64 {
+	for k := lo; k < hi; k++ {
+		acc = o.Combine(acc, from[idx[k]])
+	}
+	return acc
+}
+
+// ScanSeg implements Kernel for float64 minima.
+func (o Float64Min) ScanSeg(v []float64, acc float64, from []float64, idx []int32, lo, hi int) float64 {
+	for k := lo; k < hi; k++ {
+		x := idx[k]
+		acc = o.Combine(acc, from[x])
+		v[x] = acc
+	}
+	return acc
+}
+
 // CombineGathered implements Kernel for float64 maxima.
 func (o Float64Max) CombineGathered(v, src []float64, dst []int32, lo, hi int) {
 	for k := lo; k < hi; k++ {
@@ -145,6 +210,24 @@ func (o Float64Max) JumpRound(v2, v []float64, nx []int, cells []int, lo, hi int
 		}
 	}
 	return combines
+}
+
+// FoldSeg implements Kernel for float64 maxima.
+func (o Float64Max) FoldSeg(acc float64, from []float64, idx []int32, lo, hi int) float64 {
+	for k := lo; k < hi; k++ {
+		acc = o.Combine(acc, from[idx[k]])
+	}
+	return acc
+}
+
+// ScanSeg implements Kernel for float64 maxima.
+func (o Float64Max) ScanSeg(v []float64, acc float64, from []float64, idx []int32, lo, hi int) float64 {
+	for k := lo; k < hi; k++ {
+		x := idx[k]
+		acc = o.Combine(acc, from[x])
+		v[x] = acc
+	}
+	return acc
 }
 
 // Kernel conformance of the hot monoids.

@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig9",
 		"livermore", "livermore-exec", "loop23", "scaling", "crossover",
 		"ablation-pow", "ablation-cap", "speedup", "scan-vs-ir", "ops", "sched",
-		"cold_vs_warm", "hotpath", "session",
+		"cold_vs_warm", "hotpath", "session", "blockedscan",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -55,6 +55,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		"cold_vs_warm":   "identical",
 		"hotpath":        "HOTPATH",
 		"session":        "amortized",
+		"blockedscan":    "SCAN",
 	}
 	for _, e := range All() {
 		e := e

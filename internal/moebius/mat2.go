@@ -129,6 +129,39 @@ func (o ChainOp) CombineScatter(v, from []Mat2, dst, src []int32, lo, hi int) {
 	}
 }
 
+// FoldSeg implements core.Kernel: the ascending guarded-product fold of the
+// blocked scan's segment-reduce phase. The Möbius plans compile with the
+// pointer-jumping schedule today (their float bit-identity contract pins the
+// jumping association), so this path is exercised by the kernel conformance
+// tests and ready for a future blocked Mat2 schedule.
+func (o ChainOp) FoldSeg(acc Mat2, from []Mat2, idx []int32, lo, hi int) Mat2 {
+	for k := lo; k < hi; k++ {
+		b := from[idx[k]]
+		if b.Det() == 0 {
+			acc = b
+			continue
+		}
+		acc = b.Mul(acc).normScale()
+	}
+	return acc
+}
+
+// ScanSeg implements core.Kernel: FoldSeg with every intermediate stored —
+// the blocked scan's prefix-apply phase. v and from may alias; each slot is
+// read before it is written.
+func (o ChainOp) ScanSeg(v []Mat2, acc Mat2, from []Mat2, idx []int32, lo, hi int) Mat2 {
+	for k := lo; k < hi; k++ {
+		x := idx[k]
+		b := from[x]
+		if b.Det() != 0 {
+			b = b.Mul(acc).normScale()
+		}
+		acc = b
+		v[x] = acc
+	}
+	return acc
+}
+
 // JumpRound implements core.Kernel.
 func (o ChainOp) JumpRound(v2, v []Mat2, nx []int, cells []int, lo, hi int) int {
 	combines := 0

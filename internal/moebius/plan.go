@@ -63,7 +63,10 @@ func CompilePlan(ctx context.Context, m int, g, f []int) (*Plan, error) {
 	}
 
 	sys, origOf := buildShadowSystem(m, g, f)
-	ord, err := ordinary.CompilePlan(ctx, sys)
+	// Pinned to pointer jumping: Mat2 products are float and reassociation
+	// changes rounding, while this layer's replays promise bit-identity to
+	// the direct Möbius solve (FuzzMoebiusPlanAgainstDirect enforces it).
+	ord, err := ordinary.CompilePlanOpts(ctx, sys, ordinary.PlanOptions{Schedule: ordinary.ScheduleJumping})
 	if err != nil {
 		return nil, fmt.Errorf("moebius: %w", err)
 	}

@@ -43,23 +43,34 @@ type Arena[T any] struct {
 	plan *Plan
 	v    []T
 	src  []T
+	// sum/sum2 are the blocked schedule's double-buffered segment-summary
+	// arrays (one slot per segment), carved out once here so warm blocked
+	// replays allocate nothing.
+	sum  []T
+	sum2 []T
 	res  Result[T]
 
 	// Per-solve bindings, cleared on return so pooled arenas retain no
 	// caller data.
-	op    core.Semigroup[T]
-	kern  core.Kernel[T]
-	init  []T
-	round *roundSched
+	op     core.Semigroup[T]
+	kern   core.Kernel[T]
+	init   []T
+	round  *roundSched
+	stride int
 
 	// Round bodies, bound once so ForCtx dispatch never allocates.
 	initBody   func(lo, hi int) error
 	gatherBody func(lo, hi int) error
 	applyBody  func(lo, hi int) error
+	// Blocked-phase bodies (bound only for blocked plans).
+	reduceBody   func(lo, hi int) error
+	treeBody     func(lo, hi int) error
+	applyBlkBody func(lo, hi int) error
 }
 
 // NewArena allocates replay scratch for p: the value array, a gather
-// snapshot buffer of the plan's widest round, and the bound round bodies.
+// snapshot buffer of the plan's widest round (or the segment-summary
+// buffers of a blocked plan), and the bound round bodies.
 func NewArena[T any](p *Plan) *Arena[T] {
 	a := &Arena[T]{
 		plan: p,
@@ -69,6 +80,13 @@ func NewArena[T any](p *Plan) *Arena[T] {
 	a.initBody = a.initFold
 	a.gatherBody = a.gather
 	a.applyBody = a.apply
+	if b := p.blocked; b != nil {
+		a.sum = make([]T, b.numSegs())
+		a.sum2 = make([]T, b.numSegs())
+		a.reduceBody = a.blkReduce
+		a.treeBody = a.blkTree
+		a.applyBlkBody = a.blkApply
+	}
 	return a
 }
 
@@ -133,6 +151,82 @@ func (a *Arena[T]) apply(lo, hi int) error {
 	return nil
 }
 
+// blkReduce is the blocked schedule's reduce-phase body: each segment folds
+// its cells' initial values sequentially into one summary. A chain-first
+// segment seeds with the chain root's initial value (subsuming the jumping
+// schedule's initialization fold); any other segment seeds with its own
+// first cell. Reads initial values only — safe before any cell is written,
+// including primed mode where a.init aliases a.v.
+func (a *Arena[T]) blkReduce(lo, hi int) error {
+	b := a.plan.blocked
+	for s := lo; s < hi; s++ {
+		cLo, cHi := b.segBounds(s)
+		var acc T
+		if int(b.segFirst[s]) == s {
+			acc = a.init[b.rootOf[b.segChain[s]]]
+		} else {
+			acc = a.init[b.cellSeq[cLo]]
+			cLo++
+		}
+		if a.kern != nil {
+			acc = a.kern.FoldSeg(acc, a.init, b.cellSeq, cLo, cHi)
+		} else {
+			for k := cLo; k < cHi; k++ {
+				acc = a.op.Combine(acc, a.init[b.cellSeq[k]])
+			}
+		}
+		a.sum[s] = acc
+	}
+	return nil
+}
+
+// blkTree is one round of the Kogge–Stone combine tree over the segment
+// summaries: segments with an in-chain predecessor at the current stride
+// fold it in (prefix operand first), the rest copy forward; double-buffered
+// into sum2, swapped by the driver. Generic dispatch only — the tree
+// touches numSegs ≈ n/256 elements, cold next to the reduce/apply phases.
+func (a *Arena[T]) blkTree(lo, hi int) error {
+	b := a.plan.blocked
+	d := a.stride
+	for s := lo; s < hi; s++ {
+		if s-d >= int(b.segFirst[s]) {
+			a.sum2[s] = a.op.Combine(a.sum[s-d], a.sum[s])
+		} else {
+			a.sum2[s] = a.sum[s]
+		}
+	}
+	return nil
+}
+
+// blkApply is the blocked schedule's prefix-apply body: each segment
+// re-folds its cells seeded with its predecessor segment's tree prefix
+// (chain-first segments re-seed from the chain root), writing every cell's
+// final value. In primed mode a.init aliases a.v; the fold reads each cell
+// just before overwriting it and segments write disjoint cells, so the
+// in-place replay observes exactly the values a separate init array would.
+func (a *Arena[T]) blkApply(lo, hi int) error {
+	b := a.plan.blocked
+	for s := lo; s < hi; s++ {
+		cLo, cHi := b.segBounds(s)
+		var acc T
+		if int(b.segFirst[s]) == s {
+			acc = a.init[b.rootOf[b.segChain[s]]]
+		} else {
+			acc = a.sum[s-1]
+		}
+		if a.kern != nil {
+			a.kern.ScanSeg(a.v, acc, a.init, b.cellSeq, cLo, cHi)
+		} else {
+			for k := cLo; k < cHi; k++ {
+				x := b.cellSeq[k]
+				acc = a.op.Combine(acc, a.init[x])
+				a.v[x] = acc
+			}
+		}
+	}
+	return nil
+}
+
 // Buf exposes the arena's working value array for prime-in-place replays:
 // load initial values into it and call SolvePrimedCtx to replay without the
 // arena's own init copy. The buffer is owned by the arena and aliased by
@@ -184,6 +278,15 @@ func (a *Arena[T]) solve(ctx context.Context, op core.Semigroup[T], init []T, op
 	} else {
 		a.init = a.v
 	}
+	if p.blocked != nil && blockedEnabled() {
+		return a.solveBlocked(ctx, opt)
+	}
+	p.ensureJumping()
+	if cap(a.src) < p.maxGather {
+		// Blocked plans record jumping rounds lazily, so an arena built
+		// before this fallback sized src for zero gathers; grow it once.
+		a.src = make([]T, p.maxGather)
+	}
 	if err := parallel.ForCtx(ctx, len(p.initDst), opt.Procs, a.initBody); err != nil {
 		a.reset()
 		return nil, err
@@ -209,6 +312,39 @@ func (a *Arena[T]) solve(ctx context.Context, op core.Semigroup[T], init []T, op
 	}
 	a.reset()
 	a.res = Result[T]{Values: a.v, Roots: p.roots, Rounds: len(p.rounds), Combines: p.combines}
+	return &a.res, nil
+}
+
+// solveBlocked runs the three blocked-scan phases (reduce, combine tree,
+// prefix apply — see blocked.go) on the arena's pre-bound bodies. The
+// segment-level loops dispatch through ForCtxWeighted so the per-item grain
+// cutover accounts for each segment's blockedSegLen cells of work. Called
+// with op/kern/init already bound by solve; shares its error contract.
+func (a *Arena[T]) solveBlocked(ctx context.Context, opt Options) (*Result[T], error) {
+	p := a.plan
+	b := p.blocked
+	n := b.numSegs()
+	if err := parallel.ForCtxWeighted(ctx, n, opt.Procs, blockedSegLen, a.reduceBody); err != nil {
+		a.reset()
+		return nil, err
+	}
+	for a.stride = 1; a.stride < b.maxSegs; a.stride *= 2 {
+		if err := ctx.Err(); err != nil {
+			a.reset()
+			return nil, err
+		}
+		if err := parallel.ForCtx(ctx, n, opt.Procs, a.treeBody); err != nil {
+			a.reset()
+			return nil, err
+		}
+		a.sum, a.sum2 = a.sum2, a.sum
+	}
+	if err := parallel.ForCtxWeighted(ctx, n, opt.Procs, blockedSegLen, a.applyBlkBody); err != nil {
+		a.reset()
+		return nil, err
+	}
+	a.reset()
+	a.res = Result[T]{Values: a.v, Roots: p.roots, Rounds: b.rounds + 2, Combines: b.combines}
 	return &a.res, nil
 }
 

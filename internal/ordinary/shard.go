@@ -124,6 +124,10 @@ func SolvePlanMemberCtx[T any](ctx context.Context, p *Plan, op core.Semigroup[T
 	}
 	ctx, release := parallel.EnsureGang(ctx, opt.Procs, p.M)
 	defer release()
+	if p.blocked != nil && blockedEnabled() {
+		return solveBlockedMember(ctx, p, op, init, member, opt)
+	}
+	p.ensureJumping()
 	v := make([]T, p.M)
 	copy(v, init)
 

@@ -155,6 +155,41 @@ func ForCtx(ctx context.Context, n, p int, body func(lo, hi int) error) error {
 	return forCtxSpawn(ctx, n, k, body)
 }
 
+// ForCtxWeighted is ForCtx for bodies whose items each carry roughly weight
+// units of underlying work (e.g. one item = one fixed-length segment of
+// cells). ForCtx's minimum-grain cutover counts items, so a round over a few
+// hundred heavy items would be throttled to one or two workers even though
+// each item amortizes the handoff cost on its own; here the cutover divides
+// by weight instead. weight >= the minimum grain disables the cap entirely
+// (every item is worth a handoff), which also keeps n·weight from
+// overflowing. weight <= 0 behaves like ForCtx.
+func ForCtxWeighted(ctx context.Context, n, p, weight int, body func(lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	k := clampProcs(p, n)
+	if weight < 1 {
+		weight = 1
+	}
+	if weight < minGrain {
+		g := (minGrain + weight - 1) / weight
+		if maxp := (n + g - 1) / g; k > maxp {
+			k = maxp
+		}
+	}
+	if k == 1 {
+		return forCtxSeq(ctx, n, body)
+	}
+	if gangEnabled() {
+		if g := GangFrom(ctx); g != nil {
+			if err, ok := g.tryForCtx(ctx, n, k, body); ok {
+				return err
+			}
+		}
+	}
+	return forCtxSpawn(ctx, n, k, body)
+}
+
 // forCtxSeq is ForCtx's single-worker path: the dispatcher walks [0, n)
 // itself in ctxGrain sub-chunks, polling for cancellation in between.
 func forCtxSeq(ctx context.Context, n int, body func(lo, hi int) error) error {

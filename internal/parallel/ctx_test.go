@@ -51,6 +51,67 @@ func TestForCtxCoversAllIndicesOnce(t *testing.T) {
 	}
 }
 
+func TestForCtxWeightedCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		for _, p := range []int{-1, 0, 1, 2, 16} {
+			for _, w := range []int{0, 1, minGrain - 1, minGrain, 4 * minGrain} {
+				var count int64
+				seen := make([]int32, n)
+				err := ForCtxWeighted(context.Background(), n, p, w, func(lo, hi int) error {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&seen[i], 1)
+						atomic.AddInt64(&count, 1)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("n=%d p=%d w=%d: %v", n, p, w, err)
+				}
+				if count != int64(n) {
+					t.Fatalf("n=%d p=%d w=%d: visited %d indices", n, p, w, count)
+				}
+				for i, v := range seen {
+					if v != 1 {
+						t.Fatalf("n=%d p=%d w=%d: index %d visited %d times", n, p, w, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForCtxWeightedGrainCutover checks the weighted grain math: heavy
+// items disable the per-item cutover entirely, while light items shrink the
+// worker count exactly as if each item were `weight` plain indices.
+func TestForCtxWeightedGrainCutover(t *testing.T) {
+	// weight >= minGrain: every item is worth a handoff — all p workers run
+	// even when n < minGrain.
+	var workers int64
+	err := ForCtxWeighted(context.Background(), 8, 8, minGrain, func(lo, hi int) error {
+		atomic.AddInt64(&workers, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if workers < 2 {
+		t.Errorf("heavy items: %d worker chunks, want parallel fan-out", workers)
+	}
+	// weight 1 matches ForCtx's cutover: 8 items of weight 1 run on one
+	// worker (8 < minGrain).
+	var calls int64
+	err = ForCtxWeighted(context.Background(), 8, 8, 1, func(lo, hi int) error {
+		atomic.AddInt64(&calls, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls > ctxGrain {
+		t.Errorf("light items: %d sub-chunks, want sequential dispatch (<= %d)", calls, ctxGrain)
+	}
+}
+
 func TestForCtxPropagatesBodyError(t *testing.T) {
 	base := runtime.NumGoroutine()
 	want := errors.New("boom")

@@ -1,0 +1,117 @@
+package scan
+
+import (
+	"indexedrec/internal/core"
+	"indexedrec/internal/parallel"
+)
+
+// blockedSegs cuts n items across p workers into equal contiguous segments
+// and returns the segment count and length. One segment per worker is the
+// work-optimal split (T = n/P + log P); tiny inputs collapse to one segment
+// so the reduce/tree overhead never exceeds the sequential scan's cost.
+func blockedSegs(n, p int) (segs, segLen int) {
+	if p <= 0 {
+		p = parallel.DefaultProcs()
+	}
+	segLen = (n + p - 1) / p
+	if segLen < 1 {
+		segLen = 1
+	}
+	segs = (n + segLen - 1) / segLen
+	return segs, segLen
+}
+
+// InclusiveBlocked computes the same inclusive prefix combine as
+// InclusiveParallel with the work-optimal blocked schedule: each of ~procs
+// segments is reduced sequentially to a summary, a Kogge–Stone tree scans
+// the summaries in ⌈log₂ segs⌉ rounds, and a final pass re-folds each
+// segment seeded by its predecessor's prefix. O(n) work and
+// n/P + O(log P) depth, against the Kogge–Stone scan's O(n log n) work.
+// The fold order matches Inclusive exactly, so results are bit-identical
+// for exactly associative ops (floats may differ by re-association).
+func InclusiveBlocked[T any](op core.Semigroup[T], xs []T, procs int) []T {
+	n := len(xs)
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	segs, segLen := blockedSegs(n, procs)
+	if segs == 1 {
+		copy(out, Inclusive(op, xs))
+		return out
+	}
+
+	// Phase 1: per-segment sequential reduce.
+	sum := make([]T, segs)
+	parallel.For(segs, procs, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			cLo, cHi := s*segLen, min((s+1)*segLen, n)
+			acc := xs[cLo]
+			for i := cLo + 1; i < cHi; i++ {
+				acc = op.Combine(acc, xs[i])
+			}
+			sum[s] = acc
+		}
+	})
+
+	// Phase 2: Kogge–Stone over the segment summaries (segs ≈ P entries, so
+	// the O(segs log segs) work here is the +log P term, not a factor).
+	sum2 := make([]T, segs)
+	for stride := 1; stride < segs; stride *= 2 {
+		st := stride
+		parallel.For(segs, procs, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				if s >= st {
+					sum2[s] = op.Combine(sum[s-st], sum[s])
+				} else {
+					sum2[s] = sum[s]
+				}
+			}
+		})
+		sum, sum2 = sum2, sum
+	}
+
+	// Phase 3: per-segment prefix apply, seeded by the predecessor prefix.
+	parallel.For(segs, procs, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			cLo, cHi := s*segLen, min((s+1)*segLen, n)
+			i := cLo
+			var acc T
+			if s == 0 {
+				acc = xs[i]
+				out[i] = acc
+				i++
+			} else {
+				acc = sum[s-1]
+			}
+			for ; i < cHi; i++ {
+				acc = op.Combine(acc, xs[i])
+				out[i] = acc
+			}
+		}
+	})
+	return out
+}
+
+// LinearRecurrenceBlocked solves x[i] = a[i]·x[i-1] + b[i] via the blocked
+// scan over affine-map composition — LinearRecurrenceParallel with
+// InclusiveBlocked's O(n) work bound.
+func LinearRecurrenceBlocked(a, b []float64, x0 float64, procs int) []float64 {
+	n := len(a)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	maps := make([]affine, n)
+	maps[0] = affine{a: 1, b: 0} // identity; x[0] is given
+	for i := 1; i < n; i++ {
+		maps[i] = affine{a: a[i], b: b[i]}
+	}
+	pref := InclusiveBlocked[affine](affineOp{}, maps, procs)
+	parallel.For(n, procs, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = pref[i].a*x0 + pref[i].b
+		}
+	})
+	return out
+}

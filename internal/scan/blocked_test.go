@@ -1,0 +1,69 @@
+package scan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"indexedrec/internal/core"
+)
+
+func TestInclusiveBlockedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{0, 1, 2, 3, 17, 256, 1000, 4096} {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = rng.Int63n(1000)
+		}
+		want := Inclusive[int64](core.IntAdd{}, xs)
+		for _, p := range []int{1, 2, 4, 16, 100} {
+			got := InclusiveBlocked[int64](core.IntAdd{}, xs, p)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d p=%d i=%d: got %d want %d", n, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInclusiveBlockedNonCommutative(t *testing.T) {
+	// Concat is exact and non-commutative: any order or association slip in
+	// the three phases changes the output string.
+	rng := rand.New(rand.NewSource(79))
+	for _, n := range []int{1, 7, 64, 333} {
+		xs := make([]string, n)
+		for i := range xs {
+			xs[i] = string(rune('a' + rng.Intn(26)))
+		}
+		want := Inclusive[string](core.Concat{}, xs)
+		for _, p := range []int{1, 3, 8} {
+			got := InclusiveBlocked[string](core.Concat{}, xs, p)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d p=%d i=%d: got %q want %q", n, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLinearRecurrenceBlockedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, n := range []int{0, 1, 2, 33, 500, 5000} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()*1.4 - 0.7
+			b[i] = rng.Float64()*2 - 1
+		}
+		x0 := rng.Float64()
+		want := LinearRecurrence(a, b, x0)
+		got := LinearRecurrenceBlocked(a, b, x0, 4)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("n=%d i=%d: got %v want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}

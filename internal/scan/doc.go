@@ -1,0 +1,34 @@
+// Package scan implements the classical parallel-prefix machinery the paper
+// builds on (its references [2] Stone and [4] Kogge–Stone): sequential and
+// parallel prefix combine (scan), and the first-order linear recurrence
+// solver x[i] = a[i]·x[i-1] + b[i] via scan over coefficient pairs.
+//
+// Two parallel schedules are provided for each entry point:
+//
+//   - InclusiveParallel / LinearRecurrenceParallel — the Kogge–Stone scan:
+//     ⌈log₂ n⌉ lock-step rounds, O(n log n) work, O(log n) depth. The same
+//     round structure as the paper's pointer jumping, specialized to the
+//     chain g(i) = i, f(i) = i-1.
+//   - InclusiveBlocked / LinearRecurrenceBlocked — the work-optimal blocked
+//     (Blelloch-style) scan: sequential per-segment reduce, a Kogge–Stone
+//     tree over the segment summaries, then a per-segment prefix apply.
+//     O(n) work, n/P + O(log P) depth. This is the standalone form of the
+//     schedule ordinary plans compile for long write chains (DESIGN §14).
+//
+// Invariants and contracts:
+//
+//   - Both schedules fold the same operand sequence in the same order; they
+//     differ only in association. For exactly associative ops the outputs
+//     are bit-identical to the sequential Inclusive; float results may
+//     differ from sequential (and from each other) by re-association
+//     rounding only.
+//   - All functions are pure: inputs are never mutated, every call returns
+//     fresh output storage, and the package holds no state — concurrent
+//     calls are safe. Parallelism is internal (parallel.For) and joined
+//     before return.
+//
+// These are the baselines of experiments E14 and E20 (DESIGN.md): a linear
+// recurrence can be solved by the classical scan route or by the paper's
+// Möbius-matrix OrdinaryIR route, and the blocked variants measure what
+// dropping the log n work factor is worth.
+package scan

@@ -1,12 +1,3 @@
-// Package scan implements the classical parallel-prefix machinery the paper
-// builds on (its references [2] Stone and [4] Kogge–Stone): sequential and
-// parallel prefix combine (scan), and the first-order linear recurrence
-// solver x[i] = a[i]·x[i-1] + b[i] via scan over coefficient pairs.
-//
-// These are the baselines of experiment E14 (DESIGN.md): a linear
-// recurrence can be solved either by this classical scan route or by the
-// paper's Möbius-matrix OrdinaryIR route; both are O(log n) depth, and the
-// benchmarks compare their constants.
 package scan
 
 import (

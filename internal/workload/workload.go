@@ -1,8 +1,3 @@
-// Package workload generates the controlled IR instances the benchmarks and
-// property tests sweep over: chains (worst-case round counts), random
-// permutation-target systems (many short chains), indirection-table systems
-// modeled on the Livermore gather/scatter kernels, and GIR instances with
-// tunable fan-in. Every generator is deterministic given its seed.
 package workload
 
 import (

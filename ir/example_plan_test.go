@@ -39,6 +39,47 @@ func ExampleCompile() {
 	// [8 15 21 26 30 33 35 36]
 }
 
+// Compile picks the ordinary schedule from the write-chain structure: a
+// long chain selects the work-optimal blocked scan (O(n) combines,
+// T = n/P + log P), while short or scattered chains stay on pointer
+// jumping (⌈log₂ maxchain⌉ rounds). Both schedules fold the same operand
+// sequence in the same order, so the values are identical either way.
+func ExampleSolveOrdinaryPlanCtx() {
+	// One chain of 400 writes: A[i+1] := A[i] + A[i+1]. Long enough that
+	// the blocked scan's reduce/combine/apply phases beat log-n jumping.
+	long := ir.FromFuncs(400, 401,
+		func(i int) int { return i + 1 },
+		func(i int) int { return i },
+		nil,
+	)
+	// Eight writes: chains far below the blocked threshold keep jumping.
+	short := ir.FromFuncs(8, 9,
+		func(i int) int { return i + 1 },
+		func(i int) int { return i },
+		nil,
+	)
+
+	ctx := context.Background()
+	for _, sys := range []*ir.System{long, short} {
+		plan, err := ir.Compile(sys, ir.CompileOptions{Family: ir.FamilyOrdinary})
+		if err != nil {
+			panic(err)
+		}
+		init := make([]int64, sys.M)
+		for x := range init {
+			init[x] = 1
+		}
+		res, err := ir.SolveOrdinaryPlanCtx[int64](ctx, plan, ir.IntAdd{}, init, ir.SolveOptions{Procs: 4})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("n=%d schedule=%s last=%d\n", sys.N, plan.Schedule(), res.Values[sys.M-1])
+	}
+	// Output:
+	// n=400 schedule=blocked-scan last=401
+	// n=8 schedule=pointer-jumping last=9
+}
+
 // Plan.SolveCtx is the name-dispatched replay used by the solve service:
 // the operator arrives as a string and the result is family-tagged. Here a
 // Möbius plan (structure: m, g, f) is replayed against two coefficient

@@ -112,6 +112,24 @@ func (p *Plan) Fingerprint() string { return p.fingerprint }
 // SizeBytes estimates the plan's resident size, for cache accounting.
 func (p *Plan) SizeBytes() int64 { return p.size }
 
+// Schedule names the combine schedule the plan replays: "blocked-scan" (the
+// work-optimal O(n) schedule, picked automatically for ordinary systems
+// whose write chains are long paths) or "pointer-jumping" for the other
+// ordinary plans and the Möbius family (whose float matrix products pin the
+// jumping association for bit-identity with the direct solver); "cap" for
+// the general family. The selection is a pure function of the system's
+// structure, so plans sharing a Fingerprint share a schedule.
+func (p *Plan) Schedule() string {
+	switch p.family {
+	case FamilyOrdinary:
+		return p.ord.Schedule()
+	case FamilyGeneral:
+		return "cap"
+	default:
+		return "pointer-jumping"
+	}
+}
+
 // PlanFingerprint returns a canonical fingerprint of a system's structure:
 // a hash over (family, n, m, g, f, h, maxExponentBits). Two solves share a
 // fingerprint exactly when they can share a compiled plan. h may be nil
@@ -213,10 +231,13 @@ func CompileMoebiusCtx(ctx context.Context, m int, g, f []int) (*Plan, error) {
 }
 
 // SolveOrdinaryPlanCtx replays an ordinary-family plan against a fresh
-// operator and init array. The combines are the ones SolveOrdinaryCtx would
-// perform, on the same operands in the same round order, so the result is
-// bit-identical to the direct solve's. Replays draw scratch from the plan's
-// arena pool, so a warm replay's only allocation is the returned result.
+// operator and init array. The replay folds each chain's operand sequence
+// in the order SolveOrdinaryCtx consumes it, so results are bit-identical
+// to the direct solve's for exactly associative ops; a plan whose Schedule
+// is "blocked-scan" re-associates the fold (still the same ordered
+// operands), so float results may differ from the direct solve by rounding
+// only. Replays draw scratch from the plan's arena pool, so a warm replay's
+// only allocation is the returned result.
 func SolveOrdinaryPlanCtx[T any](ctx context.Context, p *Plan, op Semigroup[T], init []T, opt SolveOptions) (*OrdinaryResult[T], error) {
 	if p.family != FamilyOrdinary {
 		return nil, fmt.Errorf("%w: plan is %v, want ordinary", ErrPlanFamily, p.family)
