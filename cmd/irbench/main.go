@@ -118,12 +118,30 @@ func main() {
 		fmt.Println("available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
+			if e.Desc != "" {
+				fmt.Printf("  %-14s   %s\n", "", e.Desc)
+			}
 		}
 		if *exp == "" && !*list {
 			fmt.Println("\nusage: irbench -exp <id>|all [-n N] [-procs 1,2,4] [-quick]")
 			os.Exit(2)
 		}
 		return
+	}
+
+	// Catch -exp typos up front with the full menu — the -json path would
+	// otherwise bury the unknown id inside a record, and the text path
+	// would only name it after the header.
+	if *exp != "all" {
+		if _, ok := experiments.Get(*exp); !ok {
+			var ids []string
+			for _, e := range experiments.All() {
+				ids = append(ids, e.ID)
+			}
+			fmt.Fprintf(os.Stderr, "irbench: unknown experiment %q (run irbench -list; available: %s)\n",
+				*exp, strings.Join(ids, ", "))
+			os.Exit(2)
+		}
 	}
 
 	opt := experiments.Options{N: *n, Seed: *seed, Quick: *quick}

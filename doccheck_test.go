@@ -111,6 +111,7 @@ func TestDocFileContract(t *testing.T) {
 	pkgs := []string{
 		"internal/core",
 		"internal/graph",
+		"internal/grid2d",
 		"internal/moebius",
 		"internal/ordinary",
 		"internal/parallel",

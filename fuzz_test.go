@@ -19,6 +19,7 @@ import (
 
 	"indexedrec/internal/core"
 	"indexedrec/internal/gir"
+	"indexedrec/internal/grid2d"
 	"indexedrec/internal/moebius"
 	"indexedrec/internal/ordinary"
 	"indexedrec/internal/parallel"
@@ -33,10 +34,12 @@ func toggleEngine(seed int64) func() {
 	prevGang := parallel.SetGangEnabled(seed&1 == 0)
 	prevKern := ordinary.SetKernelsEnabled(seed&2 == 0)
 	prevBlk := ordinary.SetBlockedEnabled(seed&4 == 0)
+	prevGrid := grid2d.SetKernelsEnabled(seed&2 == 0)
 	return func() {
 		parallel.SetGangEnabled(prevGang)
 		ordinary.SetKernelsEnabled(prevKern)
 		ordinary.SetBlockedEnabled(prevBlk)
+		grid2d.SetKernelsEnabled(prevGrid)
 	}
 }
 
@@ -260,6 +263,83 @@ func FuzzMoebiusPlanAgainstDirect(f *testing.F) {
 		for x, v := range replay {
 			if v != direct[x] {
 				t.Fatalf("moebius plan cell %d: replay %v != direct %v", x, v, direct[x])
+			}
+		}
+	})
+}
+
+// FuzzGrid2DAgainstOracle fuzzes the 2-D grid family: random grids across
+// every semiring and term mask must solve identically through the
+// sequential row-major oracle, the public facade (compile + wavefront
+// replay), and two back-to-back warm replays on an explicit arena — under
+// every gang × kernel dispatch combination the toggles select. Errors must
+// agree too: when the oracle rejects a solution as non-finite, the
+// parallel paths must reject with the same class and name the same cell.
+func FuzzGrid2DAgainstOracle(f *testing.F) {
+	f.Add(int64(1), 1, 1, uint8(0), uint8(15))
+	f.Add(int64(2), 1, 17, uint8(1), uint8(7))
+	f.Add(int64(3), 17, 1, uint8(2), uint8(5))
+	f.Add(int64(4), 13, 9, uint8(0), uint8(3))
+	f.Add(int64(5), 32, 32, uint8(1), uint8(15))
+	f.Add(int64(6), 7, 31, uint8(2), uint8(9))
+	f.Add(int64(7), 24, 5, uint8(0), uint8(12))
+	f.Fuzz(func(t *testing.T, seed int64, rows, cols int, ringSel, mask uint8) {
+		if rows < 1 || rows > 32 || cols < 1 || cols > 32 {
+			t.Skip("grid shape out of fuzz range")
+		}
+		defer toggleEngine(seed)()
+		rng := rand.New(rand.NewSource(seed))
+		rings := []string{"affine", "minplus", "maxplus"}
+		sys := workload.RandomGrid2D(rng, rows, cols, rings[ringSel%3], mask&15)
+
+		// The oracle operates on the internal system; the wire struct's
+		// fields mirror it one for one.
+		ring, err := grid2d.RingByName(sys.Semiring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gsys := &grid2d.System{
+			Rows: sys.Rows, Cols: sys.Cols, Ring: ring,
+			A: sys.A, B: sys.B, D: sys.Diag, C: sys.C,
+			North: sys.North, West: sys.West, NW: sys.NorthWest,
+		}
+		want, wantErr := grid2d.SolveSequential(gsys)
+
+		ctx := context.Background()
+		got, gotErr := ir.SolveGrid2DCtx(ctx, sys, ir.SolveOptions{Procs: 4})
+		if wantErr != nil {
+			if !errors.Is(gotErr, ir.ErrGrid2DNonFinite) || gotErr.Error() != wantErr.Error() {
+				t.Fatalf("oracle rejected with %q, facade said %v", wantErr, gotErr)
+			}
+			return
+		}
+		if gotErr != nil {
+			t.Fatalf("facade failed where the oracle succeeded: %v", gotErr)
+		}
+		for i, v := range got.Values {
+			if v != want.Values[i] {
+				t.Fatalf("cell (%d,%d): facade %v != oracle %v", i/cols, i%cols, v, want.Values[i])
+			}
+		}
+		if got.Rounds != rows+cols-1 {
+			t.Fatalf("rounds = %d, want %d", got.Rounds, rows+cols-1)
+		}
+
+		// Plan replay and two warm arena replays: bit-identical, every time.
+		gp, err := grid2d.Compile(ctx, gsys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar := gp.NewArena()
+		for rep := 0; rep < 2; rep++ {
+			res, err := ar.SolveCtx(ctx, gsys, 4)
+			if err != nil {
+				t.Fatalf("arena replay %d: %v", rep, err)
+			}
+			for i, v := range res.Values {
+				if v != want.Values[i] {
+					t.Fatalf("arena replay %d cell %d: %v != oracle %v", rep, i, v, want.Values[i])
+				}
 			}
 		}
 	})

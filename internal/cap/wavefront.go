@@ -20,25 +20,41 @@ func CountWavefront(g *Graph, procs int) (Counts, error) {
 	return CountWavefrontCtx(context.Background(), g, procs, 0)
 }
 
-// CountWavefrontCtx is CountWavefront with cancellation (checked between
-// levels and between chunks within a level) and an exponent bit cap
-// (maxBits <= 0 means unlimited).
-func CountWavefrontCtx(ctx context.Context, g *Graph, procs, maxBits int) (Counts, error) {
+// WavefrontLevels computes the wavefront labeling CountWavefront schedules
+// by: level[v] is v's longest distance to a sink, so nodes of equal level
+// never depend on each other and each level is one parallel round. This is
+// the DAG-general form of grid2d's anti-diagonal schedule — on the
+// dependence DAG of a 2-D recurrence grid, level(i,j) = i+j, the cell's
+// anti-diagonal. Fails only if g has a cycle.
+func WavefrontLevels(g *Graph) ([]int, error) {
 	order, err := g.toDAG().TopoOrder()
 	if err != nil {
 		return nil, err
 	}
-	// Longest distance to a sink, computable in the same sweep.
+	// Longest distance to a sink, computable in one sinks-first sweep.
 	level := make([]int, g.N)
-	maxLevel := 0
 	for _, v := range order { // sinks first
 		for _, e := range g.Out[v] {
 			if l := level[e.To] + 1; l > level[v] {
 				level[v] = l
 			}
 		}
-		if level[v] > maxLevel {
-			maxLevel = level[v]
+	}
+	return level, nil
+}
+
+// CountWavefrontCtx is CountWavefront with cancellation (checked between
+// levels and between chunks within a level) and an exponent bit cap
+// (maxBits <= 0 means unlimited).
+func CountWavefrontCtx(ctx context.Context, g *Graph, procs, maxBits int) (Counts, error) {
+	level, err := WavefrontLevels(g)
+	if err != nil {
+		return nil, err
+	}
+	maxLevel := 0
+	for _, l := range level {
+		if l > maxLevel {
+			maxLevel = l
 		}
 	}
 	byLevel := make([][]int, maxLevel+1)

@@ -190,6 +190,9 @@ type Coordinator struct {
 	metrics *clusterMetrics
 	plans   *server.PlanCache
 	mux     *http.ServeMux
+	// allowed maps registered route paths to their methods, feeding the
+	// JSON 404/405 fallbacks (see fallbackRoutes).
+	allowed map[string][]string
 
 	mmu     sync.RWMutex
 	members map[string]*worker

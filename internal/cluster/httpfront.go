@@ -27,44 +27,77 @@ import (
 
 func (co *Coordinator) routes() {
 	co.mux = http.NewServeMux()
-	co.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	co.allowed = make(map[string][]string)
+	co.handle("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok\n")
 	})
-	co.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	co.handle("GET", "/readyz", func(w http.ResponseWriter, r *http.Request) {
 		// The coordinator is ready even with zero workers: solves degrade
 		// to local execution rather than failing.
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok\n")
 	})
-	co.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	co.handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		_, _ = co.reg.WriteTo(w)
 	})
-	co.mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
+	co.handle("GET", "/version", func(w http.ResponseWriter, r *http.Request) {
 		co.writeJSON(w, "version", http.StatusOK, server.BuildVersion())
 	})
-	co.mux.HandleFunc("GET "+server.ClusterPrefix+"workers", co.handleWorkers)
-	co.mux.HandleFunc("POST "+server.ClusterPrefix+"register", co.handleRegister)
-	co.mux.HandleFunc("POST "+server.ClusterPrefix+"heartbeat", co.handleHeartbeat)
-	co.mux.HandleFunc("POST "+server.ClusterPrefix+"deregister", co.handleDeregister)
+	co.handle("GET", server.ClusterPrefix+"workers", co.handleWorkers)
+	co.handle("POST", server.ClusterPrefix+"register", co.handleRegister)
+	co.handle("POST", server.ClusterPrefix+"heartbeat", co.handleHeartbeat)
+	co.handle("POST", server.ClusterPrefix+"deregister", co.handleDeregister)
 	co.sessionRoutes()
-	co.mux.HandleFunc("POST "+server.APIPrefix+"ordinary", func(w http.ResponseWriter, r *http.Request) {
+	co.handle("POST", server.APIPrefix+"ordinary", func(w http.ResponseWriter, r *http.Request) {
 		co.handleSolve(w, r, "ordinary", co.specOrdinary)
 	})
-	co.mux.HandleFunc("POST "+server.APIPrefix+"general", func(w http.ResponseWriter, r *http.Request) {
+	co.handle("POST", server.APIPrefix+"general", func(w http.ResponseWriter, r *http.Request) {
 		co.handleSolve(w, r, "general", co.specGeneral)
 	})
-	co.mux.HandleFunc("POST "+server.APIPrefix+"linear", func(w http.ResponseWriter, r *http.Request) {
+	co.handle("POST", server.APIPrefix+"linear", func(w http.ResponseWriter, r *http.Request) {
 		co.handleSolve(w, r, "linear", co.specLinear)
 	})
-	co.mux.HandleFunc("POST "+server.APIPrefix+"moebius", func(w http.ResponseWriter, r *http.Request) {
+	co.handle("POST", server.APIPrefix+"moebius", func(w http.ResponseWriter, r *http.Request) {
 		co.handleSolve(w, r, "moebius", co.specMoebius)
 	})
-	co.mux.HandleFunc("POST "+server.APIPrefix+"loop", func(w http.ResponseWriter, r *http.Request) {
+	co.handle("POST", server.APIPrefix+"grid2d", func(w http.ResponseWriter, r *http.Request) {
+		co.handleSolve(w, r, "grid2d", co.specGrid2D)
+	})
+	co.handle("POST", server.APIPrefix+"loop", func(w http.ResponseWriter, r *http.Request) {
 		co.writeError(w, "loop", http.StatusNotImplemented,
 			"loop execution is not distributed; POST /v1/solve/loop to a worker directly")
+	})
+	co.fallbackRoutes()
+}
+
+// handle registers h for "METHOD path" and records the method under the
+// path so fallbackRoutes can answer mismatches with the JSON wire error
+// schema instead of the mux's plain-text pages.
+func (co *Coordinator) handle(method, path string, h http.HandlerFunc) {
+	co.mux.HandleFunc(method+" "+path, h)
+	co.allowed[path] = append(co.allowed[path], method)
+}
+
+// fallbackRoutes closes the plain-text gaps a bare ServeMux leaves: a known
+// path hit with the wrong method gets a 405 with an Allow header, and any
+// unknown path gets a 404 — both as server.ErrorResponse JSON, the same
+// schema every implemented endpoint (and irserved) speaks, so clients never
+// need a second error decoder for the coordinator's edges.
+func (co *Coordinator) fallbackRoutes() {
+	for path, methods := range co.allowed {
+		allow := strings.Join(methods, ", ")
+		co.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			co.writeError(w, "unmatched", http.StatusMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed for %s (allow: %s)", r.Method, r.URL.Path, allow))
+		})
+	}
+	co.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		co.writeError(w, "unmatched", http.StatusNotFound,
+			fmt.Sprintf("no such endpoint %s (solve endpoints live under %s)", r.URL.Path, server.APIPrefix))
 	})
 }
 
@@ -289,6 +322,40 @@ func (co *Coordinator) specGeneral(body []byte) (*solveSpec, func(*ir.PlanSoluti
 	}, nil
 }
 
+func (co *Coordinator) specGrid2D(body []byte) (*solveSpec, func(*ir.PlanSolution, time.Duration) any, error) {
+	var req server.Grid2DRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, fmt.Errorf("bad request body: %v", err)
+	}
+	sys := &req.System
+	if cells := int64(sys.Rows) * int64(sys.Cols); sys.Rows > 0 && sys.Cols > 0 && cells > int64(co.cfg.MaxN) {
+		return nil, nil, fmt.Errorf("grid %dx%d = %d cells exceeds the coordinator limit %d",
+			sys.Rows, sys.Cols, cells, co.cfg.MaxN)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, nil, err
+	}
+	opt, err := req.Opts.Options()
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := &solveSpec{
+		family:    ir.FamilyGrid2D,
+		grid:      sys,
+		data:      ir.PlanData{Grid: sys, Opts: opt},
+		timeoutMs: req.Opts.TimeoutMs,
+	}
+	cells := int64(sys.Rows) * int64(sys.Cols)
+	return spec, func(sol *ir.PlanSolution, elapsed time.Duration) any {
+		return server.Grid2DResponse{
+			Values:    sol.Values,
+			Rounds:    sol.Rounds,
+			Cells:     cells,
+			ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+		}
+	}, nil
+}
+
 func (co *Coordinator) specLinear(body []byte) (*solveSpec, func(*ir.PlanSolution, time.Duration) any, error) {
 	var req server.LinearRequest
 	if err := json.Unmarshal(body, &req); err != nil {
@@ -407,7 +474,8 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ir.ErrInvalidSystem), errors.Is(err, moebius.ErrBadSystem), errors.Is(err, ir.ErrShard):
 		return http.StatusBadRequest
-	case errors.Is(err, ir.ErrNonFinite), errors.Is(err, ir.ErrExponentLimit):
+	case errors.Is(err, ir.ErrNonFinite), errors.Is(err, ir.ErrGrid2DNonFinite),
+		errors.Is(err, ir.ErrExponentLimit):
 		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError

@@ -19,10 +19,11 @@ import (
 // ordinary/general families, (m, g, f) for Möbius, data for the values.
 type solveSpec struct {
 	family ir.Family
-	sys    *ir.System // ordinary / general
-	m      int        // moebius
-	g, f   []int      // moebius
-	bits   int        // general: effective MaxExponentBits (compile-time)
+	sys    *ir.System       // ordinary / general
+	m      int              // moebius
+	g, f   []int            // moebius
+	grid   *ir.Grid2DSystem // grid2d
+	bits   int              // general: effective MaxExponentBits (compile-time)
 	data   ir.PlanData
 	// timeoutMs is the client's requested deadline (the wire option is not
 	// part of ir.SolveOptions; the coordinator applies it to the solve ctx).
@@ -37,6 +38,15 @@ func (co *Coordinator) planFor(ctx context.Context, spec *solveSpec) (*ir.Plan, 
 		fp := ir.PlanFingerprint(ir.FamilyMoebius, len(spec.g), spec.m, spec.g, spec.f, nil, 0)
 		return server.PlanFor(co.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
 			return ir.CompileMoebiusCtx(ctx, spec.m, spec.g, spec.f)
+		})
+	}
+	if spec.family == ir.FamilyGrid2D {
+		fp, err := ir.Grid2DFingerprint(spec.grid)
+		if err != nil {
+			return nil, err
+		}
+		return server.PlanFor(co.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+			return ir.CompileGrid2DCtx(ctx, spec.grid)
 		})
 	}
 	fp := ir.PlanFingerprint(spec.family, spec.sys.N, spec.sys.M, spec.sys.G, spec.sys.F, spec.sys.H, spec.bits)
@@ -56,6 +66,9 @@ func (co *Coordinator) Solve(ctx context.Context, spec *solveSpec) (*ir.PlanSolu
 	p, err := co.planFor(ctx, spec)
 	if err != nil {
 		return nil, err
+	}
+	if spec.family == ir.FamilyGrid2D {
+		return co.solveGrid2D(ctx, p, spec)
 	}
 	if spec.data.WithPowers {
 		// Power traces are a whole-plan artifact; the shard path does not
@@ -353,6 +366,10 @@ func shardRequest(spec *solveSpec, ctx context.Context) (server.ShardRequest, er
 		req.System = ir.SystemWire{M: spec.m, N: len(spec.g), G: spec.g, F: spec.f}
 		req.A, req.B, req.C, req.D = spec.data.A, spec.data.B, spec.data.C, spec.data.D
 		req.X0 = spec.data.X0
+		return req, nil
+	}
+	if spec.family == ir.FamilyGrid2D {
+		// Bands attach their own Grid (with halo boundaries) per send.
 		return req, nil
 	}
 	req.System = ir.WireFromSystem(spec.sys)

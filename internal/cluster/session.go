@@ -48,10 +48,10 @@ func (e *streamEntry) unlock() { e.mu <- struct{}{} }
 
 // sessionRoutes mounts the session pass-through endpoints.
 func (co *Coordinator) sessionRoutes() {
-	co.mux.HandleFunc("POST "+server.SessionPrefix, co.handleSessionOpen)
-	co.mux.HandleFunc("POST "+server.SessionPrefix+"/{id}/append", co.handleSessionAppend)
-	co.mux.HandleFunc("GET "+server.SessionPrefix+"/{id}", co.handleSessionGet)
-	co.mux.HandleFunc("DELETE "+server.SessionPrefix+"/{id}", co.handleSessionDelete)
+	co.handle("POST", server.SessionPrefix, co.handleSessionOpen)
+	co.handle("POST", server.SessionPrefix+"/{id}/append", co.handleSessionAppend)
+	co.handle("GET", server.SessionPrefix+"/{id}", co.handleSessionGet)
+	co.handle("DELETE", server.SessionPrefix+"/{id}", co.handleSessionDelete)
 }
 
 // sessionPinKey computes the open request's plan fingerprint — the same key

@@ -1,0 +1,178 @@
+package core
+
+// The float64 semirings the 2-D grid family (internal/grid2d) folds with.
+// Natale's wavefront decomposition is algebra-agnostic: the cell update
+// w[i,j] = (a ⊗ w[i-1,j]) ⊕ (b ⊗ w[i,j-1]) ⊕ (d ⊗ w[i-1,j-1]) ⊕ c only
+// needs (⊕, ⊗) to distribute, so the op classification lives here in the
+// kernel layer — the affine ring for linear recurrences, max-plus and
+// min-plus for dynamic programming — instead of being hard-coded into one
+// solver. Every path through a grid solve (sequential oracle, generic
+// interface dispatch, monomorphized kernels) funnels through gridCell, so
+// the fold order — and with it bit-identity — is fixed in exactly one place.
+
+// Semiring is a float64 semiring: the (⊕, ⊗) pair a 2-D recurrence cell
+// update folds with. Implementations must be stateless value types; both
+// methods must be pure so every dispatch path computes bit-identical
+// results.
+type Semiring interface {
+	// SemiringName names the algebra as it appears on the wire and in plan
+	// fingerprints ("affine", "maxplus", "minplus").
+	SemiringName() string
+	// Plus is ⊕, the combining operation (+, max, or min).
+	Plus(x, y float64) float64
+	// Times is ⊗, the scaling operation (×, or + for the tropical pair).
+	Times(x, y float64) float64
+}
+
+// RingF64 is the ordinary affine ring: ⊕ = +, ⊗ = ×. It solves the linear
+// grid recurrence w = a·up + b·left + d·diag + c.
+type RingF64 struct{}
+
+// SemiringName returns "affine".
+func (RingF64) SemiringName() string { return "affine" }
+
+// Plus returns x + y.
+func (RingF64) Plus(x, y float64) float64 { return x + y }
+
+// Times returns x · y.
+func (RingF64) Times(x, y float64) float64 { return x * y }
+
+// MaxPlusF64 is the max-plus tropical semiring: ⊕ = max, ⊗ = +. It turns
+// the grid recurrence into a best-score dynamic program (Smith–Waterman,
+// longest paths).
+type MaxPlusF64 struct{}
+
+// SemiringName returns "maxplus".
+func (MaxPlusF64) SemiringName() string { return "maxplus" }
+
+// Plus returns max(x, y); on a NaN operand the comparison fails closed and
+// x wins, identically on every dispatch path.
+func (MaxPlusF64) Plus(x, y float64) float64 {
+	if y > x {
+		return y
+	}
+	return x
+}
+
+// Times returns x + y.
+func (MaxPlusF64) Times(x, y float64) float64 { return x + y }
+
+// MinPlusF64 is the min-plus tropical semiring: ⊕ = min, ⊗ = +. It turns
+// the grid recurrence into a least-cost dynamic program (edit distance,
+// shortest paths).
+type MinPlusF64 struct{}
+
+// SemiringName returns "minplus".
+func (MinPlusF64) SemiringName() string { return "minplus" }
+
+// Plus returns min(x, y); on a NaN operand the comparison fails closed and
+// x wins, identically on every dispatch path.
+func (MinPlusF64) Plus(x, y float64) float64 {
+	if y < x {
+		return y
+	}
+	return x
+}
+
+// Times returns x + y.
+func (MinPlusF64) Times(x, y float64) float64 { return x + y }
+
+// GridKernel is the grid family's analogue of Kernel: a batched cell-update
+// method over one anti-diagonal of the extended (boundary-augmented) grid.
+// The monomorphized instances (GridKernelFor) compile the semiring's ops to
+// direct calls; the generic instance (GridKernelGeneric) dispatches through
+// the Semiring interface. Both run gridCell per cell, so they are
+// bit-identical by construction — which is exactly what the grid2d fuzzer's
+// kernel toggle asserts.
+type GridKernel interface {
+	// UpdateDiag computes w[ext] for the cells t in [lo, hi) of one
+	// anti-diagonal. The extended grid w has row stride `stride`; cell t
+	// sits at ext = ext0 + t·(stride-1) and reads its up / left / diagonal
+	// neighbours at ext-stride, ext-1, ext-stride-1 (all on earlier
+	// diagonals, so any partition of [0, count) races nothing). The
+	// coefficient grids a, b, d, c (nil = term absent) have row stride
+	// stride-1 and are indexed at cof0 + t·(stride-2).
+	UpdateDiag(w []float64, a, b, d, c []float64, ext0, cof0, stride, lo, hi int)
+}
+
+// gridCell folds one cell update in the canonical term order — up, left,
+// diagonal, constant, ⊕-folded left-associatively over the present terms.
+// Generic over the semiring so concrete instantiations inline the ops while
+// the interface instantiation yields the generic-dispatch reference path.
+func gridCell[R Semiring](ring R, a, b, d, c []float64, cof int, up, left, diag float64) float64 {
+	var acc float64
+	has := false
+	if a != nil {
+		acc = ring.Times(a[cof], up)
+		has = true
+	}
+	if b != nil {
+		v := ring.Times(b[cof], left)
+		if has {
+			acc = ring.Plus(acc, v)
+		} else {
+			acc, has = v, true
+		}
+	}
+	if d != nil {
+		v := ring.Times(d[cof], diag)
+		if has {
+			acc = ring.Plus(acc, v)
+		} else {
+			acc, has = v, true
+		}
+	}
+	if c != nil {
+		if has {
+			acc = ring.Plus(acc, c[cof])
+		} else {
+			acc = c[cof]
+		}
+	}
+	return acc
+}
+
+// GridCell computes one cell update through interface dispatch — the
+// sequential oracle's per-cell step, sharing gridCell with the batched
+// kernels so every path folds terms identically.
+func GridCell(ring Semiring, a, b, d, c []float64, cof int, up, left, diag float64) float64 {
+	return gridCell(ring, a, b, d, c, cof, up, left, diag)
+}
+
+// gridKernel is the one UpdateDiag implementation, monomorphized per
+// concrete semiring (direct calls) or instantiated at the interface type
+// (generic dispatch).
+type gridKernel[R Semiring] struct{ ring R }
+
+func (k gridKernel[R]) UpdateDiag(w []float64, a, b, d, c []float64, ext0, cof0, stride, lo, hi int) {
+	estep, cstep := stride-1, stride-2
+	ext := ext0 + lo*estep
+	cof := cof0 + lo*cstep
+	for t := lo; t < hi; t++ {
+		w[ext] = gridCell(k.ring, a, b, d, c, cof, w[ext-stride], w[ext-1], w[ext-stride-1])
+		ext += estep
+		cof += cstep
+	}
+}
+
+// GridKernelFor returns the monomorphized batch kernel for one of the
+// built-in semirings, or nil for an unknown implementation (callers then
+// fall back to GridKernelGeneric).
+func GridKernelFor(ring Semiring) GridKernel {
+	switch ring.(type) {
+	case RingF64:
+		return gridKernel[RingF64]{}
+	case MaxPlusF64:
+		return gridKernel[MaxPlusF64]{}
+	case MinPlusF64:
+		return gridKernel[MinPlusF64]{}
+	}
+	return nil
+}
+
+// GridKernelGeneric returns the interface-dispatch batch kernel over ring —
+// the reference path the kernel kill switch (grid2d.SetKernelsEnabled)
+// falls back to, bit-identical to the monomorphized instances.
+func GridKernelGeneric(ring Semiring) GridKernel {
+	return gridKernel[Semiring]{ring: ring}
+}

@@ -19,7 +19,8 @@ import (
 )
 
 func init() {
-	register("blockedscan", "E20 — work-optimal blocked scan: O(n) combines and n/P + log P depth vs pointer jumping on long write chains", runBlockedScan)
+	register("blockedscan", "E20 — work-optimal blocked scan: O(n) combines and n/P + log P depth vs pointer jumping on long write chains",
+		"benchmarks the blocked-scan schedule against pointer jumping on chains", runBlockedScan)
 }
 
 // ScanBaselineEnv names the environment variable pointing at a checked-in

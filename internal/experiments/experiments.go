@@ -60,13 +60,16 @@ func (o Options) seed() int64 {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(w io.Writer, opt Options) error
+	// Desc is a one-line plain-language description of what the
+	// experiment measures and what a healthy run shows (irbench -list).
+	Desc string
+	Run  func(w io.Writer, opt Options) error
 }
 
 var registry = map[string]Experiment{}
 
-func register(id, title string, run func(w io.Writer, opt Options) error) {
-	registry[id] = Experiment{ID: id, Title: title, Run: run}
+func register(id, title, desc string, run func(w io.Writer, opt Options) error) {
+	registry[id] = Experiment{ID: id, Title: title, Desc: desc, Run: run}
 }
 
 // All returns the experiments sorted by ID.

@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig9",
 		"livermore", "livermore-exec", "loop23", "scaling", "crossover",
 		"ablation-pow", "ablation-cap", "speedup", "scan-vs-ir", "ops", "sched",
-		"cold_vs_warm", "hotpath", "session", "blockedscan",
+		"cold_vs_warm", "hotpath", "session", "blockedscan", "grid2d",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -20,6 +20,14 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(All()) != len(want) {
 		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	for _, e := range All() {
+		if e.Desc == "" {
+			t.Errorf("experiment %q has no one-line description (irbench -list)", e.ID)
+		}
+		if strings.Contains(e.Desc, "\n") {
+			t.Errorf("experiment %q description spans lines", e.ID)
+		}
 	}
 }
 
@@ -56,6 +64,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		"hotpath":        "HOTPATH",
 		"session":        "amortized",
 		"blockedscan":    "SCAN",
+		"grid2d":         "GRID",
 	}
 	for _, e := range All() {
 		e := e

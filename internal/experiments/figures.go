@@ -15,12 +15,18 @@ import (
 )
 
 func init() {
-	register("fig1", "Fig. 1 — trace table of an ordinary IR loop", runFig1)
-	register("fig2", "Fig. 2 — trace concatenation (pointer jumping) rounds", runFig2)
-	register("fig4", "Fig. 4 — tree vs list trace structure (GIR vs IR)", runFig4)
-	register("fig5", "Fig. 5 — Fibonacci power expansion of X_i = X_{i-1}⊗X_{i-2}", runFig5)
-	register("fig6", "Fig. 6 — dependence graph of A_i = A_{i-1}⊗A_{i-2}", runFig6)
-	register("fig9", "Figs. 7–9 — CAP iterations (paths multiplication + addition)", runFig9)
+	register("fig1", "Fig. 1 — trace table of an ordinary IR loop",
+		"prints the worked-example trace table cell by cell", runFig1)
+	register("fig2", "Fig. 2 — trace concatenation (pointer jumping) rounds",
+		"shows the trace shrinking round by round under pointer jumping", runFig2)
+	register("fig4", "Fig. 4 — tree vs list trace structure (GIR vs IR)",
+		"contrasts the tree-shaped GIR trace with the list-shaped IR trace", runFig4)
+	register("fig5", "Fig. 5 — Fibonacci power expansion of X_i = X_{i-1}⊗X_{i-2}",
+		"expands the two-term recurrence into its Fibonacci-exponent powers", runFig5)
+	register("fig6", "Fig. 6 — dependence graph of A_i = A_{i-1}⊗A_{i-2}",
+		"draws the dependence graph the CAP engine schedules", runFig6)
+	register("fig9", "Figs. 7–9 — CAP iterations (paths multiplication + addition)",
+		"steps the CAP matrices through paths multiplication and addition", runFig9)
 }
 
 func runFig1(w io.Writer, opt Options) error {

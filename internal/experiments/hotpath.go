@@ -20,7 +20,8 @@ import (
 )
 
 func init() {
-	register("hotpath", "E18 — hot-path engine: gang + arena warm replays vs cold solves, allocation counts", runHotpath)
+	register("hotpath", "E18 — hot-path engine: gang + arena warm replays vs cold solves, allocation counts",
+		"times warm arena replays against cold solves and counts allocations", runHotpath)
 }
 
 // BaselineEnv names the environment variable pointing at a checked-in

@@ -12,9 +12,12 @@ import (
 )
 
 func init() {
-	register("livermore", "§1 table — Livermore Loops recurrence classification", runLivermore)
-	register("livermore-exec", "E8b — auto-parallelized execution of every DSL-encoded kernel", runLivermoreExec)
-	register("loop23", "§3 example — Livermore loop 23 via the Möbius transformation", runLoop23)
+	register("livermore", "§1 table — Livermore Loops recurrence classification",
+		"classifies each Livermore loop as ordinary, general, or unsupported", runLivermore)
+	register("livermore-exec", "E8b — auto-parallelized execution of every DSL-encoded kernel",
+		"runs every classified kernel through the DSL pipeline and checks outputs", runLivermoreExec)
+	register("loop23", "§3 example — Livermore loop 23 via the Möbius transformation",
+		"solves the implicit hydrodynamics fragment as a Möbius recurrence", runLoop23)
 }
 
 func runLivermoreExec(w io.Writer, opt Options) error {

@@ -12,7 +12,8 @@ import (
 )
 
 func init() {
-	register("ops", "generality — every operator through both solvers vs the sequential loop", runOps)
+	register("ops", "generality — every operator through both solvers vs the sequential loop",
+		"cross-checks every registered operator against the sequential oracle", runOps)
 }
 
 // runOps demonstrates the algebra-parametric claim of the paper: any

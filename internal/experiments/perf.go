@@ -23,13 +23,20 @@ import (
 )
 
 func init() {
-	register("fig3", "Fig. 3 — OrdinaryIR instructions vs processors on the SimParC reconstruction (n=50,000)", runFig3)
-	register("scaling", "E10 — measured time vs the T(n,P)=(n/P)·log n law (PRAM cost model)", runScaling)
-	register("crossover", "E10b — parallel/sequential crossover processor count vs n", runCrossover)
-	register("ablation-pow", "E11 — atomic powers vs naive trace expansion in GIR", runAblationPow)
-	register("ablation-cap", "E12 — CAP engine work/depth comparison", runAblationCAP)
-	register("speedup", "E13 — native multicore wall-clock speedup of OrdinaryIR", runSpeedup)
-	register("scan-vs-ir", "E14 — linear recurrence: classical scan vs Möbius OrdinaryIR", runScanVsIR)
+	register("fig3", "Fig. 3 — OrdinaryIR instructions vs processors on the SimParC reconstruction (n=50,000)",
+		"reproduces the headline instruction-count-vs-processors curve", runFig3)
+	register("scaling", "E10 — measured time vs the T(n,P)=(n/P)·log n law (PRAM cost model)",
+		"fits measured round counts against the paper's scaling law", runScaling)
+	register("crossover", "E10b — parallel/sequential crossover processor count vs n",
+		"finds the processor count where the parallel solver overtakes the loop", runCrossover)
+	register("ablation-pow", "E11 — atomic powers vs naive trace expansion in GIR",
+		"ablates the atomic-powers optimization to show the blow-up it avoids", runAblationPow)
+	register("ablation-cap", "E12 — CAP engine work/depth comparison",
+		"compares CAP work and depth against the direct general solver", runAblationCAP)
+	register("speedup", "E13 — native multicore wall-clock speedup of OrdinaryIR",
+		"measures real wall-clock speedup over the sequential loop", runSpeedup)
+	register("scan-vs-ir", "E14 — linear recurrence: classical scan vs Möbius OrdinaryIR",
+		"races a classical prefix scan against the Möbius reduction", runScanVsIR)
 }
 
 func runFig3(w io.Writer, opt Options) error {

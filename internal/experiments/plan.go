@@ -13,7 +13,8 @@ import (
 )
 
 func init() {
-	register("cold_vs_warm", "E17 — compiled plans: cold solve vs compile-once + warm replay, per family", runColdVsWarm)
+	register("cold_vs_warm", "E17 — compiled plans: cold solve vs compile-once + warm replay, per family",
+		"splits compile cost from replay cost for every plan family", runColdVsWarm)
 }
 
 // runColdVsWarm measures the compile-once/solve-many split: for each solver

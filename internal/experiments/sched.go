@@ -10,7 +10,8 @@ import (
 )
 
 func init() {
-	register("sched", "ref [5] — scheduling study: block vs cyclic distribution of the efficient OrdinaryIR", runSched)
+	register("sched", "ref [5] — scheduling study: block vs cyclic distribution of the efficient OrdinaryIR",
+		"compares block and cyclic work distribution on the efficient solver", runSched)
 }
 
 // skewed builds one long chain (written first) plus singleton writes — the

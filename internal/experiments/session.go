@@ -13,7 +13,8 @@ import (
 )
 
 func init() {
-	register("session", "E19 — streaming sessions: amortized append cost vs cold re-solve of the concatenated system", runSession)
+	register("session", "E19 — streaming sessions: amortized append cost vs cold re-solve of the concatenated system",
+		"amortizes incremental appends against re-solving from scratch", runSession)
 }
 
 // runSession measures what the streaming-session subsystem buys over the

@@ -1,0 +1,196 @@
+package grid2d
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"indexedrec/internal/core"
+	"indexedrec/internal/parallel"
+)
+
+// kernelsDisabled is the global kill switch for monomorphized grid kernels
+// (see SetKernelsEnabled): when set, solves dispatch every cell update
+// through the generic Semiring interface path instead. Fuzzers flip it to
+// prove both dispatch paths are bit-identical.
+var kernelsDisabled atomic.Bool
+
+// SetKernelsEnabled globally enables (default) or disables monomorphized
+// grid-kernel dispatch and reports whether it was enabled before. Intended
+// for tests and fuzzers exercising the generic path; not a production
+// tunable.
+func SetKernelsEnabled(on bool) bool {
+	return !kernelsDisabled.Swap(!on)
+}
+
+// kernelFor resolves the ring's batch kernel under the kill switch.
+func kernelFor(r Ring) core.GridKernel {
+	if !kernelsDisabled.Load() {
+		if k := core.GridKernelFor(r.semiring()); k != nil {
+			return k
+		}
+	}
+	return core.GridKernelGeneric(r.semiring())
+}
+
+// gridGrain is the minimum number of cells a wavefront round hands each
+// extra worker: diagonals shorter than 2·gridGrain run on fewer workers
+// (down to sequentially) because a cell update is a handful of flops and a
+// gang round costs about a microsecond. It is a compile-time constant, not
+// a machine property, so it never enters plans or fingerprints.
+const gridGrain = 512
+
+// errNonFiniteChunk is the internal marker a copy-out chunk returns when
+// its finiteness probe fires; SolveCtx converts it to an ErrNonFinite
+// naming the first bad cell in row-major order.
+var errNonFiniteChunk = errors.New("grid2d: non-finite chunk")
+
+// Arena is the reusable scratch of grid replays: the boundary-extended
+// working grid, the row-major output buffer, the result shell, and the
+// pre-bound round bodies, all sized once for one plan. A steady-state warm
+// replay through an arena performs no allocation at all. An arena is
+// single-solve at a time (not safe for concurrent SolveCtx calls on the
+// same arena), and the result of a solve aliases the arena's buffers — it
+// is valid only until the next SolveCtx on the same arena. Use one arena
+// per worker, or Plan.SolveCtx for a pool-managed copy-out replay.
+type Arena struct {
+	plan *Plan
+	w    []float64 // extended (rows+1)×(cols+1) grid, boundaries in row/col 0
+	out  []float64 // row-major rows×cols interior copy
+	res  Result
+
+	// Per-solve bindings, cleared on return so pooled arenas retain no
+	// caller data.
+	sys  *System
+	kern core.GridKernel
+	k    int // current diagonal, read by body goroutines
+
+	// Round bodies, bound once so ForCtx dispatch never allocates.
+	body     func(lo, hi int) error
+	copyBody func(lo, hi int) error
+}
+
+// NewArena allocates replay scratch for p: the extended working grid, the
+// output buffer, and the bound round bodies.
+func (p *Plan) NewArena() *Arena {
+	a := &Arena{
+		plan: p,
+		w:    make([]float64, (p.rows+1)*p.stride),
+		out:  make([]float64, p.rows*p.cols),
+	}
+	a.body = a.updateDiag
+	a.copyBody = a.copyRows
+	return a
+}
+
+// updateDiag is the wavefront round body: batch-update cells [lo, hi) of
+// the current diagonal through the bound kernel.
+func (a *Arena) updateDiag(lo, hi int) error {
+	d := a.plan.diags[a.k]
+	s := a.sys
+	a.kern.UpdateDiag(a.w, s.A, s.B, s.D, s.C, d.ext0, d.cof0, a.plan.stride, lo, hi)
+	return nil
+}
+
+// copyRows copies interior rows [lo, hi) of the extended grid into the
+// row-major output, probing for non-finite values as it goes: v-v
+// accumulates 0 for finite cells and NaN otherwise, so the whole chunk is
+// checked without a branch per cell.
+func (a *Arena) copyRows(lo, hi int) error {
+	p := a.plan
+	var bad float64
+	for i := lo; i < hi; i++ {
+		src := a.w[(i+1)*p.stride+1 : (i+1)*p.stride+1+p.cols]
+		dst := a.out[i*p.cols : (i+1)*p.cols]
+		for j, v := range src {
+			dst[j] = v
+			bad += v - v
+		}
+	}
+	if bad != 0 {
+		return errNonFiniteChunk
+	}
+	return nil
+}
+
+// firstBadCell recovers the exact row-major-first non-finite cell after a
+// copy chunk's probe fired — the same cell the sequential oracle names.
+func (a *Arena) firstBadCell() error {
+	p := a.plan
+	for i := 0; i < p.rows; i++ {
+		row := a.w[(i+1)*p.stride+1 : (i+1)*p.stride+1+p.cols]
+		for j, v := range row {
+			if !isFinite(v) {
+				return fmt.Errorf("%w: cell (%d,%d)", ErrNonFinite, i, j)
+			}
+		}
+	}
+	return ErrNonFinite
+}
+
+// workersFor clamps procs so every worker of a round gets at least
+// gridGrain cells.
+func workersFor(procs, count int) int {
+	w := 1 + count/gridGrain
+	if w > procs {
+		w = procs
+	}
+	return w
+}
+
+// SolveCtx replays the compiled schedule for s in this arena: fill the
+// boundary frame, run one parallel round per anti-diagonal, then copy out
+// the interior with a fused finiteness probe. The returned result aliases
+// the arena's buffers and is valid until the next SolveCtx on the same
+// arena. Warm replays allocate nothing and are bit-identical to
+// SolveSequential.
+func (a *Arena) SolveCtx(ctx context.Context, s *System, procs int) (*Result, error) {
+	p := a.plan
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.matches(s); err != nil {
+		return nil, err
+	}
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+
+	a.sys = s
+	a.kern = kernelFor(s.Ring)
+	w := a.w
+	w[0] = s.NW
+	copy(w[1:1+p.cols], s.North)
+	for i := 0; i < p.rows; i++ {
+		w[(i+1)*p.stride] = s.West[i]
+	}
+
+	ctx, release := parallel.EnsureGang(ctx, procs, p.maxDiag)
+	var err error
+	for k := range p.diags {
+		a.k = k
+		count := p.diags[k].count
+		if err = parallel.ForCtx(ctx, count, workersFor(procs, count), a.body); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = parallel.ForCtx(ctx, p.rows, workersFor(procs, p.rows*p.cols), a.copyBody)
+	}
+	release()
+	a.sys, a.kern = nil, nil
+	if err != nil {
+		if errors.Is(err, errNonFiniteChunk) {
+			return nil, a.firstBadCell()
+		}
+		return nil, err
+	}
+	a.res = Result{
+		Values: a.out,
+		Rounds: len(p.diags),
+		Cells:  int64(p.rows) * int64(p.cols),
+	}
+	return &a.res, nil
+}

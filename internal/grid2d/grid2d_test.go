@@ -1,0 +1,443 @@
+package grid2d
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"indexedrec/internal/cap"
+	"indexedrec/internal/core"
+	"indexedrec/internal/parallel"
+)
+
+// editDistance builds the Levenshtein DP as a min-plus grid: unit
+// insert/delete costs on the up/left terms, 0/1 substitution cost on the
+// diagonal, D[0][j]=j / D[i][0]=i boundaries.
+func editDistance(a, b string) *System {
+	r, c := len(a), len(b)
+	s := &System{
+		Rows: r, Cols: c, Ring: RingMinPlus,
+		A: make([]float64, r*c), B: make([]float64, r*c), D: make([]float64, r*c),
+		North: make([]float64, c), West: make([]float64, r),
+	}
+	for k := range s.A {
+		s.A[k], s.B[k] = 1, 1
+		if a[k/c] != b[k%c] {
+			s.D[k] = 1
+		}
+	}
+	for j := range s.North {
+		s.North[j] = float64(j + 1)
+	}
+	for i := range s.West {
+		s.West[i] = float64(i + 1)
+	}
+	return s
+}
+
+// randomSystem builds a random grid with the given shape, ring and term
+// mask (at least one term is forced). Affine coefficients stay small so
+// 32-step products cannot overflow.
+func randomSystem(rng *rand.Rand, rows, cols int, ring Ring, mask uint8) *System {
+	if mask&(TermA|TermB|TermD|TermC) == 0 {
+		mask = TermA | TermB
+	}
+	cells := rows * cols
+	grid := func() []float64 {
+		g := make([]float64, cells)
+		for k := range g {
+			if ring == RingAffine {
+				g[k] = 0.6*rng.Float64() - 0.3
+			} else {
+				g[k] = float64(rng.Intn(21) - 10)
+			}
+		}
+		return g
+	}
+	s := &System{Rows: rows, Cols: cols, Ring: ring,
+		North: make([]float64, cols), West: make([]float64, rows),
+		NW: float64(rng.Intn(9) - 4)}
+	if mask&TermA != 0 {
+		s.A = grid()
+	}
+	if mask&TermB != 0 {
+		s.B = grid()
+	}
+	if mask&TermD != 0 {
+		s.D = grid()
+	}
+	if mask&TermC != 0 {
+		s.C = grid()
+	}
+	for j := range s.North {
+		s.North[j] = float64(rng.Intn(9) - 4)
+	}
+	for i := range s.West {
+		s.West[i] = float64(rng.Intn(9) - 4)
+	}
+	return s
+}
+
+func TestSolveSequentialEditDistance(t *testing.T) {
+	for _, tc := range []struct {
+		a, b string
+		want float64
+	}{
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"a", "a", 0},
+		{"a", "b", 1},
+		{"abc", "x", 3},
+	} {
+		res, err := SolveSequential(editDistance(tc.a, tc.b))
+		if err != nil {
+			t.Fatalf("SolveSequential(%q,%q): %v", tc.a, tc.b, err)
+		}
+		if got := res.Values[len(res.Values)-1]; got != tc.want {
+			t.Errorf("edit(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if want := len(tc.a) + len(tc.b) - 1; res.Rounds != want {
+			t.Errorf("edit(%q,%q) rounds = %d, want %d", tc.a, tc.b, res.Rounds, want)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	ok := func() *System { return editDistance("ab", "cde") }
+	for name, breakIt := range map[string]func(*System){
+		"zero rows":     func(s *System) { s.Rows = 0 },
+		"negative cols": func(s *System) { s.Cols = -1 },
+		"huge dims":     func(s *System) { s.Rows = maxGridDim + 1 },
+		"bad ring":      func(s *System) { s.Ring = numRings },
+		"no terms":      func(s *System) { s.A, s.B, s.D, s.C = nil, nil, nil, nil },
+		"short a grid":  func(s *System) { s.A = s.A[:3] },
+		"short north":   func(s *System) { s.North = s.North[:1] },
+		"long west":     func(s *System) { s.West = append(s.West, 0) },
+		"nan nw":        func(s *System) { s.NW = nan() },
+		"inf north":     func(s *System) { s.North[1] = inf() },
+		"nan west":      func(s *System) { s.West[0] = nan() },
+	} {
+		s := ok()
+		breakIt(s)
+		if err := s.Validate(); !errors.Is(err, core.ErrInvalidSystem) {
+			t.Errorf("%s: Validate() = %v, want ErrInvalidSystem", name, err)
+		}
+		if _, err := Compile(context.Background(), s); !errors.Is(err, core.ErrInvalidSystem) {
+			t.Errorf("%s: Compile() = %v, want ErrInvalidSystem", name, err)
+		}
+	}
+	var nilSys *System
+	if err := nilSys.Validate(); !errors.Is(err, core.ErrInvalidSystem) {
+		t.Errorf("nil system: Validate() = %v, want ErrInvalidSystem", err)
+	}
+	if err := ok().Validate(); err != nil {
+		t.Errorf("valid system: Validate() = %v", err)
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }
+
+func TestRingByName(t *testing.T) {
+	for _, r := range []Ring{RingAffine, RingMaxPlus, RingMinPlus} {
+		got, err := RingByName(r.String())
+		if err != nil || got != r {
+			t.Errorf("RingByName(%q) = %v, %v", r.String(), got, err)
+		}
+	}
+	if r, err := RingByName(""); err != nil || r != RingAffine {
+		t.Errorf("RingByName(\"\") = %v, %v, want affine default", r, err)
+	}
+	if _, err := RingByName("bogus"); !errors.Is(err, core.ErrInvalidSystem) {
+		t.Errorf("RingByName(bogus) = %v, want ErrInvalidSystem", err)
+	}
+}
+
+// TestPlanMatchesOracle sweeps shapes (including the 1×1, 1×n, n×1 edge
+// cases), rings and term masks, and requires the parallel plan replay and a
+// repeated warm arena replay to be bit-identical to the sequential oracle.
+func TestPlanMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ctx := context.Background()
+	shapes := [][2]int{{1, 1}, {1, 7}, {7, 1}, {1, 64}, {64, 1}, {2, 2}, {3, 5}, {8, 8}, {17, 31}, {33, 9}}
+	for _, sh := range shapes {
+		for _, ring := range []Ring{RingAffine, RingMaxPlus, RingMinPlus} {
+			for mask := uint8(1); mask < 16; mask++ {
+				s := randomSystem(rng, sh[0], sh[1], ring, mask)
+				want, err := SolveSequential(s)
+				if err != nil {
+					t.Fatalf("%dx%d %s mask %#x: oracle: %v", sh[0], sh[1], ring, mask, err)
+				}
+				p, err := Compile(ctx, s)
+				if err != nil {
+					t.Fatalf("%dx%d %s mask %#x: Compile: %v", sh[0], sh[1], ring, mask, err)
+				}
+				got, err := p.SolveCtx(ctx, s, 4)
+				if err != nil {
+					t.Fatalf("%dx%d %s mask %#x: SolveCtx: %v", sh[0], sh[1], ring, mask, err)
+				}
+				assertSame(t, fmt.Sprintf("%dx%d %s mask %#x pooled", sh[0], sh[1], ring, mask), want, got)
+				ar := p.NewArena()
+				for rep := 0; rep < 2; rep++ {
+					res, err := ar.SolveCtx(ctx, s, 3)
+					if err != nil {
+						t.Fatalf("arena rep %d: %v", rep, err)
+					}
+					assertSame(t, fmt.Sprintf("%dx%d %s mask %#x arena rep %d", sh[0], sh[1], ring, mask, rep), want, res)
+				}
+			}
+		}
+	}
+}
+
+func assertSame(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.Rounds != want.Rounds || got.Cells != want.Cells {
+		t.Fatalf("%s: rounds/cells = %d/%d, want %d/%d", label, got.Rounds, got.Cells, want.Rounds, want.Cells)
+	}
+	if len(got.Values) != len(want.Values) {
+		t.Fatalf("%s: len = %d, want %d", label, len(got.Values), len(want.Values))
+	}
+	for k := range want.Values {
+		if want.Values[k] != got.Values[k] {
+			t.Fatalf("%s: cell %d = %v, want %v", label, k, got.Values[k], want.Values[k])
+		}
+	}
+}
+
+// TestKernelToggle proves the monomorphized and generic-dispatch kernel
+// paths are bit-identical.
+func TestKernelToggle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	s := randomSystem(rng, 19, 23, RingMaxPlus, TermA|TermB|TermD|TermC)
+	p, err := Compile(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := p.SolveCtx(ctx, s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := SetKernelsEnabled(false)
+	defer SetKernelsEnabled(prev)
+	if prev != true {
+		t.Fatalf("kernels were disabled at test start")
+	}
+	slow, err := p.SolveCtx(ctx, s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSame(t, "generic dispatch", fast, slow)
+}
+
+// TestNonFinite drives an affine grid into overflow and requires the oracle
+// and the parallel engine to fail identically: same error class, same
+// first bad cell in row-major order.
+func TestNonFinite(t *testing.T) {
+	r, c := 6, 5
+	s := &System{Rows: r, Cols: c, Ring: RingAffine,
+		A: make([]float64, r*c), B: make([]float64, r*c),
+		North: make([]float64, c), West: make([]float64, r)}
+	for k := range s.A {
+		s.A[k], s.B[k] = 1e300, 1e300
+	}
+	for j := range s.North {
+		s.North[j] = 1e300
+	}
+	for i := range s.West {
+		s.West[i] = 1e300
+	}
+	_, oerr := SolveSequential(s)
+	if !errors.Is(oerr, ErrNonFinite) {
+		t.Fatalf("oracle error = %v, want ErrNonFinite", oerr)
+	}
+	p, err := Compile(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, perr := p.SolveCtx(context.Background(), s, 4)
+	if !errors.Is(perr, ErrNonFinite) {
+		t.Fatalf("parallel error = %v, want ErrNonFinite", perr)
+	}
+	if oerr.Error() != perr.Error() {
+		t.Fatalf("error text diverged:\n  oracle:   %v\n  parallel: %v", oerr, perr)
+	}
+}
+
+// TestArenaShapeMismatch rejects replaying a plan with a system of a
+// different structure.
+func TestArenaShapeMismatch(t *testing.T) {
+	ctx := context.Background()
+	s := editDistance("abc", "abcd")
+	p, err := Compile(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := editDistance("abcd", "abc") // transposed shape
+	if _, err := p.SolveCtx(ctx, other, 2); !errors.Is(err, core.ErrInvalidSystem) {
+		t.Fatalf("shape mismatch error = %v, want ErrInvalidSystem", err)
+	}
+	sameShape := editDistance("abc", "abcd")
+	sameShape.Ring = RingMaxPlus // structural change, same dims
+	if _, err := p.SolveCtx(ctx, sameShape, 2); !errors.Is(err, core.ErrInvalidSystem) {
+		t.Fatalf("ring mismatch error = %v, want ErrInvalidSystem", err)
+	}
+}
+
+// TestDiagonalScheduleMatchesCAPWavefront embeds small grids as dependence
+// DAGs (edges from each cell to the cells it reads) and cross-checks cap's
+// general wavefront labeling against grid2d's compiled diagonal schedule:
+// level(i,j) must equal the anti-diagonal i+j, the number of levels must
+// equal the plan's round count, and each level's population must equal the
+// corresponding diagonal's cell count.
+func TestDiagonalScheduleMatchesCAPWavefront(t *testing.T) {
+	for _, sh := range [][2]int{{1, 1}, {1, 6}, {6, 1}, {3, 4}, {5, 5}} {
+		r, c := sh[0], sh[1]
+		edges := make(map[int][]cap.Edge)
+		one := big.NewInt(1)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				v := i*c + j
+				if i > 0 {
+					edges[v] = append(edges[v], cap.Edge{To: (i-1)*c + j, Label: one})
+				}
+				if j > 0 {
+					edges[v] = append(edges[v], cap.Edge{To: v - 1, Label: one})
+				}
+				if i > 0 && j > 0 {
+					edges[v] = append(edges[v], cap.Edge{To: (i-1)*c + j - 1, Label: one})
+				}
+			}
+		}
+		levels, err := cap.WavefrontLevels(cap.NewGraph(r*c, edges))
+		if err != nil {
+			t.Fatalf("%dx%d: WavefrontLevels: %v", r, c, err)
+		}
+		s := randomSystem(rand.New(rand.NewSource(1)), r, c, RingAffine, TermA|TermB|TermD)
+		p, err := Compile(context.Background(), s)
+		if err != nil {
+			t.Fatalf("%dx%d: Compile: %v", r, c, err)
+		}
+		perLevel := make([]int, p.Rounds())
+		for v, l := range levels {
+			if want := v/c + v%c; l != want {
+				t.Fatalf("%dx%d: level(%d,%d) = %d, want %d", r, c, v/c, v%c, l, want)
+			}
+			perLevel[l]++
+		}
+		for k, d := range p.diags {
+			if perLevel[k] != d.count {
+				t.Errorf("%dx%d: diagonal %d has %d cells, cap level has %d", r, c, k, d.count, perLevel[k])
+			}
+		}
+		if maxL := levels[r*c-1]; maxL+1 != p.Rounds() {
+			t.Errorf("%dx%d: cap depth %d+1 != plan rounds %d", r, c, maxL, p.Rounds())
+		}
+	}
+}
+
+// TestConcurrentWarmReplays hammers one plan from many goroutines — pooled
+// solves and private arenas interleaved — and requires every result to be
+// bit-identical to the oracle. Run under -race this is the arena-aliasing
+// safety proof.
+func TestConcurrentWarmReplays(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ctx := context.Background()
+	s := randomSystem(rng, 40, 33, RingMinPlus, TermA|TermB|TermC)
+	want, err := SolveSequential(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, reps = 8, 20
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ar := p.NewArena()
+			for rep := 0; rep < reps; rep++ {
+				var res *Result
+				var err error
+				if (w+rep)%2 == 0 {
+					res, err = ar.SolveCtx(ctx, s, 2)
+				} else {
+					res, err = p.SolveCtx(ctx, s, 2)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+				for k := range want.Values {
+					if res.Values[k] != want.Values[k] {
+						errc <- fmt.Errorf("worker %d rep %d: cell %d = %v, want %v",
+							w, rep, k, res.Values[k], want.Values[k])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmReplayZeroAlloc is the acceptance gate: a warm arena replay with
+// a persistent gang installed must not allocate at all.
+func TestWarmReplayZeroAlloc(t *testing.T) {
+	if parallel.RaceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const procs = 4
+	rng := rand.New(rand.NewSource(5))
+	s := randomSystem(rng, 1200, 1100, RingMaxPlus, TermA|TermB|TermD|TermC)
+	p, err := Compile(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := parallel.NewGang(procs)
+	defer g.Close()
+	ctx := parallel.WithGang(context.Background(), g)
+	ar := p.NewArena()
+	if _, err := ar.SolveCtx(ctx, s, procs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := ar.SolveCtx(ctx, s, procs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm arena replay allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCancellation stops a solve mid-flight.
+func TestCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randomSystem(rng, 300, 300, RingAffine, TermA|TermB|TermC)
+	p, err := Compile(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.SolveCtx(ctx, s, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled solve error = %v, want context.Canceled", err)
+	}
+}

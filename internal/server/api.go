@@ -93,6 +93,21 @@ type MoebiusResponse struct {
 	ElapsedMs float64   `json:"elapsed_ms"`
 }
 
+// Grid2DRequest is the body of POST /v1/solve/grid2d — a 2-D recurrence
+// grid solved by anti-diagonal wavefronts over the system's semiring.
+type Grid2DRequest struct {
+	System ir.Grid2DSystem `json:"system"`
+	Opts   ir.OptionsWire  `json:"opts,omitempty"`
+}
+
+// Grid2DResponse returns the solved interior grid, row-major Rows×Cols.
+type Grid2DResponse struct {
+	Values    []float64 `json:"values"`
+	Rounds    int       `json:"rounds"`
+	Cells     int64     `json:"cells"`
+	ElapsedMs float64   `json:"elapsed_ms"`
+}
+
 // LoopRequest is the body of POST /v1/solve/loop — a sequential loop in the
 // DSL, classified and executed with the matching parallel strategy.
 type LoopRequest struct {
@@ -129,7 +144,8 @@ type ShardWire struct {
 // The Möbius family posts its coefficients in A..D/X0 and leaves Op/Init
 // empty; ordinary and general post Op/Mod/Init and leave the arrays empty.
 type ShardRequest struct {
-	// Family names the solver family: "ordinary", "general" or "moebius".
+	// Family names the solver family: "ordinary", "general", "moebius" or
+	// "grid2d".
 	Family string `json:"family"`
 	// System carries the index maps; the Möbius family uses M, G, F with
 	// H absent.
@@ -146,6 +162,11 @@ type ShardRequest struct {
 	C  []float64 `json:"c,omitempty"`
 	D  []float64 `json:"d,omitempty"`
 	X0 []float64 `json:"x0,omitempty"`
+	// Grid feeds grid2d replays: a contiguous row band of the full grid
+	// with its halo boundaries already folded into North/West/NorthWest;
+	// Shard records the band's [lo, hi) row range in the original grid and
+	// System is ignored.
+	Grid *ir.Grid2DSystem `json:"grid,omitempty"`
 	// Opts carries procs/deadline/exponent options as elsewhere.
 	Opts ir.OptionsWire `json:"opts,omitempty"`
 }

@@ -149,6 +149,16 @@ func (c *Client) SolveMoebius(ctx context.Context, req server.MoebiusRequest) (*
 	return &out, nil
 }
 
+// SolveGrid2D solves a 2-D recurrence grid (edit distance, Smith–Waterman,
+// linear grids) by server-side anti-diagonal wavefronts.
+func (c *Client) SolveGrid2D(ctx context.Context, req server.Grid2DRequest) (*server.Grid2DResponse, error) {
+	var out server.Grid2DResponse
+	if err := c.do(ctx, server.APIPrefix+"grid2d", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // SolveLoop ships DSL loop source for server-side classify-and-execute.
 func (c *Client) SolveLoop(ctx context.Context, req server.LoopRequest) (*server.LoopResponse, error) {
 	var out server.LoopResponse

@@ -173,6 +173,27 @@ func solveOrdinary[T any](ctx context.Context, s *Server, sys *ir.System, op ir.
 	return ir.SolveOrdinaryPlanCtx[T](ctx, p, op, init, opt)
 }
 
+// solveGrid2D runs one grid2d-family solve through the plan cache: grid
+// plans depend only on (rows, cols, semiring, term mask), so repeated DP
+// sweeps over the same shape reuse the compiled wavefront schedule and its
+// pooled arenas.
+func solveGrid2D(ctx context.Context, s *Server, sys *ir.Grid2DSystem, opt ir.SolveOptions) (*ir.Grid2DResult, error) {
+	if s.plans == nil {
+		return ir.SolveGrid2DCtx(ctx, sys, opt)
+	}
+	fp, err := ir.Grid2DFingerprint(sys)
+	if err != nil {
+		return nil, err
+	}
+	p, err := PlanFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+		return ir.CompileGrid2DCtx(ctx, sys)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ir.SolveGrid2DPlanCtx(ctx, p, sys, opt)
+}
+
 // solveGeneral is solveOrdinary's general-family counterpart. The effective
 // MaxExponentBits is part of the fingerprint because it changes the compiled
 // CAP counts.

@@ -301,6 +301,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST "+APIPrefix+"moebius", func(w http.ResponseWriter, r *http.Request) {
 		s.handleCoalesced(w, r, "moebius")
 	})
+	s.mux.HandleFunc("POST "+APIPrefix+"grid2d", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSolve(w, r, "grid2d", s.execGrid2D)
+	})
 	s.mux.HandleFunc("POST "+APIPrefix+"loop", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSolve(w, r, "loop", s.execLoop)
 	})
@@ -719,6 +722,35 @@ func (s *Server) execGeneral(body []byte) (func(ctx context.Context) (any, error
 	}, nil
 }
 
+func (s *Server) execGrid2D(body []byte) (func(ctx context.Context) (any, error), error) {
+	var req Grid2DRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+	sys := &req.System
+	if cells := int64(sys.Rows) * int64(sys.Cols); sys.Rows > 0 && sys.Cols > 0 && cells > int64(s.cfg.MaxN) {
+		return nil, fmt.Errorf("grid %dx%d = %d cells exceeds the server limit %d",
+			sys.Rows, sys.Cols, cells, s.cfg.MaxN)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	opt, err := req.Opts.Options()
+	if err != nil {
+		return nil, err
+	}
+	opt.Procs = s.clampProcs(opt.Procs)
+	return func(ctx context.Context) (any, error) {
+		start := time.Now()
+		res, err := solveGrid2D(ctx, s, sys, opt)
+		if err != nil {
+			return nil, err
+		}
+		return Grid2DResponse{Values: res.Values, Rounds: res.Rounds,
+			Cells: res.Cells, ElapsedMs: ms(start)}, nil
+	}, nil
+}
+
 func (s *Server) execLoop(body []byte) (func(ctx context.Context) (any, error), error) {
 	var req LoopRequest
 	if err := json.Unmarshal(body, &req); err != nil {
@@ -888,7 +920,8 @@ func statusForSolve(err error) int {
 	case errors.Is(err, ir.ErrInvalidSystem), errors.Is(err, moebius.ErrBadSystem),
 		errors.Is(err, ir.ErrShard):
 		return http.StatusBadRequest
-	case errors.Is(err, ir.ErrNonFinite), errors.Is(err, ir.ErrExponentLimit):
+	case errors.Is(err, ir.ErrNonFinite), errors.Is(err, ir.ErrGrid2DNonFinite),
+		errors.Is(err, ir.ErrExponentLimit):
 		return http.StatusUnprocessableEntity
 	case errors.As(err, &pe):
 		return http.StatusInternalServerError

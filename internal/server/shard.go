@@ -36,6 +36,9 @@ func (s *Server) execShard(body []byte) (func(ctx context.Context) (any, error),
 	if fam == ir.FamilyMoebius {
 		return s.execShardMoebius(&req, sh)
 	}
+	if fam == ir.FamilyGrid2D {
+		return s.execShardGrid2D(&req, sh)
+	}
 
 	sys, opt, err := s.systemAndOptions(req.System, req.Opts)
 	if err != nil {
@@ -93,6 +96,46 @@ func (s *Server) execShard(body []byte) (func(ctx context.Context) (any, error),
 			return nil, err
 		}
 		return shardResponse(part, start), nil
+	}, nil
+}
+
+// execShardGrid2D is execShard's grid2d-family arm. A coordinator band is a
+// self-contained sub-grid: a contiguous row slice of the full system whose
+// North/NorthWest boundaries carry the halo (the previous band's last output
+// row), so the worker solves it like any whole grid — through the plan
+// cache, keyed by the band's own shape — and Shard only echoes the band's
+// row range in the original grid.
+func (s *Server) execShardGrid2D(req *ShardRequest, sh ir.Shard) (func(ctx context.Context) (any, error), error) {
+	grid := req.Grid
+	if grid == nil {
+		return nil, fmt.Errorf("%w: grid2d shard request missing grid", ir.ErrInvalidSystem)
+	}
+	if cells := int64(grid.Rows) * int64(grid.Cols); grid.Rows > 0 && grid.Cols > 0 && cells > int64(s.cfg.MaxN) {
+		return nil, fmt.Errorf("grid %dx%d = %d cells exceeds the server limit %d",
+			grid.Rows, grid.Cols, cells, s.cfg.MaxN)
+	}
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	if sh.Hi-sh.Lo != grid.Rows {
+		return nil, fmt.Errorf("%w: band [%d, %d) carries %d rows", ir.ErrShard, sh.Lo, sh.Hi, grid.Rows)
+	}
+	opt, err := req.Opts.Options()
+	if err != nil {
+		return nil, err
+	}
+	opt.Procs = s.clampProcs(opt.Procs)
+	return func(ctx context.Context) (any, error) {
+		start := time.Now()
+		res, err := solveGrid2D(ctx, s, grid, opt)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardResponse{
+			Shard:     ShardWire{Lo: sh.Lo, Hi: sh.Hi},
+			Values:    res.Values,
+			ElapsedMs: ms(start),
+		}, nil
 	}, nil
 }
 

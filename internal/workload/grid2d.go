@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"math/rand"
+
+	"indexedrec/ir"
+)
+
+// EditDistance returns the 2-D recurrence grid computing the Levenshtein
+// distance between a and b over the min-plus semiring:
+//
+//	D[i][j] = min(D[i-1][j] + 1, D[i][j-1] + 1, D[i-1][j-1] + sub(i, j))
+//
+// with sub = 0 on a match and 1 on a substitution, D[i][-1] = i+1 and
+// D[-1][j] = j+1 (the implicit D[-1][-1] = 0 is the NorthWest corner).
+// The distance is the last cell of the solution, Values[len(a)*len(b)-1].
+// Both strings must be non-empty — a zero-dimension grid is invalid; the
+// distance with an empty string is the other string's length.
+func EditDistance(a, b string) *ir.Grid2DSystem {
+	rows, cols := len(a), len(b)
+	n := rows * cols
+	ins := make([]float64, n) // A: step from the north neighbour
+	del := make([]float64, n) // B: step from the west neighbour
+	sub := make([]float64, n) // Diag: substitution cost
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			ins[i*cols+j] = 1
+			del[i*cols+j] = 1
+			if a[i] != b[j] {
+				sub[i*cols+j] = 1
+			}
+		}
+	}
+	north := make([]float64, cols)
+	for j := range north {
+		north[j] = float64(j + 1)
+	}
+	west := make([]float64, rows)
+	for i := range west {
+		west[i] = float64(i + 1)
+	}
+	return &ir.Grid2DSystem{
+		Rows: rows, Cols: cols, Semiring: "minplus",
+		A: ins, B: del, Diag: sub,
+		North: north, West: west, NorthWest: 0,
+	}
+}
+
+// SmithWaterman returns the local-alignment score grid for a and b over
+// the max-plus semiring with linear gap penalties:
+//
+//	H[i][j] = max(0, H[i-1][j] - gap, H[i][j-1] - gap, H[i-1][j-1] + s(i, j))
+//
+// where s is +match on equal characters and -mismatch otherwise. The
+// constant C grid holds the 0 floor that resets negative-scoring prefixes,
+// and the zero boundaries mean alignments may start anywhere. The best
+// local alignment score is the maximum over all cells of the solution.
+// Both strings must be non-empty.
+func SmithWaterman(a, b string, match, mismatch, gap float64) *ir.Grid2DSystem {
+	rows, cols := len(a), len(b)
+	n := rows * cols
+	up := make([]float64, n)
+	left := make([]float64, n)
+	diag := make([]float64, n)
+	floor := make([]float64, n)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			up[i*cols+j] = -gap
+			left[i*cols+j] = -gap
+			if a[i] == b[j] {
+				diag[i*cols+j] = match
+			} else {
+				diag[i*cols+j] = -mismatch
+			}
+		}
+	}
+	return &ir.Grid2DSystem{
+		Rows: rows, Cols: cols, Semiring: "maxplus",
+		A: up, B: left, Diag: diag, C: floor,
+		North: make([]float64, cols), West: make([]float64, rows), NorthWest: 0,
+	}
+}
+
+// RandomGrid2D draws a rows×cols grid over the named semiring with the
+// given term mask (bit 0 = A/north, 1 = B/west, 2 = Diag, 3 = C; a zero
+// mask falls back to all four). Affine coefficients stay in [-0.3, 0.3] so
+// deep grids neither overflow nor underflow; tropical grids use small
+// integer costs so every path sum is exact in float64.
+func RandomGrid2D(rng *rand.Rand, rows, cols int, semiring string, mask uint8) *ir.Grid2DSystem {
+	if mask&15 == 0 {
+		mask = 15
+	}
+	affine := semiring == "" || semiring == "affine"
+	grid := func() []float64 {
+		out := make([]float64, rows*cols)
+		for i := range out {
+			if affine {
+				out[i] = (rng.Float64()*2 - 1) * 0.3
+			} else {
+				out[i] = float64(rng.Intn(21) - 10)
+			}
+		}
+		return out
+	}
+	edge := func(k int) []float64 {
+		out := make([]float64, k)
+		for i := range out {
+			if affine {
+				out[i] = rng.Float64()*2 - 1
+			} else {
+				out[i] = float64(rng.Intn(11))
+			}
+		}
+		return out
+	}
+	s := &ir.Grid2DSystem{
+		Rows: rows, Cols: cols, Semiring: semiring,
+		North: edge(cols), West: edge(rows), NorthWest: 1,
+	}
+	if mask&1 != 0 {
+		s.A = grid()
+	}
+	if mask&2 != 0 {
+		s.B = grid()
+	}
+	if mask&4 != 0 {
+		s.Diag = grid()
+	}
+	if mask&8 != 0 {
+		s.C = grid()
+	}
+	return s
+}

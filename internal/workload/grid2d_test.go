@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"indexedrec/ir"
+)
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"a", "a", 0},
+		{"abc", "c", 2},
+	}
+	for _, c := range cases {
+		res, err := ir.SolveGrid2D(EditDistance(c.a, c.b), ir.SolveOptions{})
+		if err != nil {
+			t.Fatalf("EditDistance(%q, %q): %v", c.a, c.b, err)
+		}
+		if got := res.Values[len(res.Values)-1]; got != c.want {
+			t.Errorf("EditDistance(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSmithWaterman(t *testing.T) {
+	// "gatta" aligns exactly inside "cgattag": 5 matches × 2.
+	res, err := ir.SolveGrid2D(SmithWaterman("gatta", "cgattag", 2, 1, 1), ir.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for _, v := range res.Values {
+		if v > best {
+			best = v
+		}
+	}
+	if best != 10 {
+		t.Fatalf("best local score = %v, want 10", best)
+	}
+	// The 0 floor keeps every cell non-negative.
+	for i, v := range res.Values {
+		if v < 0 {
+			t.Fatalf("cell %d = %v < 0 despite the max-plus floor", i, v)
+		}
+	}
+}
+
+func TestRandomGrid2DMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for mask := uint8(0); mask < 16; mask++ {
+		s := RandomGrid2D(rng, 5, 7, "maxplus", mask)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("mask %d: %v", mask, err)
+		}
+		eff := mask & 15
+		if eff == 0 {
+			eff = 15
+		}
+		has := func(g []float64) bool { return g != nil }
+		if has(s.A) != (eff&1 != 0) || has(s.B) != (eff&2 != 0) ||
+			has(s.Diag) != (eff&4 != 0) || has(s.C) != (eff&8 != 0) {
+			t.Fatalf("mask %d: term presence mismatch", mask)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"indexedrec/internal/gir"
+	"indexedrec/internal/grid2d"
 	"indexedrec/internal/moebius"
 	"indexedrec/internal/ordinary"
 )
@@ -43,6 +44,9 @@ const (
 	// SolveLinearExtendedCtx, SolveMoebiusCtx — one structure, three data
 	// shapes).
 	FamilyMoebius
+	// FamilyGrid2D is the 2-D recurrence-grid family (SolveGrid2DCtx):
+	// anti-diagonal wavefronts of batched semiring cell updates.
+	FamilyGrid2D
 )
 
 // String names the family as it appears in fingerprints and metrics.
@@ -56,6 +60,8 @@ func (f Family) String() string {
 		return "general"
 	case FamilyMoebius:
 		return "moebius"
+	case FamilyGrid2D:
+		return "grid2d"
 	default:
 		return fmt.Sprintf("family(%d)", int(f))
 	}
@@ -94,6 +100,7 @@ type Plan struct {
 	ord *ordinary.Plan
 	gen *gir.Plan
 	mb  *moebius.Plan
+	g2  *grid2d.Plan
 }
 
 // Family reports which solver family the plan replays.
@@ -125,6 +132,8 @@ func (p *Plan) Schedule() string {
 		return p.ord.Schedule()
 	case FamilyGeneral:
 		return "cap"
+	case FamilyGrid2D:
+		return "wavefront"
 	default:
 		return "pointer-jumping"
 	}
@@ -311,6 +320,9 @@ type PlanData struct {
 	A, B, C, D []float64
 	// X0 is the initial value array. Möbius family only.
 	X0 []float64
+	// Grid is the full 2-D system (coefficient grids + boundaries); the
+	// plan only fixes its structure. Grid2D family only.
+	Grid *Grid2DSystem
 	// Opts carries replay-time options (Procs; MaxExponentBits is a
 	// compile-time property of general plans and is ignored here).
 	Opts SolveOptions
@@ -357,6 +369,12 @@ func (p *Plan) SolveCtx(ctx context.Context, data PlanData) (*PlanSolution, erro
 			return nil, err
 		}
 		return &PlanSolution{Values: values}, nil
+	case FamilyGrid2D:
+		res, err := SolveGrid2DPlanCtx(ctx, p, data.Grid, data.Opts)
+		if err != nil {
+			return nil, err
+		}
+		return &PlanSolution{Values: res.Values, Rounds: res.Rounds}, nil
 	case FamilyOrdinary, FamilyGeneral:
 		// fall through to the operator dispatch below
 	default:

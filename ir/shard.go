@@ -294,8 +294,8 @@ func mergeSparse[T any](p *Plan, parts []*ShardSolution, init []T, pick func(*Sh
 }
 
 // FamilyByName resolves the wire name of a solver family ("ordinary",
-// "general", "moebius") — the inverse of Family.String for the concrete
-// families.
+// "general", "moebius", "grid2d") — the inverse of Family.String for the
+// concrete families.
 func FamilyByName(name string) (Family, error) {
 	switch name {
 	case "ordinary":
@@ -304,6 +304,8 @@ func FamilyByName(name string) (Family, error) {
 		return FamilyGeneral, nil
 	case "moebius":
 		return FamilyMoebius, nil
+	case "grid2d":
+		return FamilyGrid2D, nil
 	default:
 		return FamilyAuto, fmt.Errorf("%w: unknown family %q", ErrShard, name)
 	}
