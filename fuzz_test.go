@@ -7,9 +7,10 @@ package indexedrec
 // with the oracle exactly, and a compiled plan (ir.Compile + replay)
 // reproduces the direct solve bit for bit. Each input also picks an
 // execution configuration — persistent gang vs spawn-per-round,
-// monomorphized kernels vs generic dispatch, and blocked-scan vs
-// pointer-jumping replays of blocked-compiled plans — so the equivalence
-// holds across every path the hot-path engine can take.
+// monomorphized kernels vs generic dispatch, blocked-scan vs
+// pointer-jumping replays of blocked-compiled plans, and the sparse fast
+// path vs its dense-expansion fallback — so the equivalence holds across
+// every path the hot-path engine can take.
 
 import (
 	"context"
@@ -27,19 +28,21 @@ import (
 	"indexedrec/ir"
 )
 
-// toggleEngine selects the gang, kernel, and blocked-scan dispatch paths
-// from three fuzz seed bits and returns a restore function. The solvers
-// must be bit-identical across all eight combinations.
+// toggleEngine selects the gang, kernel, blocked-scan, and sparse dispatch
+// paths from four fuzz seed bits and returns a restore function. The solvers
+// must be bit-identical across all sixteen combinations.
 func toggleEngine(seed int64) func() {
 	prevGang := parallel.SetGangEnabled(seed&1 == 0)
 	prevKern := ordinary.SetKernelsEnabled(seed&2 == 0)
 	prevBlk := ordinary.SetBlockedEnabled(seed&4 == 0)
 	prevGrid := grid2d.SetKernelsEnabled(seed&2 == 0)
+	prevSparse := ir.SetSparseEnabled(seed&8 == 0)
 	return func() {
 		parallel.SetGangEnabled(prevGang)
 		ordinary.SetKernelsEnabled(prevKern)
 		ordinary.SetBlockedEnabled(prevBlk)
 		grid2d.SetKernelsEnabled(prevGrid)
+		ir.SetSparseEnabled(prevSparse)
 	}
 }
 
@@ -59,6 +62,12 @@ func FuzzSolveAgainstOracle(f *testing.F) {
 	// seed 9 replays it blocked, seed 12 forces the jumping fallback.
 	f.Add(int64(9), 512, 511, uint8(3))
 	f.Add(int64(12), 512, 511, uint8(3))
+	// Sparse-shaped systems (zipfian touched sets in a much larger global
+	// array); seed 16 keeps the sparse fast path on, 24 (bit 3 set) forces
+	// the dense-expansion fallback, so both halves of the kill switch fuzz.
+	f.Add(int64(16), 256, 128, uint8(4))
+	f.Add(int64(24), 256, 128, uint8(4))
+	f.Add(int64(25), 300, 200, uint8(0))
 
 	f.Fuzz(func(t *testing.T, seed int64, m, n int, kind uint8) {
 		if m < 1 || m > 512 || n < 0 || n > 1024 {
@@ -67,17 +76,23 @@ func FuzzSolveAgainstOracle(f *testing.F) {
 		defer toggleEngine(seed)()
 		rng := rand.New(rand.NewSource(seed))
 		var s *core.System
-		switch kind % 4 {
+		switch kind % 5 {
 		case 0:
 			s = workload.RandomOrdinary(rng, m, n)
 		case 1:
 			s = workload.Scatter(rng, n, m)
 		case 2:
 			s = workload.RandomGIR(rng, m, n)
-		default:
+		case 3:
 			// One chain spanning every cell: the shape that selects the
 			// blocked-scan schedule once it crosses the length threshold.
 			s = workload.Chain(min(n, m-1))
+		default:
+			// A zipfian touched set scattered over a global array 16x the
+			// fuzz budget: the shape the sparse encoding exists for. The
+			// dense expansion feeds the oracle; the sparse cross-check
+			// below re-compresses it.
+			s = workload.SparseZipf(rng, 16*m+2, max(n, 1)).Dense()
 		}
 
 		// Commutative, associative, and immune to overflow discrepancies:
@@ -169,6 +184,43 @@ func FuzzSolveAgainstOracle(f *testing.F) {
 		for i, v := range prep.Values {
 			if v != res.Values[i] {
 				t.Fatalf("general plan cell %d: replay %d != direct %d", i, v, res.Values[i])
+			}
+		}
+
+		// Sparse/dense bit-identity: compress the system and solve the
+		// compact form. Whichever route seed bit 3 selected — the compact
+		// fast path or the dense-expansion fallback behind the kill switch —
+		// every touched cell must reproduce the oracle exactly.
+		if s.N > 0 {
+			sp, err := ir.CompressSystem(s)
+			if err != nil {
+				t.Fatalf("ir.CompressSystem: %v", err)
+			}
+			compact := make([]int64, sp.NumCells())
+			for i, c := range sp.Cells {
+				compact[i] = init[c]
+			}
+			if s.Ordinary() && s.GDistinct() {
+				sres, err := ir.SolveSparseOrdinaryCtx[int64](ctx, sp, op, compact, ir.SolveOptions{Procs: 4})
+				if err != nil {
+					t.Fatalf("SolveSparseOrdinaryCtx: %v", err)
+				}
+				for i, v := range sres.Values {
+					if v != want[sp.Cells[i]] {
+						t.Fatalf("sparse ordinary compact cell %d (global %d): %d != oracle %d",
+							i, sp.Cells[i], v, want[sp.Cells[i]])
+					}
+				}
+			}
+			gres, err := ir.SolveSparseGeneralCtx[int64](ctx, sp, op, compact, ir.SolveOptions{Procs: 4, MaxExponentBits: 4096})
+			if err != nil {
+				t.Fatalf("SolveSparseGeneralCtx: %v", err)
+			}
+			for i, v := range gres.Values {
+				if v != want[sp.Cells[i]] {
+					t.Fatalf("sparse general compact cell %d (global %d): %d != oracle %d",
+						i, sp.Cells[i], v, want[sp.Cells[i]])
+				}
 			}
 		}
 	})

@@ -245,7 +245,7 @@ func (co *Coordinator) handleSolve(w http.ResponseWriter, r *http.Request, endpo
 	}
 	spec, shape, err := decode(body)
 	if err != nil {
-		co.writeError(w, endpoint, http.StatusBadRequest, err.Error())
+		co.writeError(w, endpoint, statusForSpec(err), err.Error())
 		return
 	}
 	ctx, cancel := co.requestContext(r, spec.timeoutMs)
@@ -277,6 +277,9 @@ func (co *Coordinator) specOrdinary(body []byte) (*solveSpec, func(*ir.PlanSolut
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, nil, fmt.Errorf("bad request body: %v", err)
 	}
+	if req.System.IsSparse() {
+		return co.specSparseOrdinary(&req)
+	}
 	sys, data, err := co.systemAndData(req.System, req.Op, req.Mod, req.Init, req.Opts)
 	if err != nil {
 		return nil, nil, err
@@ -301,6 +304,9 @@ func (co *Coordinator) specGeneral(body []byte) (*solveSpec, func(*ir.PlanSoluti
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, nil, fmt.Errorf("bad request body: %v", err)
 	}
+	if req.System.IsSparse() {
+		return co.specSparseGeneral(&req)
+	}
 	sys, data, err := co.systemAndData(req.System, req.Op, req.Mod, req.Init, req.Opts)
 	if err != nil {
 		return nil, nil, err
@@ -320,6 +326,177 @@ func (co *Coordinator) specGeneral(body []byte) (*solveSpec, func(*ir.PlanSoluti
 			ElapsedMs:   float64(elapsed.Microseconds()) / 1000,
 		}
 	}, nil
+}
+
+// specSparseOrdinary is specOrdinary's sparse-encoding branch: values and
+// init are in compact order, and the response echoes the touched-cell list.
+func (co *Coordinator) specSparseOrdinary(req *server.OrdinaryRequest) (*solveSpec, func(*ir.PlanSolution, time.Duration) any, error) {
+	sp, data, err := co.sparseAndData(req.System, req.Op, req.Mod, req.Init, req.Opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !sp.Compact.Ordinary() {
+		return nil, nil, fmt.Errorf("%w: /v1/solve/ordinary requires H = G (use /v1/solve/general)", ir.ErrInvalidSparse)
+	}
+	spec, gather, err := co.sparseSpec(sp, ir.FamilyOrdinary, 0, data, req.Opts.TimeoutMs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec, func(sol *ir.PlanSolution, elapsed time.Duration) any {
+		gather(sol)
+		return server.OrdinaryResponse{
+			ValuesInt:   sol.ValuesInt,
+			ValuesFloat: sol.ValuesFloat,
+			Cells:       sp.Cells,
+			Rounds:      sol.Rounds,
+			Combines:    sol.Combines,
+			ElapsedMs:   float64(elapsed.Microseconds()) / 1000,
+		}
+	}, nil
+}
+
+// specSparseGeneral is specGeneral's sparse-encoding branch. Power traces
+// come back in compact order but name global cells, matching irserved.
+func (co *Coordinator) specSparseGeneral(req *server.GeneralRequest) (*solveSpec, func(*ir.PlanSolution, time.Duration) any, error) {
+	sp, data, err := co.sparseAndData(req.System, req.Op, req.Mod, req.Init, req.Opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	bits := co.cfg.MaxExponentBits
+	if b := req.Opts.MaxExponentBits; b > 0 && b < bits {
+		bits = b
+	}
+	data.WithPowers = req.WithPowers
+	spec, gather, err := co.sparseSpec(sp, ir.FamilyGeneral, bits, data, req.Opts.TimeoutMs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec, func(sol *ir.PlanSolution, elapsed time.Duration) any {
+		gather(sol)
+		return server.GeneralResponse{
+			ValuesInt:   sol.ValuesInt,
+			ValuesFloat: sol.ValuesFloat,
+			Cells:       sp.Cells,
+			Powers:      sol.Powers,
+			CAPRounds:   sol.CAPRounds,
+			ElapsedMs:   float64(elapsed.Microseconds()) / 1000,
+		}
+	}, nil
+}
+
+// sparseSpec builds the solve spec for a sparse system. With the fast path
+// enabled the compact system is the plan source and scatters as-is. Under
+// the kill switch (ir.SetSparseEnabled(false)) the coordinator expands to
+// the dense form locally — refused when the global size exceeds the dense
+// limit, since materialising it is exactly what the sparse form avoids —
+// and the returned gather maps the dense solution back to compact order,
+// bit-identically. The switch is read once here, so the spec's plan, shard
+// payloads, and response shaping always agree.
+func (co *Coordinator) sparseSpec(sp *ir.SparseSystem, fam ir.Family, bits int, data ir.PlanData, timeoutMs int) (*solveSpec, func(*ir.PlanSolution), error) {
+	if ir.SparseEnabled() {
+		spec := &solveSpec{family: fam, sys: sp.Compact, sparse: sp, bits: bits, data: data, timeoutMs: timeoutMs}
+		return spec, func(sol *ir.PlanSolution) {
+			// Compact-plan power traces name compact sinks; report global ids.
+			for _, terms := range sol.Powers {
+				for k := range terms {
+					terms[k].Cell = sp.Cells[terms[k].Cell]
+				}
+			}
+		}, nil
+	}
+	if sp.M > co.cfg.MaxN {
+		return nil, nil, fmt.Errorf("global m = %d exceeds the coordinator limit %d while the sparse fast path is disabled",
+			sp.M, co.cfg.MaxN)
+	}
+	dense := data
+	if data.InitInt != nil {
+		full := make([]int64, sp.M)
+		for i, c := range sp.Cells {
+			full[c] = data.InitInt[i]
+		}
+		dense.InitInt = full
+	}
+	if data.InitFloat != nil {
+		full := make([]float64, sp.M)
+		for i, c := range sp.Cells {
+			full[c] = data.InitFloat[i]
+		}
+		dense.InitFloat = full
+	}
+	spec := &solveSpec{family: fam, sys: sp.Dense(), bits: bits, data: dense, timeoutMs: timeoutMs}
+	return spec, func(sol *ir.PlanSolution) {
+		if sol.ValuesInt != nil {
+			compact := make([]int64, len(sp.Cells))
+			for i, c := range sp.Cells {
+				compact[i] = sol.ValuesInt[c]
+			}
+			sol.ValuesInt = compact
+		}
+		if sol.ValuesFloat != nil {
+			compact := make([]float64, len(sp.Cells))
+			for i, c := range sp.Cells {
+				compact[i] = sol.ValuesFloat[c]
+			}
+			sol.ValuesFloat = compact
+		}
+		if sol.Powers != nil {
+			compact := make([][]ir.PowerTerm, len(sp.Cells))
+			for i, c := range sp.Cells {
+				compact[i] = sol.Powers[c]
+			}
+			sol.Powers = compact
+		}
+	}, nil
+}
+
+// sparseAndData is systemAndData's sparse twin: it bounds the compact
+// encoding by the coordinator limit (the global size is deliberately
+// unbounded on the fast path — work scales with the touched count), decodes
+// the wire form, and sizes init against the touched-cell count.
+func (co *Coordinator) sparseAndData(w ir.SystemWire, op string, mod int64, init json.RawMessage, opts ir.OptionsWire) (*ir.SparseSystem, ir.PlanData, error) {
+	var data ir.PlanData
+	if w.N > co.cfg.MaxN || len(w.G) > co.cfg.MaxN || len(w.Cells) > co.cfg.MaxN {
+		return nil, data, fmt.Errorf("n = %d exceeds the coordinator limit %d",
+			max(w.N, max(len(w.G), len(w.Cells))), co.cfg.MaxN)
+	}
+	sp, err := w.Sparse()
+	if err != nil {
+		return nil, data, err
+	}
+	opt, err := opts.Options()
+	if err != nil {
+		return nil, data, err
+	}
+	data = ir.PlanData{Op: op, Mod: mod, Opts: opt}
+	iop, err := ir.IntOpByName(op, mod)
+	if err != nil {
+		return nil, data, err
+	}
+	if iop != nil {
+		if data.InitInt, err = server.DecodeInitInt(init); err != nil {
+			return nil, data, err
+		}
+		if len(data.InitInt) != sp.NumCells() {
+			return nil, data, fmt.Errorf("%w: len(init) = %d, want touched-cell count %d",
+				ir.ErrInvalidSparse, len(data.InitInt), sp.NumCells())
+		}
+		return sp, data, nil
+	}
+	fop, err := ir.FloatOpByName(op)
+	if err != nil {
+		return nil, data, err
+	}
+	if fop == nil {
+		return nil, data, fmt.Errorf("unknown op %q (one of %s)", op, strings.Join(ir.OpNames(), ", "))
+	}
+	if data.InitFloat, err = server.DecodeInitFloat(init); err != nil {
+		return nil, data, err
+	}
+	if len(data.InitFloat) != sp.NumCells() {
+		return nil, data, fmt.Errorf("%w: len(init) = %d, want touched-cell count %d",
+			ir.ErrInvalidSparse, len(data.InitFloat), sp.NumCells())
+	}
+	return sp, data, nil
 }
 
 func (co *Coordinator) specGrid2D(body []byte) (*solveSpec, func(*ir.PlanSolution, time.Duration) any, error) {
@@ -464,6 +641,16 @@ func (co *Coordinator) systemAndData(w ir.SystemWire, op string, mod int64, init
 	return sys, data, nil
 }
 
+// statusForSpec maps request-decode errors: sparse-encoding defects are
+// semantic errors in a well-formed request (422, as on irserved); anything
+// else at decode time is a bad request.
+func statusForSpec(err error) int {
+	if errors.Is(err, ir.ErrInvalidSparse) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
 // statusFor maps solve errors to HTTP statuses (the coordinator-side twin
 // of irserved's mapping).
 func statusFor(err error) int {
@@ -475,7 +662,7 @@ func statusFor(err error) int {
 	case errors.Is(err, ir.ErrInvalidSystem), errors.Is(err, moebius.ErrBadSystem), errors.Is(err, ir.ErrShard):
 		return http.StatusBadRequest
 	case errors.Is(err, ir.ErrNonFinite), errors.Is(err, ir.ErrGrid2DNonFinite),
-		errors.Is(err, ir.ErrExponentLimit):
+		errors.Is(err, ir.ErrExponentLimit), errors.Is(err, ir.ErrInvalidSparse):
 		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError

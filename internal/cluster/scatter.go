@@ -19,7 +19,12 @@ import (
 // ordinary/general families, (m, g, f) for Möbius, data for the values.
 type solveSpec struct {
 	family ir.Family
-	sys    *ir.System       // ordinary / general
+	sys    *ir.System // ordinary / general
+	// sparse, when set, marks an ordinary/general solve in the compressed
+	// encoding: the plan is compiled from the compact system (sys then
+	// aliases sparse.Compact) and shard payloads ship the sparse wire form,
+	// so scatter traffic is O(n) however large the global array.
+	sparse *ir.SparseSystem
 	m      int              // moebius
 	g, f   []int            // moebius
 	grid   *ir.Grid2DSystem // grid2d
@@ -47,6 +52,17 @@ func (co *Coordinator) planFor(ctx context.Context, spec *solveSpec) (*ir.Plan, 
 		}
 		return server.PlanFor(co.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
 			return ir.CompileGrid2DCtx(ctx, spec.grid)
+		})
+	}
+	if spec.sparse != nil {
+		// One fingerprint for the whole solve: every shard of a sparse
+		// scatter shares it, so rendezvous plan affinity warms workers with
+		// one compact plan exactly as for dense scatters.
+		fp := ir.SparseFingerprint(spec.family, spec.sparse, spec.bits)
+		return server.PlanFor(co.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+			return ir.CompileSparseCtx(ctx, spec.sparse, ir.CompileOptions{
+				Family: spec.family, Procs: spec.data.Opts.Procs, MaxExponentBits: spec.bits,
+			})
 		})
 	}
 	fp := ir.PlanFingerprint(spec.family, spec.sys.N, spec.sys.M, spec.sys.G, spec.sys.F, spec.sys.H, spec.bits)
@@ -372,7 +388,11 @@ func shardRequest(spec *solveSpec, ctx context.Context) (server.ShardRequest, er
 		// Bands attach their own Grid (with halo boundaries) per send.
 		return req, nil
 	}
-	req.System = ir.WireFromSystem(spec.sys)
+	if spec.sparse != nil {
+		req.System = ir.WireFromSparse(spec.sparse)
+	} else {
+		req.System = ir.WireFromSystem(spec.sys)
+	}
 	req.Op, req.Mod = spec.data.Op, spec.data.Mod
 	var init any = spec.data.InitFloat
 	if spec.data.InitInt != nil {

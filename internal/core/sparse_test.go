@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// scatteredSystem builds a dense ordinary system over m cells whose n
+// iterations touch a widely scattered subset: cell stride*i+off is written
+// reading cell stride*(i-1)+off (one long strided chain).
+func scatteredSystem(n, stride, off int) *System {
+	m := stride*n + off + 1
+	g := make([]int, n)
+	f := make([]int, n)
+	for i := 0; i < n; i++ {
+		g[i] = stride*(i+1) + off
+		f[i] = stride*i + off
+	}
+	return &System{M: m, N: n, G: g, F: f}
+}
+
+func TestCompressSystemRoundTrip(t *testing.T) {
+	s := scatteredSystem(100, 1000, 7)
+	sp, err := CompressSystem(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.M != s.M || sp.Compact.N != s.N {
+		t.Fatalf("shape: got m=%d n=%d, want m=%d n=%d", sp.M, sp.Compact.N, s.M, s.N)
+	}
+	if got, want := sp.NumCells(), 101; got != want {
+		t.Fatalf("NumCells = %d, want %d", got, want)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for i := 1; i < len(sp.Cells); i++ {
+		if sp.Cells[i] <= sp.Cells[i-1] {
+			t.Fatalf("cells not strictly ascending at %d", i)
+		}
+	}
+	d := sp.Dense()
+	if d.M != s.M || d.N != s.N {
+		t.Fatalf("dense shape mismatch: %v vs %v", d, s)
+	}
+	for i := 0; i < s.N; i++ {
+		if d.G[i] != s.G[i] || d.F[i] != s.F[i] {
+			t.Fatalf("dense round trip diverged at iteration %d", i)
+		}
+	}
+	if d.H != nil {
+		t.Fatalf("dense H should stay nil for ordinary input")
+	}
+}
+
+func TestCompressSystemGeneralH(t *testing.T) {
+	s := FromFuncs(10, 10_000, func(i int) int { return 100 * (i + 1) },
+		func(i int) int { return 100 * i }, func(i int) int { return 50 })
+	sp, err := CompressSystem(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Compact.H == nil {
+		t.Fatal("compact H lost")
+	}
+	d := sp.Dense()
+	for i := 0; i < s.N; i++ {
+		if d.H[i] != s.H[i] {
+			t.Fatalf("H round trip diverged at %d: %d vs %d", i, d.H[i], s.H[i])
+		}
+	}
+	// The touched set is the union of all three maps: cell 50 is read-only.
+	found := false
+	for _, c := range sp.Cells {
+		if c == 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("read-only H cell missing from touched set")
+	}
+}
+
+func TestCompressSystemRejectsDegenerate(t *testing.T) {
+	if _, err := CompressSystem(&System{M: 10, N: 0, G: []int{}, F: []int{}}); !errors.Is(err, ErrInvalidSparse) {
+		t.Fatalf("N=0: got %v, want ErrInvalidSparse", err)
+	}
+	if _, err := CompressSystem(&System{M: 0}); !errors.Is(err, ErrInvalidSystem) {
+		t.Fatalf("M=0: got %v, want ErrInvalidSystem", err)
+	}
+	if _, err := NewSparseSystem(100, []int{5}, []int{100}, nil); !errors.Is(err, ErrInvalidSparse) {
+		t.Fatal("out-of-range global F index accepted")
+	}
+	if _, err := NewSparseSystem(100, []int{5, 6}, []int{4}, nil); !errors.Is(err, ErrInvalidSparse) {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSparseFromCompactValidation(t *testing.T) {
+	ok := func(m int, cells, g, f, h []int) *SparseSystem {
+		t.Helper()
+		sp, err := SparseFromCompact(m, cells, g, f, h)
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return sp
+	}
+	bad := func(name string, m int, cells, g, f, h []int) {
+		t.Helper()
+		_, err := SparseFromCompact(m, cells, g, f, h)
+		if !errors.Is(err, ErrInvalidSparse) {
+			t.Fatalf("%s: got %v, want ErrInvalidSparse", name, err)
+		}
+		if errors.Is(err, ErrInvalidSystem) {
+			t.Fatalf("%s: sparse defects must not double as ErrInvalidSystem", name)
+		}
+	}
+
+	ok(1000, []int{3, 500, 999}, []int{1, 2}, []int{0, 1}, nil)
+	bad("unsorted cells", 1000, []int{500, 3, 999}, []int{1, 2}, []int{0, 1}, nil)
+	bad("duplicate cells", 1000, []int{3, 3, 999}, []int{1, 2}, []int{0, 1}, nil)
+	bad("cell out of range", 1000, []int{3, 500, 1000}, []int{1, 2}, []int{0, 1}, nil)
+	bad("negative cell", 1000, []int{-1, 500, 999}, []int{1, 2}, []int{0, 1}, nil)
+	bad("compact id out of range", 1000, []int{3, 500, 999}, []int{1, 3}, []int{0, 1}, nil)
+	bad("empty cells", 1000, nil, nil, nil, nil)
+	bad("global M zero", 0, []int{0}, []int{0}, []int{0}, nil)
+	bad("map length mismatch", 1000, []int{3, 500, 999}, []int{1, 2}, []int{0}, nil)
+}
+
+func TestExpandGatherRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sp, err := NewSparseSystem(10_000, []int{10, 500, 9_999}, []int{9, 10, 500}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]int64, sp.NumCells())
+	for i := range init {
+		init[i] = rng.Int63n(1 << 30)
+	}
+	full, err := ExpandInit(sp, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != sp.M {
+		t.Fatalf("len(full) = %d, want %d", len(full), sp.M)
+	}
+	back, err := GatherTouched(sp, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range init {
+		if back[i] != init[i] {
+			t.Fatalf("round trip diverged at compact id %d", i)
+		}
+	}
+	// Untouched cells stay zero-valued.
+	nz := 0
+	for _, v := range full {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz > sp.NumCells() {
+		t.Fatalf("%d nonzero cells in expansion, want <= %d", nz, sp.NumCells())
+	}
+	if _, err := ExpandInit(sp, init[:2]); !errors.Is(err, ErrInvalidSparse) {
+		t.Fatal("short init accepted")
+	}
+	if _, err := GatherTouched(sp, full[:10]); !errors.Is(err, ErrInvalidSparse) {
+		t.Fatal("short full slice accepted")
+	}
+}
+
+func TestSparseCloneAndString(t *testing.T) {
+	sp, err := NewSparseSystem(100, []int{50}, []int{40}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sp.Clone()
+	c.Cells[0] = 99
+	c.Compact.G[0] = 0
+	if sp.Cells[0] == 99 || sp.Compact.G[0] == 0 {
+		t.Fatal("Clone shares storage")
+	}
+	if s := sp.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

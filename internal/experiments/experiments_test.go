@@ -12,6 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"livermore", "livermore-exec", "loop23", "scaling", "crossover",
 		"ablation-pow", "ablation-cap", "speedup", "scan-vs-ir", "ops", "sched",
 		"cold_vs_warm", "hotpath", "session", "blockedscan", "grid2d",
+		"sparse",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IndexSet is a compressed, sorted set of array indices with rank lookup —
+// the index-compression primitive behind the sparse system encoding. It maps
+// a scattered set of global cell indices onto the compact range
+// [0, Len()) while preserving order, so chain decomposition and plan
+// compilation can run over touched cells only and stay O(n) when the global
+// array has m ≫ n cells. Ranks are order-preserving: if a < b are both
+// members, Rank(a) < Rank(b).
+type IndexSet struct {
+	cells []int
+}
+
+// BuildIndexSet collects the union of the given index slices, deduplicates,
+// and sorts ascending. Negative indices are rejected (array indices are
+// non-negative by construction everywhere in this repo).
+func BuildIndexSet(lists ...[]int) (*IndexSet, error) {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	cells := make([]int, 0, total)
+	for _, l := range lists {
+		for _, v := range l {
+			if v < 0 {
+				return nil, fmt.Errorf("graph: index set: negative index %d", v)
+			}
+			cells = append(cells, v)
+		}
+	}
+	sort.Ints(cells)
+	// In-place dedupe of the sorted slice.
+	out := cells[:0]
+	for i, v := range cells {
+		if i == 0 || v != cells[i-1] {
+			out = append(out, v)
+		}
+	}
+	return &IndexSet{cells: out}, nil
+}
+
+// IndexSetFromSorted wraps an already strictly-ascending slice of indices.
+// The slice is validated (strictly ascending catches both unsorted and
+// duplicate entries) but not copied; callers hand over ownership.
+func IndexSetFromSorted(cells []int) (*IndexSet, error) {
+	for i, v := range cells {
+		if v < 0 {
+			return nil, fmt.Errorf("graph: index set: negative index %d at position %d", v, i)
+		}
+		if i > 0 && v <= cells[i-1] {
+			return nil, fmt.Errorf("graph: index set: cells[%d]=%d not strictly greater than cells[%d]=%d",
+				i, v, i-1, cells[i-1])
+		}
+	}
+	return &IndexSet{cells: cells}, nil
+}
+
+// Len returns the number of distinct indices in the set.
+func (s *IndexSet) Len() int { return len(s.cells) }
+
+// Cells returns the sorted member indices. The slice is owned by the set;
+// callers must not mutate it.
+func (s *IndexSet) Cells() []int { return s.cells }
+
+// Rank returns the compact id (position in the sorted member list) of global
+// index v, or -1 if v is not a member. O(log n) by binary search.
+func (s *IndexSet) Rank(v int) int {
+	i := sort.SearchInts(s.cells, v)
+	if i < len(s.cells) && s.cells[i] == v {
+		return i
+	}
+	return -1
+}
+
+// Contains reports whether v is a member of the set.
+func (s *IndexSet) Contains(v int) bool { return s.Rank(v) >= 0 }
+
+// Remap translates a slice of global indices to their compact ranks. Every
+// input must be a member; a non-member is an error (the caller built the set
+// from a superset of these lists, so a miss means corrupted input).
+func (s *IndexSet) Remap(global []int) ([]int, error) {
+	if global == nil {
+		return nil, nil
+	}
+	out := make([]int, len(global))
+	for i, v := range global {
+		r := s.Rank(v)
+		if r < 0 {
+			return nil, fmt.Errorf("graph: index set: index %d at position %d is not a member", v, i)
+		}
+		out[i] = r
+	}
+	return out, nil
+}

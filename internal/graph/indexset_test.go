@@ -1,0 +1,64 @@
+package graph
+
+import "testing"
+
+func TestBuildIndexSet(t *testing.T) {
+	s, err := BuildIndexSet([]int{10, 3, 10}, []int{7, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 7, 10}
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	for i, v := range want {
+		if s.Cells()[i] != v {
+			t.Fatalf("Cells[%d] = %d, want %d", i, s.Cells()[i], v)
+		}
+		if s.Rank(v) != i {
+			t.Fatalf("Rank(%d) = %d, want %d", v, s.Rank(v), i)
+		}
+		if !s.Contains(v) {
+			t.Fatalf("Contains(%d) = false", v)
+		}
+	}
+	if s.Rank(5) != -1 || s.Contains(5) {
+		t.Fatal("non-member resolved")
+	}
+	if _, err := BuildIndexSet([]int{-1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestIndexSetFromSorted(t *testing.T) {
+	if _, err := IndexSetFromSorted([]int{1, 2, 9}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]int{{2, 1}, {1, 1}, {-1, 0}} {
+		if _, err := IndexSetFromSorted(bad); err == nil {
+			t.Fatalf("accepted %v", bad)
+		}
+	}
+}
+
+func TestIndexSetRemap(t *testing.T) {
+	s, err := BuildIndexSet([]int{100, 200, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Remap([]int{300, 100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []int{2, 0, 1} {
+		if got[i] != w {
+			t.Fatalf("Remap[%d] = %d, want %d", i, got[i], w)
+		}
+	}
+	if r, err := s.Remap(nil); r != nil || err != nil {
+		t.Fatal("nil Remap should pass through")
+	}
+	if _, err := s.Remap([]int{150}); err == nil {
+		t.Fatal("non-member remapped")
+	}
+}

@@ -27,9 +27,14 @@ type OrdinaryRequest struct {
 type OrdinaryResponse struct {
 	ValuesInt   []int64   `json:"values_int,omitempty"`
 	ValuesFloat []float64 `json:"values_float,omitempty"`
-	Rounds      int       `json:"rounds"`
-	Combines    int64     `json:"combines"`
-	ElapsedMs   float64   `json:"elapsed_ms"`
+	// Cells echoes the touched-cell list of a sparse-encoded request:
+	// values_int/values_float are then in compact order, with entry i the
+	// final value of global cell Cells[i]. Empty for dense requests, whose
+	// values tile the whole array.
+	Cells     []int   `json:"cells,omitempty"`
+	Rounds    int     `json:"rounds"`
+	Combines  int64   `json:"combines"`
+	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
 // GeneralRequest is the body of POST /v1/solve/general — any G, F, H with a
@@ -47,11 +52,15 @@ type GeneralRequest struct {
 
 // GeneralResponse mirrors ir.GeneralResult on the wire.
 type GeneralResponse struct {
-	ValuesInt   []int64          `json:"values_int,omitempty"`
-	ValuesFloat []float64        `json:"values_float,omitempty"`
-	Powers      [][]ir.PowerTerm `json:"powers,omitempty"`
-	CAPRounds   int              `json:"cap_rounds"`
-	ElapsedMs   float64          `json:"elapsed_ms"`
+	ValuesInt   []int64   `json:"values_int,omitempty"`
+	ValuesFloat []float64 `json:"values_float,omitempty"`
+	// Cells echoes a sparse-encoded request's touched-cell list; values
+	// (and power-trace rows) are then in compact order over these global
+	// cells. Empty for dense requests.
+	Cells     []int            `json:"cells,omitempty"`
+	Powers    [][]ir.PowerTerm `json:"powers,omitempty"`
+	CAPRounds int              `json:"cap_rounds"`
+	ElapsedMs float64          `json:"elapsed_ms"`
 }
 
 // LinearRequest is the body of POST /v1/solve/linear:

@@ -1,0 +1,63 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+
+	"indexedrec/internal/server"
+	"indexedrec/ir"
+)
+
+// TestClientSparseSolve round-trips a sparse-encoded solve through the
+// typed client and asserts malformed touched-cell sets decode client-side
+// as 422 APIErrors.
+func TestClientSparseSolve(t *testing.T) {
+	_, c := startService(t, server.Config{})
+	ctx := context.Background()
+
+	n, stride := 32, 1000
+	g := make([]int, n)
+	f := make([]int, n)
+	for i := 0; i < n; i++ {
+		g[i] = stride * (i + 1)
+		f[i] = stride * i
+	}
+	sp, err := ir.NewSparseSystem(stride*(n+1)+1, g, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]int64, sp.NumCells())
+	for i := range init {
+		init[i] = 1
+	}
+	blob, _ := json.Marshal(init)
+	req := server.OrdinaryRequest{System: ir.WireFromSparse(sp), Op: "int64-add", Init: blob}
+
+	out, err := c.SolveOrdinary(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.ValuesInt) != sp.NumCells() || len(out.Cells) != sp.NumCells() {
+		t.Fatalf("got %d values over %d cells, want %d", len(out.ValuesInt), len(out.Cells), sp.NumCells())
+	}
+	// The chain sums 1 down each link: compact cell i holds i+1.
+	for i, v := range out.ValuesInt {
+		if v != int64(i)+1 {
+			t.Fatalf("compact cell %d = %d, want %d", i, v, i+1)
+		}
+	}
+
+	// Duplicate touched cells must surface as a typed 422, not a transport
+	// error, so callers can distinguish encoding defects from availability.
+	bad := req
+	bad.System.Cells = append([]int(nil), req.System.Cells...)
+	bad.System.Cells[1] = bad.System.Cells[0]
+	_, err = c.SolveOrdinary(ctx, bad)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("duplicate cells: %v, want APIError with status 422", err)
+	}
+}

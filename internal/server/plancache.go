@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 
 	"indexedrec/ir"
@@ -171,6 +172,77 @@ func solveOrdinary[T any](ctx context.Context, s *Server, sys *ir.System, op ir.
 		return nil, err
 	}
 	return ir.SolveOrdinaryPlanCtx[T](ctx, p, op, init, opt)
+}
+
+// solveSparseOrdinary runs one sparse ordinary-family solve. With the sparse
+// fast path enabled it resolves a compact plan through the cache — keyed by
+// the sparse fingerprint, so plans are sized by the touched count and every
+// same-shaped request replays them — and replays it over compact init. With
+// the path disabled (ir.SetSparseEnabled kill switch) it expands to the
+// dense form and solves that, bit-identically, provided the global size fits
+// the server's dense limit. Each solve increments
+// irserved_sparse_solves_total with the mode it took.
+func solveSparseOrdinary[T any](ctx context.Context, s *Server, sp *ir.SparseSystem, op ir.Semigroup[T], init []T, opt ir.SolveOptions) (*ir.OrdinaryResult[T], error) {
+	if !ir.SparseEnabled() {
+		if sp.M > s.cfg.MaxN {
+			return nil, fmt.Errorf("%w: global m = %d exceeds the server limit %d while the sparse fast path is disabled",
+				ir.ErrInvalidSystem, sp.M, s.cfg.MaxN)
+		}
+		s.metrics.sparseSolves.Inc("dense-fallback")
+		return ir.SolveSparseOrdinaryCtx[T](ctx, sp, op, init, opt)
+	}
+	s.metrics.sparseSolves.Inc("sparse")
+	if s.plans == nil {
+		return ir.SolveOrdinaryCtx[T](ctx, sp.Compact, op, init, opt)
+	}
+	fp := ir.SparseFingerprint(ir.FamilyOrdinary, sp, 0)
+	p, err := PlanFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+		return ir.CompileSparseCtx(ctx, sp, ir.CompileOptions{Family: ir.FamilyOrdinary, Procs: opt.Procs})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ir.SolveOrdinaryPlanCtx[T](ctx, p, op, init, opt)
+}
+
+// solveSparseGeneral is solveSparseOrdinary's general-family counterpart.
+// Power traces name global cells on every path (the plan replay's compact
+// sink ids are remapped through the plan's touched-cell list).
+func solveSparseGeneral[T any](ctx context.Context, s *Server, sp *ir.SparseSystem, op ir.CommutativeMonoid[T], init []T, opt ir.SolveOptions) (*ir.GeneralResult[T], error) {
+	if !ir.SparseEnabled() {
+		if sp.M > s.cfg.MaxN {
+			return nil, fmt.Errorf("%w: global m = %d exceeds the server limit %d while the sparse fast path is disabled",
+				ir.ErrInvalidSystem, sp.M, s.cfg.MaxN)
+		}
+		s.metrics.sparseSolves.Inc("dense-fallback")
+		return ir.SolveSparseGeneralCtx[T](ctx, sp, op, init, opt)
+	}
+	s.metrics.sparseSolves.Inc("sparse")
+	if s.plans == nil {
+		return ir.SolveSparseGeneralCtx[T](ctx, sp, op, init, opt)
+	}
+	fp := ir.SparseFingerprint(ir.FamilyGeneral, sp, opt.MaxExponentBits)
+	p, err := PlanFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+		return ir.CompileSparseCtx(ctx, sp, ir.CompileOptions{
+			Family:          ir.FamilyGeneral,
+			Procs:           opt.Procs,
+			MaxExponentBits: opt.MaxExponentBits,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := ir.SolveGeneralPlanCtx[T](ctx, p, op, init, opt)
+	if err != nil {
+		return nil, err
+	}
+	cells := p.TouchedCells()
+	for _, terms := range res.Powers {
+		for k := range terms {
+			terms[k].Cell = cells[terms[k].Cell]
+		}
+	}
+	return res, nil
 }
 
 // solveGrid2D runs one grid2d-family solve through the plan cache: grid

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"indexedrec/ir"
 )
 
 // fakePlan is a CachedPlan of a declared size, for exercising the LRU
@@ -197,13 +199,7 @@ func TestPlanCacheDisabled(t *testing.T) {
 
 // systemWireScatter builds a general (H != G) system as wire JSON:
 // A[i+1] = A[i] + A[h(i)] with h(i) hopping around earlier cells.
-func systemWireScatter(n int) (w struct {
-	M int   `json:"m"`
-	N int   `json:"n"`
-	G []int `json:"g"`
-	F []int `json:"f"`
-	H []int `json:"h,omitempty"`
-}) {
+func systemWireScatter(n int) (w ir.SystemWire) {
 	w.M = n + 1
 	w.N = n
 	for i := 0; i < n; i++ {

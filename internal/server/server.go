@@ -133,6 +133,7 @@ type serverMetrics struct {
 	batchSize      *Histogram    // irserved_batch_size
 	batchFallbacks *Counter      // irserved_batch_fallbacks_total
 	latency        *HistogramVec // irserved_solve_seconds{endpoint}
+	sparseSolves   *CounterVec   // irserved_sparse_solves_total{mode}
 	planHits       *Counter      // irserved_plan_cache_hits_total
 	planMisses     *Counter      // irserved_plan_cache_misses_total
 	planEvictions  *Counter      // irserved_plan_cache_evictions_total
@@ -172,6 +173,8 @@ func newServerMetrics(reg *Registry, depthFn func() float64, capacity int) *serv
 			"End-to-end solve latency (admission queueing included).",
 			[]float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10},
 			"endpoint"),
+		sparseSolves: reg.NewCounterVec("irserved_sparse_solves_total",
+			"Sparse-encoded solves by execution mode: \"sparse\" replays the compact plan, \"dense-fallback\" expanded to the dense form because the sparse fast path is disabled.", "mode"),
 		planHits: reg.NewCounter("irserved_plan_cache_hits_total",
 			"Solves replayed from a cached compiled plan."),
 		planMisses: reg.NewCounter("irserved_plan_cache_misses_total",
@@ -602,6 +605,9 @@ func (s *Server) execOrdinary(body []byte) (func(ctx context.Context) (any, erro
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("bad request body: %v", err)
 	}
+	if req.System.IsSparse() {
+		return s.execSparseOrdinary(&req)
+	}
 	sys, opt, err := s.systemAndOptions(req.System, req.Opts)
 	if err != nil {
 		return nil, err
@@ -656,10 +662,143 @@ func (s *Server) execOrdinary(body []byte) (func(ctx context.Context) (any, erro
 	}, nil
 }
 
+// execSparseOrdinary handles the sparse encoding of /v1/solve/ordinary: the
+// wire system carries the touched-cell list and compact index maps, and the
+// init array is in compact order (length len(cells)). The response echoes
+// the touched cells alongside the compact-order values. Malformed sparse
+// encodings answer 422 (see statusForValidation).
+func (s *Server) execSparseOrdinary(req *OrdinaryRequest) (func(ctx context.Context) (any, error), error) {
+	sp, opt, err := s.sparseAndOptions(req.System, req.Opts)
+	if err != nil {
+		return nil, err
+	}
+	if !sp.Compact.Ordinary() {
+		return nil, fmt.Errorf("%w: /v1/solve/ordinary requires H = G (use /v1/solve/general)", ir.ErrInvalidSparse)
+	}
+	iop, err := intOp(req.Op, req.Mod)
+	if err != nil {
+		return nil, err
+	}
+	if iop != nil {
+		init, err := DecodeInitInt(req.Init)
+		if err != nil {
+			return nil, err
+		}
+		if len(init) != sp.NumCells() {
+			return nil, fmt.Errorf("%w: len(init) = %d, want touched-cell count %d", ir.ErrInvalidSparse, len(init), sp.NumCells())
+		}
+		return func(ctx context.Context) (any, error) {
+			start := time.Now()
+			res, err := solveSparseOrdinary(ctx, s, sp, iop, init, opt)
+			if err != nil {
+				return nil, err
+			}
+			return OrdinaryResponse{ValuesInt: res.Values, Cells: sp.Cells, Rounds: res.Rounds,
+				Combines: res.Combines, ElapsedMs: ms(start)}, nil
+		}, nil
+	}
+	fop, err := floatOp(req.Op)
+	if err != nil {
+		return nil, err
+	}
+	if fop == nil {
+		return nil, fmt.Errorf("unknown op %q (one of %s)", req.Op, strings.Join(OpNames(), ", "))
+	}
+	init, err := DecodeInitFloat(req.Init)
+	if err != nil {
+		return nil, err
+	}
+	if len(init) != sp.NumCells() {
+		return nil, fmt.Errorf("%w: len(init) = %d, want touched-cell count %d", ir.ErrInvalidSparse, len(init), sp.NumCells())
+	}
+	return func(ctx context.Context) (any, error) {
+		start := time.Now()
+		res, err := solveSparseOrdinary(ctx, s, sp, fop, init, opt)
+		if err != nil {
+			return nil, err
+		}
+		return OrdinaryResponse{ValuesFloat: res.Values, Cells: sp.Cells, Rounds: res.Rounds,
+			Combines: res.Combines, ElapsedMs: ms(start)}, nil
+	}, nil
+}
+
+// execSparseGeneral is execSparseOrdinary's general-family twin (reached
+// from execGeneral when the wire system is sparse-encoded). Power traces
+// name global cells.
+func (s *Server) execSparseGeneral(req *GeneralRequest, opt ir.SolveOptions) (func(ctx context.Context) (any, error), error) {
+	sp, _, err := s.sparseAndOptions(req.System, req.Opts)
+	if err != nil {
+		return nil, err
+	}
+	iop, err := intOp(req.Op, req.Mod)
+	if err != nil {
+		return nil, err
+	}
+	if iop != nil {
+		init, err := DecodeInitInt(req.Init)
+		if err != nil {
+			return nil, err
+		}
+		if len(init) != sp.NumCells() {
+			return nil, fmt.Errorf("%w: len(init) = %d, want touched-cell count %d", ir.ErrInvalidSparse, len(init), sp.NumCells())
+		}
+		return func(ctx context.Context) (any, error) {
+			start := time.Now()
+			res, err := solveSparseGeneral(ctx, s, sp, iop, init, opt)
+			if err != nil {
+				return nil, err
+			}
+			out := GeneralResponse{ValuesInt: res.Values, Cells: sp.Cells, CAPRounds: res.CAPRounds, ElapsedMs: ms(start)}
+			if req.WithPowers {
+				out.Powers = res.Powers
+			}
+			return out, nil
+		}, nil
+	}
+	fop, err := floatOp(req.Op)
+	if err != nil {
+		return nil, err
+	}
+	if fop == nil {
+		return nil, fmt.Errorf("unknown op %q (one of %s)", req.Op, strings.Join(OpNames(), ", "))
+	}
+	init, err := DecodeInitFloat(req.Init)
+	if err != nil {
+		return nil, err
+	}
+	if len(init) != sp.NumCells() {
+		return nil, fmt.Errorf("%w: len(init) = %d, want touched-cell count %d", ir.ErrInvalidSparse, len(init), sp.NumCells())
+	}
+	return func(ctx context.Context) (any, error) {
+		start := time.Now()
+		res, err := solveSparseGeneral(ctx, s, sp, fop, init, opt)
+		if err != nil {
+			return nil, err
+		}
+		out := GeneralResponse{ValuesFloat: res.Values, Cells: sp.Cells, CAPRounds: res.CAPRounds, ElapsedMs: ms(start)}
+		if req.WithPowers {
+			out.Powers = res.Powers
+		}
+		return out, nil
+	}, nil
+}
+
 func (s *Server) execGeneral(body []byte) (func(ctx context.Context) (any, error), error) {
 	var req GeneralRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+	if req.System.IsSparse() {
+		opt, err := req.Opts.Options()
+		if err != nil {
+			return nil, err
+		}
+		opt.Procs = s.clampProcs(opt.Procs)
+		opt.MaxExponentBits = s.cfg.MaxExponentBits
+		if b := req.Opts.MaxExponentBits; b > 0 && b < opt.MaxExponentBits {
+			opt.MaxExponentBits = b
+		}
+		return s.execSparseGeneral(&req, opt)
 	}
 	sys, opt, err := s.systemAndOptions(req.System, req.Opts)
 	if err != nil {
@@ -809,6 +948,33 @@ func (s *Server) systemAndOptions(w ir.SystemWire, ow ir.OptionsWire) (*ir.Syste
 	return sys, opt, nil
 }
 
+// sparseAndOptions is systemAndOptions' sparse twin: it bounds the compact
+// dimensions (iterations and touched cells) by MaxN — the global cell count
+// is deliberately unbounded, since sparse work scales with the touched count
+// — decodes and validates the sparse encoding, and resolves options. When
+// the sparse fast path is disabled the dense fallback would materialize the
+// global array, so the global size must then also fit MaxN.
+func (s *Server) sparseAndOptions(w ir.SystemWire, ow ir.OptionsWire) (*ir.SparseSystem, ir.SolveOptions, error) {
+	if w.N > s.cfg.MaxN || len(w.G) > s.cfg.MaxN || len(w.Cells) > s.cfg.MaxN {
+		return nil, ir.SolveOptions{}, fmt.Errorf("n = %d exceeds the server limit %d",
+			max(w.N, max(len(w.G), len(w.Cells))), s.cfg.MaxN)
+	}
+	sp, err := w.Sparse()
+	if err != nil {
+		return nil, ir.SolveOptions{}, err
+	}
+	if !ir.SparseEnabled() && sp.M > s.cfg.MaxN {
+		return nil, ir.SolveOptions{}, fmt.Errorf("global m = %d exceeds the server limit %d while the sparse fast path is disabled",
+			sp.M, s.cfg.MaxN)
+	}
+	opt, err := ow.Options()
+	if err != nil {
+		return nil, ir.SolveOptions{}, err
+	}
+	opt.Procs = s.clampProcs(opt.Procs)
+	return sp, opt, nil
+}
+
 // clampProcs resolves a client-requested procs count against the server's
 // per-solve budget.
 func (s *Server) clampProcs(req int) int {
@@ -904,8 +1070,15 @@ func retryAfterSeconds(d time.Duration) string {
 	return strconv.Itoa(secs)
 }
 
-// statusForValidation maps pre-admission errors (all client mistakes) to 400.
+// statusForValidation maps pre-admission errors (all client mistakes) to
+// 400, except sparse-encoding defects — an unsorted, duplicated or
+// out-of-range touched-cell list, compact ids off the cell list, a
+// wrong-length compact init — which answer 422: the request parsed but its
+// sparse encoding is semantically unprocessable.
 func statusForValidation(err error) int {
+	if errors.Is(err, ir.ErrInvalidSparse) {
+		return http.StatusUnprocessableEntity
+	}
 	return http.StatusBadRequest
 }
 
@@ -921,7 +1094,7 @@ func statusForSolve(err error) int {
 		errors.Is(err, ir.ErrShard):
 		return http.StatusBadRequest
 	case errors.Is(err, ir.ErrNonFinite), errors.Is(err, ir.ErrGrid2DNonFinite),
-		errors.Is(err, ir.ErrExponentLimit):
+		errors.Is(err, ir.ErrExponentLimit), errors.Is(err, ir.ErrInvalidSparse):
 		return http.StatusUnprocessableEntity
 	case errors.As(err, &pe):
 		return http.StatusInternalServerError

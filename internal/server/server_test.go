@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"indexedrec/ir"
 )
 
 // checkGoroutines snapshots the goroutine count and returns an assertion
@@ -222,13 +224,7 @@ func TestOverloadSheds(t *testing.T) {
 
 // systemWireChain builds the ordinary chain system A[i+1] = A[i] + A[i+1]
 // over m = n+1 cells as wire JSON.
-func systemWireChain(n int) (w struct {
-	M int   `json:"m"`
-	N int   `json:"n"`
-	G []int `json:"g"`
-	F []int `json:"f"`
-	H []int `json:"h,omitempty"`
-}) {
+func systemWireChain(n int) (w ir.SystemWire) {
 	w.M = n + 1
 	w.N = n
 	for i := 0; i < n; i++ {

@@ -39,6 +39,9 @@ func (s *Server) execShard(body []byte) (func(ctx context.Context) (any, error),
 	if fam == ir.FamilyGrid2D {
 		return s.execShardGrid2D(&req, sh)
 	}
+	if req.System.IsSparse() {
+		return s.execShardSparse(&req, fam, sh)
+	}
 
 	sys, opt, err := s.systemAndOptions(req.System, req.Opts)
 	if err != nil {
@@ -85,6 +88,77 @@ func (s *Server) execShard(body []byte) (func(ctx context.Context) (any, error),
 		start := time.Now()
 		p, err := PlanFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
 			return ir.CompileCtx(ctx, sys, ir.CompileOptions{
+				Family: fam, Procs: opt.Procs, MaxExponentBits: bits,
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		part, err := p.SolveShardCtx(ctx, data, sh)
+		if err != nil {
+			return nil, err
+		}
+		return shardResponse(part, start), nil
+	}, nil
+}
+
+// execShardSparse is execShard's sparse arm: the request ships the compact
+// structure plus the touched-cell list — O(n) on the wire however large the
+// global array — and a compact init, and the worker resolves the compact
+// plan through the shared cache keyed by the sparse fingerprint (one key for
+// every shard of a solve, so rendezvous affinity warms exactly as for dense
+// scatters). Shard ranges address the compact plan's chain/cell domain, and
+// the response's cells/values are in compact ids like any ordinary shard's;
+// the coordinator already holds the touched-cell list to map them globally.
+// Shard solves always replay the compact plan — the coordinator decides
+// sparse-vs-dense before scattering, so the kill switch gates the scatter,
+// not the worker.
+func (s *Server) execShardSparse(req *ShardRequest, fam ir.Family, sh ir.Shard) (func(ctx context.Context) (any, error), error) {
+	sp, opt, err := s.sparseAndOptions(req.System, req.Opts)
+	if err != nil {
+		return nil, err
+	}
+	var bits int
+	if fam == ir.FamilyGeneral {
+		bits = s.cfg.MaxExponentBits
+		if b := req.Opts.MaxExponentBits; b > 0 && b < bits {
+			bits = b
+		}
+	} else if !sp.Compact.Ordinary() {
+		return nil, fmt.Errorf("%w: ordinary shard requires H = G", ir.ErrInvalidSparse)
+	}
+	data := ir.PlanData{Op: req.Op, Mod: req.Mod, Opts: opt}
+	iop, err := intOp(req.Op, req.Mod)
+	if err != nil {
+		return nil, err
+	}
+	if iop != nil {
+		if data.InitInt, err = DecodeInitInt(req.Init); err != nil {
+			return nil, err
+		}
+		if len(data.InitInt) != sp.NumCells() {
+			return nil, fmt.Errorf("%w: len(init) = %d, want touched-cell count %d", ir.ErrInvalidSparse, len(data.InitInt), sp.NumCells())
+		}
+	} else {
+		fop, err := floatOp(req.Op)
+		if err != nil {
+			return nil, err
+		}
+		if fop == nil {
+			return nil, fmt.Errorf("unknown op %q (one of %s)", req.Op, strings.Join(OpNames(), ", "))
+		}
+		if data.InitFloat, err = DecodeInitFloat(req.Init); err != nil {
+			return nil, err
+		}
+		if len(data.InitFloat) != sp.NumCells() {
+			return nil, fmt.Errorf("%w: len(init) = %d, want touched-cell count %d", ir.ErrInvalidSparse, len(data.InitFloat), sp.NumCells())
+		}
+	}
+	fp := ir.SparseFingerprint(fam, sp, bits)
+	return func(ctx context.Context) (any, error) {
+		start := time.Now()
+		p, err := PlanFor(s.plans, ctx, fp, func(ctx context.Context) (*ir.Plan, error) {
+			return ir.CompileSparseCtx(ctx, sp, ir.CompileOptions{
 				Family: fam, Procs: opt.Procs, MaxExponentBits: bits,
 			})
 		})

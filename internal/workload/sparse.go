@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+
+	"indexedrec/internal/core"
+)
+
+// Sparse generators: systems over m global cells of which only a scattered
+// n-sized subset is touched — the m ≫ n shape the sparse encoding exists
+// for. Both return the compressed form directly (tests, fuzzing, and E22 all
+// consume *core.SparseSystem); SparseSystem.Dense() recovers the dense
+// equivalent when a comparison baseline is needed. Both panic only on
+// internal invariant violations, never on sizes (degenerate sizes are
+// clamped like Chains does).
+
+// SparseBanded returns a banded touched-cell distribution: `bands` chain
+// runs of n/bands iterations each, spread evenly across the global range
+// [0, m) with untouched gaps between them — the blocked/banded shape of a
+// time-sliced simulation that only advances a few active regions. Chain
+// lengths are n/bands, so with n/bands >= 256 the compiled compact plan
+// takes the blocked-scan schedule, exercising PR 8's scheduler on sparse
+// chains. Deterministic (no rng): the structure is a pure function of
+// (m, n, bands).
+func SparseBanded(m, n, bands int) *core.SparseSystem {
+	if bands < 1 {
+		bands = 1
+	}
+	if n < bands {
+		n = bands
+	}
+	per := n / bands
+	n = per * bands
+	// Each band needs per+1 cells; keep every band inside its m/bands slot.
+	if m < bands*(per+2) {
+		m = bands * (per + 2)
+	}
+	slot := m / bands
+	g := make([]int, 0, n)
+	f := make([]int, 0, n)
+	for b := 0; b < bands; b++ {
+		base := b * slot
+		for j := 0; j < per; j++ {
+			g = append(g, base+j+1)
+			f = append(f, base+j)
+		}
+	}
+	sp, err := core.NewSparseSystem(m, g, f, nil)
+	if err != nil {
+		panic("workload: SparseBanded built an invalid system: " + err.Error())
+	}
+	return sp
+}
+
+// SparseZipf returns a zipfian touched-cell distribution: touched cells are
+// drawn from a Zipf law over [0, m) (dense near the low end, a long sparse
+// tail — the hot-key shape of a skewed workload), and the recurrence over
+// them is RandomOrdinary's: every touched cell written once in random order,
+// reading a uniformly random touched cell. Chain lengths are O(log n)
+// w.h.p., the jumping-schedule case. Ordinary with distinct g by
+// construction.
+func SparseZipf(rng *rand.Rand, m, n int) *core.SparseSystem {
+	if n < 1 {
+		n = 1
+	}
+	if m < 2*n+2 {
+		m = 2*n + 2
+	}
+	zipf := rand.NewZipf(rng, 1.2, 8, uint64(m-1))
+	seen := make(map[int]struct{}, n+1)
+	cells := make([]int, 0, n+1)
+	// Draw until n+1 distinct cells (one stays read-only); the skew makes
+	// late draws collide often, so fall back to uniform fill if the zipf
+	// stream stalls — determinism is preserved (same rng, same sequence).
+	for attempts := 0; len(cells) < n+1; attempts++ {
+		var c int
+		if attempts < 50*(n+1) {
+			c = int(zipf.Uint64())
+		} else {
+			c = rng.Intn(m)
+		}
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		cells = append(cells, c)
+	}
+	// Write all but the first drawn cell, in random order, each reading a
+	// uniformly random touched cell (possibly itself — ordinary H = G reads
+	// own cell anyway).
+	writes := cells[1:]
+	perm := rng.Perm(len(writes))
+	g := make([]int, n)
+	f := make([]int, n)
+	for i := 0; i < n; i++ {
+		g[i] = writes[perm[i]]
+		f[i] = cells[rng.Intn(len(cells))]
+	}
+	sp, err := core.NewSparseSystem(m, g, f, nil)
+	if err != nil {
+		panic("workload: SparseZipf built an invalid system: " + err.Error())
+	}
+	return sp
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSparseBanded(t *testing.T) {
+	sp := SparseBanded(1_000_000, 1024, 4)
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.M != 1_000_000 {
+		t.Fatalf("M = %d", sp.M)
+	}
+	if sp.Compact.N != 1024 {
+		t.Fatalf("N = %d", sp.Compact.N)
+	}
+	// 4 bands of 256 iterations each -> 257 touched cells per band.
+	if got, want := sp.NumCells(), 4*257; got != want {
+		t.Fatalf("NumCells = %d, want %d", got, want)
+	}
+	if !sp.Compact.Ordinary() || !sp.Compact.GDistinct() {
+		t.Fatal("banded system should be ordinary with distinct g")
+	}
+	// Deterministic.
+	sp2 := SparseBanded(1_000_000, 1024, 4)
+	for i, c := range sp.Cells {
+		if sp2.Cells[i] != c {
+			t.Fatal("SparseBanded is not deterministic")
+		}
+	}
+	// Degenerate sizes clamp instead of panicking.
+	if sp := SparseBanded(10, 0, 0); sp.Validate() != nil {
+		t.Fatal("clamped degenerate invalid")
+	}
+}
+
+func TestSparseZipf(t *testing.T) {
+	sp := SparseZipf(rand.New(rand.NewSource(5)), 1_000_000, 2000)
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Compact.N != 2000 {
+		t.Fatalf("N = %d", sp.Compact.N)
+	}
+	if nc := sp.NumCells(); nc < 2000 || nc > 2001 {
+		t.Fatalf("NumCells = %d, want 2000 or 2001", nc)
+	}
+	if !sp.Compact.Ordinary() || !sp.Compact.GDistinct() {
+		t.Fatal("zipf system should be ordinary with distinct g")
+	}
+	// Same seed, same system.
+	sp2 := SparseZipf(rand.New(rand.NewSource(5)), 1_000_000, 2000)
+	for i := range sp.Compact.G {
+		if sp.Compact.G[i] != sp2.Compact.G[i] || sp.Compact.F[i] != sp2.Compact.F[i] {
+			t.Fatal("SparseZipf is not deterministic")
+		}
+	}
+	// The zipf law should leave most of the global range untouched.
+	if sp.NumCells()*10 > sp.M {
+		t.Fatalf("touched fraction too dense: %d of %d", sp.NumCells(), sp.M)
+	}
+	if sp := SparseZipf(rand.New(rand.NewSource(1)), 0, 0); sp.Validate() != nil {
+		t.Fatal("clamped degenerate invalid")
+	}
+}

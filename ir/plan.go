@@ -97,6 +97,12 @@ type Plan struct {
 	fingerprint string
 	size        int64
 
+	// cells and globalM tag plans compiled from a sparse system (see
+	// CompileSparseCtx): the sorted touched global ids the compact values
+	// map to, and the global cell count. nil cells means a dense plan.
+	cells   []int
+	globalM int
+
 	ord *ordinary.Plan
 	gen *gir.Plan
 	mb  *moebius.Plan

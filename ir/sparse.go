@@ -1,0 +1,219 @@
+package ir
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+
+	"indexedrec/internal/core"
+)
+
+// Sparse systems: the compressed encoding for recurrences that touch only
+// n ≪ m cells of a large array. A SparseSystem carries the sorted touched
+// index set plus the recurrence remapped onto compact ids, so compilation,
+// scheduling, arenas, and fingerprints are all sized by the touched count
+// n_c rather than the global cell count m — turning O(m) walks into O(n)
+// across the whole hot path while staying bit-identical to the dense solve
+// (the compact relabeling is order-preserving, so the chain forest, schedule
+// selection, and combine order are isomorphic; see DESIGN §16).
+//
+// SetSparseEnabled is the operational kill switch: with the fast path off,
+// the facade solvers expand the sparse system to its dense form, solve that,
+// and gather the touched cells back — bit-identical by construction, at the
+// dense cost. Plans compiled by CompileSparse always replay the compact
+// structure (a compiled artifact does not change shape under the switch);
+// the switch gates which path new solves and servers choose.
+
+// SparseSystem is the compressed (CSR-like) system form; see
+// core.SparseSystem for the invariants and the bit-identity argument.
+type SparseSystem = core.SparseSystem
+
+// ErrInvalidSparse wraps sparse-encoding validation failures (unsorted,
+// duplicate, or out-of-range touched-cell lists, compact ids out of range).
+// It is distinct from ErrInvalidSystem so transports can map it separately;
+// irserved answers 422 for sparse-encoding defects.
+var ErrInvalidSparse = core.ErrInvalidSparse
+
+// CompressSystem converts a dense system to the sparse form, collecting the
+// touched index set and remapping g/f/h onto compact ids.
+func CompressSystem(s *System) (*SparseSystem, error) { return core.CompressSystem(s) }
+
+// NewSparseSystem builds a sparse system from global-id index maps (h may be
+// nil for the ordinary form) without materializing a dense System.
+func NewSparseSystem(m int, g, f, h []int) (*SparseSystem, error) {
+	return core.NewSparseSystem(m, g, f, h)
+}
+
+// SparseFromCompact builds a sparse system from an already-compressed
+// encoding (the wire shape): global cell count, touched-cell list, and index
+// maps over compact ids. All defects wrap ErrInvalidSparse.
+func SparseFromCompact(m int, cells, g, f, h []int) (*SparseSystem, error) {
+	return core.SparseFromCompact(m, cells, g, f, h)
+}
+
+// sparseDisabled flips the sparse fast path off; the zero value (enabled) is
+// the default, mirroring the blocked-scan and kernel kill switches.
+var sparseDisabled atomic.Bool
+
+// SetSparseEnabled toggles the sparse fast path at runtime and returns the
+// previous setting. Disabling it routes SolveSparseOrdinaryCtx /
+// SolveSparseGeneralCtx (and the servers' sparse endpoints) through the
+// dense expansion — bit-identical results at dense cost, the operational
+// escape hatch if the compact path ever misbehaves. Already-compiled sparse
+// plans keep replaying their compact structure.
+func SetSparseEnabled(on bool) bool { return !sparseDisabled.Swap(!on) }
+
+// SparseEnabled reports whether the sparse fast path is active.
+func SparseEnabled() bool { return !sparseDisabled.Load() }
+
+// SolveSparseOrdinaryCtx solves an ordinary sparse system. init is in
+// compact order (length sp.NumCells()), as are the result values — index i
+// corresponds to global cell sp.Cells[i]. With the fast path enabled the
+// compact system is solved directly in O(n_c); with it disabled the system
+// is expanded to dense form (O(m) memory) and the touched cells gathered
+// back, bit-identically. The error contract matches SolveOrdinaryCtx.
+func SolveSparseOrdinaryCtx[T any](ctx context.Context, sp *SparseSystem, op Semigroup[T], init []T, opt SolveOptions) (*OrdinaryResult[T], error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if SparseEnabled() {
+		return SolveOrdinaryCtx(ctx, sp.Compact, op, init, opt)
+	}
+	full, err := core.ExpandInit(sp, init)
+	if err != nil {
+		return nil, err
+	}
+	res, err := SolveOrdinaryCtx(ctx, sp.Dense(), op, full, opt)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := core.GatherTouched(sp, res.Values)
+	if err != nil {
+		return nil, err
+	}
+	return &OrdinaryResult[T]{Values: vals, Rounds: res.Rounds, Combines: res.Combines}, nil
+}
+
+// SolveSparseGeneralCtx solves a general-family sparse system; init and
+// values are in compact order like SolveSparseOrdinaryCtx's. Power traces,
+// when present, are also in compact order but name global cells in
+// PowerTerm.Cell. The error contract matches SolveGeneralCtx.
+func SolveSparseGeneralCtx[T any](ctx context.Context, sp *SparseSystem, op CommutativeMonoid[T], init []T, opt SolveOptions) (*GeneralResult[T], error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if SparseEnabled() {
+		res, err := SolveGeneralCtx(ctx, sp.Compact, op, init, opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, terms := range res.Powers {
+			for k := range terms {
+				terms[k].Cell = sp.Cells[terms[k].Cell]
+			}
+		}
+		return res, nil
+	}
+	full, err := core.ExpandInit(sp, init)
+	if err != nil {
+		return nil, err
+	}
+	res, err := SolveGeneralCtx(ctx, sp.Dense(), op, full, opt)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := core.GatherTouched(sp, res.Values)
+	if err != nil {
+		return nil, err
+	}
+	out := &GeneralResult[T]{Values: vals, CAPRounds: res.CAPRounds}
+	if res.Powers != nil {
+		out.Powers, err = core.GatherTouched(sp, res.Powers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SparseFingerprint returns the canonical structure hash of a sparse system:
+// a hash over (family, n, n_c, global m, touched cells, compact g/f/h,
+// maxExponentBits), prefixed "sparse-<family>:". Like PlanFingerprint it is
+// structure-only and machine-independent — two sparse solves share a
+// fingerprint exactly when they can share a compiled plan — and it can never
+// collide with a dense fingerprint (distinct prefix).
+func SparseFingerprint(family Family, sp *SparseSystem, maxExponentBits int) string {
+	hsh := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		hsh.Write(buf[:])
+	}
+	writeSlice := func(tag byte, s []int) {
+		hsh.Write([]byte{tag})
+		writeInt(len(s))
+		for _, v := range s {
+			writeInt(v)
+		}
+	}
+	hsh.Write([]byte{byte(family)})
+	writeInt(sp.Compact.N)
+	writeInt(sp.Compact.M)
+	writeInt(sp.M)
+	writeInt(maxExponentBits)
+	writeSlice('c', sp.Cells)
+	writeSlice('g', sp.Compact.G)
+	writeSlice('f', sp.Compact.F)
+	writeSlice('h', sp.Compact.H)
+	return "sparse-" + family.String() + ":" + hex.EncodeToString(hsh.Sum(nil)[:16])
+}
+
+// CompileSparse compiles a sparse system into a Plan sized by the touched
+// count. It is CompileSparseCtx with a background context.
+func CompileSparse(sp *SparseSystem, opt CompileOptions) (*Plan, error) {
+	return CompileSparseCtx(context.Background(), sp, opt)
+}
+
+// CompileSparseCtx compiles the compact system — chain forest, schedule,
+// arenas all over touched cells only, so compile cost and plan size are
+// O(n_c log n_c) regardless of the global cell count — and tags the plan
+// with the touched-cell list and global size. The plan replays exactly like
+// a dense plan over n_c cells: init and values are in compact order, and
+// Plan.TouchedCells maps them back to global ids. Sparse plans replay the
+// compact structure even when SetSparseEnabled is off (the switch gates path
+// selection at solve submission, not compiled artifacts). Family selection
+// and errors follow CompileCtx; the fingerprint is SparseFingerprint's.
+func CompileSparseCtx(ctx context.Context, sp *SparseSystem, opt CompileOptions) (*Plan, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := CompileCtx(ctx, sp.Compact, opt)
+	if err != nil {
+		return nil, err
+	}
+	p.cells = sp.Cells
+	p.globalM = sp.M
+	p.fingerprint = SparseFingerprint(p.family, sp, opt.MaxExponentBits)
+	p.size += int64(len(sp.Cells)) * 8
+	return p, nil
+}
+
+// Sparse reports whether the plan was compiled from a sparse system via
+// CompileSparse; its M() is then the touched-cell count, not the global one.
+func (p *Plan) Sparse() bool { return p.cells != nil }
+
+// TouchedCells returns the sorted global cell ids a sparse plan's compact
+// values correspond to (nil for dense plans). The slice is owned by the
+// plan; callers must not mutate it.
+func (p *Plan) TouchedCells() []int { return p.cells }
+
+// GlobalM returns the global cell count of the array the plan addresses:
+// the sparse system's full extent for sparse plans, and M() for dense ones.
+func (p *Plan) GlobalM() int {
+	if p.cells != nil {
+		return p.globalM
+	}
+	return p.m
+}

@@ -10,13 +10,19 @@ import (
 // server. The field names are the paper's (g, f, h over m cells, n
 // iterations), lower-cased for JSON convention.
 
-// SystemWire is the JSON form of a System.
+// SystemWire is the JSON form of a System — and, when Cells is present, of a
+// SparseSystem: m is then the global cell count, cells the sorted touched
+// global indices, and g/f/h index maps over compact ids 0..len(cells)-1.
+// Init arrays accompanying a sparse wire system have length len(cells), in
+// compact order, so a request's payload scales with the touched count
+// rather than the global array size.
 type SystemWire struct {
-	M int   `json:"m"`
-	N int   `json:"n"`
-	G []int `json:"g"`
-	F []int `json:"f"`
-	H []int `json:"h,omitempty"`
+	M     int   `json:"m"`
+	N     int   `json:"n"`
+	G     []int `json:"g"`
+	F     []int `json:"f"`
+	H     []int `json:"h,omitempty"`
+	Cells []int `json:"cells,omitempty"`
 }
 
 // WireFromSystem converts a System to its wire form (slices are shared, not
@@ -25,10 +31,51 @@ func WireFromSystem(s *System) SystemWire {
 	return SystemWire{M: s.M, N: s.N, G: s.G, F: s.F, H: s.H}
 }
 
+// WireFromSparse converts a sparse system to its wire form (slices shared,
+// not copied): the compact maps plus the touched-cell list and global M.
+func WireFromSparse(sp *SparseSystem) SystemWire {
+	return SystemWire{
+		M:     sp.M,
+		N:     sp.Compact.N,
+		G:     sp.Compact.G,
+		F:     sp.Compact.F,
+		H:     sp.Compact.H,
+		Cells: sp.Cells,
+	}
+}
+
+// IsSparse reports whether the wire system uses the sparse encoding.
+func (w SystemWire) IsSparse() bool { return len(w.Cells) > 0 }
+
+// Sparse converts a sparse wire form back, validating the touched-cell list
+// (sorted, distinct, in range) and compact maps; defects wrap
+// ErrInvalidSparse. An omitted n is inferred from len(g).
+func (w SystemWire) Sparse() (*SparseSystem, error) {
+	if !w.IsSparse() {
+		return nil, fmt.Errorf("%w: no touched-cell list (dense encoding: use System)", ErrInvalidSparse)
+	}
+	g, f := w.G, w.F
+	if g == nil {
+		g = []int{}
+	}
+	if f == nil {
+		f = []int{}
+	}
+	if w.N != 0 && w.N != len(g) {
+		return nil, fmt.Errorf("%w: n = %d, want len(g) = %d", ErrInvalidSparse, w.N, len(g))
+	}
+	return SparseFromCompact(w.M, w.Cells, g, f, w.H)
+}
+
 // System converts the wire form back and validates it structurally, so a
 // malformed request fails with ErrInvalidSystem before reaching a solver.
-// An omitted n is inferred from len(g).
+// An omitted n is inferred from len(g). Sparse-encoded wire systems must be
+// decoded with Sparse instead; calling System on one is an error (the
+// compact ids would silently misread as global indices).
 func (w SystemWire) System() (*System, error) {
+	if w.IsSparse() {
+		return nil, fmt.Errorf("%w: sparse encoding (cells present): decode with Sparse", ErrInvalidSparse)
+	}
 	n := w.N
 	if n == 0 {
 		n = len(w.G)
